@@ -1,0 +1,146 @@
+//! One Criterion bench per paper table/figure: each benchmark runs a
+//! reduced-scale version of the experiment that regenerates that figure
+//! (the full-scale tables come from `cargo run -p bench --bin experiments`).
+//! Benchmarked quantity: wall-clock of the discrete-event replay, i.e. how
+//! fast this reproduction regenerates the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zipper_apps::Complexity;
+use zipper_model::{integrated_time, non_integrated_time};
+use zipper_transports::{run_with_detail, TransportKind, WorkflowSpec};
+use zipper_types::SimTime;
+
+fn tiny_cfd() -> WorkflowSpec {
+    let mut s = WorkflowSpec::cfd(16, 8, 4);
+    s.ranks_per_node = 8;
+    s.staging_servers = 2;
+    s.decaf_links = 4;
+    s
+}
+
+/// Fig. 2 / Tables 1-2: one bench per transport on the CFD workflow.
+fn fig2_transports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_transports");
+    let spec = tiny_cfd();
+    for kind in TransportKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let r = run_with_detail(kind, &spec, false);
+                assert!(r.is_clean());
+                std::hint::black_box(r.end_to_end)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 3 & 11: the exact pipeline schedules.
+fn fig3_11_pipeline(c: &mut Criterion) {
+    let stages = [
+        SimTime::from_millis(25),
+        SimTime::from_millis(10),
+        SimTime::from_millis(10),
+        SimTime::from_millis(15),
+    ];
+    c.bench_function("fig11_pipeline_model_10k_blocks", |b| {
+        b.iter(|| {
+            let it = integrated_time(10_000, &stages);
+            let ni = non_integrated_time(10_000, &stages);
+            std::hint::black_box((it, ni))
+        })
+    });
+}
+
+/// Figs. 4-6 & 17/19: trace-figure replay (full span detail retained).
+fn fig4_6_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_6_traces");
+    let spec = tiny_cfd();
+    for kind in [
+        TransportKind::DimesNative,
+        TransportKind::Flexpath,
+        TransportKind::Decaf,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let r = run_with_detail(kind, &spec, true);
+                assert!(r.is_clean());
+                std::hint::black_box(r.trace.spans().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 12-13: synthetic breakdown per complexity (No-Preserve +
+/// Preserve).
+fn fig12_13_synthetics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_13_synthetics");
+    for cx in Complexity::ALL {
+        for preserve in [false, true] {
+            let name = format!("{}{}", cx.label(), if preserve { "+preserve" } else { "" });
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                let mut spec =
+                    WorkflowSpec::synthetic(cx, 8, 4, 32 << 20, 1 << 20);
+                spec.preserve = preserve;
+                b.iter(|| {
+                    let r = run_with_detail(TransportKind::Zipper, &spec, false);
+                    assert!(r.is_clean());
+                    std::hint::black_box(r.end_to_end)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figs. 14-15: the dual-channel ablation (message-only vs concurrent).
+fn fig14_15_dual_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_15_dual_channel");
+    for concurrent in [false, true] {
+        let name = if concurrent { "concurrent" } else { "message-only" };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut spec =
+                WorkflowSpec::synthetic(Complexity::Linear, 28, 14, 64 << 20, 1 << 20);
+            spec.concurrent_transfer = concurrent;
+            b.iter(|| {
+                let r = run_with_detail(TransportKind::Zipper, &spec, false);
+                assert!(r.is_clean());
+                std::hint::black_box((r.sim_finish, r.xmit_wait_sim))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figs. 16 & 18: one weak-scaling point per method per application.
+fn fig16_18_scaling_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_18_scaling_point");
+    g.sample_size(10);
+    for (app, mk) in [
+        ("cfd", WorkflowSpec::cfd as fn(usize, usize, u64) -> WorkflowSpec),
+        ("lammps", WorkflowSpec::lammps as fn(usize, usize, u64) -> WorkflowSpec),
+    ] {
+        for kind in [TransportKind::MpiIo, TransportKind::Decaf, TransportKind::Zipper] {
+            let name = format!("{app}/{}", kind.name());
+            g.bench_function(BenchmarkId::from_parameter(name), |b| {
+                let mut spec = mk(32, 16, 3);
+                spec.ranks_per_node = 16;
+                spec.decaf_links = 8;
+                spec.staging_servers = 4;
+                b.iter(|| {
+                    let r = run_with_detail(kind, &spec, false);
+                    assert!(r.is_clean());
+                    std::hint::black_box(r.end_to_end)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = fig2_transports, fig3_11_pipeline, fig4_6_traces, fig12_13_synthetics, fig14_15_dual_channel, fig16_18_scaling_point
+}
+criterion_main!(figures);

@@ -1,0 +1,137 @@
+//! Micro-benchmarks of the computational kernels: the LBM and MD steps,
+//! the synthetic generators, the analyses, and the runtime's block queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zipper_apps::analysis::{block_variance, mean_squared_displacement, MomentAccumulator};
+use zipper_apps::lbm::Lbm;
+use zipper_apps::md::LjMd;
+use zipper_apps::synthetic::{decode_block, generate_block, Complexity};
+use zipper_core::BlockQueue;
+use zipper_types::block::deterministic_payload;
+use zipper_types::{Block, BlockId, GlobalPos, Rank, StepId};
+
+fn bench_lbm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lbm_step");
+    for dim in [8usize, 16] {
+        let cells = dim * dim * dim;
+        g.throughput(Throughput::Elements(cells as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut lbm = Lbm::new(dim, dim, dim, 0.8, [1e-5, 0.0, 0.0]);
+            b.iter(|| {
+                lbm.step();
+                std::hint::black_box(lbm.total_mass())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md_step");
+    for cells in [3usize, 5] {
+        let atoms = 4 * cells.pow(3);
+        g.throughput(Throughput::Elements(atoms as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(atoms), &cells, |b, &cells| {
+            let mut md = LjMd::fcc(cells, 0.8, 0.5, 1);
+            b.iter(|| {
+                md.step();
+                std::hint::black_box(md.kinetic_energy())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthetic_block");
+    let bytes = 256 << 10;
+    g.throughput(Throughput::Bytes(bytes as u64));
+    for cx in Complexity::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(cx.label()), &cx, |b, &cx| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                std::hint::black_box(generate_block(cx, bytes, seed))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    let blk = generate_block(Complexity::Linear, 1 << 20, 7);
+    let samples = decode_block(&blk);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("variance_1MiB", |b| {
+        b.iter(|| std::hint::black_box(block_variance(&samples)))
+    });
+    g.bench_function("moments4_1MiB", |b| {
+        b.iter(|| {
+            let mut acc = MomentAccumulator::new(4);
+            acc.update(&samples);
+            std::hint::black_box(acc.moment(4))
+        })
+    });
+    let md = LjMd::fcc(4, 0.8, 0.5, 1);
+    let reference = md.positions().to_vec();
+    g.bench_function("msd_256_atoms", |b| {
+        b.iter(|| {
+            std::hint::black_box(mean_squared_displacement(
+                md.positions(),
+                &reference,
+                md.box_len(),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_block_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_queue");
+    let id = BlockId::new(Rank(0), StepId(0), 0);
+    let block = Block::from_payload(
+        Rank(0),
+        StepId(0),
+        0,
+        1,
+        GlobalPos::default(),
+        deterministic_payload(id, 4096),
+    );
+    g.bench_function("push_pop_uncontended", |b| {
+        let q = BlockQueue::new(64);
+        b.iter(|| {
+            q.push(block.clone());
+            std::hint::black_box(q.pop().0)
+        })
+    });
+    g.bench_function("push_pop_2threads", |b| {
+        b.iter_custom(|iters| {
+            let q = std::sync::Arc::new(BlockQueue::new(64));
+            let q2 = q.clone();
+            let blk = block.clone();
+            let start = std::time::Instant::now();
+            let producer = std::thread::spawn(move || {
+                for _ in 0..iters {
+                    q2.push(blk.clone());
+                }
+                q2.close();
+            });
+            let mut n = 0u64;
+            while let (Some(_b), _) = q.pop() {
+                n += 1;
+            }
+            producer.join().unwrap();
+            assert_eq!(n, iters);
+            start.elapsed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_lbm, bench_md, bench_synthetic, bench_analysis, bench_block_queue
+}
+criterion_main!(kernels);

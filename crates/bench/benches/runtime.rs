@@ -1,0 +1,112 @@
+//! Benchmarks of the real (threaded) Zipper runtime: end-to-end block
+//! throughput and the ablations DESIGN.md calls out (block size,
+//! dual-channel switch, buffer depth).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
+use zipper_workflow::{run_workflow, NetworkOptions, StorageOptions};
+
+fn run_once(cfg: &WorkflowConfig, net: NetworkOptions) {
+    let steps = cfg.steps;
+    let slab = cfg.bytes_per_rank_step.as_u64() as usize;
+    let (report, _) = run_workflow(
+        cfg,
+        net,
+        StorageOptions::Memory,
+        move |rank, writer| {
+            for s in 0..steps {
+                writer.write_slab(
+                    StepId(s),
+                    GlobalPos::default(),
+                    Bytes::from(vec![rank.0 as u8; slab]),
+                );
+            }
+        },
+        |_r, reader| while reader.read().is_some() {},
+    );
+    report.assert_complete();
+}
+
+/// Ablation 1: fine-grain block size sweep on the threaded runtime.
+fn block_size_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_block_size");
+    let total = ByteSize::mib(4);
+    for block_kib in [16u64, 64, 256, 1024] {
+        g.throughput(Throughput::Bytes(total.as_u64() * 2));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{block_kib}KiB")),
+            &block_kib,
+            |b, &kib| {
+                let mut cfg = WorkflowConfig {
+                    producers: 2,
+                    consumers: 1,
+                    steps: 4,
+                    bytes_per_rank_step: ByteSize::mib(1),
+                    ..Default::default()
+                };
+                cfg.tuning.block_size = ByteSize::kib(kib);
+                b.iter(|| run_once(&cfg, NetworkOptions::default()));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Ablation 3: dual channel on/off over a constrained channel.
+fn dual_channel_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_dual_channel");
+    g.sample_size(10);
+    for concurrent in [false, true] {
+        let name = if concurrent { "concurrent" } else { "message-only" };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut cfg = WorkflowConfig {
+                producers: 2,
+                consumers: 1,
+                steps: 3,
+                bytes_per_rank_step: ByteSize::kib(512),
+                ..Default::default()
+            };
+            cfg.tuning.block_size = ByteSize::kib(64);
+            cfg.tuning.producer_slots = 4;
+            cfg.tuning.high_water_mark = 2;
+            cfg.tuning.concurrent_transfer = concurrent;
+            // 40 MB/s channel: producer-bound, so stealing matters.
+            let net = NetworkOptions::throttled(2, 40e6, Duration::ZERO);
+            b.iter(|| run_once(&cfg, net));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation 5: producer buffer depth.
+fn buffer_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_buffer_depth");
+    g.sample_size(10);
+    for slots in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            let mut cfg = WorkflowConfig {
+                producers: 2,
+                consumers: 1,
+                steps: 3,
+                bytes_per_rank_step: ByteSize::kib(512),
+                ..Default::default()
+            };
+            cfg.tuning.block_size = ByteSize::kib(64);
+            cfg.tuning.producer_slots = slots;
+            cfg.tuning.high_water_mark = slots.saturating_sub(1).max(1).min(slots - 1).max(1);
+            cfg.tuning.high_water_mark = (slots * 3 / 4).max(1).min(slots - 1);
+            let net = NetworkOptions::throttled(2, 80e6, Duration::ZERO);
+            b.iter(|| run_once(&cfg, net));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = runtime;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = block_size_sweep, dual_channel_ablation, buffer_depth
+}
+criterion_main!(runtime);

@@ -1,0 +1,95 @@
+//! The experiment driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! cargo run -p bench --release --bin experiments -- all [--quick]
+//! cargo run -p bench --release --bin experiments -- fig16
+//! ```
+
+use bench::figs;
+use bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let targets = if targets.is_empty() {
+        vec!["all"]
+    } else {
+        targets
+    };
+
+    let all = targets.contains(&"all");
+    let want = |name: &str| all || targets.contains(&name);
+    let mut ran = 0;
+
+    let t0 = std::time::Instant::now();
+    let mut emit = |s: String| {
+        print!("{s}");
+        ran += 1;
+    };
+
+    if want("setup") || want("table1") || want("table2") {
+        emit(figs::setup::run_setup(scale));
+    }
+    if want("fig2") {
+        emit(figs::fig02::run_fig(scale));
+    }
+    if want("fig3") {
+        emit(figs::fig03_11::run_fig3(scale));
+    }
+    if want("fig4") {
+        emit(figs::fig04_05_06::run_fig4(scale));
+    }
+    if want("fig5") {
+        emit(figs::fig04_05_06::run_fig5(scale));
+    }
+    if want("fig6") {
+        emit(figs::fig04_05_06::run_fig6(scale));
+    }
+    if want("fig11") {
+        emit(figs::fig03_11::run_fig11(scale));
+    }
+    if want("fig12") {
+        emit(figs::fig12_13::run_fig12(scale));
+    }
+    if want("fig13") {
+        emit(figs::fig12_13::run_fig13(scale));
+    }
+    if want("fig14") || want("fig15") {
+        emit(figs::fig14_15::run_figs(scale));
+    }
+    if want("fig16") {
+        emit(figs::fig16_18::run_fig16(scale));
+    }
+    if want("fig17") {
+        emit(figs::fig17_19::run_fig17(scale));
+    }
+    if want("fig18") {
+        emit(figs::fig16_18::run_fig18(scale));
+    }
+    if want("fig19") {
+        emit(figs::fig17_19::run_fig19(scale));
+    }
+    if want("model-check") {
+        emit(figs::model_check::run_check(scale));
+    }
+    if want("ablations") {
+        emit(figs::ablations::run_ablations(scale));
+    }
+
+    if ran == 0 {
+        eprintln!(
+            "unknown target(s) {targets:?}; known: setup fig2 fig3 fig4 fig5 fig6 fig11 \
+             fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 model-check ablations all \
+             (add --quick for laptop scale)"
+        );
+        std::process::exit(2);
+    }
+    eprintln!("\n[experiments completed in {:.1}s]", t0.elapsed().as_secs_f64());
+}

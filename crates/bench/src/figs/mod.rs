@@ -1,0 +1,12 @@
+//! One module per paper figure/table group.
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig03_11;
+pub mod fig04_05_06;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig16_18;
+pub mod fig17_19;
+pub mod model_check;
+pub mod setup;

@@ -1,0 +1,109 @@
+//! Output formatting helpers shared by the experiment harnesses.
+
+use zipper_types::SimTime;
+
+/// Seconds with one decimal, the paper's usual precision.
+pub fn secs(t: SimTime) -> String {
+    format!("{:.1}", t.as_secs_f64())
+}
+
+/// Seconds with three decimals for sub-second quantities.
+pub fn secs3(t: SimTime) -> String {
+    format!("{:.3}", t.as_secs_f64())
+}
+
+/// A fixed-width text table: pass the header once, then rows; `render`
+/// pads every column to its widest cell.
+#[derive(Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align first column, right-align the rest (numbers).
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cells[i], width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Section banner for experiment output.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_pads_and_aligns() {
+        let mut t = Table::new(&["name", "t(s)"]);
+        t.row(vec!["short".into(), "1.0".into()]);
+        t.row(vec!["a-much-longer-name".into(), "123.4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("123.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(SimTime::from_secs_f64(83.42)), "83.4");
+        assert_eq!(secs3(SimTime::from_millis(392)), "0.392");
+    }
+}

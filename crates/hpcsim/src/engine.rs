@@ -1,0 +1,1288 @@
+//! The discrete-event engine: interprets virtual-process ops over the
+//! network, PFS, and coordination objects, recording a span trace.
+
+use crate::network::{Network, NetworkConfig};
+use crate::objects::{BufItem, BufferWake, SimBarrier, SimBuffer, SimLock, SimSignal};
+use crate::ops::{BufId, BufferTaken, MsgMeta, Op, ProcCtx, Program, Step};
+use std::collections::{BinaryHeap, VecDeque};
+use zipper_pfs::{OstModel, OstModelConfig};
+use zipper_trace::{LaneId, Span, SpanKind, TraceLog};
+use zipper_types::{NodeId, ProcId, SimTime};
+
+/// Simulator-wide configuration.
+#[derive(Clone, Debug, Default)]
+pub struct SimConfig {
+    pub network: NetworkConfig,
+    pub pfs: OstModelConfig,
+    pub seed: u64,
+}
+
+/// Why a process is parked.
+#[derive(Clone, Copy, Debug)]
+enum Waiting {
+    None,
+    Recv {
+        tag_min: u64,
+        tag_max: u64,
+        kind: SpanKind,
+        since: SimTime,
+    },
+    Buffer {
+        kind: SpanKind,
+    },
+    Lock {
+        /// Held for the deadlock report only.
+        #[allow(dead_code)]
+        lock: usize,
+    },
+    Barrier {
+        kind: SpanKind,
+    },
+    Signal {
+        kind: SpanKind,
+    },
+    WaitAll {
+        kind: SpanKind,
+        since: SimTime,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ProcState {
+    Ready,
+    Blocked,
+    Done,
+}
+
+struct ProcSlot {
+    node: NodeId,
+    lane: LaneId,
+    program: Box<dyn Program>,
+    pending: VecDeque<Op>,
+    state: ProcState,
+    mailbox: VecDeque<MsgMeta>,
+    last_msg: Option<MsgMeta>,
+    last_take: Option<BufferTaken>,
+    outstanding_sends: u32,
+    waiting: Waiting,
+}
+
+#[derive(Debug)]
+enum Event {
+    Resume(ProcId),
+    Deliver { to: ProcId, msg: MsgMeta },
+    AsyncDelivered { sender: ProcId, to: ProcId, msg: MsgMeta },
+}
+
+struct QEntry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first with FIFO
+    // tie-break on submission order.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Virtual time when the last event executed.
+    pub end: SimTime,
+    /// Application faults raised via [`Op::Halt`]; non-empty means the
+    /// simulated job crashed (Decaf integer overflow, Flexpath segfault).
+    pub faults: Vec<String>,
+    /// Labels and park-reasons of processes still blocked when the event
+    /// queue drained — a deadlock indicator. Empty on a clean run.
+    pub deadlocked: Vec<String>,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// True when every process completed without faults or deadlock.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty() && self.deadlocked.is_empty()
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<QEntry>,
+    procs: Vec<ProcSlot>,
+    buffers: Vec<SimBuffer>,
+    locks: Vec<SimLock>,
+    barriers: Vec<SimBarrier>,
+    signals: Vec<SimSignal>,
+    network: Network,
+    pfs: OstModel,
+    trace: TraceLog,
+    rng_state: u64,
+    faults: Vec<String>,
+    halted: bool,
+    events: u64,
+    /// Safety valve against runaway programs.
+    max_events: u64,
+}
+
+impl Simulator {
+    pub fn new(cfg: SimConfig) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: Vec::new(),
+            buffers: Vec::new(),
+            locks: Vec::new(),
+            barriers: Vec::new(),
+            signals: Vec::new(),
+            network: Network::new(cfg.network.clone()),
+            pfs: OstModel::new(cfg.pfs.clone(), cfg.seed ^ 0xF00D),
+            trace: TraceLog::new(),
+            rng_state: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            faults: Vec::new(),
+            halted: false,
+            events: 0,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Cap the number of events processed (runaway-program guard in tests).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Disable raw-span storage in the trace (per-lane totals keep
+    /// accumulating). Use for very large runs where millions of spans
+    /// would dominate memory; windowed statistics and timeline rendering
+    /// need raw spans and should use smaller runs.
+    pub fn set_trace_detail(&mut self, keep_spans: bool) {
+        self.trace.set_keep_spans(keep_spans);
+    }
+
+    /// Spawn a virtual process on `node`; it starts at virtual time zero
+    /// (or at the current time if spawned mid-run).
+    pub fn spawn(
+        &mut self,
+        node: NodeId,
+        label: impl Into<String>,
+        program: impl Program + 'static,
+    ) -> ProcId {
+        assert!(
+            node.idx() < self.network.config().total_nodes(),
+            "node {node:?} outside the configured cluster"
+        );
+        let pid = ProcId(self.procs.len() as u32);
+        let lane = self.trace.lane(label);
+        self.procs.push(ProcSlot {
+            node,
+            lane,
+            program: Box::new(program),
+            pending: VecDeque::new(),
+            state: ProcState::Ready,
+            mailbox: VecDeque::new(),
+            last_msg: None,
+            last_take: None,
+            outstanding_sends: 0,
+            waiting: Waiting::None,
+        });
+        self.push_event(self.now, Event::Resume(pid));
+        pid
+    }
+
+    /// Create a bounded buffer; returns its handle.
+    pub fn add_buffer(&mut self, capacity: usize) -> BufId {
+        self.buffers.push(SimBuffer::new(capacity));
+        self.buffers.len() - 1
+    }
+
+    /// Create a FIFO lock.
+    pub fn add_lock(&mut self) -> usize {
+        self.locks.push(SimLock::new());
+        self.locks.len() - 1
+    }
+
+    /// Create a reusable barrier over `size` participants.
+    pub fn add_barrier(&mut self, size: usize) -> usize {
+        self.barriers.push(SimBarrier::new(size));
+        self.barriers.len() - 1
+    }
+
+    /// Create a counting signal.
+    pub fn add_signal(&mut self) -> usize {
+        self.signals.push(SimSignal::new());
+        self.signals.len() - 1
+    }
+
+    /// Pre-charge a signal with `n` tokens before the run starts — used to
+    /// seed slot semaphores (e.g. DIMES' circular queue of buffer slots or
+    /// Decaf's link-buffer depth).
+    pub fn prime_signal(&mut self, sig: usize, n: u32) {
+        let wakes = self.signals[sig].post(n);
+        assert!(
+            wakes.is_empty(),
+            "prime_signal must run before any process waits"
+        );
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Take the trace out of the simulator (for post-run analysis without
+    /// cloning).
+    pub fn into_trace(self) -> TraceLog {
+        self.trace
+    }
+
+    /// The fabric (for XmitWait and traffic counters).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The PFS model (for request/byte counters).
+    pub fn pfs(&self) -> &OstModel {
+        &self.pfs
+    }
+
+    /// Peak occupancy and total inserts of a buffer, for reports.
+    pub fn buffer_stats(&self, buf: BufId) -> (usize, u64) {
+        (self.buffers[buf].peak, self.buffers[buf].total_in)
+    }
+
+    fn push_event(&mut self, time: SimTime, event: Event) {
+        debug_assert!(time >= self.now, "event scheduled in the past");
+        self.queue.push(QEntry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    fn record(&mut self, lane: LaneId, kind: SpanKind, t0: SimTime, t1: SimTime, step: u64) {
+        if t1 > t0 {
+            self.trace.record(Span::new(lane, kind, t0, t1).with_step(step));
+        }
+    }
+
+    /// Run until the event queue drains, the horizon is reached, or a
+    /// fault halts the job.
+    pub fn run(&mut self) -> RunReport {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run with a virtual-time horizon.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        while let Some(entry) = self.queue.pop() {
+            if entry.time > horizon {
+                // Past the horizon: stop (drop the event; horizon runs are
+                // for bounded-time inspection only).
+                self.now = horizon;
+                break;
+            }
+            self.now = entry.time;
+            self.events += 1;
+            if self.events > self.max_events {
+                self.faults.push("max_events exceeded (runaway program?)".into());
+                break;
+            }
+            match entry.event {
+                Event::Resume(pid) => self.run_proc(pid),
+                Event::Deliver { to, msg } => self.deliver(to, msg),
+                Event::AsyncDelivered { sender, to, msg } => {
+                    self.deliver(to, msg);
+                    let s = &mut self.procs[sender.idx()];
+                    debug_assert!(s.outstanding_sends > 0);
+                    s.outstanding_sends -= 1;
+                    if s.outstanding_sends == 0 {
+                        if let Waiting::WaitAll { kind, since } = s.waiting {
+                            s.waiting = Waiting::None;
+                            s.state = ProcState::Ready;
+                            let lane = s.lane;
+                            self.record(lane, kind, since, self.now, Span::NO_STEP);
+                            self.push_event(self.now, Event::Resume(sender));
+                        }
+                    }
+                }
+            }
+            if self.halted {
+                break;
+            }
+        }
+
+        let deadlocked = self
+            .procs
+            .iter()
+            .filter(|p| p.state == ProcState::Blocked)
+            .map(|p| {
+                format!(
+                    "{} ({:?})",
+                    self.trace.lane_label(p.lane),
+                    p.waiting
+                )
+            })
+            .collect();
+        RunReport {
+            end: self.now,
+            faults: self.faults.clone(),
+            deadlocked,
+            events: self.events,
+        }
+    }
+
+    /// Deliver a message: enqueue in the mailbox, then complete a matching
+    /// parked `Recv` if there is one.
+    fn deliver(&mut self, to: ProcId, msg: MsgMeta) {
+        self.procs[to.idx()].mailbox.push_back(msg);
+        self.try_complete_recv(to);
+    }
+
+    fn try_complete_recv(&mut self, pid: ProcId) {
+        let slot = &mut self.procs[pid.idx()];
+        if let Waiting::Recv {
+            tag_min,
+            tag_max,
+            kind,
+            since,
+        } = slot.waiting
+        {
+            if let Some(pos) = slot
+                .mailbox
+                .iter()
+                .position(|m| m.tag >= tag_min && m.tag <= tag_max)
+            {
+                let msg = slot.mailbox.remove(pos).expect("position valid");
+                slot.last_msg = Some(msg);
+                slot.waiting = Waiting::None;
+                slot.state = ProcState::Ready;
+                let lane = slot.lane;
+                self.record(lane, kind, since, self.now, Span::NO_STEP);
+                self.push_event(self.now, Event::Resume(pid));
+            }
+        }
+    }
+
+    /// Dispatch buffer wakeups produced by a state change.
+    fn apply_buffer_wakes(&mut self, wakes: Vec<BufferWake>) {
+        for w in wakes {
+            match w {
+                BufferWake::Taker { proc, item, since } => {
+                    let slot = &mut self.procs[proc.idx()];
+                    let kind = match slot.waiting {
+                        Waiting::Buffer { kind } => kind,
+                        ref other => unreachable!("taker woken while {other:?}"),
+                    };
+                    slot.last_take = Some(BufferTaken::Item {
+                        bytes: item.bytes,
+                        token: item.token,
+                    });
+                    slot.waiting = Waiting::None;
+                    slot.state = ProcState::Ready;
+                    let lane = slot.lane;
+                    self.record(lane, kind, since, self.now, Span::NO_STEP);
+                    self.push_event(self.now, Event::Resume(proc));
+                }
+                BufferWake::TakerClosed { proc, since } => {
+                    let slot = &mut self.procs[proc.idx()];
+                    let kind = match slot.waiting {
+                        Waiting::Buffer { kind } => kind,
+                        ref other => unreachable!("taker woken while {other:?}"),
+                    };
+                    slot.last_take = Some(BufferTaken::Closed);
+                    slot.waiting = Waiting::None;
+                    slot.state = ProcState::Ready;
+                    let lane = slot.lane;
+                    self.record(lane, kind, since, self.now, Span::NO_STEP);
+                    self.push_event(self.now, Event::Resume(proc));
+                }
+                BufferWake::Putter { proc, since } => {
+                    let slot = &mut self.procs[proc.idx()];
+                    slot.waiting = Waiting::None;
+                    slot.state = ProcState::Ready;
+                    let lane = slot.lane;
+                    // A blocked put is the paper's producer stall.
+                    self.record(lane, SpanKind::Stall, since, self.now, Span::NO_STEP);
+                    self.push_event(self.now, Event::Resume(proc));
+                }
+            }
+        }
+    }
+
+    /// Execute ops for `pid` until it blocks, finishes, or suspends on a
+    /// timed op.
+    fn run_proc(&mut self, pid: ProcId) {
+        loop {
+            if self.procs[pid.idx()].state == ProcState::Done {
+                return;
+            }
+            let op = match self.procs[pid.idx()].pending.pop_front() {
+                Some(op) => op,
+                None => {
+                    if !self.refill(pid) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            if !self.exec_op(pid, op) {
+                return;
+            }
+        }
+    }
+
+    /// Ask the program for more ops. Returns false when the process ended.
+    fn refill(&mut self, pid: ProcId) -> bool {
+        let (now, me, last_msg, last_take) = {
+            let s = &self.procs[pid.idx()];
+            (self.now, pid, s.last_msg, s.last_take)
+        };
+        // Temporarily detach the program so `self` stays borrowable.
+        let mut program = std::mem::replace(
+            &mut self.procs[pid.idx()].program,
+            Box::new(crate::ops::RunOnce::new(Vec::new())),
+        );
+        let step = {
+            let buffers = &self.buffers;
+            let len_fn = move |b: BufId| buffers[b].len();
+            let rng_state = &mut self.rng_state;
+            let mut rng_fn = move || {
+                let mut s = *rng_state;
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                *rng_state = s;
+                s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            };
+            let mut ctx = ProcCtx {
+                now,
+                me,
+                last_msg,
+                last_take,
+                buffer_len: &len_fn,
+                rng: &mut rng_fn,
+            };
+            program.resume(&mut ctx)
+        };
+        self.procs[pid.idx()].program = program;
+        match step {
+            Step::Done => {
+                self.procs[pid.idx()].state = ProcState::Done;
+                false
+            }
+            Step::Ops(ops) => {
+                self.procs[pid.idx()].pending.extend(ops);
+                true
+            }
+        }
+    }
+
+    /// Execute one op. Returns `true` when the process may continue with
+    /// its next op immediately, `false` when it suspended (timed op or
+    /// blocked) or finished.
+    fn exec_op(&mut self, pid: ProcId, op: Op) -> bool {
+        let now = self.now;
+        let (node, lane) = {
+            let s = &self.procs[pid.idx()];
+            (s.node, s.lane)
+        };
+        match op {
+            Op::Compute { dur, kind, step } => {
+                if dur == SimTime::ZERO {
+                    return true;
+                }
+                self.record(lane, kind, now, now + dur, step);
+                self.push_event(now + dur, Event::Resume(pid));
+                self.procs[pid.idx()].state = ProcState::Ready;
+                false
+            }
+            Op::Send { to, bytes, tag, kind } => {
+                let to_node = self.procs[to.idx()].node;
+                let flow = ((pid.0 as u64) << 32) | to.0 as u64;
+                let t = self.network.transfer(now, node, to_node, bytes, flow);
+                self.record(lane, kind, now, t.inject_done, Span::NO_STEP);
+                self.push_event(
+                    t.delivered,
+                    Event::Deliver {
+                        to,
+                        msg: MsgMeta {
+                            from: pid,
+                            bytes,
+                            tag,
+                            sent_at: now,
+                        },
+                    },
+                );
+                if t.inject_done > now {
+                    self.push_event(t.inject_done, Event::Resume(pid));
+                    false
+                } else {
+                    true
+                }
+            }
+            Op::SendAsync { to, bytes, tag } => {
+                let to_node = self.procs[to.idx()].node;
+                let flow = ((pid.0 as u64) << 32) | to.0 as u64;
+                let t = self.network.transfer(now, node, to_node, bytes, flow);
+                self.procs[pid.idx()].outstanding_sends += 1;
+                self.push_event(
+                    t.delivered,
+                    Event::AsyncDelivered {
+                        sender: pid,
+                        to,
+                        msg: MsgMeta {
+                            from: pid,
+                            bytes,
+                            tag,
+                            sent_at: now,
+                        },
+                    },
+                );
+                true
+            }
+            Op::WaitAllSends { kind } => {
+                if self.procs[pid.idx()].outstanding_sends == 0 {
+                    true
+                } else {
+                    self.procs[pid.idx()].waiting = Waiting::WaitAll { kind, since: now };
+                    self.procs[pid.idx()].state = ProcState::Blocked;
+                    false
+                }
+            }
+            Op::Recv {
+                tag_min,
+                tag_max,
+                kind,
+            } => {
+                let slot = &mut self.procs[pid.idx()];
+                if let Some(pos) = slot
+                    .mailbox
+                    .iter()
+                    .position(|m| m.tag >= tag_min && m.tag <= tag_max)
+                {
+                    let msg = slot.mailbox.remove(pos).expect("position valid");
+                    slot.last_msg = Some(msg);
+                    true
+                } else {
+                    slot.waiting = Waiting::Recv {
+                        tag_min,
+                        tag_max,
+                        kind,
+                        since: now,
+                    };
+                    slot.state = ProcState::Blocked;
+                    false
+                }
+            }
+            Op::Barrier { id, kind } => {
+                match self.barriers[id].arrive(pid, now) {
+                    Some(members) => {
+                        for (proc, since) in members {
+                            if proc == pid {
+                                self.record(lane, kind, since, now, Span::NO_STEP);
+                                continue;
+                            }
+                            let slot = &mut self.procs[proc.idx()];
+                            let mkind = match slot.waiting {
+                                Waiting::Barrier { kind } => kind,
+                                ref other => unreachable!("barrier member {other:?}"),
+                            };
+                            slot.waiting = Waiting::None;
+                            slot.state = ProcState::Ready;
+                            let mlane = slot.lane;
+                            self.record(mlane, mkind, since, now, Span::NO_STEP);
+                            self.push_event(now, Event::Resume(proc));
+                        }
+                        true
+                    }
+                    None => {
+                        self.procs[pid.idx()].waiting = Waiting::Barrier { kind };
+                        self.procs[pid.idx()].state = ProcState::Blocked;
+                        false
+                    }
+                }
+            }
+            Op::FsWrite { bytes, key } => {
+                let storage = self.network.config().storage_node_for(key);
+                let t = self.network.transfer(now, node, storage, bytes, key);
+                let done = self.pfs.submit(t.delivered, bytes, key);
+                self.record(lane, SpanKind::FsWrite, now, done, Span::NO_STEP);
+                self.push_event(done, Event::Resume(pid));
+                false
+            }
+            Op::FsRead { bytes, key, cached } => {
+                let storage = self.network.config().storage_node_for(key);
+                let ready = if cached {
+                    self.pfs.submit_read(now, bytes, key)
+                } else {
+                    self.pfs.submit(now, bytes, key)
+                };
+                let t = self.network.transfer(ready, storage, node, bytes, key);
+                self.record(lane, SpanKind::FsRead, now, t.delivered, Span::NO_STEP);
+                self.push_event(t.delivered, Event::Resume(pid));
+                false
+            }
+            Op::Acquire { lock } => {
+                if self.locks[lock].acquire(pid, now) {
+                    true
+                } else {
+                    self.procs[pid.idx()].waiting = Waiting::Lock { lock };
+                    self.procs[pid.idx()].state = ProcState::Blocked;
+                    false
+                }
+            }
+            Op::Release { lock } => {
+                if let Some((next, since)) = self.locks[lock].release(pid) {
+                    let slot = &mut self.procs[next.idx()];
+                    slot.waiting = Waiting::None;
+                    slot.state = ProcState::Ready;
+                    let nlane = slot.lane;
+                    self.record(nlane, SpanKind::Lock, since, now, Span::NO_STEP);
+                    self.push_event(now, Event::Resume(next));
+                }
+                true
+            }
+            Op::SignalWait { sig, kind } => {
+                if self.signals[sig].wait(pid, now) {
+                    true
+                } else {
+                    self.procs[pid.idx()].waiting = Waiting::Signal { kind };
+                    self.procs[pid.idx()].state = ProcState::Blocked;
+                    false
+                }
+            }
+            Op::SignalPost { sig, n } => {
+                let wakes = self.signals[sig].post(n);
+                for (proc, since) in wakes {
+                    let slot = &mut self.procs[proc.idx()];
+                    let kind = match slot.waiting {
+                        Waiting::Signal { kind } => kind,
+                        ref other => unreachable!("signal waiter {other:?}"),
+                    };
+                    slot.waiting = Waiting::None;
+                    slot.state = ProcState::Ready;
+                    let wlane = slot.lane;
+                    self.record(wlane, kind, since, now, Span::NO_STEP);
+                    self.push_event(now, Event::Resume(proc));
+                }
+                true
+            }
+            Op::BufferPut { buf, bytes, token } => {
+                match self.buffers[buf].put(pid, BufItem { bytes, token }, now) {
+                    Some(wakes) => {
+                        self.apply_buffer_wakes(wakes);
+                        true
+                    }
+                    None => {
+                        self.procs[pid.idx()].waiting = Waiting::Buffer {
+                            kind: SpanKind::Stall,
+                        };
+                        self.procs[pid.idx()].state = ProcState::Blocked;
+                        false
+                    }
+                }
+            }
+            Op::BufferTake {
+                buf,
+                min_occupancy,
+                kind,
+            } => match self.buffers[buf].take(pid, min_occupancy, now) {
+                Ok((item, wakes)) => {
+                    self.procs[pid.idx()].last_take = Some(match item {
+                        Some(i) => BufferTaken::Item {
+                            bytes: i.bytes,
+                            token: i.token,
+                        },
+                        None => BufferTaken::Closed,
+                    });
+                    self.apply_buffer_wakes(wakes);
+                    true
+                }
+                Err(()) => {
+                    self.procs[pid.idx()].waiting = Waiting::Buffer { kind };
+                    self.procs[pid.idx()].state = ProcState::Blocked;
+                    false
+                }
+            },
+            Op::BufferClose { buf } => {
+                let wakes = self.buffers[buf].close();
+                self.apply_buffer_wakes(wakes);
+                true
+            }
+            Op::Halt { error } => {
+                self.faults.push(error);
+                self.procs[pid.idx()].state = ProcState::Done;
+                self.halted = true;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::RunOnce;
+
+    fn small_sim() -> Simulator {
+        let cfg = SimConfig {
+            network: NetworkConfig {
+                compute_nodes: 4,
+                storage_nodes: 1,
+                nodes_per_leaf: 2,
+                nic_bw: 1e9,
+                uplink_bw: 2e9,
+                leaf_uplinks: 2,
+                link_latency: SimTime::from_micros(1),
+                mem_bw: 10e9,
+                per_msg_overhead: SimTime::ZERO,
+            },
+            pfs: OstModelConfig {
+                n_osts: 2,
+                ost_bandwidth: 1e9,
+                op_latency: SimTime::ZERO,
+                stripe_size: zipper_types::ByteSize::mib(1),
+                background_load: 0.0,
+                background_jitter: 0.0,
+                read_bandwidth_factor: 1.0,
+            },
+            seed: 7,
+        };
+        Simulator::new(cfg)
+    }
+
+    #[test]
+    fn compute_advances_time_and_traces() {
+        let mut sim = small_sim();
+        sim.spawn(
+            NodeId(0),
+            "p0",
+            RunOnce::new(vec![Op::Compute {
+                dur: SimTime::from_millis(5),
+                kind: SpanKind::Compute,
+                step: 0,
+            }]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean());
+        assert_eq!(r.end, SimTime::from_millis(5));
+        assert_eq!(sim.trace().spans().len(), 1);
+    }
+
+    #[test]
+    fn send_recv_round_trip() {
+        let mut sim = small_sim();
+        let receiver = {
+            let mut done = false;
+            move |ctx: &mut ProcCtx<'_>| {
+                if done {
+                    assert_eq!(ctx.last_msg.unwrap().bytes, 1_000_000);
+                    assert_eq!(ctx.last_msg.unwrap().tag, 42);
+                    return Step::Done;
+                }
+                done = true;
+                Step::Ops(vec![Op::Recv {
+                    tag_min: 42,
+                    tag_max: 42,
+                    kind: SpanKind::Recv,
+                }])
+            }
+        };
+        // Spawn receiver first so its ProcId is 0.
+        sim.spawn(NodeId(1), "recv", receiver);
+        sim.spawn(
+            NodeId(0),
+            "send",
+            RunOnce::new(vec![Op::Send {
+                to: ProcId(0),
+                bytes: 1_000_000,
+                tag: 42,
+                kind: SpanKind::Send,
+            }]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        // 1 MB over two 1 GB/s NICs + 1 µs = ≥ 2 ms.
+        assert!(r.end >= SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn recv_before_send_parks_and_wakes() {
+        let mut sim = small_sim();
+        let mut phase = 0;
+        let receiver = move |ctx: &mut ProcCtx<'_>| {
+            phase += 1;
+            match phase {
+                1 => Step::Ops(vec![Op::Recv {
+                    tag_min: 0,
+                    tag_max: u64::MAX,
+                    kind: SpanKind::Recv,
+                }]),
+                _ => {
+                    assert!(ctx.last_msg.is_some());
+                    Step::Done
+                }
+            }
+        };
+        sim.spawn(NodeId(0), "recv", receiver);
+        sim.spawn(
+            NodeId(1),
+            "send",
+            RunOnce::new(vec![
+                Op::Compute {
+                    dur: SimTime::from_millis(3),
+                    kind: SpanKind::Compute,
+                    step: 0,
+                },
+                Op::Send {
+                    to: ProcId(0),
+                    bytes: 1000,
+                    tag: 1,
+                    kind: SpanKind::Send,
+                },
+            ]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean());
+        // Receiver waited ≥ 3 ms; a Recv span was recorded.
+        let recv_time: u64 = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Recv)
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        assert!(recv_time >= SimTime::from_millis(3).as_nanos());
+    }
+
+    #[test]
+    fn buffer_backpressure_stalls_producer() {
+        let mut sim = small_sim();
+        let buf = sim.add_buffer(2);
+        // Producer pushes 5 items instantly; consumer takes one per ms.
+        sim.spawn(
+            NodeId(0),
+            "producer",
+            RunOnce::new(
+                (0..5)
+                    .map(|i| Op::BufferPut {
+                        buf,
+                        bytes: 100,
+                        token: i,
+                    })
+                    .chain([Op::BufferClose { buf }])
+                    .collect(),
+            ),
+        );
+        let mut taken = Vec::new();
+        let mut started = false;
+        let consumer = move |ctx: &mut ProcCtx<'_>| {
+            if started {
+                match ctx.last_take {
+                    Some(BufferTaken::Item { token, .. }) => taken.push(token),
+                    Some(BufferTaken::Closed) => return Step::Done,
+                    None => unreachable!(),
+                }
+            }
+            started = true;
+            Step::Ops(vec![
+                Op::Compute {
+                    dur: SimTime::from_millis(1),
+                    kind: SpanKind::Analysis,
+                    step: 0,
+                },
+                Op::BufferTake {
+                    buf,
+                    min_occupancy: 1,
+                    kind: SpanKind::Idle,
+                },
+            ])
+        };
+        sim.spawn(NodeId(1), "consumer", consumer);
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        // Producer must have stalled (buffer capacity 2 < 5 items).
+        let stall: u64 = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Stall)
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        assert!(stall > 0, "expected producer stall");
+        let (peak, total) = sim.buffer_stats(buf);
+        assert_eq!(total, 5);
+        assert!(peak <= 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_members() {
+        let mut sim = small_sim();
+        let bar = sim.add_barrier(3);
+        for i in 0..3u64 {
+            sim.spawn(
+                NodeId((i % 4) as u32),
+                format!("p{i}"),
+                RunOnce::new(vec![
+                    Op::Compute {
+                        dur: SimTime::from_millis(i + 1),
+                        kind: SpanKind::Compute,
+                        step: 0,
+                    },
+                    Op::Barrier {
+                        id: bar,
+                        kind: SpanKind::Barrier,
+                    },
+                    Op::Compute {
+                        dur: SimTime::from_millis(1),
+                        kind: SpanKind::Compute,
+                        step: 1,
+                    },
+                ]),
+            );
+        }
+        let r = sim.run();
+        assert!(r.is_clean());
+        // All finish 1 ms after the slowest (3 ms) reaches the barrier.
+        assert_eq!(r.end, SimTime::from_millis(4));
+        // Barrier wait recorded for the early arrivals: 2 ms + 1 ms.
+        let wait: u64 = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Barrier)
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        assert_eq!(wait, SimTime::from_millis(3).as_nanos());
+    }
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        let mut sim = small_sim();
+        let lock = sim.add_lock();
+        for i in 0..2u32 {
+            sim.spawn(
+                NodeId(i),
+                format!("p{i}"),
+                RunOnce::new(vec![
+                    Op::Acquire { lock },
+                    Op::Compute {
+                        dur: SimTime::from_millis(10),
+                        kind: SpanKind::Compute,
+                        step: 0,
+                    },
+                    Op::Release { lock },
+                ]),
+            );
+        }
+        let r = sim.run();
+        assert!(r.is_clean());
+        assert_eq!(r.end, SimTime::from_millis(20));
+        let lock_wait: u64 = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Lock)
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        assert_eq!(lock_wait, SimTime::from_millis(10).as_nanos());
+    }
+
+    #[test]
+    fn waitall_blocks_until_async_sends_deliver() {
+        let mut sim = small_sim();
+        let mut done = false;
+        let sink = move |_ctx: &mut ProcCtx<'_>| {
+            if done {
+                return Step::Done;
+            }
+            done = true;
+            Step::Ops(vec![
+                Op::Recv {
+                    tag_min: 0,
+                    tag_max: u64::MAX,
+                    kind: SpanKind::Recv,
+                },
+                Op::Recv {
+                    tag_min: 0,
+                    tag_max: u64::MAX,
+                    kind: SpanKind::Recv,
+                },
+            ])
+        };
+        sim.spawn(NodeId(2), "sink", sink);
+        sim.spawn(
+            NodeId(0),
+            "decaf-put",
+            RunOnce::new(vec![
+                Op::SendAsync {
+                    to: ProcId(0),
+                    bytes: 2_000_000,
+                    tag: 1,
+                },
+                Op::SendAsync {
+                    to: ProcId(0),
+                    bytes: 2_000_000,
+                    tag: 2,
+                },
+                Op::WaitAllSends {
+                    kind: SpanKind::Waitall,
+                },
+            ]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        let waitall: u64 = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Waitall)
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        // 4 MB through a 1 GB/s NIC ≈ 4 ms of waitall.
+        assert!(waitall >= SimTime::from_millis(3).as_nanos());
+    }
+
+    #[test]
+    fn fs_write_crosses_fabric_and_drains_ost() {
+        let mut sim = small_sim();
+        sim.spawn(
+            NodeId(0),
+            "writer",
+            RunOnce::new(vec![Op::FsWrite {
+                bytes: 4_000_000,
+                key: 0,
+            }]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean());
+        // 4 MB: ≥ 4 ms NIC injection + OST drain.
+        assert!(r.end >= SimTime::from_millis(7), "end={}", r.end);
+        assert_eq!(sim.pfs().requests(), 1);
+        assert_eq!(sim.pfs().bytes_moved(), 4_000_000);
+    }
+
+    #[test]
+    fn halt_reports_fault_and_stops() {
+        let mut sim = small_sim();
+        sim.spawn(
+            NodeId(0),
+            "crasher",
+            RunOnce::new(vec![Op::Halt {
+                error: "integer overflow in Decaf redistribution".into(),
+            }]),
+        );
+        sim.spawn(
+            NodeId(1),
+            "other",
+            RunOnce::new(vec![Op::Compute {
+                dur: SimTime::from_millis(100),
+                kind: SpanKind::Compute,
+                step: 0,
+            }]),
+        );
+        let r = sim.run();
+        assert_eq!(r.faults.len(), 1);
+        assert!(!r.is_clean());
+        assert!(r.end < SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let mut sim = small_sim();
+        let buf = sim.add_buffer(1);
+        sim.spawn(
+            NodeId(0),
+            "starved",
+            RunOnce::new(vec![Op::BufferTake {
+                buf,
+                min_occupancy: 1,
+                kind: SpanKind::Idle,
+            }]),
+        );
+        let r = sim.run();
+        assert_eq!(r.deadlocked.len(), 1);
+        assert!(r.deadlocked[0].contains("starved"));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = small_sim();
+        sim.spawn(
+            NodeId(0),
+            "long",
+            RunOnce::new(
+                (0..10)
+                    .map(|i| Op::Compute {
+                        dur: SimTime::from_millis(10),
+                        kind: SpanKind::Compute,
+                        step: i,
+                    })
+                    .collect(),
+            ),
+        );
+        let r = sim.run_until(SimTime::from_millis(35));
+        assert!(r.end <= SimTime::from_millis(40));
+        assert!(r.events < 10);
+    }
+
+    #[test]
+    fn max_events_guard_trips_on_runaway_programs() {
+        let mut sim = small_sim();
+        sim.set_max_events(50);
+        // A program that never finishes.
+        sim.spawn(NodeId(0), "spin", |_ctx: &mut ProcCtx<'_>| {
+            Step::Ops(vec![Op::Compute {
+                dur: SimTime::from_nanos(1),
+                kind: SpanKind::Compute,
+                step: 0,
+            }])
+        });
+        let r = sim.run();
+        assert!(!r.is_clean());
+        assert!(r.faults[0].contains("max_events"));
+    }
+
+    #[test]
+    fn primed_signal_tokens_are_consumed_before_waiting() {
+        let mut sim = small_sim();
+        let sig = sim.add_signal();
+        sim.prime_signal(sig, 2);
+        sim.spawn(
+            NodeId(0),
+            "taker",
+            RunOnce::new(vec![
+                Op::SignalWait { sig, kind: SpanKind::Idle },
+                Op::SignalWait { sig, kind: SpanKind::Idle },
+            ]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.end, SimTime::ZERO);
+        // A third wait would deadlock:
+        let mut sim2 = small_sim();
+        let sig2 = sim2.add_signal();
+        sim2.prime_signal(sig2, 1);
+        sim2.spawn(
+            NodeId(0),
+            "starver",
+            RunOnce::new(vec![
+                Op::SignalWait { sig: sig2, kind: SpanKind::Idle },
+                Op::SignalWait { sig: sig2, kind: SpanKind::Idle },
+            ]),
+        );
+        let r2 = sim2.run();
+        assert_eq!(r2.deadlocked.len(), 1);
+    }
+
+    #[test]
+    fn cold_reads_queue_behind_writes_cached_reads_do_not() {
+        let read_time = |cached: bool| {
+            let mut sim = small_sim();
+            sim.spawn(
+                NodeId(0),
+                "w",
+                RunOnce::new(vec![Op::FsWrite { bytes: 64 << 20, key: 0 }]),
+            );
+            sim.spawn(
+                NodeId(1),
+                "r",
+                RunOnce::new(vec![Op::FsRead { bytes: 1 << 20, key: 0, cached }]),
+            );
+            sim.run();
+            sim.trace()
+                .spans()
+                .iter()
+                .filter(|s| s.kind == SpanKind::FsRead)
+                .map(|s| s.duration().as_nanos())
+                .sum::<u64>()
+        };
+        assert!(
+            read_time(true) < read_time(false),
+            "cache-served read must not wait behind the disk backlog"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut cfg = SimConfig {
+                seed,
+                ..Default::default()
+            };
+            cfg.network.compute_nodes = 4;
+            let mut sim = Simulator::new(cfg);
+            let buf = sim.add_buffer(4);
+            sim.spawn(
+                NodeId(0),
+                "p",
+                RunOnce::new(
+                    (0..20)
+                        .flat_map(|i| {
+                            vec![
+                                Op::Compute {
+                                    dur: SimTime::from_micros(100),
+                                    kind: SpanKind::Compute,
+                                    step: i,
+                                },
+                                Op::BufferPut {
+                                    buf,
+                                    bytes: 10,
+                                    token: i,
+                                },
+                            ]
+                        })
+                        .chain([Op::BufferClose { buf }])
+                        .collect(),
+                ),
+            );
+            let mut got = Vec::new();
+            let mut started = false;
+            sim.spawn(NodeId(1), "c", move |ctx: &mut ProcCtx<'_>| {
+                if started {
+                    match ctx.last_take {
+                        Some(BufferTaken::Item { token, .. }) => got.push(token),
+                        Some(BufferTaken::Closed) => return Step::Done,
+                        None => unreachable!(),
+                    }
+                }
+                started = true;
+                Step::Ops(vec![Op::BufferTake {
+                    buf,
+                    min_occupancy: 1,
+                    kind: SpanKind::Idle,
+                }])
+            });
+            let r = sim.run();
+            assert!(r.is_clean());
+            (r.end, r.events, sim.trace().spans().len())
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the fabric model: conservation, monotonicity, and
+//! FIFO sanity under arbitrary traffic.
+
+use proptest::prelude::*;
+use hpcsim::{Network, NetworkConfig};
+use zipper_types::{NodeId, SimTime};
+
+fn cfg(nodes: usize) -> NetworkConfig {
+    NetworkConfig {
+        compute_nodes: nodes,
+        storage_nodes: 2,
+        nodes_per_leaf: 4,
+        nic_bw: 1e9,
+        uplink_bw: 2e9,
+        leaf_uplinks: 2,
+        link_latency: SimTime::from_micros(1),
+        mem_bw: 10e9,
+        per_msg_overhead: SimTime::from_micros(2),
+    }
+}
+
+proptest! {
+    /// Delivery never precedes readiness plus the pure wire time, the
+    /// sender is never released before its own transmit completes, and
+    /// byte/message accounting is exact.
+    #[test]
+    fn transfers_respect_physics(
+        msgs in proptest::collection::vec(
+            (0u64..1000, 0u32..8, 0u32..8, 1u64..4_000_000, 0u64..32),
+            1..60,
+        )
+    ) {
+        let mut net = Network::new(cfg(8));
+        let mut total_bytes = 0u64;
+        for (at_us, src, dst, bytes, flow) in &msgs {
+            let now = SimTime::from_micros(*at_us);
+            let t = net.transfer(now, NodeId(*src), NodeId(*dst), *bytes, *flow);
+            total_bytes += bytes;
+            // Sender release and delivery are causal.
+            prop_assert!(t.inject_done >= now);
+            prop_assert!(t.delivered >= t.inject_done);
+            // Delivery can never beat one NIC pass + overhead.
+            let floor = now
+                + SimTime::from_micros(2)
+                + SimTime::for_bytes(*bytes, if src == dst { 10e9 } else { 1e9 });
+            prop_assert!(t.delivered >= floor, "delivered {} < floor {}", t.delivered, floor);
+        }
+        prop_assert_eq!(net.messages(), msgs.len() as u64);
+        prop_assert_eq!(net.bytes(), total_bytes);
+    }
+
+    /// A node's rx NIC serializes fan-in: total delivery horizon for N
+    /// same-destination messages is at least the sum of their transmit
+    /// times (aggregate capacity is conserved).
+    #[test]
+    fn fan_in_conserves_rx_capacity(n in 1usize..20, bytes in 100_000u64..2_000_000) {
+        let mut net = Network::new(cfg(8));
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let src = NodeId((i % 7) as u32 + 1);
+            let t = net.transfer(SimTime::ZERO, src, NodeId(0), bytes, i as u64);
+            last = last.max(t.delivered);
+        }
+        let min_total = SimTime::for_bytes(bytes * n as u64, 1e9);
+        prop_assert!(
+            last >= min_total,
+            "rx NIC overdelivered: {} < {}",
+            last,
+            min_total
+        );
+    }
+
+    /// XmitWait is zero on an idle network and grows monotonically with
+    /// added traffic from the same node.
+    #[test]
+    fn xmit_wait_monotone(n in 2usize..20) {
+        let mut net = Network::new(cfg(8));
+        let first = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 0);
+        prop_assert!(first.delivered > SimTime::ZERO);
+        prop_assert_eq!(net.xmit_wait(NodeId(0)), 0, "idle fabric: no wait");
+        let mut prev = 0;
+        for i in 0..n {
+            net.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000, i as u64);
+            let w = net.xmit_wait(NodeId(0));
+            prop_assert!(w >= prev);
+            prev = w;
+        }
+        prop_assert!(prev > 0, "queued traffic must register wait");
+    }
+}

@@ -1,0 +1,384 @@
+//! The data-analysis applications coupled to the simulations:
+//!
+//! * **n-th moment turbulence analysis** (CFD workflow): `E(u(x,t)^n)` of
+//!   the velocity distribution — "when all n-th moments are available, the
+//!   probability density function of u(x,t) can be evaluated" (§6.3.1);
+//! * **mean-squared displacement** (LAMMPS workflow): deviation of particle
+//!   positions from a reference, with minimum-image convention;
+//! * **standard variance** (synthetic workflows): each block reduces to one
+//!   double (§6.1).
+//!
+//! All analyses are streaming-friendly: they fold block-local partial
+//! results into small accumulators that merge associatively, which is what
+//! lets the consumer analyze fine-grain blocks in any arrival order.
+
+/// Streaming accumulator for the first `N_MAX` raw moments of a scalar
+/// distribution. Merging two accumulators is exact, so blocks can be
+/// reduced independently and combined in any order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MomentAccumulator {
+    /// Highest moment tracked (the paper uses n = 4).
+    n_max: u32,
+    /// `sums[k]` = Σ x^(k+1).
+    sums: Vec<f64>,
+    count: u64,
+}
+
+impl MomentAccumulator {
+    pub fn new(n_max: u32) -> Self {
+        assert!(n_max >= 1, "need at least the first moment");
+        MomentAccumulator {
+            n_max,
+            sums: vec![0.0; n_max as usize],
+            count: 0,
+        }
+    }
+
+    /// Fold a slice of samples.
+    pub fn update(&mut self, samples: &[f64]) {
+        for &x in samples {
+            let mut p = 1.0;
+            for k in 0..self.n_max as usize {
+                p *= x;
+                self.sums[k] += p;
+            }
+        }
+        self.count += samples.len() as u64;
+    }
+
+    /// Merge another accumulator (exact, associative, commutative).
+    pub fn merge(&mut self, other: &MomentAccumulator) {
+        assert_eq!(self.n_max, other.n_max, "moment orders differ");
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// `E[x^n]` for `1 ≤ n ≤ n_max`; `None` before any samples.
+    pub fn moment(&self, n: u32) -> Option<f64> {
+        assert!(n >= 1 && n <= self.n_max, "moment {n} out of range");
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sums[(n - 1) as usize] / self.count as f64)
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Mean and variance in one pass (Welford). The synthetic workflows reduce
+/// every block to its standard variance (§6.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct VarianceAccumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl VarianceAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn update(&mut self, samples: &[f64]) {
+        for &x in samples {
+            self.count += 1;
+            let d = x - self.mean;
+            self.mean += d / self.count as f64;
+            self.m2 += d * (x - self.mean);
+        }
+    }
+
+    /// Chan et al. parallel merge — exact combination of two partials.
+    pub fn merge(&mut self, other: &VarianceAccumulator) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Convenience: the standard variance of one block of `f64`s — the paper's
+/// per-block synthetic analysis ("its standard variance is reduced to one
+/// double-precision floating point value").
+pub fn block_variance(samples: &[f64]) -> f64 {
+    let mut acc = VarianceAccumulator::new();
+    acc.update(samples);
+    acc.variance().unwrap_or(0.0)
+}
+
+/// Mean-squared displacement of `current` positions against `reference`,
+/// with minimum-image convention in a periodic box of edge `box_len`
+/// (`box_len = f64::INFINITY` disables wrapping).
+pub fn mean_squared_displacement(
+    current: &[[f64; 3]],
+    reference: &[[f64; 3]],
+    box_len: f64,
+) -> f64 {
+    assert_eq!(
+        current.len(),
+        reference.len(),
+        "MSD needs matching particle sets"
+    );
+    assert!(!current.is_empty(), "MSD of zero particles is undefined");
+    let half = box_len * 0.5;
+    let mut sum = 0.0;
+    for (c, r) in current.iter().zip(reference) {
+        for k in 0..3 {
+            let mut d = c[k] - r[k];
+            if box_len.is_finite() {
+                if d > half {
+                    d -= box_len;
+                } else if d < -half {
+                    d += box_len;
+                }
+            }
+            sum += d * d;
+        }
+    }
+    sum / current.len() as f64
+}
+
+/// Streaming histogram over a fixed range — the paper's end goal for the
+/// turbulence analysis: "when all n-th moments are available, the
+/// probability density function of u(x,t) can be evaluated" (§6.3.1).
+/// This accumulator evaluates the PDF directly; merging is exact and
+/// order-independent, so fine-grain blocks can be folded as they arrive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples outside `[lo, hi)`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// A histogram of `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
+    }
+
+    pub fn update(&mut self, samples: &[f64]) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for &x in samples {
+            if x < self.lo || x >= self.hi || !x.is_finite() {
+                self.outliers += 1;
+                continue;
+            }
+            let bin = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[bin] += 1;
+        }
+    }
+
+    /// Merge another histogram with identical binning (exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histograms must share binning"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.outliers += other.outliers;
+    }
+
+    /// Total in-range samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Samples that fell outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// The estimated probability density per bin: `(bin_center, density)`,
+    /// normalized so the densities integrate to 1 over the range.
+    pub fn pdf(&self) -> Vec<(f64, f64)> {
+        let n = self.count() as f64;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let center = self.lo + (i as f64 + 0.5) * width;
+                let density = if n == 0.0 { 0.0 } else { c as f64 / (n * width) };
+                (center, density)
+            })
+            .collect()
+    }
+}
+
+/// Decode a velocity slab (little-endian `f64`s) into samples — the
+/// consumer-side inverse of `Lbm::velocity_bytes`.
+pub fn decode_scalar_field(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len().is_multiple_of(8), "scalar field must be whole f64s");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let mut acc = MomentAccumulator::new(4);
+        acc.update(&[1.0, 2.0, 3.0]);
+        assert_eq!(acc.moment(1), Some(2.0));
+        assert_eq!(acc.moment(2), Some(14.0 / 3.0));
+        assert_eq!(acc.moment(4), Some((1.0 + 16.0 + 81.0) / 3.0));
+        assert_eq!(acc.count(), 3);
+    }
+
+    #[test]
+    fn moment_merge_equals_single_pass() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let mut whole = MomentAccumulator::new(4);
+        whole.update(&data);
+        let mut a = MomentAccumulator::new(4);
+        let mut b = MomentAccumulator::new(4);
+        a.update(&data[..37]);
+        b.update(&data[37..]);
+        a.merge(&b);
+        for n in 1..=4 {
+            let w = whole.moment(n).unwrap();
+            let m = a.moment(n).unwrap();
+            assert!((w - m).abs() < 1e-12, "moment {n}: {w} vs {m}");
+        }
+    }
+
+    #[test]
+    fn empty_moment_accumulator_returns_none() {
+        let acc = MomentAccumulator::new(2);
+        assert_eq!(acc.moment(1), None);
+    }
+
+    #[test]
+    fn variance_matches_definition() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = VarianceAccumulator::new();
+        acc.update(&data);
+        assert_eq!(acc.mean(), Some(5.0));
+        assert_eq!(acc.variance(), Some(4.0));
+        assert!((block_variance(&data) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_merge_is_exact() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).cos() * 5.0).collect();
+        let mut whole = VarianceAccumulator::new();
+        whole.update(&data);
+        let mut parts = VarianceAccumulator::new();
+        for chunk in data.chunks(97) {
+            let mut p = VarianceAccumulator::new();
+            p.update(chunk);
+            parts.merge(&p);
+        }
+        assert!((whole.variance().unwrap() - parts.variance().unwrap()).abs() < 1e-9);
+        assert_eq!(whole.count(), parts.count());
+    }
+
+    #[test]
+    fn msd_basic_and_periodic() {
+        let reference = [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]];
+        let current = [[1.0, 0.0, 0.0], [1.0, 1.0, 2.0]];
+        // Displacements: (1,0,0) and (0,0,1) → MSD = (1 + 1)/2 = 1.
+        assert!((mean_squared_displacement(&current, &reference, f64::INFINITY) - 1.0).abs() < 1e-12);
+
+        // Periodic: moving from 0.1 to 9.9 in a box of 10 is a move of -0.2.
+        let a = [[0.1, 0.0, 0.0]];
+        let b = [[9.9, 0.0, 0.0]];
+        let msd = mean_squared_displacement(&b, &a, 10.0);
+        assert!((msd - 0.04).abs() < 1e-12, "msd={msd}");
+    }
+
+    #[test]
+    fn decode_scalar_field_round_trips() {
+        let vals = [1.5f64, -2.25, 1e-9];
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(decode_scalar_field(&bytes), vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching particle sets")]
+    fn msd_rejects_mismatched_sets() {
+        let _ = mean_squared_displacement(&[[0.0; 3]], &[], 1.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_normalizes() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.update(&[0.1, 0.3, 0.6, 0.9, 1.5, -0.2]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.outliers(), 2);
+        let pdf = h.pdf();
+        assert_eq!(pdf.len(), 4);
+        // Densities integrate to 1 over the range.
+        let integral: f64 = pdf.iter().map(|(_, d)| d * 0.25).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+        assert!((pdf[0].0 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_pass() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.123).sin()).collect();
+        let mut whole = Histogram::new(-1.0, 1.0, 16);
+        whole.update(&data);
+        let mut merged = Histogram::new(-1.0, 1.0, 16);
+        for chunk in data.chunks(61) {
+            let mut part = Histogram::new(-1.0, 1.0, 16);
+            part.update(chunk);
+            merged.merge(&part);
+        }
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "share binning")]
+    fn histogram_merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 2.0, 4);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,30 @@
+//! # zipper-apps
+//!
+//! The workloads of the paper's evaluation, reimplemented from scratch:
+//!
+//! * [`lbm`] — a D3Q19 lattice-Boltzmann CFD kernel with the three-phase
+//!   step structure the paper's traces show (collision / streaming /
+//!   update), standing in for the closed-source 3-D channel-flow code;
+//! * [`md`] — a Lennard-Jones molecular-dynamics kernel (cell lists,
+//!   velocity Verlet, periodic box), standing in for the LAMMPS melt;
+//! * [`synthetic`] — the O(n), O(n log n) and O(n^{3/2}) block generators
+//!   of §6.1/6.2, doing real floating-point work;
+//! * [`analysis`] — the coupled analyses: n-th velocity moments
+//!   (turbulence), mean-squared displacement (MSD), standard variance;
+//! * [`cost`] — per-block/per-step virtual-time cost models calibrated to
+//!   the paper's reported rates, used to parameterize the discrete-event
+//!   simulator.
+
+pub mod analysis;
+pub mod cost;
+pub mod lbm;
+pub mod md;
+pub mod synthetic;
+
+pub use cost::{AppCostModel, WorkloadKind};
+pub use synthetic::Complexity;
+
+#[cfg(test)]
+pub(crate) fn analysis_msd_helper(md: &md::LjMd, reference: &[[f64; 3]]) -> f64 {
+    analysis::mean_squared_displacement(md.positions(), reference, md.box_len())
+}

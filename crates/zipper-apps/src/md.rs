@@ -1,0 +1,478 @@
+//! Lennard-Jones molecular dynamics — the stand-in for the paper's LAMMPS
+//! melt workload (§6.3.2): "clusters of Lennard-Jones atoms … the melting
+//! process of materials from a low-energy solid structure at low
+//! temperatures to a set of higher energy liquid structures".
+//!
+//! Standard ingredients: reduced LJ units, a truncated 12-6 potential at
+//! `r_c = 2.5σ`, cell lists for O(N) neighbor search, velocity-Verlet
+//! integration, periodic cubic box, atoms initialized on an FCC lattice
+//! with a small deterministic velocity perturbation (the "melt" setup).
+//! `positions_bytes()` serializes per-step positions — the slab the MSD
+//! analysis consumes.
+
+// Dimension-indexed loops over coupled arrays are the clearest idiom in
+// these numerical kernels; iterator rewrites would obscure the physics.
+#![allow(clippy::needless_range_loop)]
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CUTOFF: f64 = 2.5;
+const CUTOFF2: f64 = CUTOFF * CUTOFF;
+/// Potential value at the cutoff, subtracted so the truncated potential is
+/// continuous (energy-conserving "truncated & shifted" LJ).
+const E_SHIFT: f64 = {
+    let inv_r6 = 1.0 / (CUTOFF2 * CUTOFF2 * CUTOFF2);
+    4.0 * inv_r6 * (inv_r6 - 1.0)
+};
+
+/// A Lennard-Jones particle system in a periodic cubic box.
+pub struct LjMd {
+    /// Box edge length (reduced units).
+    box_len: f64,
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    acc: Vec<[f64; 3]>,
+    /// Integration time step.
+    dt: f64,
+    /// Cells per box edge for the cell list.
+    cells_per_edge: usize,
+    steps_run: u64,
+}
+
+impl LjMd {
+    /// Build an FCC lattice of `cells_per_edge³ × 4` atoms at reduced
+    /// density `rho`, with velocities drawn uniformly in `[-v0, v0]`
+    /// (zeroed net momentum) from a deterministic seed.
+    pub fn fcc(cells_per_edge: usize, rho: f64, v0: f64, seed: u64) -> Self {
+        assert!(cells_per_edge > 0, "need at least one FCC cell");
+        assert!(rho > 0.0, "density must be positive");
+        let n_atoms = 4 * cells_per_edge.pow(3);
+        let box_len = (n_atoms as f64 / rho).cbrt();
+        let a = box_len / cells_per_edge as f64;
+        let basis = [
+            [0.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0],
+            [0.5, 0.0, 0.5],
+            [0.0, 0.5, 0.5],
+        ];
+        let mut pos = Vec::with_capacity(n_atoms);
+        for x in 0..cells_per_edge {
+            for y in 0..cells_per_edge {
+                for z in 0..cells_per_edge {
+                    for b in basis {
+                        pos.push([
+                            (x as f64 + b[0]) * a,
+                            (y as f64 + b[1]) * a,
+                            (z as f64 + b[2]) * a,
+                        ]);
+                    }
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vel: Vec<[f64; 3]> = (0..n_atoms)
+            .map(|_| {
+                [
+                    rng.gen_range(-v0..=v0),
+                    rng.gen_range(-v0..=v0),
+                    rng.gen_range(-v0..=v0),
+                ]
+            })
+            .collect();
+        // Remove net momentum so the box does not drift.
+        let mut mean = [0.0f64; 3];
+        for v in &vel {
+            for d in 0..3 {
+                mean[d] += v[d];
+            }
+        }
+        for d in 0..3 {
+            mean[d] /= n_atoms as f64;
+        }
+        for v in &mut vel {
+            for d in 0..3 {
+                v[d] -= mean[d];
+            }
+        }
+        // Cell list resolution: cells at least CUTOFF wide.
+        let list_cells = ((box_len / CUTOFF).floor() as usize).max(1);
+        let mut md = LjMd {
+            box_len,
+            pos,
+            vel,
+            acc: vec![[0.0; 3]; n_atoms],
+            dt: 0.001,
+            cells_per_edge: list_cells,
+            steps_run: 0,
+        };
+        md.compute_forces();
+        md
+    }
+
+    /// Number of atoms.
+    pub fn atoms(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Box edge length.
+    pub fn box_len(&self) -> f64 {
+        self.box_len
+    }
+
+    /// Steps executed so far.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Minimum-image displacement component.
+    #[inline]
+    fn min_image(&self, mut d: f64) -> f64 {
+        let l = self.box_len;
+        if d > 0.5 * l {
+            d -= l;
+        } else if d < -0.5 * l {
+            d += l;
+        }
+        d
+    }
+
+    #[inline]
+    fn cell_of(&self, p: &[f64; 3]) -> (usize, usize, usize) {
+        let m = self.cells_per_edge;
+        let f = m as f64 / self.box_len;
+        let clamp = |v: f64| ((v * f) as usize).min(m - 1);
+        (clamp(p[0]), clamp(p[1]), clamp(p[2]))
+    }
+
+    /// Recompute accelerations with the truncated LJ force via cell lists.
+    fn compute_forces(&mut self) {
+        let n = self.atoms();
+        let m = self.cells_per_edge;
+        for a in &mut self.acc {
+            *a = [0.0; 3];
+        }
+        // Bucket atoms.
+        let mut heads = vec![usize::MAX; m * m * m];
+        let mut next = vec![usize::MAX; n];
+        for i in 0..n {
+            let (cx, cy, cz) = self.cell_of(&self.pos[i]);
+            let c = (cz * m + cy) * m + cx;
+            next[i] = heads[c];
+            heads[c] = i;
+        }
+        // For each atom, scan its neighbor cells, i<j pairs only. With
+        // fewer than 3 cells per edge the ±1 offsets alias after periodic
+        // wrapping (−1 ≡ +1 mod 2), so the wrapped offset set must be
+        // deduplicated or pairs would be double-counted.
+        let axis_offsets = |c: usize| -> Vec<usize> {
+            let mut v: Vec<usize> = (-1i64..=1)
+                .map(|d| (c as i64 + d).rem_euclid(m as i64) as usize)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        for i in 0..n {
+            let (cx, cy, cz) = self.cell_of(&self.pos[i]);
+            for nz in axis_offsets(cz) {
+                for ny in axis_offsets(cy) {
+                    for nx in axis_offsets(cx) {
+                        let mut j = heads[(nz * m + ny) * m + nx];
+                        while j != usize::MAX {
+                            if j > i {
+                                self.pair_force(i, j);
+                            }
+                            j = next[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn pair_force(&mut self, i: usize, j: usize) {
+        let mut d = [0.0f64; 3];
+        for k in 0..3 {
+            d[k] = self.min_image(self.pos[i][k] - self.pos[j][k]);
+        }
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        if r2 >= CUTOFF2 || r2 == 0.0 {
+            return;
+        }
+        let inv_r2 = 1.0 / r2;
+        let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+        // F/r = 24 ε (2 (σ/r)^12 − (σ/r)^6) / r² in reduced units.
+        let f_over_r = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+        for k in 0..3 {
+            let fk = f_over_r * d[k];
+            self.acc[i][k] += fk;
+            self.acc[j][k] -= fk;
+        }
+    }
+
+    /// One velocity-Verlet step.
+    pub fn step(&mut self) {
+        let dt = self.dt;
+        let half = 0.5 * dt;
+        let l = self.box_len;
+        for i in 0..self.atoms() {
+            for k in 0..3 {
+                self.vel[i][k] += half * self.acc[i][k];
+                self.pos[i][k] += dt * self.vel[i][k];
+                self.pos[i][k] = self.pos[i][k].rem_euclid(l);
+            }
+        }
+        self.compute_forces();
+        for i in 0..self.atoms() {
+            for k in 0..3 {
+                self.vel[i][k] += half * self.acc[i][k];
+            }
+        }
+        self.steps_run += 1;
+    }
+
+    /// Instantaneous kinetic temperature, `T = 2 E_kin / (3 N)` in reduced
+    /// units (unit mass, k_B = 1).
+    pub fn temperature(&self) -> f64 {
+        2.0 * self.kinetic_energy() / (3.0 * self.atoms() as f64)
+    }
+
+    /// Velocity-rescaling thermostat: scale all velocities so the kinetic
+    /// temperature equals `target`. The LAMMPS melt experiments drive the
+    /// system "from a low-energy solid structure at low temperatures to a
+    /// set of higher energy liquid structures at high temperatures"
+    /// (§6.3.2) — call this periodically to heat the system.
+    pub fn rescale_to_temperature(&mut self, target: f64) {
+        assert!(target >= 0.0, "temperature must be non-negative");
+        let current = self.temperature();
+        if current <= 0.0 {
+            return;
+        }
+        let s = (target / current).sqrt();
+        for v in &mut self.vel {
+            for k in 0..3 {
+                v[k] *= s;
+            }
+        }
+    }
+
+    /// Kinetic energy (reduced units, unit mass).
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self
+            .vel
+            .iter()
+            .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+            .sum::<f64>()
+    }
+
+    /// Potential energy of the truncated LJ system (O(N²) reference
+    /// implementation — use for validation on small systems only).
+    pub fn potential_energy(&self) -> f64 {
+        let n = self.atoms();
+        let mut e = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut r2 = 0.0;
+                for k in 0..3 {
+                    let d = self.min_image(self.pos[i][k] - self.pos[j][k]);
+                    r2 += d * d;
+                }
+                if r2 < CUTOFF2 && r2 > 0.0 {
+                    let inv_r6 = 1.0 / (r2 * r2 * r2);
+                    e += 4.0 * inv_r6 * (inv_r6 - 1.0) - E_SHIFT;
+                }
+            }
+        }
+        e
+    }
+
+    /// Net momentum (should stay ~0).
+    pub fn net_momentum(&self) -> [f64; 3] {
+        let mut p = [0.0f64; 3];
+        for v in &self.vel {
+            for k in 0..3 {
+                p[k] += v[k];
+            }
+        }
+        p
+    }
+
+    /// Borrow current positions.
+    pub fn positions(&self) -> &[[f64; 3]] {
+        &self.pos
+    }
+
+    /// Serialize positions (3 little-endian `f64` per atom) — the per-step
+    /// output slab consumed by the MSD analysis (≈20 MB per LAMMPS process
+    /// per step in the paper's runs).
+    pub fn positions_bytes(&self) -> Bytes {
+        let mut out = Vec::with_capacity(self.atoms() * 24);
+        for p in &self.pos {
+            for k in 0..3 {
+                out.extend_from_slice(&p[k].to_le_bytes());
+            }
+        }
+        Bytes::from(out)
+    }
+}
+
+/// Decode a positions slab produced by [`LjMd::positions_bytes`].
+pub fn decode_positions(bytes: &[u8]) -> Vec<[f64; 3]> {
+    assert!(bytes.len().is_multiple_of(24), "positions slab must be 24-byte atoms");
+    bytes
+        .chunks_exact(24)
+        .map(|c| {
+            [
+                f64::from_le_bytes(c[0..8].try_into().unwrap()),
+                f64::from_le_bytes(c[8..16].try_into().unwrap()),
+                f64::from_le_bytes(c[16..24].try_into().unwrap()),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LjMd {
+        // 3³ FCC cells = 108 atoms at liquid-ish density.
+        LjMd::fcc(3, 0.8, 0.5, 42)
+    }
+
+    #[test]
+    fn fcc_setup_counts_atoms_and_zeroes_momentum() {
+        let md = small();
+        assert_eq!(md.atoms(), 108);
+        let p = md.net_momentum();
+        for k in 0..3 {
+            assert!(p[k].abs() < 1e-9, "net momentum {p:?}");
+        }
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let mut md = small();
+        for _ in 0..50 {
+            md.step();
+        }
+        let p = md.net_momentum();
+        for k in 0..3 {
+            assert!(p[k].abs() < 1e-6, "momentum drifted: {p:?}");
+        }
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved() {
+        let mut md = small();
+        let e0 = md.kinetic_energy() + md.potential_energy();
+        for _ in 0..100 {
+            md.step();
+        }
+        let e1 = md.kinetic_energy() + md.potential_energy();
+        let rel = ((e1 - e0) / e0.abs().max(1.0)).abs();
+        assert!(rel < 0.02, "energy drifted {e0} -> {e1} (rel {rel})");
+    }
+
+    #[test]
+    fn atoms_stay_inside_the_box() {
+        let mut md = small();
+        for _ in 0..50 {
+            md.step();
+        }
+        let l = md.box_len();
+        for p in md.positions() {
+            for k in 0..3 {
+                assert!((0.0..l).contains(&p[k]), "escaped atom at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn melt_heats_up_from_lattice() {
+        // Atoms start on a perfect lattice (high potential order); kinetic
+        // energy redistributes — positions must decorrelate from the
+        // lattice over time (this is the melt the paper studies).
+        let mut md = small();
+        let initial = md.positions().to_vec();
+        for _ in 0..200 {
+            md.step();
+        }
+        let moved = md
+            .positions()
+            .iter()
+            .zip(&initial)
+            .map(|(a, b)| {
+                (0..3)
+                    .map(|k| {
+                        let d = a[k] - b[k];
+                        d * d
+                    })
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / md.atoms() as f64;
+        assert!(moved > 1e-4, "atoms barely moved: msd={moved}");
+    }
+
+    #[test]
+    fn positions_round_trip_through_bytes() {
+        let md = small();
+        let bytes = md.positions_bytes();
+        assert_eq!(bytes.len(), md.atoms() * 24);
+        let decoded = decode_positions(&bytes);
+        assert_eq!(decoded.len(), md.atoms());
+        assert_eq!(decoded[0], md.positions()[0]);
+        assert_eq!(decoded[decoded.len() - 1], md.positions()[md.atoms() - 1]);
+    }
+
+    #[test]
+    fn thermostat_reaches_and_holds_target_temperature() {
+        let mut md = small();
+        md.rescale_to_temperature(1.5);
+        assert!((md.temperature() - 1.5).abs() < 1e-9);
+        // Heating drives the melt: hotter system moves further.
+        let before = md.positions().to_vec();
+        for _ in 0..100 {
+            md.step();
+        }
+        let hot_msd = crate::analysis_msd_helper(&md, &before);
+        let mut cold = small();
+        cold.rescale_to_temperature(0.05);
+        let cold_before = cold.positions().to_vec();
+        for _ in 0..100 {
+            cold.step();
+        }
+        let cold_msd = crate::analysis_msd_helper(&cold, &cold_before);
+        assert!(
+            hot_msd > cold_msd * 2.0,
+            "hot system must melt faster: {hot_msd} vs {cold_msd}"
+        );
+    }
+
+    #[test]
+    fn rescale_to_zero_freezes() {
+        let mut md = small();
+        md.rescale_to_temperature(0.0);
+        assert!(md.temperature() < 1e-20);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = LjMd::fcc(2, 0.8, 0.5, 7);
+        let mut b = LjMd::fcc(2, 0.8, 0.5, 7);
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.positions(), b.positions());
+        let mut c = LjMd::fcc(2, 0.8, 0.5, 8);
+        for _ in 0..20 {
+            c.step();
+        }
+        assert_ne!(a.positions(), c.positions());
+    }
+}

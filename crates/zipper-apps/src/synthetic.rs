@@ -1,0 +1,184 @@
+//! The synthetic producer applications of §6.1/§6.2: block generators with
+//! controlled time complexity O(n), O(n log n), O(n^{3/2}), paired with the
+//! standard-variance analysis.
+//!
+//! The generators do *real* floating-point work proportional to their
+//! complexity class (not sleeps), so they behave like the paper's emulated
+//! linear / divide-and-conquer / matrix-style kernels when run on the real
+//! threaded runtime; for the discrete-event simulator their virtual-time
+//! cost is modeled in [`crate::cost`].
+
+use bytes::Bytes;
+
+/// Time-complexity class of a synthetic producer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Complexity {
+    /// T(n) = O(n): linear algorithms.
+    Linear,
+    /// T(n) = O(n log n): divide-and-conquer algorithms.
+    NLogN,
+    /// T(n) = O(n^{3/2}): matrix-style computations.
+    N32,
+}
+
+impl Complexity {
+    pub const ALL: [Complexity; 3] = [Complexity::Linear, Complexity::NLogN, Complexity::N32];
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Complexity::Linear => "O(n)",
+            Complexity::NLogN => "O(n log n)",
+            Complexity::N32 => "O(n^1.5)",
+        }
+    }
+
+    /// Abstract work units for an input of `n` elements (used by the cost
+    /// model so the DES and the real kernels share one scaling law).
+    pub fn work_units(self, n: u64) -> f64 {
+        let nf = n as f64;
+        match self {
+            Complexity::Linear => nf,
+            Complexity::NLogN => nf * nf.max(2.0).log2(),
+            Complexity::N32 => nf.powf(1.5),
+        }
+    }
+}
+
+/// Generate one synthetic data block of `bytes` (rounded down to whole
+/// `f64`s, at least one), doing work of the requested complexity, seeded
+/// deterministically. Returns the block payload.
+///
+/// * `Linear` — one streaming pass of fused multiply-adds.
+/// * `NLogN` — `log2(n)` butterfly passes over the buffer (FFT-shaped).
+/// * `N32` — `sqrt(n)` passes of length `n` (blocked matrix-kernel shape).
+pub fn generate_block(c: Complexity, bytes: usize, seed: u64) -> Bytes {
+    let n = (bytes / 8).max(1);
+    let mut data = vec![0.0f64; n];
+    // Seed the buffer deterministically.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for v in data.iter_mut() {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        *v = (s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    match c {
+        Complexity::Linear => {
+            let mut acc = 0.0f64;
+            for v in data.iter_mut() {
+                acc = acc.mul_add(0.999_999, *v);
+                *v = acc;
+            }
+        }
+        Complexity::NLogN => {
+            let passes = (n.max(2) as f64).log2().ceil() as usize;
+            let mut stride = 1usize;
+            for _ in 0..passes {
+                let mut i = 0;
+                while i + stride < n {
+                    let a = data[i];
+                    let b = data[i + stride];
+                    data[i] = a + 0.5 * b;
+                    data[i + stride] = a - 0.5 * b;
+                    i += 2 * stride.max(1);
+                }
+                stride = (stride * 2).min(n / 2 + 1);
+            }
+        }
+        Complexity::N32 => {
+            let passes = (n as f64).sqrt().ceil() as usize;
+            let mut acc = 1.0f64;
+            for p in 0..passes {
+                let c0 = 1.0 + 1e-9 * p as f64;
+                for v in data.iter_mut() {
+                    acc = acc.mul_add(1e-16, *v * c0);
+                    *v = 0.5 * (*v + acc.fract());
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n * 8);
+    for v in &data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+/// Decode a synthetic block back into `f64`s.
+pub fn decode_block(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn labels_and_work_units_scale_correctly() {
+        assert_eq!(Complexity::Linear.label(), "O(n)");
+        let n = 1 << 20;
+        let lin = Complexity::Linear.work_units(n);
+        let nlogn = Complexity::NLogN.work_units(n);
+        let n32 = Complexity::N32.work_units(n);
+        assert!(lin < nlogn && nlogn < n32);
+        // Doubling n doubles linear work, more than doubles the others.
+        assert!((Complexity::Linear.work_units(2 * n) / lin - 2.0).abs() < 1e-12);
+        assert!(Complexity::NLogN.work_units(2 * n) / nlogn > 2.0);
+        assert!((Complexity::N32.work_units(2 * n) / n32 - 2.0f64.powf(1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_are_deterministic_and_sized() {
+        for c in Complexity::ALL {
+            let a = generate_block(c, 4096, 1);
+            let b = generate_block(c, 4096, 1);
+            let d = generate_block(c, 4096, 2);
+            assert_eq!(a, b, "{c:?} not deterministic");
+            assert_ne!(a, d, "{c:?} ignores seed");
+            assert_eq!(a.len(), 4096);
+        }
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let blk = generate_block(Complexity::Linear, 256, 3);
+        let vals = decode_block(&blk);
+        assert_eq!(vals.len(), 32);
+        assert!(vals.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn complexity_ordering_shows_up_in_wall_time() {
+        // Coarse sanity: for a biggish block, O(n^1.5) must cost clearly
+        // more wall time than O(n). Uses a generous factor to stay robust
+        // on noisy CI machines.
+        let sz = 1 << 18; // 256 KiB
+        let time = |c: Complexity| {
+            let t = Instant::now();
+            let mut sink = 0u8;
+            for s in 0..3 {
+                let b = generate_block(c, sz, s);
+                sink ^= b[0];
+            }
+            std::hint::black_box(sink);
+            t.elapsed()
+        };
+        let lin = time(Complexity::Linear);
+        let n32 = time(Complexity::N32);
+        assert!(
+            n32 > lin * 3,
+            "expected O(n^1.5) >> O(n): {n32:?} vs {lin:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_blocks_still_produce_output() {
+        let b = generate_block(Complexity::NLogN, 1, 0);
+        assert_eq!(b.len(), 8); // at least one f64
+    }
+}

@@ -1,0 +1,318 @@
+//! The bounded block queue backing both the producer and consumer buffers.
+//!
+//! Semantics follow §4.2/§4.3 exactly:
+//!
+//! * `push` blocks while the queue is full — that blocked time *is* the
+//!   simulation stall the paper measures (Fig. 14's "Stall" bars);
+//! * `pop` blocks while empty (the sender/analysis side waiting for data);
+//! * `steal` blocks until occupancy **strictly exceeds** a threshold — the
+//!   writer thread's condition-variable wait in Algorithm 1 ("wait on a
+//!   condition variable … the computation thread will produce data and
+//!   signal … when #Blocks in ProducerBuffer > Threshold").
+//!
+//! All three return the time they spent blocked so callers can account
+//! stalls without extra instrumentation.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use zipper_types::Block;
+
+#[derive(Default)]
+struct Inner {
+    items: VecDeque<Block>,
+    closed: bool,
+    peak: usize,
+    total_in: u64,
+}
+
+/// A bounded, closable, thread-safe FIFO of data blocks.
+pub struct BlockQueue {
+    inner: Mutex<Inner>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl BlockQueue {
+    /// Create a queue holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BlockQueue {
+            inner: Mutex::new(Inner::default()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak occupancy and total inserts so far.
+    pub fn stats(&self) -> (usize, u64) {
+        let g = self.inner.lock();
+        (g.peak, g.total_in)
+    }
+
+    /// Insert a block, blocking while the queue is full. Returns the time
+    /// spent blocked (the producer stall).
+    ///
+    /// Panics if the queue was closed — producers must stop writing before
+    /// closing, so a push-after-close is a caller bug, not backpressure.
+    pub fn push(&self, block: Block) -> Duration {
+        let t0 = Instant::now();
+        let mut g = self.inner.lock();
+        while g.items.len() >= self.capacity && !g.closed {
+            self.not_full.wait(&mut g);
+        }
+        assert!(!g.closed, "push into closed BlockQueue");
+        g.items.push_back(block);
+        g.total_in += 1;
+        let len = g.items.len();
+        g.peak = g.peak.max(len);
+        drop(g);
+        self.not_empty.notify_all();
+        t0.elapsed()
+    }
+
+    /// Remove the oldest block, blocking while empty. Returns `None` once
+    /// the queue is closed *and* drained. Also reports the blocked time.
+    pub fn pop(&self) -> (Option<Block>, Duration) {
+        let t0 = Instant::now();
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(b) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                // A pop also changes occupancy relative to steal
+                // thresholds; stealers re-check on the next push.
+                return (Some(b), t0.elapsed());
+            }
+            if g.closed {
+                return (None, t0.elapsed());
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Work-stealing take (Algorithm 1): block until occupancy strictly
+    /// exceeds `threshold`, then take the oldest block. Returns `None` when
+    /// the queue closes before the threshold is reached again — the writer
+    /// thread retires and leaves the remaining blocks to the sender.
+    pub fn steal(&self, threshold: usize) -> (Option<Block>, Duration) {
+        let t0 = Instant::now();
+        let mut g = self.inner.lock();
+        loop {
+            if g.items.len() > threshold {
+                let b = g.items.pop_front().expect("occupancy checked");
+                drop(g);
+                self.not_full.notify_one();
+                return (Some(b), t0.elapsed());
+            }
+            if g.closed {
+                return (None, t0.elapsed());
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking variant of `steal` used by opportunistic helpers: takes
+    /// a block only if occupancy strictly exceeds `threshold` right now.
+    pub fn try_steal(&self, threshold: usize) -> Option<Block> {
+        let mut g = self.inner.lock();
+        if g.items.len() > threshold {
+            let b = g.items.pop_front().expect("occupancy checked");
+            drop(g);
+            self.not_full.notify_one();
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// Close the queue: poppers drain the remainder then get `None`;
+    /// stealers below threshold get `None` immediately.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        drop(g);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zipper_types::block::deterministic_payload;
+    use zipper_types::{Block, BlockId, GlobalPos, Rank, StepId};
+
+    fn block(idx: u32) -> Block {
+        let id = BlockId::new(Rank(0), StepId(0), idx);
+        Block::from_payload(
+            Rank(0),
+            StepId(0),
+            idx,
+            64,
+            GlobalPos::default(),
+            deterministic_payload(id, 128),
+        )
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BlockQueue::new(8);
+        for i in 0..5 {
+            q.push(block(i));
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let (Some(b), _) = q.pop() {
+            got.push(b.id().idx);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.stats(), (5, 5));
+    }
+
+    #[test]
+    fn push_blocks_until_space_and_reports_stall() {
+        let q = Arc::new(BlockQueue::new(1));
+        q.push(block(0));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            let (b, _) = q2.pop();
+            b.unwrap().id().idx
+        });
+        let stall = q.push(block(1)); // must wait for the pop
+        assert!(stall >= Duration::from_millis(40), "stall={stall:?}");
+        assert_eq!(popper.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BlockQueue::new(4));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            let (b, waited) = q2.pop();
+            (b.unwrap().id().idx, waited)
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        q.push(block(7));
+        let (idx, waited) = h.join().unwrap();
+        assert_eq!(idx, 7);
+        assert!(waited >= Duration::from_millis(40));
+    }
+
+    #[test]
+    fn steal_waits_for_threshold() {
+        let q = Arc::new(BlockQueue::new(16));
+        let q2 = q.clone();
+        let stealer = std::thread::spawn(move || {
+            let (b, _) = q2.steal(2);
+            b.map(|b| b.id().idx)
+        });
+        // One and two blocks are not enough (threshold is strict).
+        q.push(block(0));
+        q.push(block(1));
+        std::thread::sleep(Duration::from_millis(30));
+        q.push(block(2)); // occupancy 3 > 2: stealer takes the front
+        assert_eq!(stealer.join().unwrap(), Some(0));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn steal_retires_on_close_below_threshold() {
+        let q = Arc::new(BlockQueue::new(16));
+        q.push(block(0));
+        let q2 = q.clone();
+        let stealer = std::thread::spawn(move || q2.steal(4).0);
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(stealer.join().unwrap().is_none());
+        // The leftover block is still there for the sender to drain.
+        assert_eq!(q.pop().0.unwrap().id().idx, 0);
+        assert!(q.pop().0.is_none());
+    }
+
+    #[test]
+    fn try_steal_is_nonblocking() {
+        let q = BlockQueue::new(8);
+        assert!(q.try_steal(0).is_none());
+        q.push(block(0));
+        assert!(q.try_steal(1).is_none()); // occupancy 1 not > 1
+        assert_eq!(q.try_steal(0).unwrap().id().idx, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed BlockQueue")]
+    fn push_after_close_panics() {
+        let q = BlockQueue::new(2);
+        q.close();
+        q.push(block(0));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_deliver_everything() {
+        let q = Arc::new(BlockQueue::new(4));
+        let n_per = 200u32;
+        let producers: Vec<_> = (0..3u32)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..n_per {
+                        let id = BlockId::new(Rank(p), StepId(0), i);
+                        q.push(Block::from_payload(
+                            Rank(p),
+                            StepId(0),
+                            i,
+                            n_per,
+                            GlobalPos::default(),
+                            deterministic_payload(id, 16),
+                        ));
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let (Some(b), _) = q.pop() {
+                        got.push(b.id());
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<_> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 3 * n_per as usize, "every block exactly once");
+    }
+}

@@ -1,0 +1,467 @@
+//! The consumer runtime module (Fig. 9): receiver thread + reader thread +
+//! (Preserve mode) output thread feeding a consumer buffer, behind the
+//! `Zipper.read()` API.
+
+use crate::buffer::BlockQueue;
+use crate::metrics::ConsumerMetrics;
+use crate::transport::{MeshReceiver, Wire};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use zipper_pfs::Storage;
+use zipper_types::{Block, BlockId, Rank, Result, ZipperTuning};
+
+/// Application-facing reader handle: the paper's
+/// `Zipper.read(block_id, data, block_size)`. Blocks are delivered in
+/// arrival order (any interleaving of network and file paths); each block's
+/// header carries the step / source-rank / position metadata the analysis
+/// needs (§4.2).
+pub struct ZipperReader {
+    queue: Arc<BlockQueue>,
+    metrics: Arc<Mutex<ConsumerMetrics>>,
+}
+
+impl ZipperReader {
+    /// Fetch the next available block; `None` once every producer finished
+    /// and all their blocks were delivered.
+    pub fn read(&self) -> Option<Block> {
+        let (block, waited) = self.queue.pop();
+        let mut m = self.metrics.lock();
+        m.read_wait += waited;
+        if block.is_some() {
+            m.blocks_delivered += 1;
+        }
+        block
+    }
+
+    /// Iterator adapter over [`ZipperReader::read`].
+    pub fn iter(&self) -> impl Iterator<Item = Block> + '_ {
+        std::iter::from_fn(move || self.read())
+    }
+}
+
+/// One consumer rank's runtime: owns receiver/reader/output threads.
+pub struct Consumer {
+    queue: Arc<BlockQueue>,
+    metrics: Arc<Mutex<ConsumerMetrics>>,
+    closer: Option<JoinHandle<()>>,
+    output: Option<JoinHandle<Result<()>>>,
+    reader_taken: bool,
+}
+
+impl Consumer {
+    /// Spawn the runtime module for consumer `rank`.
+    ///
+    /// * `producers` — total number of producer ranks (for EOS counting).
+    /// * `mesh_rx` — this rank's endpoint of the message channel.
+    /// * `storage` — the PFS the reader thread fetches stolen blocks from
+    ///   and the output thread stores into (Preserve mode).
+    pub fn spawn(
+        rank: Rank,
+        tuning: ZipperTuning,
+        producers: usize,
+        mesh_rx: MeshReceiver,
+        storage: Arc<dyn Storage>,
+    ) -> Consumer {
+        tuning.validate().expect("invalid tuning");
+        assert!(producers > 0, "need at least one producer");
+        let queue = Arc::new(BlockQueue::new(tuning.consumer_slots));
+        let metrics = Arc::new(Mutex::new(ConsumerMetrics::default()));
+
+        let (ids_tx, ids_rx): (Sender<BlockId>, Receiver<BlockId>) = unbounded();
+        let preserve = tuning.preserve.is_preserve();
+        let (out_tx, out_rx): (Option<Sender<Block>>, Option<Receiver<Block>>) = if preserve {
+            let (t, r) = unbounded();
+            (Some(t), Some(r))
+        } else {
+            (None, None)
+        };
+
+        // Receiver thread (Fig. 9 step 1): split mixed messages.
+        let receiver = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            let out_tx = out_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("zipper-receiver-{rank}"))
+                .spawn(move || -> Result<()> {
+                    let mut eos: HashSet<Rank> = HashSet::new();
+                    loop {
+                        match mesh_rx.recv() {
+                            Ok(Wire::Msg(m)) => {
+                                for id in m.on_disk {
+                                    // Reader thread fetches these from the PFS.
+                                    let _ = ids_tx.send(id);
+                                }
+                                if let Some(b) = m.data {
+                                    metrics.lock().blocks_net += 1;
+                                    if let Some(out) = &out_tx {
+                                        // Network blocks are not yet on the
+                                        // PFS: Preserve mode must store them
+                                        // (on_disk = false path of §4.2).
+                                        let _ = out.send(b.clone());
+                                    }
+                                    queue.push(b);
+                                }
+                            }
+                            Ok(Wire::Eos(p)) => {
+                                eos.insert(p);
+                                if eos.len() == producers {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                metrics.lock().errors.push(e.to_string());
+                                break;
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("spawn receiver thread")
+        };
+
+        // Reader thread (Fig. 9 step 2): fetch announced on-disk blocks.
+        let reader = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            let storage = storage.clone();
+            std::thread::Builder::new()
+                .name(format!("zipper-reader-{rank}"))
+                .spawn(move || -> Result<()> {
+                    for id in ids_rx {
+                        match storage.get(id) {
+                            Ok(b) => {
+                                metrics.lock().blocks_disk += 1;
+                                queue.push(b);
+                            }
+                            Err(e) => metrics.lock().errors.push(e.to_string()),
+                        }
+                    }
+                    Ok(())
+                })
+                .expect("spawn reader thread")
+        };
+
+        // Output thread (Fig. 9 step 3, Preserve mode only): persist
+        // network-delivered blocks.
+        let output = out_rx.map(|rx| {
+            let metrics = metrics.clone();
+            std::thread::Builder::new()
+                .name(format!("zipper-output-{rank}"))
+                .spawn(move || -> Result<()> {
+                    for b in rx {
+                        storage.put(&b)?;
+                        metrics.lock().blocks_stored += 1;
+                    }
+                    Ok(())
+                })
+                .expect("spawn output thread")
+        });
+        drop(out_tx);
+
+        // Closer: the consumer queue may close only after the receiver has
+        // seen all EOS *and* the reader drained every announced ID.
+        let closer = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            std::thread::Builder::new()
+                .name(format!("zipper-closer-{rank}"))
+                .spawn(move || {
+                    if let Err(e) = receiver.join().expect("receiver panicked") {
+                        metrics.lock().errors.push(e.to_string());
+                    }
+                    if let Err(e) = reader.join().expect("reader panicked") {
+                        metrics.lock().errors.push(e.to_string());
+                    }
+                    queue.close();
+                })
+                .expect("spawn closer thread")
+        };
+
+        Consumer {
+            queue,
+            metrics,
+            closer: Some(closer),
+            output,
+            reader_taken: false,
+        }
+    }
+
+    /// The application-facing reader handle (take once).
+    pub fn reader(&mut self) -> ZipperReader {
+        assert!(!self.reader_taken, "reader handle already taken");
+        self.reader_taken = true;
+        ZipperReader {
+            queue: self.queue.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Join the runtime threads and return this rank's metrics. The
+    /// application must have drained its [`ZipperReader`] first (reads
+    /// until `None`), otherwise delivery backpressure can block the
+    /// runtime threads forever.
+    pub fn join(mut self) -> Result<ConsumerMetrics> {
+        if let Some(h) = self.closer.take() {
+            h.join().expect("closer thread panicked");
+        }
+        if let Some(h) = self.output.take() {
+            h.join().expect("output thread panicked")?;
+        }
+        Ok(self.metrics.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producer::Producer;
+    use crate::transport::ChannelMesh;
+    use zipper_pfs::MemFs;
+    use zipper_types::block::deterministic_payload;
+    use zipper_types::{ByteSize, GlobalPos, PreserveMode, RoutingPolicy, StepId};
+
+    fn tuning(preserve: PreserveMode, concurrent: bool) -> ZipperTuning {
+        ZipperTuning {
+            block_size: ByteSize::kib(4),
+            producer_slots: 4,
+            high_water_mark: 2,
+            consumer_slots: 64,
+            concurrent_transfer: concurrent,
+            preserve,
+            routing: RoutingPolicy::SourceAffine,
+        }
+    }
+
+    fn run_pipeline(
+        preserve: PreserveMode,
+        concurrent: bool,
+        throttle: Option<f64>,
+        n_blocks: u32,
+        block_len: usize,
+        producer_delay: Option<std::time::Duration>,
+    ) -> (Vec<BlockId>, crate::metrics::ProducerMetrics, ConsumerMetrics, Arc<MemFs>) {
+        let inbox = if throttle.is_some() { 2 } else { 64 };
+        let mut mesh = ChannelMesh::new(1, inbox);
+        if let Some(bw) = throttle {
+            mesh = mesh.with_throttle(bw, std::time::Duration::ZERO);
+        }
+        let storage = Arc::new(MemFs::new());
+        let t = tuning(preserve, concurrent);
+        let mut cons = Consumer::spawn(
+            Rank(0),
+            t,
+            1,
+            mesh.take_receiver(Rank(0)),
+            storage.clone(),
+        );
+        let reader = cons.reader();
+        let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage.clone());
+        let writer = prod.writer(block_len);
+
+        let feeder = std::thread::spawn(move || {
+            for i in 0..n_blocks {
+                let id = BlockId::new(Rank(0), StepId(0), i);
+                writer.write(Block::from_payload(
+                    Rank(0),
+                    StepId(0),
+                    i,
+                    n_blocks,
+                    GlobalPos::default(),
+                    deterministic_payload(id, block_len),
+                ));
+                if let Some(d) = producer_delay {
+                    // A compute-bound producer: the buffer stays near-empty
+                    // so the writer thread finds nothing to steal (§6.2's
+                    // O(n^1.5) regime).
+                    std::thread::sleep(d);
+                }
+            }
+            writer.finish();
+        });
+
+        let mut got = Vec::new();
+        while let Some(b) = reader.read() {
+            // Verify payload integrity end to end.
+            assert_eq!(b.payload, deterministic_payload(b.id(), block_len));
+            got.push(b.id());
+        }
+        feeder.join().unwrap();
+        let pm = prod.join().unwrap();
+        let cm = cons.join().unwrap();
+        (got, pm, cm, storage)
+    }
+
+    #[test]
+    fn every_block_delivered_exactly_once_fast_network() {
+        let (mut got, pm, cm, storage) =
+            run_pipeline(PreserveMode::NoPreserve, true, None, 50, 512, Some(std::time::Duration::from_micros(300)));
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 50);
+        assert_eq!(pm.blocks_written, 50);
+        assert_eq!(cm.blocks_delivered, 50);
+        assert!(cm.errors.is_empty(), "{:?}", cm.errors);
+        // Fast network: nothing needed the file path, nothing persisted.
+        assert_eq!(storage.len(), 0);
+    }
+
+    #[test]
+    fn dual_channel_blocks_arrive_via_both_paths() {
+        // Slow network forces stealing; every block still arrives once.
+        let (mut got, pm, cm, _storage) =
+            run_pipeline(PreserveMode::NoPreserve, true, Some(0.5e6), 40, 8192, None);
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 40, "all blocks exactly once");
+        assert!(pm.blocks_stolen > 0, "expected file-path traffic");
+        assert_eq!(cm.blocks_disk, pm.blocks_stolen);
+        assert_eq!(cm.blocks_net, pm.blocks_sent);
+    }
+
+    #[test]
+    fn preserve_mode_stores_every_block() {
+        let (got, pm, cm, storage) =
+            run_pipeline(PreserveMode::Preserve, true, Some(1e6), 30, 4096, None);
+        assert_eq!(got.len(), 30);
+        // Every block ends on the PFS exactly once: stolen ones by the
+        // writer thread, network ones by the output thread.
+        assert_eq!(storage.len(), 30);
+        assert_eq!(cm.blocks_stored + pm.blocks_stolen, 30);
+        for id in got {
+            assert!(storage.contains(id));
+        }
+    }
+
+    #[test]
+    fn no_preserve_without_stealing_keeps_pfs_empty() {
+        let (_, pm, _, storage) = run_pipeline(PreserveMode::NoPreserve, false, None, 25, 256, None);
+        assert_eq!(pm.blocks_stolen, 0);
+        assert_eq!(storage.len(), 0);
+    }
+
+    #[test]
+    fn multiple_producers_multiple_consumers() {
+        let producers = 4u32;
+        let consumers = 2u32;
+        let per_rank = 30u32;
+        let mesh = Arc::new(ChannelMesh::new(consumers as usize, 8));
+        let storage: Arc<MemFs> = Arc::new(MemFs::new());
+        let t = tuning(PreserveMode::NoPreserve, true);
+
+        let mut cons_handles = Vec::new();
+        for q in 0..consumers {
+            let mut c = Consumer::spawn(
+                Rank(q),
+                t,
+                producers as usize,
+                mesh.take_receiver(Rank(q)),
+                storage.clone(),
+            );
+            let r = c.reader();
+            cons_handles.push((
+                std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    while let Some(b) = r.read() {
+                        ids.push(b.id());
+                    }
+                    ids
+                }),
+                c,
+            ));
+        }
+
+        let mut prod_handles = Vec::new();
+        for p in 0..producers {
+            let mut prod = Producer::spawn(Rank(p), t, mesh.sender(), storage.clone());
+            let w = prod.writer(512);
+            prod_handles.push((
+                std::thread::spawn(move || {
+                    for i in 0..per_rank {
+                        let id = BlockId::new(Rank(p), StepId(0), i);
+                        w.write(Block::from_payload(
+                            Rank(p),
+                            StepId(0),
+                            i,
+                            per_rank,
+                            GlobalPos::default(),
+                            deterministic_payload(id, 512),
+                        ));
+                    }
+                    w.finish();
+                }),
+                prod,
+            ));
+        }
+
+        for (h, prod) in prod_handles {
+            h.join().unwrap();
+            prod.join().unwrap();
+        }
+        let mut all = Vec::new();
+        for (h, c) in cons_handles {
+            let ids = h.join().unwrap();
+            // SourceAffine routing: consumer q must only see ranks ≡ q (mod 2).
+            all.extend(ids);
+            c.join().unwrap();
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), (producers * per_rank) as usize);
+    }
+
+    #[test]
+    fn source_affine_routing_respected() {
+        let mesh = ChannelMesh::new(2, 8);
+        let storage: Arc<MemFs> = Arc::new(MemFs::new());
+        let t = tuning(PreserveMode::NoPreserve, false);
+        let readers: Vec<_> = (0..2)
+            .map(|q| {
+                let mut c = Consumer::spawn(
+                    Rank(q),
+                    t,
+                    2,
+                    mesh.take_receiver(Rank(q)),
+                    storage.clone(),
+                );
+                let r = c.reader();
+                (
+                    std::thread::spawn(move || {
+                        let mut srcs: Vec<Rank> = Vec::new();
+                        while let Some(b) = r.read() {
+                            srcs.push(b.id().src);
+                        }
+                        srcs
+                    }),
+                    c,
+                )
+            })
+            .collect();
+        for p in 0..2u32 {
+            let mut prod = Producer::spawn(Rank(p), t, mesh.sender(), storage.clone());
+            let w = prod.writer(128);
+            for i in 0..10u32 {
+                let id = BlockId::new(Rank(p), StepId(0), i);
+                w.write(Block::from_payload(
+                    Rank(p),
+                    StepId(0),
+                    i,
+                    10,
+                    GlobalPos::default(),
+                    deterministic_payload(id, 128),
+                ));
+            }
+            w.finish();
+            prod.join().unwrap();
+        }
+        for (q, (h, c)) in readers.into_iter().enumerate() {
+            let srcs = h.join().unwrap();
+            assert_eq!(srcs.len(), 10);
+            assert!(srcs.iter().all(|s| s.idx() % 2 == q));
+            c.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-rank runtime metrics — the quantities Figs. 12–14 plot: stall time,
+//! transfer busy time, stolen-block counts, etc.
+
+use std::time::Duration;
+
+/// Metrics of one producer rank's runtime module.
+#[derive(Clone, Debug, Default)]
+pub struct ProducerMetrics {
+    /// Blocks handed to `Zipper::write`.
+    pub blocks_written: u64,
+    /// Blocks shipped over the message channel by the sender thread.
+    pub blocks_sent: u64,
+    /// Blocks stolen to the PFS by the writer thread.
+    pub blocks_stolen: u64,
+    /// Payload bytes over the message channel.
+    pub bytes_sent: u64,
+    /// Payload bytes through the file channel.
+    pub bytes_stolen: u64,
+    /// Time the computation thread was blocked in `write` (producer
+    /// buffer full) — the paper's simulation stall.
+    pub stall: Duration,
+    /// Sender-thread busy time (sending) and idle time (waiting for data).
+    pub send_busy: Duration,
+    pub send_idle: Duration,
+    /// Writer-thread busy time (storing) and idle time (below threshold).
+    pub fs_busy: Duration,
+    pub fs_idle: Duration,
+    /// Runtime errors (e.g. a PFS failure that retired the writer thread).
+    pub errors: Vec<String>,
+}
+
+impl ProducerMetrics {
+    /// Fraction of written blocks that took the file path.
+    pub fn steal_fraction(&self) -> f64 {
+        if self.blocks_written == 0 {
+            0.0
+        } else {
+            self.blocks_stolen as f64 / self.blocks_written as f64
+        }
+    }
+
+    /// Fold another rank's metrics into this aggregate.
+    pub fn merge(&mut self, other: &ProducerMetrics) {
+        self.blocks_written += other.blocks_written;
+        self.blocks_sent += other.blocks_sent;
+        self.blocks_stolen += other.blocks_stolen;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_stolen += other.bytes_stolen;
+        self.stall += other.stall;
+        self.send_busy += other.send_busy;
+        self.send_idle += other.send_idle;
+        self.fs_busy += other.fs_busy;
+        self.fs_idle += other.fs_idle;
+        self.errors.extend(other.errors.iter().cloned());
+    }
+}
+
+/// Metrics of one consumer rank's runtime module.
+#[derive(Clone, Debug, Default)]
+pub struct ConsumerMetrics {
+    /// Blocks that arrived over the message channel.
+    pub blocks_net: u64,
+    /// Blocks fetched from the PFS by the reader thread.
+    pub blocks_disk: u64,
+    /// Blocks handed to the application through `Zipper::read`.
+    pub blocks_delivered: u64,
+    /// Blocks persisted by the output thread (Preserve mode only).
+    pub blocks_stored: u64,
+    /// Time `Zipper::read` spent blocked waiting for data.
+    pub read_wait: Duration,
+    /// Errors encountered by runtime threads (storage failures etc.).
+    pub errors: Vec<String>,
+}
+
+impl ConsumerMetrics {
+    /// Total blocks that entered this consumer.
+    pub fn blocks_in(&self) -> u64 {
+        self.blocks_net + self.blocks_disk
+    }
+
+    pub fn merge(&mut self, other: &ConsumerMetrics) {
+        self.blocks_net += other.blocks_net;
+        self.blocks_disk += other.blocks_disk;
+        self.blocks_delivered += other.blocks_delivered;
+        self.blocks_stored += other.blocks_stored;
+        self.read_wait += other.read_wait;
+        self.errors.extend(other.errors.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_fraction_handles_zero() {
+        let m = ProducerMetrics::default();
+        assert_eq!(m.steal_fraction(), 0.0);
+        let m = ProducerMetrics {
+            blocks_written: 10,
+            blocks_stolen: 4,
+            ..Default::default()
+        };
+        assert!((m.steal_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ProducerMetrics {
+            blocks_written: 5,
+            stall: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = ProducerMetrics {
+            blocks_written: 7,
+            stall: Duration::from_millis(5),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks_written, 12);
+        assert_eq!(a.stall, Duration::from_millis(15));
+
+        let mut c = ConsumerMetrics {
+            blocks_net: 1,
+            errors: vec!["x".into()],
+            ..Default::default()
+        };
+        let d = ConsumerMetrics {
+            blocks_disk: 2,
+            errors: vec!["y".into()],
+            ..Default::default()
+        };
+        c.merge(&d);
+        assert_eq!(c.blocks_in(), 3);
+        assert_eq!(c.errors.len(), 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! The producer runtime module (Fig. 8): producer buffer + sender thread +
+//! work-stealing writer thread, behind the `Zipper.write()` API.
+
+use crate::buffer::BlockQueue;
+use crate::metrics::ProducerMetrics;
+use crate::transport::{Wire, WireSender};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use zipper_pfs::Storage;
+use zipper_types::{
+    Block, BlockId, GlobalPos, MixedMessage, Rank, Result, RoutingPolicy, StepId, ZipperTuning,
+};
+
+/// Pending on-disk block IDs, bucketed by destination consumer. The writer
+/// thread fills these; the sender thread piggybacks them onto its next
+/// message to that consumer (the paper's "mixed messages").
+type PendingIds = Arc<Mutex<Vec<Vec<BlockId>>>>;
+
+/// Shutdown handshake between the writer and sender threads: at
+/// end-of-stream the sender must not flush the pending-ID buckets (and
+/// must not announce EOS) until the writer has finished its in-flight
+/// store — otherwise the last stolen block's ID would never reach the
+/// consumer.
+#[derive(Default)]
+struct WriterDone {
+    done: Mutex<bool>,
+    cv: parking_lot::Condvar,
+}
+
+impl WriterDone {
+    fn signal(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut g = self.done.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+/// Application-facing writer handle: the paper's
+/// `Zipper.write(block_id, data, block_size)`.
+pub struct ZipperWriter {
+    rank: Rank,
+    queue: Arc<BlockQueue>,
+    consumers: usize,
+    block_size: usize,
+    metrics: Arc<Mutex<ProducerMetrics>>,
+}
+
+impl ZipperWriter {
+    /// Producer rank this writer belongs to.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Hand one pre-built fine-grain block to the runtime. Blocks while the
+    /// producer buffer is full — that time is recorded as simulation stall.
+    pub fn write(&self, block: Block) {
+        let stall = self.queue.push(block);
+        let mut m = self.metrics.lock();
+        m.blocks_written += 1;
+        m.stall += stall;
+    }
+
+    /// Split one step's output slab into fine-grain blocks of the
+    /// configured block size and write them all — the paper's fine-grain
+    /// decomposition ("Zipper divides the contiguous 20 MB data into many
+    /// small blocks of size 1.2 MB", §6.3.2).
+    ///
+    /// Returns the number of blocks written.
+    pub fn write_slab(&self, step: StepId, base_pos: GlobalPos, slab: Bytes) -> u32 {
+        assert!(!slab.is_empty(), "cannot write an empty slab");
+        let n = slab.len().div_ceil(self.block_size) as u32;
+        for i in 0..n {
+            let lo = i as usize * self.block_size;
+            let hi = (lo + self.block_size).min(slab.len());
+            let pos = GlobalPos::new(base_pos.x + lo as u64, base_pos.y, base_pos.z);
+            let block = Block::from_payload(self.rank, step, i, n, pos, slab.slice(lo..hi));
+            self.write(block);
+        }
+        n
+    }
+
+    /// Number of consumer ranks this writer can route to.
+    pub fn consumers(&self) -> usize {
+        self.consumers
+    }
+
+    /// Finish the stream: close the producer buffer so the sender and
+    /// writer threads drain and exit. Call exactly once, after the last
+    /// `write`.
+    pub fn finish(self) {
+        self.queue.close();
+    }
+}
+
+/// One producer rank's runtime: owns the sender/writer threads.
+pub struct Producer {
+    rank: Rank,
+    queue: Arc<BlockQueue>,
+    consumers: usize,
+    metrics: Arc<Mutex<ProducerMetrics>>,
+    sender_thread: Option<JoinHandle<Result<()>>>,
+    writer_thread: Option<JoinHandle<Result<()>>>,
+    writer_taken: bool,
+}
+
+impl Producer {
+    /// Spawn the runtime module for producer `rank`.
+    ///
+    /// * `tuning` — buffer capacity, high-water mark, routing, dual-channel
+    ///   switch.
+    /// * `mesh` — the message channel toward the consumers.
+    /// * `storage` — the PFS used by the work-stealing writer thread
+    ///   (ignored when `tuning.concurrent_transfer` is off).
+    pub fn spawn(
+        rank: Rank,
+        tuning: ZipperTuning,
+        mesh: impl WireSender + 'static,
+        storage: Arc<dyn Storage>,
+    ) -> Producer {
+        tuning.validate().expect("invalid tuning");
+        let consumers = mesh.consumers();
+        let queue = Arc::new(BlockQueue::new(tuning.producer_slots));
+        let metrics = Arc::new(Mutex::new(ProducerMetrics::default()));
+        let pending: PendingIds = Arc::new(Mutex::new(vec![Vec::new(); consumers]));
+        let writer_done = Arc::new(WriterDone::default());
+
+        let writer_thread = if tuning.concurrent_transfer {
+            let queue = queue.clone();
+            let pending = pending.clone();
+            let metrics = metrics.clone();
+            let hwm = tuning.high_water_mark;
+            let routing = tuning.routing;
+            let done = writer_done.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("zipper-writer-{rank}"))
+                    .spawn(move || {
+                        let r = writer_loop(
+                            rank, queue, storage, pending, metrics, hwm, routing, consumers,
+                        );
+                        done.signal();
+                        r
+                    })
+                    .expect("spawn writer thread"),
+            )
+        } else {
+            writer_done.signal();
+            None
+        };
+
+        let sender_thread = {
+            let queue = queue.clone();
+            let metrics = metrics.clone();
+            let routing = tuning.routing;
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("zipper-sender-{rank}"))
+                    .spawn(move || {
+                        sender_loop(
+                            rank, queue, mesh, pending, metrics, routing, consumers, writer_done,
+                        )
+                    })
+                    .expect("spawn sender thread"),
+            )
+        };
+
+        Producer {
+            rank,
+            queue,
+            consumers,
+            metrics,
+            sender_thread,
+            writer_thread,
+            writer_taken: false,
+        }
+    }
+
+    /// The application-facing writer handle (take once).
+    pub fn writer(&mut self, block_size: usize) -> ZipperWriter {
+        assert!(!self.writer_taken, "writer handle already taken");
+        assert!(block_size > 0, "block size must be positive");
+        self.writer_taken = true;
+        ZipperWriter {
+            rank: self.rank,
+            queue: self.queue.clone(),
+            consumers: self.consumers,
+            block_size,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Join the runtime threads and return this rank's metrics. The
+    /// [`ZipperWriter`] must have been finished first, otherwise the
+    /// threads never exit and this blocks forever.
+    pub fn join(mut self) -> Result<ProducerMetrics> {
+        if let Some(h) = self.sender_thread.take() {
+            h.join().expect("sender thread panicked")?;
+        }
+        if let Some(h) = self.writer_thread.take() {
+            h.join().expect("writer thread panicked")?;
+        }
+        Ok(self.metrics.lock().clone())
+    }
+}
+
+/// Route a block to a consumer rank.
+fn route(routing: RoutingPolicy, block: BlockId, counter: &mut u64, consumers: usize) -> Rank {
+    match routing {
+        RoutingPolicy::SourceAffine => Rank((block.src.0 as usize % consumers) as u32),
+        RoutingPolicy::RoundRobin => {
+            let q = (*counter % consumers as u64) as u32;
+            *counter += 1;
+            Rank(q)
+        }
+    }
+}
+
+/// Sender thread (Fig. 8): drain the producer buffer over the message
+/// channel, piggybacking any on-disk block IDs destined for the same
+/// consumer; at end-of-stream flush leftover IDs and broadcast EOS.
+#[allow(clippy::too_many_arguments)]
+fn sender_loop(
+    rank: Rank,
+    queue: Arc<BlockQueue>,
+    mesh: impl WireSender,
+    pending: PendingIds,
+    metrics: Arc<Mutex<ProducerMetrics>>,
+    routing: RoutingPolicy,
+    consumers: usize,
+    writer_done: Arc<WriterDone>,
+) -> Result<()> {
+    let mut rr_counter = 0u64;
+    loop {
+        let (block, idle) = queue.pop();
+        metrics.lock().send_idle += idle;
+        let Some(block) = block else { break };
+        let dest = route(routing, block.id(), &mut rr_counter, consumers);
+        let on_disk = std::mem::take(&mut pending.lock()[dest.idx()]);
+        let bytes = block.header.len;
+        let n_disk = on_disk.len() as u64;
+        let msg = MixedMessage { data: Some(block), on_disk };
+        let t0 = Instant::now();
+        mesh.send(dest, Wire::Msg(msg))?;
+        let mut m = metrics.lock();
+        m.send_busy += t0.elapsed();
+        m.blocks_sent += 1;
+        m.bytes_sent += bytes;
+        let _ = n_disk;
+    }
+    // End of stream. The writer may still be storing its final stolen
+    // block: wait for it to retire before flushing, so every on-disk ID is
+    // announced before the EOS (a block whose ID never ships would be
+    // lost — caught by the block-accounting tests/benches).
+    writer_done.wait();
+
+    // Flush IDs the writer parked after the last data message per consumer.
+    {
+        let mut p = pending.lock();
+        for (q, ids) in p.iter_mut().enumerate() {
+            if !ids.is_empty() {
+                let msg = MixedMessage::disk_only(std::mem::take(ids));
+                mesh.send(Rank(q as u32), Wire::Msg(msg))?;
+            }
+        }
+    }
+    mesh.broadcast_eos(rank)?;
+    Ok(())
+}
+
+/// Writer thread (Fig. 8 + Algorithm 1): steal blocks once the buffer
+/// exceeds the high-water mark, store them on the PFS, and announce their
+/// IDs for the sender to piggyback.
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    _rank: Rank,
+    queue: Arc<BlockQueue>,
+    storage: Arc<dyn Storage>,
+    pending: PendingIds,
+    metrics: Arc<Mutex<ProducerMetrics>>,
+    hwm: usize,
+    routing: RoutingPolicy,
+    consumers: usize,
+) -> Result<()> {
+    // The writer's routing must agree with the sender's for SourceAffine;
+    // for RoundRobin stolen blocks get their own rotation (any consumer is
+    // equally valid under that policy).
+    let mut rr_counter = 0u64;
+    loop {
+        let (block, idle) = queue.steal(hwm);
+        metrics.lock().fs_idle += idle;
+        let Some(block) = block else { break };
+        let t0 = Instant::now();
+        if let Err(e) = storage.put(&block) {
+            // PFS failure: no data is lost — the stolen block goes back to
+            // the producer buffer for the message path, and the writer
+            // thread retires, degrading the runtime to
+            // message-passing-only for the rest of the run.
+            queue.push(block);
+            metrics
+                .lock()
+                .errors
+                .push(format!("writer thread retired after PFS failure: {e}"));
+            return Ok(());
+        }
+        let dest = route(routing, block.id(), &mut rr_counter, consumers);
+        pending.lock()[dest.idx()].push(block.id());
+        let mut m = metrics.lock();
+        m.fs_busy += t0.elapsed();
+        m.blocks_stolen += 1;
+        m.bytes_stolen += block.header.len;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelMesh;
+    use zipper_pfs::MemFs;
+    use zipper_types::block::deterministic_payload;
+    use zipper_types::{ByteSize, PreserveMode};
+
+    fn tuning(concurrent: bool) -> ZipperTuning {
+        ZipperTuning {
+            block_size: ByteSize::kib(4),
+            producer_slots: 4,
+            high_water_mark: 2,
+            consumer_slots: 64,
+            concurrent_transfer: concurrent,
+            preserve: PreserveMode::NoPreserve,
+            routing: RoutingPolicy::SourceAffine,
+        }
+    }
+
+    fn collect_rank0(
+        mesh: &ChannelMesh,
+        producers: usize,
+    ) -> std::thread::JoinHandle<(Vec<BlockId>, Vec<BlockId>)> {
+        let rx = mesh.take_receiver(Rank(0));
+        std::thread::spawn(move || {
+            let mut net = Vec::new();
+            let mut disk = Vec::new();
+            let mut eos = 0;
+            loop {
+                match rx.recv().unwrap() {
+                    Wire::Msg(m) => {
+                        if let Some(b) = m.data {
+                            net.push(b.id());
+                        }
+                        disk.extend(m.on_disk);
+                    }
+                    Wire::Eos(_) => {
+                        eos += 1;
+                        if eos == producers {
+                            break;
+                        }
+                    }
+                }
+            }
+            (net, disk)
+        })
+    }
+
+    #[test]
+    fn all_blocks_arrive_without_stealing() {
+        let mesh = ChannelMesh::new(1, 64);
+        let storage = Arc::new(MemFs::new());
+        let mut prod = Producer::spawn(Rank(0), tuning(false), mesh.sender(), storage.clone());
+        let writer = prod.writer(4096);
+        let collector = collect_rank0(&mesh, 1);
+        for i in 0..20u32 {
+            let id = BlockId::new(Rank(0), StepId(0), i);
+            writer.write(Block::from_payload(
+                Rank(0),
+                StepId(0),
+                i,
+                20,
+                GlobalPos::default(),
+                deterministic_payload(id, 256),
+            ));
+        }
+        writer.finish();
+        let metrics = prod.join().unwrap();
+        let (net, disk) = collector.join().unwrap();
+        assert_eq!(net.len(), 20);
+        assert!(disk.is_empty());
+        assert_eq!(metrics.blocks_sent, 20);
+        assert_eq!(metrics.blocks_stolen, 0);
+        assert_eq!(storage.len(), 0);
+    }
+
+    #[test]
+    fn slow_network_triggers_stealing_and_ids_arrive() {
+        // Tiny inbox + throttled mesh: the sender cannot keep up, the
+        // buffer fills past the high-water mark, the writer steals.
+        let mesh = ChannelMesh::new(1, 1)
+            .with_throttle(0.5e6, std::time::Duration::ZERO); // 0.5 MB/s
+        let storage = Arc::new(MemFs::new());
+        let mut prod = Producer::spawn(Rank(0), tuning(true), mesh.sender(), storage.clone());
+        let writer = prod.writer(4096);
+        let collector = collect_rank0(&mesh, 1);
+        for i in 0..30u32 {
+            let id = BlockId::new(Rank(0), StepId(0), i);
+            writer.write(Block::from_payload(
+                Rank(0),
+                StepId(0),
+                i,
+                30,
+                GlobalPos::default(),
+                deterministic_payload(id, 8192),
+            ));
+        }
+        writer.finish();
+        let metrics = prod.join().unwrap();
+        let (net, disk) = collector.join().unwrap();
+        assert_eq!(net.len() + disk.len(), 30, "every block announced");
+        assert!(metrics.blocks_stolen > 0, "expected steals");
+        assert_eq!(metrics.blocks_stolen as usize, disk.len());
+        assert_eq!(storage.len(), disk.len(), "stolen blocks are on the PFS");
+        // Stolen blocks must be stored *before* their IDs were announced.
+        for id in disk {
+            assert!(storage.contains(id));
+        }
+    }
+
+    #[test]
+    fn write_slab_splits_into_fine_grain_blocks() {
+        let mesh = ChannelMesh::new(1, 128);
+        let storage = Arc::new(MemFs::new());
+        let mut prod = Producer::spawn(Rank(0), tuning(false), mesh.sender(), storage);
+        let writer = prod.writer(1024);
+        let collector = collect_rank0(&mesh, 1);
+        // 4.5 KiB slab with 1 KiB blocks → 5 blocks, last one short.
+        let slab = Bytes::from(vec![7u8; 4608]);
+        let n = writer.write_slab(StepId(3), GlobalPos::linear(100), slab);
+        assert_eq!(n, 5);
+        writer.finish();
+        prod.join().unwrap();
+        let (net, _) = collector.join().unwrap();
+        assert_eq!(net.len(), 5);
+        assert!(net.iter().all(|id| id.step == StepId(3)));
+        let idxs: Vec<u32> = net.iter().map(|id| id.idx).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn round_robin_routing_spreads_blocks() {
+        let mesh = ChannelMesh::new(2, 64);
+        let storage = Arc::new(MemFs::new());
+        let mut t = tuning(false);
+        t.routing = RoutingPolicy::RoundRobin;
+        let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage);
+        let writer = prod.writer(4096);
+        let rx0 = mesh.take_receiver(Rank(0));
+        let rx1 = mesh.take_receiver(Rank(1));
+        let count = |rx: crate::transport::MeshReceiver| {
+            std::thread::spawn(move || {
+                let mut n = 0;
+                while let Wire::Msg(m) = rx.recv().unwrap() {
+                    n += usize::from(m.data.is_some());
+                }
+                n
+            })
+        };
+        let c0 = count(rx0);
+        let c1 = count(rx1);
+        for i in 0..10u32 {
+            let id = BlockId::new(Rank(0), StepId(0), i);
+            writer.write(Block::from_payload(
+                Rank(0),
+                StepId(0),
+                i,
+                10,
+                GlobalPos::default(),
+                deterministic_payload(id, 64),
+            ));
+        }
+        writer.finish();
+        prod.join().unwrap();
+        assert_eq!(c0.join().unwrap(), 5);
+        assert_eq!(c1.join().unwrap(), 5);
+    }
+}

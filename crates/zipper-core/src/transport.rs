@@ -1,0 +1,321 @@
+//! The message channel between producer and consumer ranks: a mesh of
+//! bounded channels, optionally throttled to a shared aggregate bandwidth
+//! so a laptop run exhibits the finite-network effects the paper measures.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zipper_types::{Error, MixedMessage, Rank, Result};
+
+/// What travels on the wire: mixed messages, or an end-of-stream marker
+/// from one producer rank.
+#[derive(Clone, Debug)]
+pub enum Wire {
+    Msg(MixedMessage),
+    Eos(Rank),
+}
+
+impl Wire {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            Wire::Msg(m) => m.wire_bytes(),
+            Wire::Eos(_) => 16,
+        }
+    }
+}
+
+/// Shared-bandwidth throttle (single drain, identical to the PFS throttle:
+/// concurrent senders queue on one aggregate-bandwidth timeline).
+struct Throttle {
+    bytes_per_sec: f64,
+    latency: Duration,
+    free_at: Mutex<Instant>,
+}
+
+impl Throttle {
+    fn charge(&self, bytes: u64) {
+        let xfer = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
+        let now = Instant::now();
+        let finish = {
+            let mut free = self.free_at.lock();
+            let start = (*free).max(now);
+            let finish = start + xfer;
+            *free = finish;
+            finish
+        };
+        let deadline = finish + self.latency;
+        let wait = deadline.saturating_duration_since(now);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+}
+
+/// A P→Q channel mesh: every producer holds a [`MeshSender`] that can reach
+/// any consumer; every consumer holds the [`MeshReceiver`] for its own rank.
+pub struct ChannelMesh {
+    txs: Vec<Sender<Wire>>,
+    rxs: Mutex<Vec<Option<Receiver<Wire>>>>,
+    throttle: Option<Arc<Throttle>>,
+    bytes_sent: Arc<AtomicU64>,
+    messages_sent: Arc<AtomicU64>,
+}
+
+impl ChannelMesh {
+    /// Create a mesh toward `consumers` ranks, each with a bounded inbox of
+    /// `inbox_capacity` messages (backpressure: senders block on a full
+    /// inbox exactly like a congested NIC).
+    pub fn new(consumers: usize, inbox_capacity: usize) -> Self {
+        assert!(consumers > 0, "need at least one consumer");
+        assert!(inbox_capacity > 0, "inbox capacity must be positive");
+        let mut txs = Vec::with_capacity(consumers);
+        let mut rxs = Vec::with_capacity(consumers);
+        for _ in 0..consumers {
+            let (tx, rx) = bounded(inbox_capacity);
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+        ChannelMesh {
+            txs,
+            rxs: Mutex::new(rxs),
+            throttle: None,
+            bytes_sent: Arc::new(AtomicU64::new(0)),
+            messages_sent: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Impose a shared aggregate bandwidth (bytes/s) and per-message
+    /// latency on every send.
+    pub fn with_throttle(mut self, bytes_per_sec: f64, latency: Duration) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        self.throttle = Some(Arc::new(Throttle {
+            bytes_per_sec,
+            latency,
+            free_at: Mutex::new(Instant::now()),
+        }));
+        self
+    }
+
+    /// Number of consumer endpoints.
+    pub fn consumers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// A sender handle for one producer rank (cheap to clone internally;
+    /// one per producer thread).
+    pub fn sender(&self) -> MeshSender {
+        MeshSender {
+            txs: self.txs.clone(),
+            throttle: self.throttle.clone(),
+            bytes_sent: self.bytes_sent.clone(),
+            messages_sent: self.messages_sent.clone(),
+        }
+    }
+
+    /// Take the receiver endpoint for consumer `rank`. Each rank's receiver
+    /// can be taken exactly once.
+    pub fn take_receiver(&self, rank: Rank) -> MeshReceiver {
+        let mut rxs = self.rxs.lock();
+        let rx = rxs
+            .get_mut(rank.idx())
+            .unwrap_or_else(|| panic!("consumer {rank:?} out of range"))
+            .take()
+            .unwrap_or_else(|| panic!("receiver for {rank:?} already taken"));
+        MeshReceiver { rx }
+    }
+
+    /// Total payload bytes pushed through the mesh.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total messages pushed through the mesh.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// Anything a producer's sender thread can ship wires through: the
+/// in-process [`MeshSender`], or a cross-process transport such as
+/// [`crate::transport_tcp::TcpSender`].
+pub trait WireSender: Send {
+    /// Send one wire to consumer `to`.
+    fn send(&self, to: Rank, wire: Wire) -> Result<()>;
+    /// Number of consumer endpoints reachable.
+    fn consumers(&self) -> usize;
+
+    /// Announce end-of-stream from producer `rank` to every consumer.
+    fn broadcast_eos(&self, rank: Rank) -> Result<()> {
+        for q in 0..self.consumers() {
+            self.send(Rank(q as u32), Wire::Eos(rank))?;
+        }
+        Ok(())
+    }
+}
+
+/// Producer-side endpoint: sends wires to any consumer rank.
+pub struct MeshSender {
+    txs: Vec<Sender<Wire>>,
+    throttle: Option<Arc<Throttle>>,
+    bytes_sent: Arc<AtomicU64>,
+    messages_sent: Arc<AtomicU64>,
+}
+
+impl WireSender for MeshSender {
+    fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        MeshSender::send(self, to, wire)
+    }
+
+    fn consumers(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+impl MeshSender {
+    /// Send one wire to consumer `to`, blocking on throttle and inbox
+    /// backpressure.
+    pub fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        let bytes = wire.wire_bytes();
+        if let Some(t) = &self.throttle {
+            t.charge(bytes);
+        }
+        self.txs
+            .get(to.idx())
+            .ok_or(Error::Disconnected("unknown consumer rank"))?
+            .send(wire)
+            .map_err(|_| Error::Disconnected("consumer inbox closed"))?;
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Announce end-of-stream from producer `rank` to every consumer.
+    pub fn broadcast_eos(&self, rank: Rank) -> Result<()> {
+        for q in 0..self.txs.len() {
+            self.send(Rank(q as u32), Wire::Eos(rank))?;
+        }
+        Ok(())
+    }
+
+    /// Number of consumer endpoints.
+    pub fn consumers(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+impl Clone for MeshSender {
+    fn clone(&self) -> Self {
+        MeshSender {
+            txs: self.txs.clone(),
+            throttle: self.throttle.clone(),
+            bytes_sent: self.bytes_sent.clone(),
+            messages_sent: self.messages_sent.clone(),
+        }
+    }
+}
+
+/// Consumer-side endpoint: receives wires for one rank.
+pub struct MeshReceiver {
+    rx: Receiver<Wire>,
+}
+
+impl MeshReceiver {
+    /// Wrap a raw wire channel — used by alternative transports (TCP)
+    /// whose reader threads decode frames into a channel.
+    pub fn from_channel(rx: Receiver<Wire>) -> Self {
+        MeshReceiver { rx }
+    }
+
+    /// Blocking receive; `Err` means every sender disconnected.
+    pub fn recv(&self) -> Result<Wire> {
+        self.rx
+            .recv()
+            .map_err(|_| Error::Disconnected("all producers disconnected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipper_types::block::deterministic_payload;
+    use zipper_types::{Block, BlockId, GlobalPos, StepId};
+
+    fn msg(idx: u32, len: usize) -> MixedMessage {
+        let id = BlockId::new(Rank(0), StepId(0), idx);
+        MixedMessage::data_only(Block::from_payload(
+            Rank(0),
+            StepId(0),
+            idx,
+            8,
+            GlobalPos::default(),
+            deterministic_payload(id, len),
+        ))
+    }
+
+    #[test]
+    fn mesh_routes_to_the_right_consumer() {
+        let mesh = ChannelMesh::new(2, 8);
+        let s = mesh.sender();
+        let r0 = mesh.take_receiver(Rank(0));
+        let r1 = mesh.take_receiver(Rank(1));
+        s.send(Rank(0), Wire::Msg(msg(10, 64))).unwrap();
+        s.send(Rank(1), Wire::Msg(msg(11, 64))).unwrap();
+        match r0.recv().unwrap() {
+            Wire::Msg(m) => assert_eq!(m.data.unwrap().id().idx, 10),
+            w => panic!("unexpected {w:?}"),
+        }
+        match r1.recv().unwrap() {
+            Wire::Msg(m) => assert_eq!(m.data.unwrap().id().idx, 11),
+            w => panic!("unexpected {w:?}"),
+        }
+        assert_eq!(mesh.messages_sent(), 2);
+        assert!(mesh.bytes_sent() > 128);
+    }
+
+    #[test]
+    fn eos_broadcast_reaches_everyone() {
+        let mesh = ChannelMesh::new(3, 4);
+        let s = mesh.sender();
+        let rs: Vec<_> = (0..3).map(|q| mesh.take_receiver(Rank(q))).collect();
+        s.broadcast_eos(Rank(5)).unwrap();
+        for r in &rs {
+            match r.recv().unwrap() {
+                Wire::Eos(p) => assert_eq!(p, Rank(5)),
+                w => panic!("unexpected {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_receiver_panics() {
+        let mesh = ChannelMesh::new(1, 1);
+        let _a = mesh.take_receiver(Rank(0));
+        let _b = mesh.take_receiver(Rank(0));
+    }
+
+    #[test]
+    fn throttle_slows_sends() {
+        // 1 MB at 10 MB/s ⇒ ~100 ms.
+        let mesh = ChannelMesh::new(1, 8).with_throttle(10e6, Duration::ZERO);
+        let s = mesh.sender();
+        let _r = mesh.take_receiver(Rank(0));
+        let t0 = Instant::now();
+        s.send(Rank(0), Wire::Msg(msg(0, 1_000_000))).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let mesh = ChannelMesh::new(1, 1);
+        let s = mesh.sender();
+        drop(mesh.take_receiver(Rank(0)));
+        drop(mesh); // drop the mesh's own tx clones too
+        assert!(matches!(
+            s.send(Rank(0), Wire::Eos(Rank(0))),
+            Err(Error::Disconnected(_))
+        ));
+    }
+}

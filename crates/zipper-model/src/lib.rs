@@ -1,0 +1,26 @@
+//! # zipper-model
+//!
+//! The analytical performance model of §4.4 and the pipeline schedules of
+//! Figs. 3 and 11.
+//!
+//! With `P` simulation cores, `Q` analysis cores, `D` bytes of output in
+//! blocks of `B` bytes (`n_b = D/B` blocks), and per-block times `t_c`
+//! (compute), `t_m` (transfer) and `t_a` (analyze), the paper models the
+//! pipelined end-to-end time as
+//!
+//! ```text
+//! T_t2s = max(T_comp, T_transfer, T_analysis)
+//!       = max(t_c · n_b / P,  T_transfer,  t_a · n_b / Q)
+//! ```
+//!
+//! assuming `n_b` is much larger than the number of pipeline stages (fill
+//! and drain are ignored). This crate implements that model, an *exact*
+//! pipeline schedule (which includes fill/drain, so the asymptotic claim
+//! can be tested rather than assumed), and the non-integrated baseline of
+//! Fig. 11's upper diagram.
+
+pub mod model;
+pub mod pipeline;
+
+pub use model::{ModelInput, Prediction};
+pub use pipeline::{integrated_time, non_integrated_time, pipeline_schedule};

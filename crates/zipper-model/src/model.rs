@@ -1,0 +1,173 @@
+//! The max-of-stages model.
+
+use zipper_types::{ByteSize, SimTime};
+
+/// Inputs of the §4.4 model.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelInput {
+    /// Simulation processor cores, `P`.
+    pub p: u64,
+    /// Analysis processor cores, `Q`.
+    pub q: u64,
+    /// Total simulation output, `D`.
+    pub total_bytes: ByteSize,
+    /// Fine-grain block size, `B` (1–8 MB in the experiments).
+    pub block_size: ByteSize,
+    /// Time to compute one block, `t_c`.
+    pub tc: SimTime,
+    /// Time to transfer one block over one channel, `t_m`.
+    pub tm: SimTime,
+    /// Time to analyze one block, `t_a`.
+    pub ta: SimTime,
+    /// Number of transfer channels working concurrently (e.g. one per
+    /// producer NIC; with the dual-channel optimization, message + file
+    /// paths add up). The paper's simple model has transfers fully
+    /// parallel per producer; `transfer_lanes = P` reproduces that.
+    pub transfer_lanes: u64,
+}
+
+impl ModelInput {
+    /// Number of fine-grain blocks, `n_b = D / B` (rounded up).
+    pub fn n_blocks(&self) -> u64 {
+        self.total_bytes.blocks_of(self.block_size)
+    }
+
+    fn validate(&self) {
+        assert!(self.p > 0 && self.q > 0, "P and Q must be positive");
+        assert!(self.transfer_lanes > 0, "need at least one transfer lane");
+        assert!(self.block_size.as_u64() > 0, "block size must be positive");
+    }
+}
+
+/// The model's output: the three stage times and their max.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// `T_comp = t_c · n_b / P`.
+    pub t_comp: SimTime,
+    /// `T_transfer = t_m · n_b / lanes`.
+    pub t_transfer: SimTime,
+    /// `T_analysis = t_a · n_b / Q`.
+    pub t_analysis: SimTime,
+}
+
+impl Prediction {
+    /// Evaluate the model.
+    pub fn from_input(input: &ModelInput) -> Prediction {
+        input.validate();
+        let nb = input.n_blocks();
+        Prediction {
+            t_comp: SimTime::from_nanos(input.tc.as_nanos() * nb / input.p),
+            t_transfer: SimTime::from_nanos(input.tm.as_nanos() * nb / input.transfer_lanes),
+            t_analysis: SimTime::from_nanos(input.ta.as_nanos() * nb / input.q),
+        }
+    }
+
+    /// `T_t2s = max(T_comp, T_transfer, T_analysis)`.
+    pub fn time_to_solution(&self) -> SimTime {
+        self.t_comp.max(self.t_transfer).max(self.t_analysis)
+    }
+
+    /// Which stage dominates — the paper uses this to say "which component
+    /// should be improved to achieve the fastest end-to-end time" (§1).
+    pub fn bottleneck(&self) -> Stage {
+        let t = self.time_to_solution();
+        if t == self.t_comp {
+            Stage::Simulation
+        } else if t == self.t_transfer {
+            Stage::Transfer
+        } else {
+            Stage::Analysis
+        }
+    }
+
+    /// Relative error of a measured end-to-end time against the model.
+    pub fn relative_error(&self, measured: SimTime) -> f64 {
+        let predicted = self.time_to_solution().as_secs_f64();
+        if predicted == 0.0 {
+            return f64::INFINITY;
+        }
+        (measured.as_secs_f64() - predicted).abs() / predicted
+    }
+}
+
+/// Pipeline stage names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Simulation,
+    Transfer,
+    Analysis,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Simulation => write!(f, "simulation"),
+            Stage::Transfer => write!(f, "transfer"),
+            Stage::Analysis => write!(f, "analysis"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(tc_ms: u64, tm_ms: u64, ta_ms: u64) -> ModelInput {
+        ModelInput {
+            p: 4,
+            q: 2,
+            total_bytes: ByteSize::mib(64),
+            block_size: ByteSize::mib(1),
+            tc: SimTime::from_millis(tc_ms),
+            tm: SimTime::from_millis(tm_ms),
+            ta: SimTime::from_millis(ta_ms),
+            transfer_lanes: 4,
+        }
+    }
+
+    #[test]
+    fn stage_times_follow_the_formulas() {
+        let i = input(4, 2, 6);
+        assert_eq!(i.n_blocks(), 64);
+        let p = Prediction::from_input(&i);
+        assert_eq!(p.t_comp, SimTime::from_millis(4 * 64 / 4));
+        assert_eq!(p.t_transfer, SimTime::from_millis(2 * 64 / 4));
+        assert_eq!(p.t_analysis, SimTime::from_millis(6 * 64 / 2));
+        assert_eq!(p.time_to_solution(), p.t_analysis);
+        assert_eq!(p.bottleneck(), Stage::Analysis);
+    }
+
+    #[test]
+    fn bottleneck_switches_with_costs() {
+        // Paper Fig. 12: as the app's complexity rises, the dominant stage
+        // switches from transfer to simulation.
+        let cheap_sim = Prediction::from_input(&input(1, 10, 1));
+        assert_eq!(cheap_sim.bottleneck(), Stage::Transfer);
+        let heavy_sim = Prediction::from_input(&input(100, 10, 1));
+        assert_eq!(heavy_sim.bottleneck(), Stage::Simulation);
+    }
+
+    #[test]
+    fn relative_error_is_symmetric_fraction() {
+        let p = Prediction::from_input(&input(4, 2, 6));
+        let t = p.time_to_solution();
+        assert!(p.relative_error(t) < 1e-12);
+        let off = SimTime::from_nanos(t.as_nanos() + t.as_nanos() / 10);
+        assert!((p.relative_error(off) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_count_rounds_up() {
+        let mut i = input(1, 1, 1);
+        i.total_bytes = ByteSize::bytes(3 * (1 << 20) + 1);
+        assert_eq!(i.n_blocks(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "P and Q")]
+    fn zero_cores_rejected() {
+        let mut i = input(1, 1, 1);
+        i.p = 0;
+        let _ = Prediction::from_input(&i);
+    }
+}

@@ -1,0 +1,149 @@
+//! Exact pipeline schedules — Fig. 11's integrated vs non-integrated
+//! designs, computed rather than hand-drawn.
+//!
+//! Each of `n` data blocks passes through `k` stages (the paper's
+//! C → O → I → A). The *non-integrated* design runs each stage to
+//! completion over the whole dataset before starting the next; the
+//! *integrated* design pipelines blocks through the stages with one
+//! dedicated executor per stage.
+
+use zipper_types::SimTime;
+
+/// Completion time of the non-integrated design: stage `j` starts only
+/// after stage `j-1` processed every block, so
+/// `T = n · (t_1 + t_2 + … + t_k)`.
+pub fn non_integrated_time(n_blocks: u64, stage_times: &[SimTime]) -> SimTime {
+    assert!(!stage_times.is_empty(), "need at least one stage");
+    let per_block: u64 = stage_times.iter().map(|t| t.as_nanos()).sum();
+    SimTime::from_nanos(per_block * n_blocks)
+}
+
+/// Completion time of the integrated (pipelined) design with one executor
+/// per stage and FIFO block order. Computed exactly with the classic
+/// recurrence `finish[i][j] = max(finish[i-1][j], finish[i][j-1]) + t_j`,
+/// which equals `Σ t_j + (n−1) · max_j t_j` for constant stage times.
+pub fn integrated_time(n_blocks: u64, stage_times: &[SimTime]) -> SimTime {
+    assert!(!stage_times.is_empty(), "need at least one stage");
+    if n_blocks == 0 {
+        return SimTime::ZERO;
+    }
+    // Rolling row of the dynamic program: finish time of the current block
+    // at each stage.
+    let k = stage_times.len();
+    let mut prev = vec![0u64; k]; // finish[i-1][j]
+    for _ in 0..n_blocks {
+        let mut cur = vec![0u64; k];
+        for j in 0..k {
+            let ready = if j == 0 { 0 } else { cur[j - 1] };
+            let free = prev[j];
+            cur[j] = ready.max(free) + stage_times[j].as_nanos();
+        }
+        prev = cur;
+    }
+    SimTime::from_nanos(prev[k - 1])
+}
+
+/// Full schedule of the integrated pipeline: for each block, the
+/// `(start, finish)` of every stage. Used to *draw* Fig. 11.
+pub fn pipeline_schedule(
+    n_blocks: u64,
+    stage_times: &[SimTime],
+) -> Vec<Vec<(SimTime, SimTime)>> {
+    assert!(!stage_times.is_empty(), "need at least one stage");
+    let k = stage_times.len();
+    let mut rows = Vec::with_capacity(n_blocks as usize);
+    let mut prev_finish = vec![0u64; k];
+    for _ in 0..n_blocks {
+        let mut row = Vec::with_capacity(k);
+        let mut cur_finish = vec![0u64; k];
+        for j in 0..k {
+            let ready = if j == 0 { 0 } else { cur_finish[j - 1] };
+            let start = ready.max(prev_finish[j]);
+            let finish = start + stage_times[j].as_nanos();
+            cur_finish[j] = finish;
+            row.push((SimTime::from_nanos(start), SimTime::from_nanos(finish)));
+        }
+        prev_finish = cur_finish;
+        rows.push(row);
+    }
+    rows
+}
+
+/// The asymptotic claim of §4.4: for large `n`, the integrated time per
+/// block approaches the slowest stage time (everything else is hidden).
+pub fn asymptotic_per_block(stage_times: &[SimTime]) -> SimTime {
+    stage_times
+        .iter()
+        .copied()
+        .max()
+        .expect("need at least one stage")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn closed_form_matches_dp_for_constant_stages() {
+        let stages = [ms(3), ms(5), ms(2), ms(4)];
+        for n in [1u64, 2, 7, 100] {
+            let dp = integrated_time(n, &stages);
+            let closed = SimTime::from_nanos(
+                stages.iter().map(|t| t.as_nanos()).sum::<u64>()
+                    + (n - 1) * ms(5).as_nanos(),
+            );
+            assert_eq!(dp, closed, "n={n}");
+        }
+    }
+
+    #[test]
+    fn integrated_beats_non_integrated() {
+        let stages = [ms(4), ms(4), ms(4), ms(4)];
+        let n = 50;
+        let ni = non_integrated_time(n, &stages);
+        let it = integrated_time(n, &stages);
+        assert_eq!(ni, SimTime::from_millis(16 * 50));
+        assert_eq!(it, SimTime::from_millis(16 + 49 * 4));
+        // With k equal stages the asymptotic speedup is k (here 4).
+        let speedup = ni.as_secs_f64() / it.as_secs_f64();
+        assert!(speedup > 3.7, "speedup={speedup}");
+    }
+
+    #[test]
+    fn per_block_time_approaches_slowest_stage() {
+        let stages = [ms(1), ms(7), ms(2)];
+        let n = 10_000u64;
+        let per_block = integrated_time(n, &stages).as_secs_f64() / n as f64;
+        let bound = asymptotic_per_block(&stages).as_secs_f64();
+        assert!((per_block - bound) / bound < 0.001, "per_block={per_block}");
+    }
+
+    #[test]
+    fn schedule_is_consistent() {
+        let stages = [ms(2), ms(3)];
+        let sched = pipeline_schedule(3, &stages);
+        assert_eq!(sched.len(), 3);
+        for (i, row) in sched.iter().enumerate() {
+            assert_eq!(row.len(), 2);
+            // Stages of one block are ordered.
+            assert!(row[0].1 <= row[1].0 || row[0].1 == row[1].0);
+            // A stage executor never overlaps two blocks.
+            if i > 0 {
+                assert!(sched[i - 1][0].1 <= row[0].0);
+                assert!(sched[i - 1][1].1 <= row[1].0);
+            }
+        }
+        // Last block's last stage equals integrated_time.
+        assert_eq!(sched[2][1].1, integrated_time(3, &stages));
+    }
+
+    #[test]
+    fn zero_blocks_is_zero_time() {
+        assert_eq!(integrated_time(0, &[ms(1)]), SimTime::ZERO);
+        assert_eq!(non_integrated_time(0, &[ms(1)]), SimTime::ZERO);
+    }
+}

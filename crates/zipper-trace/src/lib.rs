@@ -1,0 +1,22 @@
+//! # zipper-trace
+//!
+//! A lightweight span tracer standing in for TAU / Intel Trace Analyzer in
+//! the paper's methodology (§3). Both the discrete-event simulator and the
+//! real threaded runtime record `(lane, kind, t0, t1)` spans into a
+//! [`TraceLog`]; the analysis module then derives the statistics the paper
+//! reads off its trace screenshots:
+//!
+//! * time-per-kind breakdowns (how much of a lane is `MPI_Sendrecv`,
+//!   stall, lock, …) — Figs. 4–6;
+//! * steps completed within a wall-clock window — Figs. 17 & 19
+//!   ("Zipper runs 3 steps while Decaf runs 2 in the same 1.3 s");
+//! * ASCII timeline rendering for human inspection.
+
+pub mod log;
+pub mod render;
+pub mod span;
+pub mod stats;
+
+pub use log::{SharedTraceLog, TraceLog};
+pub use span::{LaneId, Span, SpanKind};
+pub use stats::{KindBreakdown, LaneStats, WindowStats};

@@ -1,0 +1,260 @@
+//! Trace storage: single-threaded log for the simulator, shared wrapper for
+//! the threaded runtime.
+
+use crate::span::{LaneId, Span, SpanKind};
+use crate::stats::KindBreakdown;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use zipper_types::SimTime;
+
+/// An append-only trace: interned lane labels plus the recorded spans.
+///
+/// Per-lane, per-kind time totals are maintained on every record, so
+/// aggregate statistics stay O(lanes) even for multi-million-span runs.
+/// For very large simulations (the 13,056-core experiments) raw span
+/// storage can be disabled with [`TraceLog::set_keep_spans`]; totals (and
+/// everything built on them) keep working, while windowed statistics and
+/// timeline rendering — which need raw spans — are reserved for the
+/// smaller trace-figure runs.
+///
+/// Spans do not need to arrive in time order (the threaded runtime's lanes
+/// race); [`TraceLog::sorted_spans`] orders them on demand.
+#[derive(Default, Debug)]
+pub struct TraceLog {
+    lanes: Vec<String>,
+    lane_index: HashMap<String, LaneId>,
+    spans: Vec<Span>,
+    totals: Vec<KindBreakdown>,
+    extents: Vec<(SimTime, SimTime)>,
+    horizon: SimTime,
+    drop_spans: bool,
+}
+
+impl TraceLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Disable raw span storage (aggregate totals keep accumulating).
+    pub fn set_keep_spans(&mut self, keep: bool) {
+        self.drop_spans = !keep;
+    }
+
+    /// Whether raw spans are being stored.
+    pub fn keeps_spans(&self) -> bool {
+        !self.drop_spans
+    }
+
+    /// Per-kind time totals of one lane (O(1), independent of span count).
+    pub fn lane_totals(&self, lane: LaneId) -> &KindBreakdown {
+        &self.totals[lane.idx()]
+    }
+
+    /// First span start and last span end of a lane (maintained on every
+    /// record, so available even with raw spans disabled). Returns
+    /// `(ZERO, ZERO)` for a lane that never recorded.
+    pub fn lane_extent(&self, lane: LaneId) -> (SimTime, SimTime) {
+        let (first, last) = self.extents[lane.idx()];
+        if first == SimTime::MAX {
+            (SimTime::ZERO, SimTime::ZERO)
+        } else {
+            (first, last)
+        }
+    }
+
+    /// Intern `label` and return its lane id; repeated calls with the same
+    /// label return the same id.
+    pub fn lane(&mut self, label: impl Into<String>) -> LaneId {
+        let label = label.into();
+        if let Some(&id) = self.lane_index.get(&label) {
+            return id;
+        }
+        let id = LaneId(self.lanes.len() as u32);
+        self.lanes.push(label.clone());
+        self.totals.push(KindBreakdown::default());
+        self.extents.push((SimTime::MAX, SimTime::ZERO));
+        self.lane_index.insert(label, id);
+        id
+    }
+
+    /// Label of a lane.
+    pub fn lane_label(&self, lane: LaneId) -> &str {
+        &self.lanes[lane.idx()]
+    }
+
+    /// Number of interned lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// All lane ids in creation order.
+    pub fn lanes(&self) -> impl Iterator<Item = LaneId> + '_ {
+        (0..self.lanes.len() as u32).map(LaneId)
+    }
+
+    /// Record one span.
+    pub fn record(&mut self, span: Span) {
+        debug_assert!(span.lane.idx() < self.lanes.len(), "unknown lane");
+        self.totals[span.lane.idx()].add(span.kind, span.duration());
+        let e = &mut self.extents[span.lane.idx()];
+        e.0 = e.0.min(span.t0);
+        e.1 = e.1.max(span.t1);
+        self.horizon = self.horizon.max(span.t1);
+        if !self.drop_spans {
+            self.spans.push(span);
+        }
+    }
+
+    /// Convenience: record a `[t0, t1)` span of `kind` on `lane`.
+    pub fn record_interval(&mut self, lane: LaneId, kind: SpanKind, t0: SimTime, t1: SimTime) {
+        self.record(Span::new(lane, kind, t0, t1));
+    }
+
+    /// All spans in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans of one lane, ordered by start time.
+    pub fn lane_spans(&self, lane: LaneId) -> Vec<Span> {
+        let mut v: Vec<Span> = self.spans.iter().copied().filter(|s| s.lane == lane).collect();
+        v.sort_by_key(|s| (s.t0, s.t1));
+        v
+    }
+
+    /// All spans ordered by `(t0, lane)`.
+    pub fn sorted_spans(&self) -> Vec<Span> {
+        let mut v = self.spans.clone();
+        v.sort_by_key(|s| (s.t0, s.lane, s.t1));
+        v
+    }
+
+    /// Latest end time over all recorded spans (the trace horizon).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Merge another log into this one, remapping its lanes by label.
+    /// Used by the threaded runtime to combine per-thread local logs.
+    pub fn absorb(&mut self, other: &TraceLog) {
+        let remap: Vec<LaneId> = other
+            .lanes
+            .iter()
+            .map(|label| self.lane(label.clone()))
+            .collect();
+        for s in &other.spans {
+            let mut s = *s;
+            s.lane = remap[s.lane.idx()];
+            self.record(s);
+        }
+    }
+}
+
+/// Thread-safe handle around a [`TraceLog`] for the real runtime, where many
+/// runtime threads record concurrently.
+#[derive(Clone, Default)]
+pub struct SharedTraceLog {
+    inner: Arc<Mutex<TraceLog>>,
+}
+
+impl SharedTraceLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn lane(&self, label: impl Into<String>) -> LaneId {
+        self.inner.lock().lane(label)
+    }
+
+    pub fn record(&self, span: Span) {
+        self.inner.lock().record(span);
+    }
+
+    pub fn record_interval(&self, lane: LaneId, kind: SpanKind, t0: SimTime, t1: SimTime) {
+        self.inner.lock().record_interval(lane, kind, t0, t1);
+    }
+
+    /// Clone out the accumulated log for analysis.
+    pub fn snapshot(&self) -> TraceLog {
+        let g = self.inner.lock();
+        let mut out = TraceLog::new();
+        out.absorb(&g);
+        out
+    }
+
+    /// Run `f` with the locked log (for bulk recording).
+    pub fn with<R>(&self, f: impl FnOnce(&mut TraceLog) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_are_interned() {
+        let mut log = TraceLog::new();
+        let a = log.lane("r0");
+        let b = log.lane("r1");
+        let a2 = log.lane("r0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(log.lane_label(b), "r1");
+        assert_eq!(log.lane_count(), 2);
+    }
+
+    #[test]
+    fn lane_spans_are_time_ordered() {
+        let mut log = TraceLog::new();
+        let l = log.lane("r0");
+        log.record_interval(l, SpanKind::Compute, SimTime::from_millis(5), SimTime::from_millis(9));
+        log.record_interval(l, SpanKind::Stall, SimTime::ZERO, SimTime::from_millis(5));
+        let spans = log.lane_spans(l);
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].t0 <= spans[1].t0);
+        assert_eq!(spans[0].kind, SpanKind::Stall);
+        assert_eq!(log.horizon(), SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn absorb_remaps_lanes_by_label() {
+        let mut a = TraceLog::new();
+        let la = a.lane("shared");
+        a.record_interval(la, SpanKind::Compute, SimTime::ZERO, SimTime::from_millis(1));
+
+        let mut b = TraceLog::new();
+        let lb = b.lane("shared");
+        b.record_interval(lb, SpanKind::Stall, SimTime::from_millis(1), SimTime::from_millis(2));
+
+        a.absorb(&b);
+        assert_eq!(a.lane_count(), 1);
+        assert_eq!(a.lane_spans(la).len(), 2);
+    }
+
+    #[test]
+    fn shared_log_collects_from_threads() {
+        let shared = SharedTraceLog::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let lane = s.lane(format!("r{t}"));
+                s.record_interval(
+                    lane,
+                    SpanKind::Compute,
+                    SimTime::ZERO,
+                    SimTime::from_millis(t + 1),
+                );
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = shared.snapshot();
+        assert_eq!(log.lane_count(), 4);
+        assert_eq!(log.spans().len(), 4);
+        assert_eq!(log.horizon(), SimTime::from_millis(4));
+    }
+}

@@ -1,0 +1,235 @@
+//! ASCII timeline rendering — a terminal stand-in for the TAU/ITAC trace
+//! screenshots in Figs. 4–6, 17, 19.
+//!
+//! Each lane becomes one text row of fixed width; each column is a time
+//! bucket colored (by glyph) with the span kind that dominates the bucket.
+
+use crate::log::TraceLog;
+use crate::span::{LaneId, SpanKind};
+use zipper_types::SimTime;
+
+/// Options for [`render_timeline`].
+#[derive(Clone, Debug)]
+pub struct RenderOptions {
+    /// Number of character columns.
+    pub width: usize,
+    /// Window start (defaults to 0).
+    pub from: SimTime,
+    /// Window end (defaults to the trace horizon).
+    pub to: Option<SimTime>,
+    /// Only render lanes whose label passes this prefix filter, if set.
+    pub lane_prefix: Option<String>,
+    /// Render at most this many lanes (first N matching).
+    pub max_lanes: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 100,
+            from: SimTime::ZERO,
+            to: None,
+            lane_prefix: None,
+            max_lanes: 12,
+        }
+    }
+}
+
+/// Render the trace as an ASCII timeline with a legend.
+///
+/// Bucket glyph = the kind with the largest accumulated overlap in that
+/// bucket; empty buckets render as spaces.
+pub fn render_timeline(log: &TraceLog, opts: &RenderOptions) -> String {
+    assert!(opts.width >= 10, "need at least 10 columns");
+    let to = opts.to.unwrap_or_else(|| log.horizon());
+    if to <= opts.from {
+        return String::from("(empty trace window)\n");
+    }
+    let span_ns = (to - opts.from).as_nanos();
+    let bucket_ns = (span_ns / opts.width as u64).max(1);
+
+    let lanes: Vec<LaneId> = log
+        .lanes()
+        .filter(|&l| match &opts.lane_prefix {
+            Some(p) => log.lane_label(l).starts_with(p.as_str()),
+            None => true,
+        })
+        .take(opts.max_lanes)
+        .collect();
+
+    let label_w = lanes
+        .iter()
+        .map(|&l| log.lane_label(l).len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline [{} .. {}]  ({} per column)\n",
+        opts.from,
+        to,
+        SimTime::from_nanos(bucket_ns)
+    ));
+
+    // Accumulate per-lane per-bucket per-kind overlap.
+    for &lane in &lanes {
+        let mut buckets = vec![[0u64; SpanKind::ALL.len()]; opts.width];
+        for s in log.spans().iter().filter(|s| s.lane == lane) {
+            if s.t1 <= opts.from || s.t0 >= to {
+                continue;
+            }
+            let rel0 = s.t0.max(opts.from).as_nanos() - opts.from.as_nanos();
+            let rel1 = (s.t1.min(to).as_nanos() - opts.from.as_nanos()).max(rel0);
+            let b0 = (rel0 / bucket_ns) as usize;
+            let b1 = (rel1.div_ceil(bucket_ns) as usize).min(opts.width);
+            for (b, bucket) in buckets.iter_mut().enumerate().take(b1).skip(b0) {
+                let lo = opts.from.as_nanos() + b as u64 * bucket_ns;
+                let hi = lo + bucket_ns;
+                let ov = s
+                    .overlap(SimTime::from_nanos(lo), SimTime::from_nanos(hi))
+                    .as_nanos();
+                bucket[s.kind.index()] += ov;
+            }
+        }
+        let row: String = buckets
+            .iter()
+            .map(|b| {
+                let (best, t) = b
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &t)| t)
+                    .map(|(i, &t)| (i, t))
+                    .unwrap_or((0, 0));
+                if t == 0 {
+                    ' '
+                } else {
+                    SpanKind::ALL[best].glyph()
+                }
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:>width$} |{}|\n",
+            log.lane_label(lane),
+            row,
+            width = label_w
+        ));
+    }
+
+    // Legend for the kinds that actually appear in the window.
+    let mut used = [false; SpanKind::ALL.len()];
+    for s in log.spans() {
+        if s.t1 > opts.from && s.t0 < to && lanes.contains(&s.lane) {
+            used[s.kind.index()] = true;
+        }
+    }
+    let legend: Vec<String> = SpanKind::ALL
+        .iter()
+        .filter(|k| used[k.index()])
+        .map(|k| format!("{}={}", k.glyph(), k))
+        .collect();
+    if !legend.is_empty() {
+        out.push_str("legend: ");
+        out.push_str(&legend.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Export raw spans as CSV (`lane,label,kind,start_ns,end_ns,step`) for
+/// offline analysis in external tooling — the stand-in for TAU's trace
+/// files. Requires raw-span storage (the default).
+pub fn export_csv(log: &TraceLog) -> String {
+    let mut out = String::from("lane,label,kind,start_ns,end_ns,step\n");
+    for s in log.sorted_spans() {
+        let step = if s.step == crate::span::Span::NO_STEP {
+            String::new()
+        } else {
+            s.step.to_string()
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            s.lane.0,
+            log.lane_label(s.lane),
+            s.kind,
+            s.t0.as_nanos(),
+            s.t1.as_nanos(),
+            step
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn renders_dominant_kind_per_bucket() {
+        let mut log = TraceLog::new();
+        let l = log.lane("sim/r0");
+        log.record(Span::new(
+            l,
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::from_millis(50),
+        ));
+        log.record(Span::new(
+            l,
+            SpanKind::Stall,
+            SimTime::from_millis(50),
+            SimTime::from_millis(100),
+        ));
+        let opts = RenderOptions {
+            width: 10,
+            ..Default::default()
+        };
+        let s = render_timeline(&log, &opts);
+        assert!(s.contains("CCCCC!!!!!"), "got:\n{s}");
+        assert!(s.contains("C=compute"));
+        assert!(s.contains("!=stall"));
+    }
+
+    #[test]
+    fn lane_prefix_filters_rows() {
+        let mut log = TraceLog::new();
+        let a = log.lane("sim/r0");
+        let b = log.lane("ana/r0");
+        log.record_interval(a, SpanKind::Compute, SimTime::ZERO, SimTime::from_millis(1));
+        log.record_interval(b, SpanKind::Analysis, SimTime::ZERO, SimTime::from_millis(1));
+        let opts = RenderOptions {
+            width: 10,
+            lane_prefix: Some("ana/".into()),
+            ..Default::default()
+        };
+        let s = render_timeline(&log, &opts);
+        assert!(s.contains("ana/r0"));
+        assert!(!s.contains("sim/r0"));
+    }
+
+    #[test]
+    fn empty_window_is_graceful() {
+        let log = TraceLog::new();
+        let s = render_timeline(&log, &RenderOptions::default());
+        assert!(s.contains("empty"));
+    }
+
+    #[test]
+    fn csv_export_round_trips_fields() {
+        let mut log = TraceLog::new();
+        let l = log.lane("sim/r0");
+        log.record(
+            Span::new(l, SpanKind::Compute, SimTime::from_millis(1), SimTime::from_millis(3))
+                .with_step(7),
+        );
+        log.record_interval(l, SpanKind::Stall, SimTime::ZERO, SimTime::from_millis(1));
+        let csv = export_csv(&log);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "lane,label,kind,start_ns,end_ns,step");
+        // Sorted by start time: the stall comes first, without a step.
+        assert_eq!(lines[1], "0,sim/r0,stall,0,1000000,");
+        assert_eq!(lines[2], "0,sim/r0,compute,1000000,3000000,7");
+    }
+}

@@ -1,0 +1,315 @@
+//! Shared building blocks for the transport models: the stepped
+//! application skeleton (compute phases + ring halo exchange) and the
+//! generic per-step producer/consumer programs that each transport
+//! specializes with its own data-movement ops.
+
+use crate::spec::tag;
+use hpcsim::{Op, ProcCtx, Program, Step};
+use zipper_trace::SpanKind;
+use zipper_types::{ProcId, SimTime};
+
+/// Ring-halo exchange ops for one step: send a face to each neighbor and
+/// receive the two faces addressed to us, all recorded as `Sendrecv` so
+/// staging interference with the application's own communication is
+/// measurable (Figs. 5/6/17).
+pub fn halo_ops(me: usize, left: ProcId, right: ProcId, bytes: u64, step: u64) -> Vec<Op> {
+    if bytes == 0 {
+        return Vec::new();
+    }
+    let t = tag::make(tag::HALO, step, (me & 0xFFFF) as u64);
+    let (lo, hi) = (
+        tag::make(tag::HALO, step, 0),
+        tag::make(tag::HALO, step, tag::INFO_MASK),
+    );
+    vec![
+        Op::Send {
+            to: left,
+            bytes,
+            tag: t,
+            kind: SpanKind::Sendrecv,
+        },
+        Op::Send {
+            to: right,
+            bytes,
+            tag: t,
+            kind: SpanKind::Sendrecv,
+        },
+        Op::Recv {
+            tag_min: lo,
+            tag_max: hi,
+            kind: SpanKind::Sendrecv,
+        },
+        Op::Recv {
+            tag_min: lo,
+            tag_max: hi,
+            kind: SpanKind::Sendrecv,
+        },
+    ]
+}
+
+/// One step's compute ops: collision → streaming (+ halo inside the
+/// streaming phase, where the paper's traces place `MPI_Sendrecv`) →
+/// update.
+pub fn step_compute_ops(
+    phases: [SimTime; 3],
+    halo: Vec<Op>,
+    step: u64,
+) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(3 + halo.len());
+    ops.push(Op::Compute {
+        dur: phases[0],
+        kind: SpanKind::Collision,
+        step,
+    });
+    ops.push(Op::Compute {
+        dur: phases[1],
+        kind: SpanKind::Streaming,
+        step,
+    });
+    ops.extend(halo);
+    ops.push(Op::Compute {
+        dur: phases[2],
+        kind: SpanKind::Update,
+        step,
+    });
+    ops
+}
+
+/// Per-step output hook of a baseline transport: given the step index and
+/// the process context, produce the data-movement ops for this step.
+pub type EmitFn = Box<dyn FnMut(u64, &mut ProcCtx<'_>) -> Vec<Op>>;
+
+/// A baseline simulation rank: stepped compute + halo, then the
+/// transport's output ops, for `steps` iterations.
+pub struct BaselineSimRank {
+    pub me: usize,
+    pub steps: u64,
+    pub phases: [SimTime; 3],
+    pub halo_bytes: u64,
+    pub left: ProcId,
+    pub right: ProcId,
+    pub emit: EmitFn,
+    step: u64,
+    emitting: bool,
+}
+
+impl BaselineSimRank {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: usize,
+        steps: u64,
+        phases: [SimTime; 3],
+        halo_bytes: u64,
+        left: ProcId,
+        right: ProcId,
+        emit: EmitFn,
+    ) -> Self {
+        BaselineSimRank {
+            me,
+            steps,
+            phases,
+            halo_bytes,
+            left,
+            right,
+            emit,
+            step: 0,
+            emitting: false,
+        }
+    }
+}
+
+impl Program for BaselineSimRank {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if self.step == self.steps {
+            return Step::Done;
+        }
+        if !self.emitting {
+            self.emitting = true;
+            let halo = halo_ops(self.me, self.left, self.right, self.halo_bytes, self.step);
+            Step::Ops(step_compute_ops(self.phases, halo, self.step))
+        } else {
+            self.emitting = false;
+            let ops = (self.emit)(self.step, ctx);
+            self.step += 1;
+            Step::Ops(ops)
+        }
+    }
+}
+
+/// A baseline analysis rank: per step, run the transport's acquisition
+/// ops, then the analysis compute.
+pub struct BaselineAnaRank {
+    pub steps: u64,
+    pub analysis_time: SimTime,
+    pub acquire: EmitFn,
+    step: u64,
+    analyzing: bool,
+}
+
+impl BaselineAnaRank {
+    pub fn new(steps: u64, analysis_time: SimTime, acquire: EmitFn) -> Self {
+        BaselineAnaRank {
+            steps,
+            analysis_time,
+            acquire,
+            step: 0,
+            analyzing: false,
+        }
+    }
+}
+
+impl Program for BaselineAnaRank {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if self.step == self.steps {
+            return Step::Done;
+        }
+        if !self.analyzing {
+            self.analyzing = true;
+            Step::Ops((self.acquire)(self.step, ctx))
+        } else {
+            self.analyzing = false;
+            let step = self.step;
+            self.step += 1;
+            Step::Ops(vec![Op::Compute {
+                dur: self.analysis_time,
+                kind: SpanKind::Analysis,
+                step,
+            }])
+        }
+    }
+}
+
+/// A crash program: computes briefly, then halts the whole job with the
+/// given fault — models Flexpath's segfault and Decaf's integer overflow
+/// at scale (§6.3).
+pub struct CrashAfter {
+    pub delay: SimTime,
+    pub error: String,
+    fired: bool,
+}
+
+impl CrashAfter {
+    pub fn new(delay: SimTime, error: impl Into<String>) -> Self {
+        CrashAfter {
+            delay,
+            error: error.into(),
+            fired: false,
+        }
+    }
+}
+
+impl Program for CrashAfter {
+    fn resume(&mut self, _ctx: &mut ProcCtx<'_>) -> Step {
+        if self.fired {
+            return Step::Done;
+        }
+        self.fired = true;
+        Step::Ops(vec![
+            Op::Compute {
+                dur: self.delay,
+                kind: SpanKind::Compute,
+                step: 0,
+            },
+            Op::Halt { error: self.error.clone() },
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcsim::{SimConfig, Simulator};
+    use zipper_types::NodeId;
+
+    fn tiny_sim() -> Simulator {
+        let mut cfg = SimConfig::default();
+        cfg.network.compute_nodes = 4;
+        cfg.network.storage_nodes = 1;
+        Simulator::new(cfg)
+    }
+
+    #[test]
+    fn halo_ops_are_two_sends_two_recvs() {
+        let ops = halo_ops(3, ProcId(2), ProcId(4), 1000, 7);
+        assert_eq!(ops.len(), 4);
+        assert!(matches!(ops[0], Op::Send { kind: SpanKind::Sendrecv, .. }));
+        assert!(matches!(ops[2], Op::Recv { .. }));
+        assert!(halo_ops(0, ProcId(0), ProcId(0), 0, 0).is_empty());
+    }
+
+    #[test]
+    fn stepped_ring_of_three_ranks_completes() {
+        let mut sim = tiny_sim();
+        let phases = [
+            SimTime::from_millis(2),
+            SimTime::from_millis(1),
+            SimTime::from_millis(1),
+        ];
+        // ProcIds are sequential from 0 in spawn order.
+        for r in 0..3usize {
+            let left = ProcId(((r + 2) % 3) as u32);
+            let right = ProcId(((r + 1) % 3) as u32);
+            sim.spawn(
+                NodeId((r % 4) as u32),
+                format!("sim/r{r}/comp"),
+                BaselineSimRank::new(
+                    r,
+                    5,
+                    phases,
+                    100_000,
+                    left,
+                    right,
+                    Box::new(|_step, _ctx| Vec::new()),
+                ),
+            );
+        }
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        // 5 steps × 4 ms compute plus halo time.
+        assert!(r.end >= SimTime::from_millis(20));
+        assert!(r.end < SimTime::from_millis(40));
+        // Sendrecv spans were recorded.
+        let sendrecv = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Sendrecv)
+            .count();
+        assert!(sendrecv > 0);
+    }
+
+    #[test]
+    fn analysis_rank_alternates_acquire_and_compute() {
+        let mut sim = tiny_sim();
+        sim.spawn(
+            NodeId(0),
+            "ana/q0",
+            BaselineAnaRank::new(
+                3,
+                SimTime::from_millis(5),
+                Box::new(|_s, _c| {
+                    vec![Op::Compute {
+                        dur: SimTime::from_millis(1),
+                        kind: SpanKind::Get,
+                        step: 0,
+                    }]
+                }),
+            ),
+        );
+        let r = sim.run();
+        assert!(r.is_clean());
+        assert_eq!(r.end, SimTime::from_millis(18));
+    }
+
+    #[test]
+    fn crash_after_halts_job() {
+        let mut sim = tiny_sim();
+        sim.spawn(
+            NodeId(0),
+            "crash",
+            CrashAfter::new(SimTime::from_millis(1), "segfault"),
+        );
+        let r = sim.run();
+        assert_eq!(r.faults, vec!["segfault".to_string()]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Decaf transport model: dataflow through dedicated *link* processes in a
+//! single MPI world (§2).
+//!
+//! Structure encoded from §3/Fig. 6 and §6.3:
+//! * a producer's PUT issues asynchronous sends of the whole slab to its
+//!   link process and then blocks in `MPI_Waitall` "to make sure data is
+//!   safely stored in the link nodes before it can proceed" — the per-step
+//!   stall of Fig. 6;
+//! * links forward to the consumers ("all data must arrive in link before
+//!   they can be forwarded"), and bounded link buffering means "slower
+//!   consumers will block the producers";
+//! * the whole-slab bursts interfere with the application's own
+//!   `MPI_Sendrecv` (Fig. 6, bottom trace);
+//! * on large CFD runs the redistribution component overflows a 32-bit
+//!   element count and segfaults (§6.3.1) — reproduced via a crash program
+//!   when the spec's threshold is reached.
+
+// Rank-indexed spawn loops read several parallel per-rank tables; the
+// index form keeps the rank explicit.
+#![allow(clippy::needless_range_loop)]
+
+use crate::common::{BaselineAnaRank, BaselineSimRank, CrashAfter};
+use crate::spec::{tag, ClusterLayout, WorkflowSpec};
+use hpcsim::{Op, ProcCtx, Program, Simulator, Step};
+use zipper_trace::SpanKind;
+use zipper_types::{ProcId, SimTime};
+
+/// Producer-side Boost-serialization cost per byte — the paper could not
+/// even trace Decaf with TAU because of "the huge number of inline Boost
+/// serialization function calls" (§3); this is their CPU cost on the put
+/// path.
+const SERIALIZE_PER_BYTE: f64 = 20e-9;
+
+/// Consumer-side deserialization cost per byte.
+const DESERIALIZE_PER_BYTE: f64 = 10e-9;
+
+/// Link-side processing cost per forwarded byte (deserialize, redistribute,
+/// reserialize at the link process). Negligible at small scale, but a
+/// fixed link fleet processing a growing data stream is what degrades
+/// Decaf from ~1,632 cores in Fig. 18 (+128 %, then +177 %).
+const LINK_PROCESS_PER_BYTE: f64 = 1.2e-9;
+
+/// A Decaf link process: receives every assigned producer's slab, forwards
+/// it to the producer's consumer, and releases the producer's buffer
+/// token.
+pub struct DecafLinkProc {
+    /// Total slabs this link will carry (producers × steps).
+    remaining: u64,
+    /// ProcId of the first simulation rank (to map `msg.from` → rank).
+    sim_base: u32,
+    /// Consumer ProcId for each producer rank.
+    consumer_of: Vec<ProcId>,
+    /// Buffer-token signal for each producer rank.
+    token_of: Vec<usize>,
+    waiting: bool,
+}
+
+impl DecafLinkProc {
+    pub fn new(
+        remaining: u64,
+        sim_base: u32,
+        consumer_of: Vec<ProcId>,
+        token_of: Vec<usize>,
+    ) -> Self {
+        DecafLinkProc {
+            remaining,
+            sim_base,
+            consumer_of,
+            token_of,
+            waiting: false,
+        }
+    }
+}
+
+impl Program for DecafLinkProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.waiting {
+            if self.remaining == 0 {
+                return Step::Done;
+            }
+            self.waiting = true;
+            let (lo, hi) = tag::range(tag::DATA);
+            return Step::Ops(vec![Op::Recv {
+                tag_min: lo,
+                tag_max: hi,
+                kind: SpanKind::Idle,
+            }]);
+        }
+        self.waiting = false;
+        self.remaining -= 1;
+        let msg = ctx.last_msg.expect("link resumed without message");
+        let p = (msg.from.0 - self.sim_base) as usize;
+        Step::Ops(vec![
+            // Deserialize / redistribute / reserialize at the link.
+            Op::Compute {
+                dur: SimTime::from_secs_f64(LINK_PROCESS_PER_BYTE * msg.bytes as f64),
+                kind: SpanKind::Put,
+                step: tag::step(msg.tag),
+            },
+            // Forward the slab to the consumer that analyses producer p.
+            Op::Send {
+                to: self.consumer_of[p],
+                bytes: msg.bytes,
+                tag: tag::make(tag::RESP, tag::step(msg.tag), (p & 0xFFFF) as u64),
+                kind: SpanKind::Send,
+            },
+            // The producer may reuse this buffer slot.
+            Op::SignalPost {
+                sig: self.token_of[p],
+                n: 1,
+            },
+        ])
+    }
+}
+
+/// Spawn the Decaf workflow. Spawn order: sim ranks, analysis ranks, link
+/// processes.
+pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+    let phases = spec
+        .cost
+        .step_phases()
+        .expect("baseline transports model the stepped applications");
+    let s = spec.sim_ranks;
+    let a = spec.ana_ranks;
+    let slab = spec.bytes_per_rank_step;
+    let links = spec.decaf_links.min(s);
+    let link_pid = |l: usize| ProcId((s + a + l) as u32);
+    let link_of = |p: usize| link_pid(p % links);
+    let ana_pid = |q: usize| ProcId((s + q) as u32);
+
+    let crash = spec
+        .decaf_crash_cores
+        .is_some_and(|t| spec.total_cores() >= t);
+
+    let tokens: Vec<usize> = (0..s)
+        .map(|_| {
+            let sig = sim.add_signal();
+            sim.prime_signal(sig, spec.staging_slots as u32);
+            sig
+        })
+        .collect();
+
+    for r in 0..s {
+        if r == 0 && crash {
+            // §6.3.1: "Decaf has segmentation faults due to integer
+            // overflows" on the large CFD runs.
+            let pid = sim.spawn(
+                layout.sim_node(r),
+                format!("sim/r{r}/comp"),
+                CrashAfter::new(
+                    spec.cost.step_time().unwrap_or(SimTime::from_millis(100)),
+                    format!(
+                        "Decaf integer overflow in redistribution at {} cores",
+                        spec.total_cores()
+                    ),
+                ),
+            );
+            assert_eq!(pid, ProcId(0));
+            continue;
+        }
+        let left = ProcId(((r + s - 1) % s) as u32);
+        let right = ProcId(((r + 1) % s) as u32);
+        let token_r = tokens[r];
+        let lnk = link_of(r);
+        // Boost serialization streams memory; it does not inherit the KNL
+        // clock penalty the way per-message socket code does.
+        let serialize = SimTime::from_secs_f64(SERIALIZE_PER_BYTE * slab as f64);
+        let emit = Box::new(move |step: u64, _ctx: &mut ProcCtx<'_>| {
+            vec![
+                // Boost serialization of the slab (inline calls, §3).
+                Op::Compute {
+                    dur: serialize,
+                    kind: SpanKind::Put,
+                    step,
+                },
+                // Bounded link buffering: block if the link still holds
+                // our previous slabs (slower consumers block producers).
+                Op::SignalWait {
+                    sig: token_r,
+                    kind: SpanKind::Stall,
+                },
+                // PUT: async send of the whole slab to the link…
+                Op::SendAsync {
+                    to: lnk,
+                    bytes: slab,
+                    tag: tag::make(tag::DATA, step, (r & 0xFFFF) as u64),
+                },
+                // …then MPI_Waitall until it safely arrived (Fig. 6).
+                Op::WaitAllSends {
+                    kind: SpanKind::Waitall,
+                },
+            ]
+        });
+        let pid = sim.spawn(
+            layout.sim_node(r),
+            format!("sim/r{r}/comp"),
+            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+        );
+        assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
+    }
+
+    for q in 0..a {
+        let sources = spec.sources_of(q);
+        let ana_time = spec.cost.analysis_block_time(spec.ana_bytes_per_step(q));
+        let n_src = sources.len();
+        let deser = SimTime::from_secs_f64(DESERIALIZE_PER_BYTE * slab as f64);
+        let acquire = Box::new(move |step: u64, _ctx: &mut ProcCtx<'_>| {
+            let (lo, hi) = (
+                tag::make(tag::RESP, step, 0),
+                tag::make(tag::RESP, step, tag::INFO_MASK),
+            );
+            let mut ops = Vec::new();
+            for _ in 0..n_src {
+                ops.push(Op::Recv {
+                    tag_min: lo,
+                    tag_max: hi,
+                    kind: SpanKind::Get,
+                });
+                ops.push(Op::Compute {
+                    dur: deser,
+                    kind: SpanKind::Get,
+                    step,
+                });
+            }
+            ops
+        });
+        let pid = sim.spawn(
+            layout.ana_node(q),
+            format!("ana/q{q}"),
+            BaselineAnaRank::new(spec.steps, ana_time, acquire),
+        );
+        assert_eq!(pid, ana_pid(q), "spawn order drifted");
+    }
+
+    for l in 0..links {
+        let producers: Vec<usize> = (0..s).filter(|&p| p % links == l).collect();
+        let remaining = if crash {
+            0
+        } else {
+            producers.len() as u64 * spec.steps
+        };
+        let consumer_of: Vec<ProcId> = (0..s).map(|p| ana_pid(spec.consumer_of(p))).collect();
+        let pid = sim.spawn(
+            layout.extra_node(l),
+            format!("link/{l}"),
+            DecafLinkProc::new(remaining, 0, consumer_of, tokens.clone()),
+        );
+        assert_eq!(pid, link_pid(l), "spawn order drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::sim_config;
+
+    fn run_one(mutate: impl FnOnce(&mut WorkflowSpec)) -> (hpcsim::RunReport, Simulator) {
+        let mut spec = WorkflowSpec::cfd(4, 2, 3);
+        spec.ranks_per_node = 2;
+        spec.decaf_links = 2;
+        mutate(&mut spec);
+        let layout = ClusterLayout::new(&spec, spec.decaf_links);
+        let mut sim = Simulator::new(sim_config(&spec, &layout));
+        build(&mut sim, &spec, &layout);
+        let r = sim.run();
+        (r, sim)
+    }
+
+    #[test]
+    fn decaf_completes_below_threshold() {
+        let (r, sim) = run_one(|_| {});
+        assert!(r.is_clean(), "{r:?}");
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 6);
+        // Waitall stalls are the Decaf signature (Fig. 6).
+        let waitall = zipper_trace::stats::kind_time_filtered(
+            sim.trace(),
+            SpanKind::Waitall,
+            |l| l.starts_with("sim/"),
+        );
+        assert!(waitall.as_nanos() > 0, "expected MPI_Waitall time");
+    }
+
+    #[test]
+    fn decaf_overflows_at_scale() {
+        let (r, _) = run_one(|s| s.decaf_crash_cores = Some(6));
+        assert_eq!(r.faults.len(), 1);
+        assert!(r.faults[0].contains("integer overflow"));
+    }
+
+    #[test]
+    fn lammps_spec_disables_the_overflow() {
+        let mut spec = WorkflowSpec::lammps(4, 2, 2);
+        spec.ranks_per_node = 2;
+        spec.decaf_links = 2;
+        let layout = ClusterLayout::new(&spec, spec.decaf_links);
+        let mut sim = Simulator::new(sim_config(&spec, &layout));
+        build(&mut sim, &spec, &layout);
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+    }
+}

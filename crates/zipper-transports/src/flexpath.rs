@@ -1,0 +1,329 @@
+//! Flexpath (ADIOS) transport model: type-based publish/subscribe over
+//! event channels (§2).
+//!
+//! Structure encoded from §3/Fig. 5 and §6.3.1:
+//! * per step, each subscriber sends a *fetch* request to each of its
+//!   publishers, which reply with the full slab — a whole-slab burst that
+//!   "will compete with the simulation's MPI communication" (the
+//!   `MPI_Sendrecv` inflation of Fig. 5);
+//! * everything runs over a socket interface with marshalling cost and
+//!   no shared-memory optimization, so many processes per node hammer the
+//!   node NIC (the paper's one-process-per-node experiment);
+//! * a bounded publisher queue (output epochs) throttles a producer that
+//!   runs ahead of its subscriber;
+//! * the job segfaults at ≥ 6,528 cores (§6.3.1), reproduced via a crash
+//!   program on rank 0.
+
+// Rank-indexed spawn loops read several parallel per-rank tables; the
+// index form keeps the rank explicit.
+#![allow(clippy::needless_range_loop)]
+
+use crate::common::{BaselineAnaRank, BaselineSimRank, CrashAfter};
+use crate::spec::{tag, ClusterLayout, WorkflowSpec};
+use hpcsim::{Op, ProcCtx, Program, Simulator, Step};
+use zipper_trace::SpanKind;
+use zipper_types::{ProcId, SimTime};
+
+/// Marshalling cost of the event-channel stack, seconds per byte.
+const MARSHAL_PER_BYTE: f64 = 13e-9;
+
+/// Fixed socket-stack overhead per message.
+const SOCKET_OVERHEAD: SimTime = SimTime::from_micros(400);
+
+/// Subscriber-side unmarshalling cost, seconds per byte.
+const UNMARSHAL_PER_BYTE: f64 = 13e-9;
+
+/// Socket-stack CPU cost per byte, *serialized per node*: Flexpath "does
+/// not have optimized support for multiple processes per node — all
+/// communications (even within the same node) have to go through the
+/// socket interface" (§6.3.1). Every agent on a node contends for one
+/// kernel socket path, so with 68 ranks per KNL node this term dominates,
+/// reproducing the paper's one-process-per-node finding.
+const SOCKET_CPU_PER_BYTE: f64 = 2e-9;
+
+/// The per-publisher Flexpath agent: answers one fetch per step with the
+/// published slab, after the publisher's output epoch completed.
+pub struct FlexpathAgentProc {
+    steps: u64,
+    slab: u64,
+    ready_sig: usize,
+    /// Per-node socket-stack lock shared by every agent on this node.
+    node_socket: usize,
+    /// Serialized socket CPU time per response.
+    socket_cpu: SimTime,
+    step: u64,
+    waiting_fetch: bool,
+}
+
+impl FlexpathAgentProc {
+    pub fn new(
+        steps: u64,
+        slab: u64,
+        ready_sig: usize,
+        node_socket: usize,
+        socket_cpu: SimTime,
+    ) -> Self {
+        FlexpathAgentProc {
+            steps,
+            slab,
+            ready_sig,
+            node_socket,
+            socket_cpu,
+            step: 0,
+            waiting_fetch: false,
+        }
+    }
+}
+
+impl Program for FlexpathAgentProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.waiting_fetch {
+            if self.step == self.steps {
+                return Step::Done;
+            }
+            self.waiting_fetch = true;
+            let (lo, hi) = tag::range(tag::FETCH);
+            return Step::Ops(vec![Op::Recv {
+                tag_min: lo,
+                tag_max: hi,
+                kind: SpanKind::Idle,
+            }]);
+        }
+        self.waiting_fetch = false;
+        let msg = ctx.last_msg.expect("agent resumed without message");
+        let step = self.step;
+        self.step += 1;
+        Step::Ops(vec![
+            Op::SignalWait {
+                sig: self.ready_sig,
+                kind: SpanKind::Idle,
+            },
+            // One kernel socket path per node: agents serialize here.
+            Op::Acquire {
+                lock: self.node_socket,
+            },
+            Op::Compute {
+                dur: SOCKET_OVERHEAD + self.socket_cpu,
+                kind: SpanKind::Send,
+                step,
+            },
+            Op::Send {
+                to: msg.from,
+                bytes: self.slab,
+                tag: tag::make(tag::RESP, step, tag::info(msg.tag)),
+                kind: SpanKind::Send,
+            },
+            Op::Release {
+                lock: self.node_socket,
+            },
+        ])
+    }
+}
+
+/// Spawn the Flexpath workflow. Spawn order: sim ranks, analysis ranks,
+/// per-publisher agents.
+pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+    let phases = spec
+        .cost
+        .step_phases()
+        .expect("baseline transports model the stepped applications");
+    let s = spec.sim_ranks;
+    let a = spec.ana_ranks;
+    let slab = spec.bytes_per_rank_step;
+    let agent_pid = |r: usize| ProcId((s + a + r) as u32);
+
+    let crash = spec
+        .flexpath_crash_cores
+        .is_some_and(|t| spec.total_cores() >= t);
+
+    let ready: Vec<usize> = (0..s).map(|_| sim.add_signal()).collect();
+    let queue: Vec<usize> = (0..s)
+        .map(|_| {
+            let sig = sim.add_signal();
+            sim.prime_signal(sig, spec.staging_slots as u32);
+            sig
+        })
+        .collect();
+
+    let marshal = SimTime::from_secs_f64(MARSHAL_PER_BYTE * spec.cpu_slowdown * slab as f64);
+    let socket_cpu =
+        SimTime::from_secs_f64(SOCKET_CPU_PER_BYTE * spec.cpu_slowdown * slab as f64);
+    // One socket-stack lock per simulation node.
+    let node_locks: Vec<usize> = (0..layout.sim_nodes).map(|_| sim.add_lock()).collect();
+
+    for r in 0..s {
+        if r == 0 && crash {
+            // §6.3.1: "Flexpath terminated with segmentation fault when
+            // the number of cores reaches 6,528."
+            let pid = sim.spawn(
+                layout.sim_node(r),
+                format!("sim/r{r}/comp"),
+                CrashAfter::new(
+                    spec.cost.step_time().unwrap_or(SimTime::from_millis(100)),
+                    format!(
+                        "Flexpath segmentation fault at {} cores",
+                        spec.total_cores()
+                    ),
+                ),
+            );
+            assert_eq!(pid, ProcId(0));
+            continue;
+        }
+        let left = ProcId(((r + s - 1) % s) as u32);
+        let right = ProcId(((r + 1) % s) as u32);
+        let ready_r = ready[r];
+        let queue_r = queue[r];
+        let emit = Box::new(move |step: u64, _ctx: &mut ProcCtx<'_>| {
+            vec![
+                // Bounded output-epoch queue.
+                Op::SignalWait {
+                    sig: queue_r,
+                    kind: SpanKind::Stall,
+                },
+                // Output epoch: open / write (marshal into the event
+                // channel buffer) / close.
+                Op::Compute {
+                    dur: marshal,
+                    kind: SpanKind::Put,
+                    step,
+                },
+                Op::SignalPost { sig: ready_r, n: 1 },
+            ]
+        });
+        let pid = sim.spawn(
+            layout.sim_node(r),
+            format!("sim/r{r}/comp"),
+            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+        );
+        assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
+    }
+
+    let slab_c = slab;
+    for q in 0..a {
+        let sources = spec.sources_of(q);
+        let ana_time = spec.cost.analysis_block_time(spec.ana_bytes_per_step(q));
+        let agents: Vec<ProcId> = sources.iter().map(|&p| agent_pid(p)).collect();
+        let queues: Vec<usize> = sources.iter().map(|&p| queue[p]).collect();
+        let n_src = sources.len();
+        let acquire = Box::new(move |step: u64, _ctx: &mut ProcCtx<'_>| {
+            let mut ops = Vec::new();
+            for i in 0..n_src {
+                ops.push(Op::Send {
+                    to: agents[i],
+                    bytes: 16,
+                    tag: tag::make(tag::FETCH, step, i as u64),
+                    kind: SpanKind::Get,
+                });
+                let (lo, hi) = tag::range(tag::RESP);
+                ops.push(Op::Recv {
+                    tag_min: lo,
+                    tag_max: hi,
+                    kind: SpanKind::Get,
+                });
+                // Unmarshal the event payload.
+                ops.push(Op::Compute {
+                    dur: SimTime::from_secs_f64(UNMARSHAL_PER_BYTE * slab_c as f64),
+                    kind: SpanKind::Get,
+                    step,
+                });
+                ops.push(Op::SignalPost {
+                    sig: queues[i],
+                    n: 1,
+                });
+            }
+            ops
+        });
+        let pid = sim.spawn(
+            layout.ana_node(q),
+            format!("ana/q{q}"),
+            BaselineAnaRank::new(spec.steps, ana_time, acquire),
+        );
+        assert_eq!(pid, ProcId((s + q) as u32), "spawn order drifted");
+    }
+
+    for r in 0..s {
+        let node = layout.sim_node(r);
+        let pid = sim.spawn(
+            node,
+            format!("sim/r{r}/flx-agent"),
+            FlexpathAgentProc::new(
+                if crash { 0 } else { spec.steps },
+                slab,
+                ready[r],
+                node_locks[node.idx()],
+                socket_cpu,
+            ),
+        );
+        assert_eq!(pid, agent_pid(r), "spawn order drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::sim_config;
+
+    fn run_one(mutate: impl FnOnce(&mut WorkflowSpec)) -> (hpcsim::RunReport, Simulator) {
+        let mut spec = WorkflowSpec::cfd(4, 2, 3);
+        spec.ranks_per_node = 2;
+        mutate(&mut spec);
+        let layout = ClusterLayout::new(&spec, 0);
+        let mut sim = Simulator::new(sim_config(&spec, &layout));
+        build(&mut sim, &spec, &layout);
+        let r = sim.run();
+        (r, sim)
+    }
+
+    #[test]
+    fn flexpath_completes_below_crash_threshold() {
+        let (r, sim) = run_one(|_| {});
+        assert!(r.is_clean(), "{r:?}");
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 6);
+    }
+
+    #[test]
+    fn flexpath_segfaults_at_scale() {
+        let (r, _) = run_one(|s| s.flexpath_crash_cores = Some(6));
+        assert_eq!(r.faults.len(), 1);
+        assert!(r.faults[0].contains("segmentation fault"));
+    }
+
+    #[test]
+    fn staging_traffic_inflates_sendrecv_vs_sim_only() {
+        // Compare halo (Sendrecv) time with and without the Flexpath
+        // staging bursts sharing the NICs — Fig. 5's observation.
+        let (r_with, sim_with) = run_one(|_| {});
+        assert!(r_with.is_clean());
+        let with = zipper_trace::stats::kind_time_filtered(
+            sim_with.trace(),
+            SpanKind::Sendrecv,
+            |l| l.contains("/comp"),
+        );
+
+        let spec = {
+            let mut s = WorkflowSpec::cfd(4, 2, 3);
+            s.ranks_per_node = 2;
+            s
+        };
+        let layout = ClusterLayout::new(&spec, 0);
+        let mut sim_only = Simulator::new(sim_config(&spec, &layout));
+        crate::zipper::build_sim_only(&mut sim_only, &spec, &layout);
+        let r0 = sim_only.run();
+        assert!(r0.is_clean());
+        let without = zipper_trace::stats::kind_time_filtered(
+            sim_only.trace(),
+            SpanKind::Sendrecv,
+            |l| l.contains("/comp"),
+        );
+        assert!(
+            with >= without,
+            "staging must not make halo cheaper: {with} vs {without}"
+        );
+    }
+}

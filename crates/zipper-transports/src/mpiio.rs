@@ -1,0 +1,187 @@
+//! MPI-IO transport model: per-step collective file I/O through a shared
+//! parallel file system.
+//!
+//! §3's findings encoded here:
+//! * every rank's write goes through a metadata service that serializes
+//!   (one FIFO lock with a per-op service time) — the reason MPI-IO "is
+//!   not scalable: larger MPI-IO experiments take too long to finish"
+//!   (Fig. 16: the per-step metadata cost grows linearly with ranks);
+//! * the data lands on the shared PFS, whose background load and jitter
+//!   make MPI-IO "the longest and most variational" method (Fig. 2);
+//! * coupling through files needs explicit availability signalling ("one
+//!   must write code to let a consumer know when new data is available"),
+//!   modeled as one semaphore per producer posted after each step's write.
+
+// Rank-indexed spawn loops read several parallel per-rank tables; the
+// index form keeps the rank explicit.
+#![allow(clippy::needless_range_loop)]
+
+use crate::common::{BaselineAnaRank, BaselineSimRank};
+use crate::spec::{ClusterLayout, WorkflowSpec};
+use hpcsim::{Op, Simulator};
+use zipper_trace::SpanKind;
+use zipper_types::{ProcId, SimTime};
+
+/// Metadata-service time per file operation (open/commit at the MDS).
+/// Serialized across all ranks — this constant sets MPI-IO's scalability
+/// ceiling.
+pub const MDS_SERVICE: SimTime = SimTime::from_micros(3500);
+
+/// Run-level MDS contention factor drawn from the seed: the metadata
+/// server is shared with every other job on the machine, which is the
+/// main source of MPI-IO's run-to-run variance ("the longest and most
+/// variational end-to-end time", §3). Skewed low: most runs see a lightly
+/// loaded MDS, a few see a hammered one.
+fn mds_load_factor(seed: u64) -> f64 {
+    let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    0.7 + 1.8 * u * u
+}
+
+/// Spawn the MPI-IO workflow. Spawn order: sim ranks 0..S, then analysis
+/// ranks.
+pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+    let phases = spec
+        .cost
+        .step_phases()
+        .expect("baseline transports model the stepped applications");
+    let mds = sim.add_lock();
+    let mds_service = SimTime::from_secs_f64(
+        MDS_SERVICE.as_secs_f64() * mds_load_factor(spec.seed) * spec.cpu_slowdown,
+    );
+    let open_barrier = sim.add_barrier(spec.sim_ranks);
+    let ready: Vec<usize> = (0..spec.sim_ranks).map(|_| sim.add_signal()).collect();
+    let s = spec.sim_ranks;
+    let slab = spec.bytes_per_rank_step;
+
+    for r in 0..s {
+        let left = ProcId(((r + s - 1) % s) as u32);
+        let right = ProcId(((r + 1) % s) as u32);
+        let ready_r = ready[r];
+        let emit = Box::new(move |step: u64, _ctx: &mut hpcsim::ProcCtx<'_>| {
+            vec![
+                // Collective open of the step's shared file.
+                Op::Barrier {
+                    id: open_barrier,
+                    kind: SpanKind::Barrier,
+                },
+                Op::Acquire { lock: mds },
+                Op::Compute {
+                    dur: mds_service,
+                    kind: SpanKind::Lock,
+                    step,
+                },
+                Op::Release { lock: mds },
+                Op::FsWrite {
+                    bytes: slab,
+                    key: ((r as u64) << 32) | step,
+                },
+                Op::SignalPost { sig: ready_r, n: 1 },
+            ]
+        });
+        let pid = sim.spawn(
+            layout.sim_node(r),
+            format!("sim/r{r}/comp"),
+            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+        );
+        assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
+    }
+
+    for q in 0..spec.ana_ranks {
+        let sources = spec.sources_of(q);
+        let ana_time = spec.cost.analysis_block_time(spec.ana_bytes_per_step(q));
+        let ready_sigs: Vec<usize> = sources.iter().map(|&p| ready[p]).collect();
+        let source_list = sources.clone();
+        let acquire = Box::new(move |step: u64, _ctx: &mut hpcsim::ProcCtx<'_>| {
+            let mut ops = Vec::new();
+            for (i, &p) in source_list.iter().enumerate() {
+                ops.push(Op::SignalWait {
+                    sig: ready_sigs[i],
+                    kind: SpanKind::Get,
+                });
+                ops.push(Op::Acquire { lock: mds });
+                ops.push(Op::Compute {
+                    dur: mds_service,
+                    kind: SpanKind::Lock,
+                    step,
+                });
+                ops.push(Op::Release { lock: mds });
+                ops.push(Op::FsRead {
+                    bytes: slab,
+                    key: ((p as u64) << 32) | step,
+                    // Bulk reads of step files written by other nodes miss
+                    // every cache and drain through the OSTs.
+                    cached: false,
+                });
+            }
+            ops
+        });
+        sim.spawn(
+            layout.ana_node(q),
+            format!("ana/q{q}"),
+            BaselineAnaRank::new(spec.steps, ana_time, acquire),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::sim_config;
+
+    fn tiny_cfd() -> WorkflowSpec {
+        let mut s = WorkflowSpec::cfd(4, 2, 3);
+        s.ranks_per_node = 2;
+        s
+    }
+
+    #[test]
+    fn mpiio_workflow_completes() {
+        let spec = tiny_cfd();
+        let layout = ClusterLayout::new(&spec, 0);
+        let mut sim = Simulator::new(sim_config(&spec, &layout));
+        build(&mut sim, &spec, &layout);
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        // All writes and reads hit the PFS: 4 ranks × 3 steps writes +
+        // 2 consumers × 2 sources × 3 steps reads = 24 requests.
+        assert_eq!(sim.pfs().requests(), 24);
+        // Analysis ran for every step on every consumer.
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 6);
+    }
+
+    #[test]
+    fn mds_serialization_grows_with_ranks() {
+        // Same work per rank, more ranks ⇒ more serialized lock time per
+        // step (the unscalability signature of Fig. 16).
+        let lock_time = |ranks: usize| {
+            let mut spec = WorkflowSpec::cfd(ranks, ranks / 2, 2);
+            spec.ranks_per_node = 4;
+            let layout = ClusterLayout::new(&spec, 0);
+            let mut sim = Simulator::new(sim_config(&spec, &layout));
+            build(&mut sim, &spec, &layout);
+            let r = sim.run();
+            assert!(r.is_clean(), "{r:?}");
+            zipper_trace::stats::kind_time_filtered(sim.trace(), SpanKind::Lock, |l| {
+                l.starts_with("sim/")
+            })
+            .as_secs_f64()
+                / ranks as f64
+        };
+        let small = lock_time(4);
+        let big = lock_time(16);
+        assert!(
+            big > small * 1.5,
+            "per-rank lock time should grow with scale: {small} vs {big}"
+        );
+    }
+}

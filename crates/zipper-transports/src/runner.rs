@@ -1,0 +1,280 @@
+//! The single entry point used by every experiment harness: pick a
+//! transport, run the spec, get the end-to-end time plus the derived
+//! metrics each paper figure plots.
+
+use crate::spec::{sim_config, ClusterLayout, WorkflowSpec};
+use crate::{dataspaces, decaf, dimes, flexpath, mpiio, zipper};
+use hpcsim::{RunReport, Simulator};
+use zipper_trace::stats::kind_time_filtered;
+use zipper_trace::{SpanKind, TraceLog};
+use zipper_types::SimTime;
+
+/// The transport methods of Fig. 2, plus Zipper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TransportKind {
+    MpiIo,
+    DataSpacesNative,
+    DataSpacesAdios,
+    DimesNative,
+    DimesAdios,
+    Flexpath,
+    Decaf,
+    Zipper,
+}
+
+impl TransportKind {
+    /// Every kind, in the paper's Fig. 2 presentation order.
+    pub const ALL: [TransportKind; 8] = [
+        TransportKind::MpiIo,
+        TransportKind::DataSpacesAdios,
+        TransportKind::DataSpacesNative,
+        TransportKind::DimesAdios,
+        TransportKind::DimesNative,
+        TransportKind::Flexpath,
+        TransportKind::Decaf,
+        TransportKind::Zipper,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::MpiIo => "MPI-IO",
+            TransportKind::DataSpacesNative => "DataSpaces (native)",
+            TransportKind::DataSpacesAdios => "ADIOS/DataSpaces",
+            TransportKind::DimesNative => "DIMES (native)",
+            TransportKind::DimesAdios => "ADIOS/DIMES",
+            TransportKind::Flexpath => "ADIOS/Flexpath",
+            TransportKind::Decaf => "Decaf",
+            TransportKind::Zipper => "Zipper",
+        }
+    }
+
+    /// Number of extra (staging/link/agent) processes this transport
+    /// places on dedicated staging nodes.
+    fn extra_staging_procs(self, spec: &WorkflowSpec) -> usize {
+        match self {
+            TransportKind::MpiIo | TransportKind::Zipper | TransportKind::Flexpath => 0,
+            TransportKind::DataSpacesNative | TransportKind::DataSpacesAdios => {
+                spec.staging_servers
+            }
+            TransportKind::DimesNative | TransportKind::DimesAdios => spec.staging_servers,
+            TransportKind::Decaf => spec.decaf_links.min(spec.sim_ranks),
+        }
+    }
+
+    fn build(self, sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+        match self {
+            TransportKind::MpiIo => mpiio::build(sim, spec, layout),
+            TransportKind::DataSpacesNative => dataspaces::build(sim, spec, layout, false),
+            TransportKind::DataSpacesAdios => dataspaces::build(sim, spec, layout, true),
+            TransportKind::DimesNative => dimes::build(sim, spec, layout, false),
+            TransportKind::DimesAdios => dimes::build(sim, spec, layout, true),
+            TransportKind::Flexpath => flexpath::build(sim, spec, layout),
+            TransportKind::Decaf => decaf::build(sim, spec, layout),
+            TransportKind::Zipper => zipper::build(sim, spec, layout),
+        }
+    }
+}
+
+/// Everything measured in one simulated workflow run.
+#[derive(Debug)]
+pub struct TransportResult {
+    pub name: &'static str,
+    /// End-to-end time of the whole coupled workflow.
+    pub end_to_end: SimTime,
+    /// The fault, if the job crashed (Flexpath segfault, Decaf overflow).
+    pub fault: Option<String>,
+    /// Processes still blocked when the run ended (deadlock or crash
+    /// fallout).
+    pub deadlocked: Vec<String>,
+    /// Events processed by the simulator.
+    pub events: u64,
+    /// Accumulated XmitWait on the simulation nodes (Fig. 15's counter),
+    /// in nanoseconds of blocked-NIC time.
+    pub xmit_wait_sim: u64,
+    /// Producer-side stall time (buffer full / interlocked), summed.
+    pub stall: SimTime,
+    /// Application halo-exchange (`MPI_Sendrecv`) time, summed over
+    /// simulation compute lanes.
+    pub sendrecv: SimTime,
+    /// `MPI_Waitall` time (Decaf's signature).
+    pub waitall: SimTime,
+    /// Lock/interlock wait time (DataSpaces/DIMES signature).
+    pub lock: SimTime,
+    /// Sender-thread transfer busy time on the simulation side.
+    pub transfer_busy: SimTime,
+    /// When the simulation application finished (last activity on any
+    /// `sim/` lane) — Fig. 14's "simulation wall clock time". The
+    /// workflow's `end_to_end` can be later when the analysis side is
+    /// still draining.
+    pub sim_finish: SimTime,
+    /// PFS requests, bytes, and drain horizon (when the last OST went
+    /// idle — the "store data" stage time of Fig. 13).
+    pub pfs_requests: u64,
+    pub pfs_bytes: u64,
+    pub pfs_drain: SimTime,
+    /// The full span trace, for figure-specific analysis.
+    pub trace: TraceLog,
+}
+
+impl TransportResult {
+    /// True when the run finished without crash or deadlock.
+    pub fn is_clean(&self) -> bool {
+        self.fault.is_none() && self.deadlocked.is_empty()
+    }
+}
+
+fn finish(name: &'static str, report: RunReport, sim: Simulator, layout: &ClusterLayout) -> TransportResult {
+    let xmit_wait_sim = sim.network().xmit_wait_sum(layout.sim_node_range());
+    let pfs_requests = sim.pfs().requests();
+    let pfs_bytes = sim.pfs().bytes_moved();
+    let pfs_drain = sim.pfs().drain_time();
+    let trace = sim.into_trace();
+    let on_sim = |l: &str| l.starts_with("sim/");
+    let stall = kind_time_filtered(&trace, SpanKind::Stall, on_sim);
+    let sendrecv = kind_time_filtered(&trace, SpanKind::Sendrecv, |l| l.contains("/comp"));
+    let waitall = kind_time_filtered(&trace, SpanKind::Waitall, on_sim);
+    let lock = kind_time_filtered(&trace, SpanKind::Lock, on_sim);
+    let transfer_busy = {
+        let send = kind_time_filtered(&trace, SpanKind::Send, on_sim);
+        let put = kind_time_filtered(&trace, SpanKind::Put, on_sim);
+        send + put
+    };
+    let sim_finish = trace
+        .lanes()
+        .filter(|&l| trace.lane_label(l).starts_with("sim/"))
+        .map(|l| trace.lane_extent(l).1)
+        .max()
+        .unwrap_or(report.end);
+    TransportResult {
+        name,
+        end_to_end: report.end,
+        fault: report.faults.first().cloned(),
+        deadlocked: report.deadlocked,
+        events: report.events,
+        xmit_wait_sim,
+        stall,
+        sendrecv,
+        waitall,
+        lock,
+        transfer_busy,
+        sim_finish,
+        pfs_requests,
+        pfs_bytes,
+        pfs_drain,
+        trace,
+    }
+}
+
+/// Run one coupled workflow under the given transport (full trace detail).
+pub fn run(kind: TransportKind, spec: &WorkflowSpec) -> TransportResult {
+    run_with_detail(kind, spec, true)
+}
+
+/// Run with an explicit trace-detail choice: `detail = false` keeps only
+/// per-lane totals (constant memory), for the 13,056-core-scale runs.
+pub fn run_with_detail(
+    kind: TransportKind,
+    spec: &WorkflowSpec,
+    detail: bool,
+) -> TransportResult {
+    spec.validate().expect("invalid spec");
+    let layout = ClusterLayout::new(spec, kind.extra_staging_procs(spec));
+    let mut sim = Simulator::new(sim_config(spec, &layout));
+    sim.set_trace_detail(detail);
+    kind.build(&mut sim, spec, &layout);
+    let report = sim.run();
+    finish(kind.name(), report, sim, &layout)
+}
+
+/// Run the simulation application alone (compute phases + halo exchange,
+/// no output) — the paper's lower bound.
+pub fn run_sim_only(spec: &WorkflowSpec) -> TransportResult {
+    run_sim_only_with_detail(spec, true)
+}
+
+/// Simulation-only run with an explicit trace-detail choice.
+pub fn run_sim_only_with_detail(spec: &WorkflowSpec, detail: bool) -> TransportResult {
+    spec.validate().expect("invalid spec");
+    let layout = ClusterLayout::new(spec, 0);
+    let mut sim = Simulator::new(sim_config(spec, &layout));
+    sim.set_trace_detail(detail);
+    zipper::build_sim_only(&mut sim, spec, &layout);
+    let report = sim.run();
+    finish("Simulation-only", report, sim, &layout)
+}
+
+/// Analytic analysis-only time: the slowest consumer's pure analysis
+/// compute over all steps (Fig. 2's "Analysis" reference bar).
+pub fn run_analysis_only(spec: &WorkflowSpec) -> SimTime {
+    let per_step = (0..spec.ana_ranks)
+        .map(|q| spec.cost.analysis_block_time(spec.ana_bytes_per_step(q)))
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    per_step * spec.steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfd() -> WorkflowSpec {
+        let mut s = WorkflowSpec::cfd(4, 2, 3);
+        s.ranks_per_node = 2;
+        s.staging_servers = 2;
+        s.decaf_links = 2;
+        s
+    }
+
+    #[test]
+    fn every_transport_runs_the_tiny_cfd_workflow() {
+        let spec = tiny_cfd();
+        let sim_only = run_sim_only(&spec);
+        assert!(sim_only.is_clean());
+        for kind in TransportKind::ALL {
+            let r = run(kind, &spec);
+            assert!(r.is_clean(), "{}: {:?} {:?}", r.name, r.fault, r.deadlocked);
+            assert!(
+                r.end_to_end >= sim_only.end_to_end,
+                "{} ({}) cannot beat simulation-only ({})",
+                r.name,
+                r.end_to_end,
+                sim_only.end_to_end
+            );
+        }
+    }
+
+    #[test]
+    fn zipper_is_the_fastest_transport_on_cfd() {
+        let spec = tiny_cfd();
+        let mut times: Vec<(SimTime, &'static str)> = TransportKind::ALL
+            .iter()
+            .map(|&k| {
+                let r = run(k, &spec);
+                assert!(r.is_clean(), "{}: {:?}", r.name, r.fault);
+                (r.end_to_end, r.name)
+            })
+            .collect();
+        times.sort();
+        assert_eq!(times[0].1, "Zipper", "ranking: {times:?}");
+    }
+
+    #[test]
+    fn analysis_only_matches_cost_model() {
+        let spec = tiny_cfd();
+        let t = run_analysis_only(&spec);
+        // 2 sources × 16 MiB × 14.4 ns/B × 3 steps ≈ 1.45 s.
+        let expect = spec.cost.analysis_block_time(2 * spec.bytes_per_rank_step)
+            * spec.steps;
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let spec = tiny_cfd();
+        let a = run(TransportKind::Zipper, &spec);
+        let b = run(TransportKind::Zipper, &spec);
+        assert_eq!(a.end_to_end, b.end_to_end);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.xmit_wait_sim, b.xmit_wait_sim);
+    }
+}

@@ -1,0 +1,718 @@
+//! The Zipper runtime modeled on the DES — a faithful virtual-time replica
+//! of `zipper-core`: each simulation rank is three virtual processes
+//! (compute / sender / work-stealing writer) sharing a bounded producer
+//! buffer; each analysis rank is receiver / reader / analysis (+ output in
+//! Preserve mode) around a consumer buffer. Blocks are fine-grain
+//! (`spec.block_size`), transfers are fully asynchronous, and the only
+//! inter-application coupling is data availability — no barriers, no
+//! locks, no servers (§4's design points 1–4).
+
+use crate::spec::{tag, ClusterLayout, WorkflowSpec};
+use hpcsim::{BufferTaken, Op, ProcCtx, Program, Simulator, Step};
+use zipper_apps::AppCostModel;
+use zipper_trace::SpanKind;
+use zipper_types::{ProcId, SimTime};
+
+/// Capacity used for the consumer-side id queue (effectively unbounded:
+/// disk-id notifications are 16 bytes and never back-pressure the
+/// receiver, mirroring the real runtime's unbounded id channel).
+const IDS_CAPACITY: usize = 1 << 30;
+
+/// The compute thread of one simulation rank: per step, run the
+/// application phases (+ halo), then emit the step's output as fine-grain
+/// blocks into the producer buffer. With `buf = None` this is the
+/// *simulation-only* baseline (compute cost incurred, no output).
+pub struct ComputeProc {
+    me: usize,
+    steps: u64,
+    blocks_per_step: u64,
+    block_size: u64,
+    slab_bytes: u64,
+    phases: Option<[SimTime; 3]>,
+    halo_bytes: u64,
+    left: ProcId,
+    right: ProcId,
+    cost: AppCostModel,
+    buf: Option<usize>,
+    step: u64,
+    emitting: bool,
+    closed: bool,
+}
+
+impl ComputeProc {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        me: usize,
+        spec: &WorkflowSpec,
+        left: ProcId,
+        right: ProcId,
+        buf: Option<usize>,
+    ) -> Self {
+        ComputeProc {
+            me,
+            steps: spec.steps,
+            blocks_per_step: spec.blocks_per_rank_step(),
+            block_size: spec.block_size,
+            slab_bytes: spec.bytes_per_rank_step,
+            phases: spec.cost.step_phases(),
+            halo_bytes: spec.cost.halo_bytes(),
+            left,
+            right,
+            cost: spec.cost,
+            buf,
+            step: 0,
+            emitting: false,
+            closed: false,
+        }
+    }
+
+    fn block_len(&self, idx: u64) -> u64 {
+        if idx + 1 == self.blocks_per_step {
+            self.slab_bytes - (self.blocks_per_step - 1) * self.block_size
+        } else {
+            self.block_size
+        }
+    }
+}
+
+impl Program for ComputeProc {
+    fn resume(&mut self, _ctx: &mut ProcCtx<'_>) -> Step {
+        if self.step == self.steps {
+            if let (Some(buf), false) = (self.buf, self.closed) {
+                self.closed = true;
+                return Step::Ops(vec![Op::BufferClose { buf }]);
+            }
+            return Step::Done;
+        }
+        if !self.emitting {
+            self.emitting = true;
+            let ops = match self.phases {
+                Some(p) => crate::common::step_compute_ops(
+                    p,
+                    crate::common::halo_ops(
+                        self.me,
+                        self.left,
+                        self.right,
+                        self.halo_bytes,
+                        self.step,
+                    ),
+                    self.step,
+                ),
+                None => Vec::new(),
+            };
+            return Step::Ops(ops);
+        }
+        self.emitting = false;
+        let step = self.step;
+        self.step += 1;
+        let mut ops = Vec::with_capacity(2 * self.blocks_per_step as usize);
+        for i in 0..self.blocks_per_step {
+            let len = self.block_len(i);
+            let gen = self.cost.sim_block_time(len);
+            if gen > SimTime::ZERO {
+                ops.push(Op::Compute {
+                    dur: gen,
+                    kind: SpanKind::Compute,
+                    step,
+                });
+            }
+            if let Some(buf) = self.buf {
+                ops.push(Op::BufferPut {
+                    buf,
+                    bytes: len,
+                    token: (step << 32) | i,
+                });
+            }
+        }
+        Step::Ops(ops)
+    }
+}
+
+/// The sender thread: drain the producer buffer over the message channel
+/// to this rank's consumer; send a stream-EOS when the buffer closes.
+pub struct SenderProc {
+    buf: usize,
+    dest: ProcId,
+    started: bool,
+    eos_sent: bool,
+}
+
+impl SenderProc {
+    pub fn new(buf: usize, dest: ProcId) -> Self {
+        SenderProc {
+            buf,
+            dest,
+            started: false,
+            eos_sent: false,
+        }
+    }
+
+    fn take(&self) -> Op {
+        Op::BufferTake {
+            buf: self.buf,
+            min_occupancy: 1,
+            kind: SpanKind::Idle,
+        }
+    }
+}
+
+impl Program for SenderProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            return Step::Ops(vec![self.take()]);
+        }
+        match ctx.last_take.expect("sender resumed without take result") {
+            BufferTaken::Item { bytes, token } => Step::Ops(vec![
+                Op::Send {
+                    to: self.dest,
+                    bytes,
+                    tag: tag::make(tag::DATA, token >> 32, bytes.min(tag::INFO_MASK)),
+                    kind: SpanKind::Send,
+                },
+                self.take(),
+            ]),
+            BufferTaken::Closed => {
+                if self.eos_sent {
+                    return Step::Done;
+                }
+                self.eos_sent = true;
+                Step::Ops(vec![Op::Send {
+                    to: self.dest,
+                    bytes: 16,
+                    tag: tag::make(tag::SEOS, 0, 0),
+                    kind: SpanKind::Send,
+                }])
+            }
+        }
+    }
+}
+
+/// The work-stealing writer thread (Algorithm 1): take a block only when
+/// buffer occupancy strictly exceeds the high-water mark, park it on the
+/// PFS, and notify the consumer's reader with a tiny disk-id message.
+pub struct WriterProc {
+    buf: usize,
+    dest: ProcId,
+    hwm: usize,
+    key_base: u64,
+    counter: u64,
+    started: bool,
+    eos_sent: bool,
+}
+
+impl WriterProc {
+    pub fn new(buf: usize, dest: ProcId, hwm: usize, rank: usize) -> Self {
+        WriterProc {
+            buf,
+            dest,
+            hwm,
+            key_base: (rank as u64) << 32,
+            counter: 0,
+            started: false,
+            eos_sent: false,
+        }
+    }
+
+    fn take(&self) -> Op {
+        Op::BufferTake {
+            buf: self.buf,
+            // Engine semantics: wake at occupancy ≥ min; Algorithm 1
+            // steals when occupancy > threshold, i.e. ≥ threshold + 1.
+            min_occupancy: self.hwm + 1,
+            kind: SpanKind::Idle,
+        }
+    }
+}
+
+impl Program for WriterProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            return Step::Ops(vec![self.take()]);
+        }
+        match ctx.last_take.expect("writer resumed without take result") {
+            BufferTaken::Item { bytes, token } => {
+                let key = self.key_base + self.counter;
+                self.counter += 1;
+                Step::Ops(vec![
+                    Op::FsWrite { bytes, key },
+                    Op::Send {
+                        to: self.dest,
+                        bytes: 16,
+                        tag: tag::make(tag::DISKID, token >> 32, bytes.min(tag::INFO_MASK)),
+                        kind: SpanKind::Send,
+                    },
+                    self.take(),
+                ])
+            }
+            BufferTaken::Closed => {
+                if self.eos_sent {
+                    return Step::Done;
+                }
+                self.eos_sent = true;
+                Step::Ops(vec![Op::Send {
+                    to: self.dest,
+                    bytes: 16,
+                    tag: tag::make(tag::WEOS, 0, 0),
+                    kind: SpanKind::Send,
+                }])
+            }
+        }
+    }
+}
+
+/// The receiver thread: split incoming traffic into the consumer buffer
+/// (data blocks), the id queue (disk notifications), and — in Preserve
+/// mode — the output queue; close the id queue once every producer stream
+/// ended.
+pub struct ReceiverProc {
+    bufc: usize,
+    ids_buf: usize,
+    out_buf: Option<usize>,
+    expected_eos: usize,
+    seen_eos: usize,
+    started: bool,
+    closing: bool,
+}
+
+impl ReceiverProc {
+    pub fn new(
+        bufc: usize,
+        ids_buf: usize,
+        out_buf: Option<usize>,
+        expected_eos: usize,
+    ) -> Self {
+        assert!(expected_eos > 0, "receiver needs at least one source");
+        ReceiverProc {
+            bufc,
+            ids_buf,
+            out_buf,
+            expected_eos,
+            seen_eos: 0,
+            started: false,
+            closing: false,
+        }
+    }
+
+    fn recv(&self) -> Op {
+        let (lo, hi) = tag::any();
+        Op::Recv {
+            tag_min: lo,
+            tag_max: hi,
+            kind: SpanKind::Idle,
+        }
+    }
+}
+
+impl Program for ReceiverProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if self.closing {
+            return Step::Done;
+        }
+        if !self.started {
+            self.started = true;
+            return Step::Ops(vec![self.recv()]);
+        }
+        let msg = ctx.last_msg.expect("receiver resumed without message");
+        match tag::kind(msg.tag) {
+            tag::DATA => {
+                let step = tag::step(msg.tag);
+                let mut ops = vec![Op::BufferPut {
+                    buf: self.bufc,
+                    bytes: msg.bytes,
+                    token: step,
+                }];
+                if let Some(out) = self.out_buf {
+                    ops.push(Op::BufferPut {
+                        buf: out,
+                        bytes: msg.bytes,
+                        token: step,
+                    });
+                }
+                ops.push(self.recv());
+                Step::Ops(ops)
+            }
+            tag::DISKID => Step::Ops(vec![
+                Op::BufferPut {
+                    buf: self.ids_buf,
+                    bytes: tag::info(msg.tag),
+                    token: tag::step(msg.tag),
+                },
+                self.recv(),
+            ]),
+            tag::SEOS | tag::WEOS => {
+                self.seen_eos += 1;
+                if self.seen_eos == self.expected_eos {
+                    self.closing = true;
+                    let mut ops = vec![Op::BufferClose { buf: self.ids_buf }];
+                    if let Some(out) = self.out_buf {
+                        ops.push(Op::BufferClose { buf: out });
+                    }
+                    Step::Ops(ops)
+                } else {
+                    Step::Ops(vec![self.recv()])
+                }
+            }
+            other => unreachable!("receiver got unexpected tag kind {other}"),
+        }
+    }
+}
+
+/// The reader thread: fetch announced on-disk blocks from the PFS into the
+/// consumer buffer; close the consumer buffer when done (the receiver has
+/// necessarily finished by then, since it closed the id queue).
+pub struct ReaderProc {
+    ids_buf: usize,
+    bufc: usize,
+    key_base: u64,
+    counter: u64,
+    started: bool,
+    closed: bool,
+}
+
+impl ReaderProc {
+    pub fn new(ids_buf: usize, bufc: usize, rank: usize) -> Self {
+        ReaderProc {
+            ids_buf,
+            bufc,
+            key_base: 0x8000_0000_0000 | ((rank as u64) << 24),
+            counter: 0,
+            started: false,
+            closed: false,
+        }
+    }
+
+    fn take(&self) -> Op {
+        Op::BufferTake {
+            buf: self.ids_buf,
+            min_occupancy: 1,
+            kind: SpanKind::Idle,
+        }
+    }
+}
+
+impl Program for ReaderProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            return Step::Ops(vec![self.take()]);
+        }
+        match ctx.last_take.expect("reader resumed without take result") {
+            BufferTaken::Item { bytes, token } => {
+                let key = self.key_base + self.counter;
+                self.counter += 1;
+                Step::Ops(vec![
+                    Op::FsRead {
+                        bytes,
+                        key,
+                        cached: true,
+                    },
+                    Op::BufferPut {
+                        buf: self.bufc,
+                        bytes,
+                        token,
+                    },
+                    self.take(),
+                ])
+            }
+            BufferTaken::Closed => {
+                if self.closed {
+                    return Step::Done;
+                }
+                self.closed = true;
+                Step::Ops(vec![Op::BufferClose { buf: self.bufc }])
+            }
+        }
+    }
+}
+
+/// The analysis thread: consume blocks in arrival order, spending the
+/// cost model's analysis time per block.
+pub struct AnalysisProc {
+    bufc: usize,
+    cost: AppCostModel,
+    started: bool,
+}
+
+impl AnalysisProc {
+    pub fn new(bufc: usize, cost: AppCostModel) -> Self {
+        AnalysisProc {
+            bufc,
+            cost,
+            started: false,
+        }
+    }
+
+    fn take(&self) -> Op {
+        Op::BufferTake {
+            buf: self.bufc,
+            min_occupancy: 1,
+            kind: SpanKind::Idle,
+        }
+    }
+}
+
+impl Program for AnalysisProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            return Step::Ops(vec![self.take()]);
+        }
+        match ctx.last_take.expect("analysis resumed without take result") {
+            BufferTaken::Item { bytes, token } => Step::Ops(vec![
+                Op::Compute {
+                    dur: self.cost.analysis_block_time(bytes),
+                    kind: SpanKind::Analysis,
+                    step: token,
+                },
+                self.take(),
+            ]),
+            BufferTaken::Closed => Step::Done,
+        }
+    }
+}
+
+/// The output thread (Preserve mode): persist network-delivered blocks so
+/// every block ends on the PFS.
+pub struct OutputProc {
+    out_buf: usize,
+    key_base: u64,
+    counter: u64,
+    started: bool,
+}
+
+impl OutputProc {
+    pub fn new(out_buf: usize, rank: usize) -> Self {
+        OutputProc {
+            out_buf,
+            key_base: 0xC000_0000_0000 | ((rank as u64) << 24),
+            counter: 0,
+            started: false,
+        }
+    }
+
+    fn take(&self) -> Op {
+        Op::BufferTake {
+            buf: self.out_buf,
+            min_occupancy: 1,
+            kind: SpanKind::Idle,
+        }
+    }
+}
+
+impl Program for OutputProc {
+    fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if !self.started {
+            self.started = true;
+            return Step::Ops(vec![self.take()]);
+        }
+        match ctx.last_take.expect("output resumed without take result") {
+            BufferTaken::Item { bytes, .. } => {
+                let key = self.key_base + self.counter;
+                self.counter += 1;
+                Step::Ops(vec![Op::FsWrite { bytes, key }, self.take()])
+            }
+            BufferTaken::Closed => Step::Done,
+        }
+    }
+}
+
+/// Spawn the full Zipper workflow into `sim`. Consumer processes are
+/// spawned first (receiver, reader, analysis[, output] per rank), then the
+/// simulation processes (compute, sender[, writer] per rank); ProcIds are
+/// assigned sequentially by the engine, so peer ids are computed from this
+/// fixed order and asserted.
+pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+    spec.validate().expect("invalid spec");
+    let per_c = 3 + usize::from(spec.preserve);
+    let per_s = 2 + usize::from(spec.concurrent_transfer);
+    let receiver_pid = |q: usize| ProcId((q * per_c) as u32);
+    let compute_pid =
+        |r: usize| ProcId((spec.ana_ranks * per_c + r * per_s) as u32);
+
+    for q in 0..spec.ana_ranks {
+        let node = layout.ana_node(q);
+        let bufc = sim.add_buffer(spec.consumer_slots);
+        let ids = sim.add_buffer(IDS_CAPACITY);
+        let out = spec.preserve.then(|| sim.add_buffer(spec.consumer_slots));
+        let n_sources = spec.sources_of(q).len();
+        assert!(n_sources > 0, "consumer {q} has no sources");
+        let expected_eos = n_sources * (1 + usize::from(spec.concurrent_transfer));
+        let pid = sim.spawn(
+            node,
+            format!("ana/q{q}/recv"),
+            ReceiverProc::new(bufc, ids, out, expected_eos),
+        );
+        assert_eq!(pid, receiver_pid(q), "spawn order drifted");
+        sim.spawn(node, format!("ana/q{q}/read"), ReaderProc::new(ids, bufc, q));
+        sim.spawn(
+            node,
+            format!("ana/q{q}/ana"),
+            AnalysisProc::new(bufc, spec.cost),
+        );
+        if let Some(out) = out {
+            sim.spawn(node, format!("ana/q{q}/out"), OutputProc::new(out, q));
+        }
+    }
+
+    for r in 0..spec.sim_ranks {
+        let node = layout.sim_node(r);
+        let buf = sim.add_buffer(spec.producer_slots);
+        let left = compute_pid((r + spec.sim_ranks - 1) % spec.sim_ranks);
+        let right = compute_pid((r + 1) % spec.sim_ranks);
+        let pid = sim.spawn(
+            node,
+            format!("sim/r{r}/comp"),
+            ComputeProc::new(r, spec, left, right, Some(buf)),
+        );
+        assert_eq!(pid, compute_pid(r), "spawn order drifted");
+        let dest = receiver_pid(spec.consumer_of(r));
+        sim.spawn(node, format!("sim/r{r}/send"), SenderProc::new(buf, dest));
+        if spec.concurrent_transfer {
+            sim.spawn(
+                node,
+                format!("sim/r{r}/writer"),
+                WriterProc::new(buf, dest, spec.high_water_mark, r),
+            );
+        }
+    }
+}
+
+/// Spawn only the simulation ranks with their compute phases and halo
+/// exchange — the paper's *simulation-only* lower bound (§6.3: "the time
+/// spent only by the simulation program's computational kernels").
+pub fn build_sim_only(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+    for r in 0..spec.sim_ranks {
+        let node = layout.sim_node(r);
+        let left = ProcId(((r + spec.sim_ranks - 1) % spec.sim_ranks) as u32);
+        let right = ProcId(((r + 1) % spec.sim_ranks) as u32);
+        let pid = sim.spawn(
+            node,
+            format!("sim/r{r}/comp"),
+            ComputeProc::new(r, spec, left, right, None),
+        );
+        assert_eq!(pid, ProcId(r as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::sim_config;
+    use hpcsim::Simulator;
+    use zipper_apps::Complexity;
+
+    fn tiny_synthetic(concurrent: bool) -> WorkflowSpec {
+        let mut s = WorkflowSpec::synthetic(
+            Complexity::Linear,
+            4,
+            2,
+            8 << 20, // 8 MiB per rank
+            1 << 20,
+        );
+        s.ranks_per_node = 2;
+        s.producer_slots = 4;
+        s.high_water_mark = 2;
+        s.concurrent_transfer = concurrent;
+        s
+    }
+
+    fn run_spec(spec: &WorkflowSpec) -> (hpcsim::RunReport, Simulator) {
+        let layout = ClusterLayout::new(spec, 0);
+        let mut sim = Simulator::new(sim_config(spec, &layout));
+        build(&mut sim, spec, &layout);
+        let r = sim.run();
+        (r, sim)
+    }
+
+    #[test]
+    fn synthetic_workflow_completes_cleanly() {
+        let spec = tiny_synthetic(true);
+        let (r, sim) = run_spec(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        // Every block is analyzed: 4 ranks × 8 blocks of analysis spans.
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 32);
+    }
+
+    #[test]
+    fn message_only_mode_never_touches_pfs() {
+        let spec = tiny_synthetic(false);
+        let (r, sim) = run_spec(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(sim.pfs().requests(), 0);
+    }
+
+    #[test]
+    fn preserve_mode_stores_every_block() {
+        let mut spec = tiny_synthetic(true);
+        spec.preserve = true;
+        let (r, sim) = run_spec(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        // Every one of the 32 blocks hits the PFS exactly once (writer or
+        // output thread), plus any reader-side re-reads of stolen blocks.
+        let writes = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::FsWrite)
+            .count();
+        assert_eq!(writes, 32);
+    }
+
+    #[test]
+    fn cfd_workflow_runs_and_e2e_tracks_dominant_stage() {
+        let mut spec = WorkflowSpec::cfd(4, 2, 3);
+        spec.ranks_per_node = 2;
+        let (r, sim) = run_spec(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        // Lower bound: 3 steps of ~0.392 s simulation.
+        assert!(r.end >= SimTime::from_secs_f64(1.17), "end={}", r.end);
+        // The pipeline should hide most of the analysis: comfortably under
+        // the serial sum of sim + analysis + transfer.
+        assert!(r.end < SimTime::from_secs_f64(3.0), "end={}", r.end);
+        let _ = sim;
+    }
+
+    #[test]
+    fn sim_only_is_a_lower_bound() {
+        let spec = {
+            let mut s = WorkflowSpec::cfd(4, 2, 3);
+            s.ranks_per_node = 2;
+            s
+        };
+        let layout = ClusterLayout::new(&spec, 0);
+        let mut sim = Simulator::new(sim_config(&spec, &layout));
+        build_sim_only(&mut sim, &spec, &layout);
+        let sim_only = sim.run();
+        assert!(sim_only.is_clean());
+
+        let (full, _) = run_spec(&spec);
+        assert!(full.end >= sim_only.end, "workflow can't beat sim-only");
+    }
+
+    #[test]
+    fn slow_analysis_causes_producer_stall_without_dual_channel() {
+        // Make the consumer the bottleneck: tiny buffers, message-only.
+        let mut spec = tiny_synthetic(false);
+        spec.producer_slots = 2;
+        spec.high_water_mark = 1;
+        spec.consumer_slots = 2;
+        let (r, sim) = run_spec(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        let stall: u64 = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Stall)
+            .map(|s| s.duration().as_nanos())
+            .sum();
+        assert!(stall > 0, "expected backpressure stalls");
+    }
+}

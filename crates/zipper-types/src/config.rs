@@ -1,0 +1,210 @@
+//! Configuration shared by the threaded runtime and the experiment drivers.
+
+use crate::size::ByteSize;
+use serde::{Deserialize, Serialize};
+
+/// Whether computed results are kept on the parallel file system for future
+/// analysis/validation (§4.1).
+///
+/// * `Preserve` — every block must end up on the PFS: either the producer's
+///   writer thread put it there, or the consumer's output thread stores it
+///   after receipt. A block may be freed only when it has been both analyzed
+///   and stored.
+/// * `NoPreserve` — blocks are discarded after analysis; the PFS is used
+///   only as the overflow channel of the concurrent-transfer optimization.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PreserveMode {
+    Preserve,
+    NoPreserve,
+}
+
+impl PreserveMode {
+    pub fn is_preserve(self) -> bool {
+        matches!(self, PreserveMode::Preserve)
+    }
+}
+
+/// How producer blocks are mapped to consumer ranks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Blocks of producer rank `p` always go to consumer `p % Q`. Keeps all
+    /// of a rank's domain on one analyzer (good locality for domain-local
+    /// analyses such as the n-th moment reduction).
+    SourceAffine,
+    /// Blocks are dealt round-robin over consumers in production order.
+    /// Best load balance when per-block analysis cost varies.
+    RoundRobin,
+}
+
+/// Tuning knobs of the Zipper runtime (producer/consumer modules, §4.2–4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ZipperTuning {
+    /// Fine-grain block size (1–8 MiB in the paper).
+    pub block_size: ByteSize,
+    /// Capacity of the producer buffer, in blocks. When full, `Zipper::write`
+    /// stalls the computation thread (that stall is what the concurrent
+    /// transfer optimization attacks).
+    pub producer_slots: usize,
+    /// High-water mark: the writer thread steals blocks to the PFS only when
+    /// buffer occupancy strictly exceeds this many blocks (Algorithm 1's
+    /// `Threshold`).
+    pub high_water_mark: usize,
+    /// Capacity of the consumer buffer, in blocks.
+    pub consumer_slots: usize,
+    /// Enable the concurrent message+file dual-channel optimization
+    /// (the work-stealing writer thread). With this off, Zipper is the
+    /// message-passing-only variant of Fig. 14.
+    pub concurrent_transfer: bool,
+    /// Preserve or discard analyzed blocks.
+    pub preserve: PreserveMode,
+    /// Producer→consumer routing policy.
+    pub routing: RoutingPolicy,
+}
+
+impl Default for ZipperTuning {
+    fn default() -> Self {
+        ZipperTuning {
+            block_size: ByteSize::mib(1),
+            producer_slots: 64,
+            high_water_mark: 48,
+            consumer_slots: 256,
+            concurrent_transfer: true,
+            preserve: PreserveMode::NoPreserve,
+            routing: RoutingPolicy::SourceAffine,
+        }
+    }
+}
+
+impl ZipperTuning {
+    /// Validate internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_size.as_u64() == 0 {
+            return Err("block_size must be positive".into());
+        }
+        if self.producer_slots == 0 {
+            return Err("producer_slots must be at least 1".into());
+        }
+        if self.consumer_slots == 0 {
+            return Err("consumer_slots must be at least 1".into());
+        }
+        if self.high_water_mark >= self.producer_slots {
+            return Err(format!(
+                "high_water_mark ({}) must be below producer_slots ({}); \
+                 otherwise the writer thread can never steal",
+                self.high_water_mark, self.producer_slots
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Top-level description of one coupled workflow run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowConfig {
+    /// Number of simulation (producer) ranks, the paper's `P`.
+    pub producers: usize,
+    /// Number of analysis (consumer) ranks, the paper's `Q`.
+    pub consumers: usize,
+    /// Number of simulation time steps.
+    pub steps: u64,
+    /// Output bytes generated per producer rank per step.
+    pub bytes_per_rank_step: ByteSize,
+    /// Runtime tuning.
+    pub tuning: ZipperTuning,
+}
+
+impl WorkflowConfig {
+    /// Total bytes the workflow moves from simulation to analysis,
+    /// the paper's `D`.
+    pub fn total_bytes(&self) -> ByteSize {
+        self.bytes_per_rank_step * (self.producers as u64 * self.steps)
+    }
+
+    /// Blocks produced per rank per step, `ceil(step bytes / B)`.
+    pub fn blocks_per_rank_step(&self) -> u64 {
+        self.bytes_per_rank_step.blocks_of(self.tuning.block_size)
+    }
+
+    /// Total number of fine-grain blocks `n_b = D / B` (§4.4).
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks_per_rank_step() * self.producers as u64 * self.steps
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.producers == 0 {
+            return Err("at least one producer rank required".into());
+        }
+        if self.consumers == 0 {
+            return Err("at least one consumer rank required".into());
+        }
+        if self.steps == 0 {
+            return Err("at least one step required".into());
+        }
+        self.tuning.validate()
+    }
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        WorkflowConfig {
+            producers: 4,
+            consumers: 2,
+            steps: 10,
+            bytes_per_rank_step: ByteSize::mib(4),
+            tuning: ZipperTuning::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tuning_is_valid() {
+        ZipperTuning::default().validate().unwrap();
+        WorkflowConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn totals_follow_the_model_quantities() {
+        let cfg = WorkflowConfig {
+            producers: 256,
+            consumers: 128,
+            steps: 100,
+            bytes_per_rank_step: ByteSize::mib(16),
+            tuning: ZipperTuning::default(),
+        };
+        // Fig. 2 setup: 256 procs × 100 steps × 16 MB = 400 GiB moved.
+        assert_eq!(cfg.total_bytes(), ByteSize::gib(400));
+        assert_eq!(cfg.blocks_per_rank_step(), 16);
+        assert_eq!(cfg.total_blocks(), 16 * 256 * 100);
+    }
+
+    #[test]
+    fn hwm_must_be_below_capacity() {
+        let mut t = ZipperTuning::default();
+        t.high_water_mark = t.producer_slots;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let cfg = WorkflowConfig {
+            producers: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = WorkflowConfig {
+            steps: 0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let t = ZipperTuning {
+            block_size: ByteSize::ZERO,
+            ..Default::default()
+        };
+        assert!(t.validate().is_err());
+    }
+}

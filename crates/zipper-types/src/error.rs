@@ -1,0 +1,63 @@
+//! Error type shared across the workspace.
+
+use crate::ids::BlockId;
+use std::fmt;
+
+/// Errors surfaced by the runtime, storage, and workflow layers.
+#[derive(Debug)]
+pub enum Error {
+    /// The peer side of a channel shut down (e.g. a consumer dropped its
+    /// receiver while producers were still writing).
+    Disconnected(&'static str),
+    /// A block was requested from storage but is not there.
+    BlockNotFound(BlockId),
+    /// Storage-layer failure (real-disk backend I/O error, out of space…).
+    Storage(String),
+    /// Invalid configuration, with a human-readable reason.
+    Config(String),
+    /// The runtime was used after shutdown.
+    ShutDown,
+    /// A simulated application fault (used to model Decaf's integer
+    /// overflow and Flexpath's segfault at scale, §6.3).
+    ApplicationFault(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Disconnected(who) => write!(f, "channel disconnected: {who}"),
+            Error::BlockNotFound(id) => write!(f, "block {id:?} not found in storage"),
+            Error::Storage(msg) => write!(f, "storage error: {msg}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::ShutDown => write!(f, "runtime already shut down"),
+            Error::ApplicationFault(msg) => write!(f, "application fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Rank, StepId};
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = Error::BlockNotFound(BlockId::new(Rank(1), StepId(2), 3));
+        assert!(e.to_string().contains("not found"));
+        let e = Error::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let io = std::io::Error::other("disk on fire");
+        assert!(Error::from(io).to_string().contains("disk on fire"));
+    }
+}

@@ -1,0 +1,291 @@
+//! The rank-spawning driver.
+
+use crate::report::WorkflowReport;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zipper_core::{ChannelMesh, Consumer, Producer, ZipperReader, ZipperWriter};
+use zipper_pfs::{MemFs, Storage, ThrottledFs};
+use zipper_types::{Rank, WorkflowConfig};
+
+/// Message-channel options for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkOptions {
+    /// Per-consumer inbox capacity in messages (backpressure depth).
+    pub inbox_capacity: usize,
+    /// Optional aggregate bandwidth (bytes/s) and per-message latency.
+    pub throttle: Option<(f64, Duration)>,
+}
+
+impl Default for NetworkOptions {
+    fn default() -> Self {
+        NetworkOptions {
+            inbox_capacity: 64,
+            throttle: None,
+        }
+    }
+}
+
+impl NetworkOptions {
+    /// Unthrottled mesh with a given inbox depth.
+    pub fn unthrottled(inbox_capacity: usize) -> Self {
+        NetworkOptions {
+            inbox_capacity,
+            throttle: None,
+        }
+    }
+
+    /// Throttled mesh: shared aggregate bandwidth + per-message latency.
+    pub fn throttled(inbox_capacity: usize, bytes_per_sec: f64, latency: Duration) -> Self {
+        NetworkOptions {
+            inbox_capacity,
+            throttle: Some((bytes_per_sec, latency)),
+        }
+    }
+}
+
+/// Storage options for a run.
+#[derive(Clone, Default)]
+pub enum StorageOptions {
+    /// Unthrottled in-memory store.
+    #[default]
+    Memory,
+    /// In-memory store behind a shared aggregate bandwidth (bytes/s) and
+    /// per-op latency — the laptop stand-in for a contended Lustre.
+    ThrottledMemory(f64, Duration),
+    /// Any caller-provided backend (real disk, fault injection, …).
+    Custom(Arc<dyn Storage>),
+}
+
+impl StorageOptions {
+    fn build(self) -> Arc<dyn Storage> {
+        match self {
+            StorageOptions::Memory => Arc::new(MemFs::new()),
+            StorageOptions::ThrottledMemory(bw, lat) => {
+                Arc::new(ThrottledFs::new(MemFs::new(), bw, lat))
+            }
+            StorageOptions::Custom(storage) => storage,
+        }
+    }
+}
+
+/// Run a coupled workflow: `cfg.producers` simulation ranks each driving
+/// `produce(rank, &writer)`, and `cfg.consumers` analysis ranks each
+/// driving `consume(rank, &reader)` to completion.
+///
+/// Contracts:
+/// * `produce` must return only after its last `write`; the driver calls
+///   `finish()` afterwards.
+/// * `consume` must drain its reader (read until `None`) — the pipeline is
+///   data-availability-driven, and an undrained reader would block the
+///   runtime threads.
+///
+/// Returns the report plus each consumer's result, indexed by rank.
+pub fn run_workflow<R, P, C>(
+    cfg: &WorkflowConfig,
+    net: NetworkOptions,
+    storage_opts: StorageOptions,
+    produce: P,
+    consume: C,
+) -> (WorkflowReport, Vec<R>)
+where
+    R: Send + 'static,
+    P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
+    C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
+{
+    cfg.validate().expect("invalid workflow config");
+    let storage = storage_opts.build();
+    let mut mesh = ChannelMesh::new(cfg.consumers, net.inbox_capacity);
+    if let Some((bw, lat)) = net.throttle {
+        mesh = mesh.with_throttle(bw, lat);
+    }
+
+    let produce = Arc::new(produce);
+    let consume = Arc::new(consume);
+    let t0 = Instant::now();
+
+    // Spawn consumer runtimes + application threads first so inboxes exist
+    // before any producer sends.
+    let mut consumer_apps = Vec::with_capacity(cfg.consumers);
+    let mut consumer_runtimes = Vec::with_capacity(cfg.consumers);
+    for q in 0..cfg.consumers {
+        let rank = Rank(q as u32);
+        let mut c = Consumer::spawn(
+            rank,
+            cfg.tuning,
+            cfg.producers,
+            mesh.take_receiver(rank),
+            storage.clone(),
+        );
+        let reader = c.reader();
+        consumer_runtimes.push(c);
+        let consume = consume.clone();
+        consumer_apps.push(
+            std::thread::Builder::new()
+                .name(format!("ana-rank-{q}"))
+                .spawn(move || consume(rank, &reader))
+                .expect("spawn consumer app"),
+        );
+    }
+
+    // Spawn producer runtimes + application threads.
+    let mut producer_apps = Vec::with_capacity(cfg.producers);
+    let mut producer_runtimes = Vec::with_capacity(cfg.producers);
+    for p in 0..cfg.producers {
+        let rank = Rank(p as u32);
+        let mut prod = Producer::spawn(rank, cfg.tuning, mesh.sender(), storage.clone());
+        let writer = prod.writer(cfg.tuning.block_size.as_u64() as usize);
+        producer_runtimes.push(prod);
+        let produce = produce.clone();
+        producer_apps.push(
+            std::thread::Builder::new()
+                .name(format!("sim-rank-{p}"))
+                .spawn(move || {
+                    produce(rank, &writer);
+                    writer.finish();
+                })
+                .expect("spawn producer app"),
+        );
+    }
+
+    // Join in dependency order: producer apps → producer runtimes (EOS
+    // flows to consumers) → consumer apps → consumer runtimes.
+    for h in producer_apps {
+        h.join().expect("producer app panicked");
+    }
+    let producers: Vec<_> = producer_runtimes
+        .into_iter()
+        .map(|p| p.join().expect("producer runtime failed"))
+        .collect();
+    let results: Vec<R> = consumer_apps
+        .into_iter()
+        .map(|h| h.join().expect("consumer app panicked"))
+        .collect();
+    let consumers: Vec<_> = consumer_runtimes
+        .into_iter()
+        .map(|c| c.join().expect("consumer runtime failed"))
+        .collect();
+
+    let report = WorkflowReport {
+        wall: t0.elapsed(),
+        producers,
+        consumers,
+        net_bytes: mesh.bytes_sent(),
+        net_messages: mesh.messages_sent(),
+        pfs_blocks: storage.len(),
+        pfs_bytes_written: storage.bytes_written(),
+    };
+    (report, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use zipper_types::{ByteSize, GlobalPos, PreserveMode, StepId};
+
+    fn cfg(producers: usize, consumers: usize, steps: u64) -> WorkflowConfig {
+        let mut c = WorkflowConfig {
+            producers,
+            consumers,
+            steps,
+            bytes_per_rank_step: ByteSize::kib(64),
+            ..Default::default()
+        };
+        c.tuning.block_size = ByteSize::kib(16);
+        c.tuning.producer_slots = 8;
+        c.tuning.high_water_mark = 4;
+        c
+    }
+
+    /// A producer that emits `steps` slabs of the configured size.
+    fn slab_producer(cfg: &WorkflowConfig) -> impl Fn(Rank, &ZipperWriter) + Send + Sync {
+        let steps = cfg.steps;
+        let slab_len = cfg.bytes_per_rank_step.as_u64() as usize;
+        move |rank, writer| {
+            for s in 0..steps {
+                let payload = vec![(rank.0 as u8).wrapping_add(s as u8); slab_len];
+                writer.write_slab(StepId(s), GlobalPos::default(), Bytes::from(payload));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_blocks_end_to_end() {
+        let c = cfg(3, 2, 4);
+        let expected_blocks = c.total_blocks();
+        let (report, counts) = run_workflow(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            slab_producer(&c),
+            |_rank, reader| {
+                let mut n = 0u64;
+                while let Some(_b) = reader.read() {
+                    n += 1;
+                }
+                n
+            },
+        );
+        report.assert_complete();
+        let delivered: u64 = counts.iter().sum();
+        assert_eq!(delivered, expected_blocks);
+        assert_eq!(report.producer_total().blocks_written, expected_blocks);
+        assert!(report.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn preserve_mode_lands_everything_on_storage() {
+        let mut c = cfg(2, 1, 3);
+        c.tuning.preserve = PreserveMode::Preserve;
+        let (report, _) = run_workflow(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert_eq!(report.pfs_blocks as u64, c.total_blocks());
+    }
+
+    #[test]
+    fn throttled_network_engages_dual_channel() {
+        let mut c = cfg(2, 1, 6);
+        c.tuning.producer_slots = 4;
+        c.tuning.high_water_mark = 1;
+        let (report, _) = run_workflow(
+            &c,
+            NetworkOptions::throttled(1, 2e6, Duration::ZERO),
+            StorageOptions::Memory,
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert!(
+            report.steal_fraction() > 0.0,
+            "slow network should trigger the writer thread"
+        );
+        let total = report.consumer_total();
+        assert_eq!(
+            total.blocks_net + total.blocks_disk,
+            c.total_blocks(),
+            "both channels together deliver everything"
+        );
+    }
+
+    #[test]
+    fn message_only_mode_never_steals() {
+        let mut c = cfg(2, 1, 4);
+        c.tuning.concurrent_transfer = false;
+        let (report, _) = run_workflow(
+            &c,
+            NetworkOptions::throttled(1, 2e6, Duration::ZERO),
+            StorageOptions::Memory,
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert_eq!(report.steal_fraction(), 0.0);
+        assert_eq!(report.pfs_blocks, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The workflow run report: per-rank and aggregate metrics.
+
+use std::time::Duration;
+use zipper_core::{ConsumerMetrics, ProducerMetrics};
+
+/// Everything measured in one coupled run.
+#[derive(Clone, Debug)]
+pub struct WorkflowReport {
+    /// End-to-end wall-clock time (first rank started → last rank joined).
+    pub wall: Duration,
+    /// Per-producer-rank metrics, indexed by rank.
+    pub producers: Vec<ProducerMetrics>,
+    /// Per-consumer-rank metrics, indexed by rank.
+    pub consumers: Vec<ConsumerMetrics>,
+    /// Payload bytes that crossed the message channel.
+    pub net_bytes: u64,
+    /// Messages that crossed the message channel.
+    pub net_messages: u64,
+    /// Blocks resident on the PFS at the end of the run.
+    pub pfs_blocks: usize,
+    /// Total payload bytes ever written to the PFS.
+    pub pfs_bytes_written: u64,
+}
+
+impl WorkflowReport {
+    /// Aggregate producer metrics over all ranks.
+    pub fn producer_total(&self) -> ProducerMetrics {
+        let mut total = ProducerMetrics::default();
+        for m in &self.producers {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Aggregate consumer metrics over all ranks.
+    pub fn consumer_total(&self) -> ConsumerMetrics {
+        let mut total = ConsumerMetrics::default();
+        for m in &self.consumers {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Mean per-producer stall time — the quantity Fig. 14 stacks on top
+    /// of the simulation bars.
+    pub fn mean_stall(&self) -> Duration {
+        if self.producers.is_empty() {
+            return Duration::ZERO;
+        }
+        self.producer_total().stall / self.producers.len() as u32
+    }
+
+    /// Fraction of all produced blocks that took the file path
+    /// (§6.2 reports 47–62.4 % for the O(n) application).
+    pub fn steal_fraction(&self) -> f64 {
+        self.producer_total().steal_fraction()
+    }
+
+    /// All runtime errors across producer and consumer ranks.
+    pub fn errors(&self) -> Vec<String> {
+        self.producers
+            .iter()
+            .flat_map(|p| p.errors.iter().cloned())
+            .chain(self.consumers.iter().flat_map(|c| c.errors.iter().cloned()))
+            .collect()
+    }
+
+    /// Panics if any rank recorded an error or any block went missing
+    /// (written ≠ delivered).
+    pub fn assert_complete(&self) {
+        let errs = self.errors();
+        assert!(errs.is_empty(), "workflow errors: {errs:?}");
+        let written = self.producer_total().blocks_written;
+        let delivered = self.consumer_total().blocks_delivered;
+        assert_eq!(
+            written, delivered,
+            "lost blocks: {written} written, {delivered} delivered"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> WorkflowReport {
+        let p0 = ProducerMetrics {
+            blocks_written: 10,
+            blocks_sent: 7,
+            blocks_stolen: 3,
+            stall: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let p1 = ProducerMetrics {
+            blocks_written: 10,
+            blocks_sent: 10,
+            stall: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let c0 = ConsumerMetrics {
+            blocks_net: 17,
+            blocks_disk: 3,
+            blocks_delivered: 20,
+            ..Default::default()
+        };
+        WorkflowReport {
+            wall: Duration::from_millis(100),
+            producers: vec![p0, p1],
+            consumers: vec![c0],
+            net_bytes: 1000,
+            net_messages: 17,
+            pfs_blocks: 3,
+            pfs_bytes_written: 300,
+        }
+    }
+
+    #[test]
+    fn aggregates_fold_across_ranks() {
+        let r = report();
+        let p = r.producer_total();
+        assert_eq!(p.blocks_written, 20);
+        assert_eq!(p.blocks_stolen, 3);
+        assert_eq!(r.consumer_total().blocks_in(), 20);
+        assert_eq!(r.mean_stall(), Duration::from_millis(20));
+        assert!((r.steal_fraction() - 0.15).abs() < 1e-12);
+        r.assert_complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "lost blocks")]
+    fn assert_complete_catches_losses() {
+        let mut r = report();
+        r.consumers[0].blocks_delivered = 19;
+        r.assert_complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "workflow errors")]
+    fn assert_complete_surfaces_errors() {
+        let mut r = report();
+        r.producers[0].errors.push("writer thread retired".into());
+        r.assert_complete();
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = WorkflowReport {
+            wall: Duration::ZERO,
+            producers: vec![],
+            consumers: vec![],
+            net_bytes: 0,
+            net_messages: 0,
+            pfs_blocks: 0,
+            pfs_bytes_written: 0,
+        };
+        assert_eq!(r.mean_stall(), Duration::ZERO);
+        assert_eq!(r.steal_fraction(), 0.0);
+        r.assert_complete();
+    }
+}

@@ -1,0 +1,133 @@
+//! True multi-process coupling over TCP: the analysis application runs in
+//! this process, the simulation application in a *separate OS process* —
+//! the paper's deployment model, with its key property of **multiple
+//! failure domains** ("if one application fails, the other applications
+//! can still survive", §2).
+//!
+//! The parent process binds the consumer endpoints, re-executes itself as
+//! the producer job with the addresses on the command line, and analyzes
+//! whatever arrives.
+//!
+//! Run with: `cargo run --release --example distributed`
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use zipper_apps::analysis::VarianceAccumulator;
+use zipper_apps::synthetic::{decode_block, generate_block, Complexity};
+use zipper_core::{listen_consumers, Consumer, Producer, TcpSender};
+use zipper_pfs::MemFs;
+use zipper_types::{ByteSize, GlobalPos, PreserveMode, Rank, RoutingPolicy, StepId, ZipperTuning};
+
+const PRODUCERS: usize = 2;
+const CONSUMERS: usize = 2;
+const STEPS: u64 = 6;
+const SLAB: usize = 512 << 10;
+
+fn tuning() -> ZipperTuning {
+    ZipperTuning {
+        block_size: ByteSize::kib(64),
+        producer_slots: 16,
+        high_water_mark: 12,
+        consumer_slots: 64,
+        // Each process has its own local store here, so keep the stream on
+        // the message channel (a shared PFS mount would enable stealing
+        // across the process boundary).
+        concurrent_transfer: false,
+        preserve: PreserveMode::NoPreserve,
+        routing: RoutingPolicy::SourceAffine,
+    }
+}
+
+/// The simulation job: runs in the child process.
+fn producer_main(addrs: Vec<SocketAddr>) {
+    let storage = Arc::new(MemFs::new());
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let sender = TcpSender::connect(&addrs).expect("connect to consumer job");
+        let mut prod = Producer::spawn(Rank(p as u32), tuning(), sender, storage.clone());
+        let writer = prod.writer(tuning().block_size.as_u64() as usize);
+        handles.push((
+            std::thread::spawn(move || {
+                for s in 0..STEPS {
+                    let slab =
+                        generate_block(Complexity::Linear, SLAB, (p as u64) << 32 | s);
+                    writer.write_slab(StepId(s), GlobalPos::default(), slab);
+                }
+                writer.finish();
+            }),
+            prod,
+        ));
+    }
+    for (h, prod) in handles {
+        h.join().unwrap();
+        prod.join().unwrap();
+    }
+    eprintln!("[producer process {}] done", std::process::id());
+}
+
+/// The analysis job: runs in the parent process.
+fn consumer_main() {
+    let (addrs, receivers) = listen_consumers(CONSUMERS, PRODUCERS).expect("bind");
+    let addr_args: Vec<String> = addrs.iter().map(|a| a.to_string()).collect();
+
+    // Launch the simulation application as its own process.
+    let child = std::process::Command::new(std::env::current_exe().unwrap())
+        .arg("--producer-job")
+        .args(&addr_args)
+        .spawn()
+        .expect("spawn producer job");
+    println!(
+        "consumer process {} spawned producer process {}",
+        std::process::id(),
+        child.id()
+    );
+
+    let storage = Arc::new(MemFs::new());
+    let mut handles = Vec::new();
+    for (q, rx) in receivers.into_iter().enumerate() {
+        let mut c = Consumer::spawn(Rank(q as u32), tuning(), PRODUCERS, rx, storage.clone());
+        let reader = c.reader();
+        handles.push((
+            std::thread::spawn(move || {
+                let mut acc = VarianceAccumulator::new();
+                let mut blocks = 0u64;
+                while let Some(b) = reader.read() {
+                    acc.update(&decode_block(&b.payload));
+                    blocks += 1;
+                }
+                (blocks, acc)
+            }),
+            c,
+        ));
+    }
+
+    let mut total_blocks = 0;
+    for (q, (h, c)) in handles.into_iter().enumerate() {
+        let (blocks, acc) = h.join().unwrap();
+        let m = c.join().unwrap();
+        assert!(m.errors.is_empty(), "{:?}", m.errors);
+        total_blocks += blocks;
+        println!(
+            "consumer rank {q}: {blocks} blocks, variance {:.4}",
+            acc.variance().unwrap_or(0.0)
+        );
+    }
+    let expected = (PRODUCERS as u64) * STEPS * (SLAB as u64).div_ceil(64 << 10);
+    assert_eq!(total_blocks, expected, "cross-process delivery incomplete");
+    let status = child.wait_with_output().expect("join producer job");
+    assert!(status.status.success(), "producer job failed");
+    println!("\nall {total_blocks} blocks crossed the process boundary intact.");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--producer-job") {
+        let addrs: Vec<SocketAddr> = args[2..]
+            .iter()
+            .map(|a| a.parse().expect("valid address"))
+            .collect();
+        producer_main(addrs);
+    } else {
+        consumer_main();
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's stated future work, working today: couple the LBM CFD
+//! simulation with a velocity-PDF analysis written as a **MapReduce** over
+//! fine-grain blocks (§6.3 Remark: "Our future work will add a simplified
+//! programming interface (e.g., an application interface similar to
+//! MapReduce) to Zipper"). The PDF itself is the turbulence analysis'
+//! end goal ("the probability density function of u(x,t) can be
+//! evaluated", §6.3.1).
+//!
+//! Run with: `cargo run --release --example mapreduce_pdf`
+
+use zipper_apps::analysis::{decode_scalar_field, Histogram};
+use zipper_apps::lbm::Lbm;
+use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
+use zipper_workflow::{run_map_reduce, NetworkOptions, StorageOptions};
+
+const STEPS: u64 = 15;
+const GRID: (usize, usize, usize) = (24, 12, 12);
+
+fn main() {
+    let cells = GRID.0 * GRID.1 * GRID.2;
+    let mut cfg = WorkflowConfig {
+        producers: 4,
+        consumers: 2,
+        steps: STEPS,
+        bytes_per_rank_step: ByteSize::bytes((cells * 8) as u64),
+        ..Default::default()
+    };
+    cfg.tuning.block_size = ByteSize::kib(8);
+
+    println!(
+        "velocity-PDF workflow: {} LBM ranks, {} steps — analysis is two pure functions",
+        cfg.producers, STEPS
+    );
+
+    let (report, pdf) = run_map_reduce(
+        &cfg,
+        NetworkOptions::default(),
+        StorageOptions::Memory,
+        // Simulation side: unchanged from cfd_turbulence.
+        move |rank, writer| {
+            let force = 2e-5 * (1.0 + rank.0 as f64 * 0.2);
+            let mut lbm = Lbm::new(GRID.0, GRID.1, GRID.2, 0.8, [force, 0.0, 0.0]);
+            for step in 0..STEPS {
+                lbm.step();
+                writer.write_slab(StepId(step), GlobalPos::default(), lbm.velocity_bytes());
+            }
+        },
+        // map: one fine-grain block -> a partial histogram.
+        |block| {
+            let mut h = Histogram::new(-1e-3, 1e-3, 40);
+            h.update(&decode_scalar_field(&block.payload));
+            h
+        },
+        // reduce: exact, commutative merge.
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    );
+
+    report.assert_complete();
+    let pdf = pdf.expect("blocks were produced");
+    println!(
+        "\nPDF of u_x over {} samples ({} outliers):",
+        pdf.count(),
+        pdf.outliers()
+    );
+    let max_density = pdf
+        .pdf()
+        .iter()
+        .map(|(_, d)| *d)
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    for (center, density) in pdf.pdf() {
+        if density > 0.0 {
+            let bar = "#".repeat((density / max_density * 50.0).round() as usize);
+            println!("  u={center:+.2e}  {bar}");
+        }
+    }
+    assert_eq!(
+        pdf.count() + pdf.outliers(),
+        cfg.producers as u64 * STEPS * cells as u64
+    );
+    println!("\nend-to-end {:?}", report.wall);
+}

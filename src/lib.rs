@@ -1,0 +1,13 @@
+//! Umbrella crate of the Zipper reproduction workspace: re-exports every
+//! member crate so the runnable examples and cross-crate integration tests
+//! have one dependency root. See README.md for the tour.
+
+pub use hpcsim;
+pub use zipper_apps;
+pub use zipper_core;
+pub use zipper_model;
+pub use zipper_pfs;
+pub use zipper_trace;
+pub use zipper_transports;
+pub use zipper_types;
+pub use zipper_workflow;

@@ -1,0 +1,234 @@
+//! Property-based tests over the core data structures and models.
+
+use proptest::prelude::*;
+use zipper_model::{integrated_time, non_integrated_time};
+use zipper_pfs::{MemFs, OstModel, OstModelConfig, Storage};
+use zipper_types::block::deterministic_payload;
+use zipper_types::{Block, BlockId, ByteSize, GlobalPos, Rank, SimTime, StepId};
+
+proptest! {
+    /// BlockId ↔ u64 key is a bijection over the supported ranges.
+    #[test]
+    fn block_id_key_round_trips(src in 0u32..(1 << 24), step in 0u64..(1 << 24), idx in 0u32..(1 << 16)) {
+        let id = BlockId::new(Rank(src), StepId(step), idx);
+        prop_assert_eq!(BlockId::from_u64(id.as_u64()), id);
+    }
+
+    /// Splitting a slab into blocks never loses or invents bytes.
+    #[test]
+    fn block_split_conserves_bytes(total in 1u64..10_000_000, block in 1u64..2_000_000) {
+        let n = ByteSize::bytes(total).blocks_of(ByteSize::bytes(block));
+        let full = (n - 1) * block;
+        prop_assert!(full < total);
+        prop_assert!(total <= n * block);
+    }
+
+    /// SimTime byte-transfer arithmetic is monotone in bytes and inverse in
+    /// bandwidth.
+    #[test]
+    fn transfer_time_is_monotone(bytes in 1u64..1_000_000_000, bw in 1.0e3f64..1.0e12) {
+        let t1 = SimTime::for_bytes(bytes, bw);
+        let t2 = SimTime::for_bytes(bytes + 1, bw);
+        prop_assert!(t2 >= t1);
+        let faster = SimTime::for_bytes(bytes, bw * 2.0);
+        prop_assert!(faster <= t1);
+    }
+
+    /// Deterministic payloads: same id+len → identical; different id →
+    /// different (with overwhelming probability for len ≥ 16).
+    #[test]
+    fn payload_determinism(a in 0u32..1000, b in 0u32..1000, len in 16usize..512) {
+        let ida = BlockId::new(Rank(a), StepId(0), 0);
+        let idb = BlockId::new(Rank(b), StepId(0), 0);
+        let pa = deterministic_payload(ida, len);
+        prop_assert_eq!(pa.clone(), deterministic_payload(ida, len));
+        if a != b {
+            prop_assert_ne!(pa, deterministic_payload(idb, len));
+        }
+    }
+
+    /// The integrated pipeline is never slower than the non-integrated
+    /// design, and never faster than its two lower bounds (sum of one
+    /// block's stages; n × slowest stage).
+    #[test]
+    fn pipeline_bounds(
+        n in 1u64..200,
+        s1 in 1u64..50, s2 in 1u64..50, s3 in 1u64..50, s4 in 1u64..50,
+    ) {
+        let stages = [
+            SimTime::from_millis(s1),
+            SimTime::from_millis(s2),
+            SimTime::from_millis(s3),
+            SimTime::from_millis(s4),
+        ];
+        let it = integrated_time(n, &stages);
+        let ni = non_integrated_time(n, &stages);
+        prop_assert!(it <= ni);
+        let per_block: u64 = stages.iter().map(|t| t.as_nanos()).sum();
+        prop_assert!(it >= SimTime::from_nanos(per_block), "one pass lower bound");
+        let slowest = stages.iter().map(|t| t.as_nanos()).max().unwrap();
+        prop_assert!(it >= SimTime::from_nanos(slowest * n), "bottleneck lower bound");
+        // Exact closed form for constant-per-stage pipelines.
+        prop_assert_eq!(
+            it,
+            SimTime::from_nanos(per_block + (n - 1) * slowest)
+        );
+    }
+
+    /// OST model: completions never precede arrival + minimum service, and
+    /// the same OST never serves two requests at once (drain time grows at
+    /// least linearly in total served bytes / aggregate bandwidth).
+    #[test]
+    fn ost_model_conserves_capacity(
+        reqs in proptest::collection::vec((0u64..1000u64, 1u64..4_000_000u64, 0u64..64u64), 1..60),
+        n_osts in 1usize..16,
+    ) {
+        let cfg = OstModelConfig {
+            n_osts,
+            ost_bandwidth: 1e9,
+            op_latency: SimTime::ZERO,
+            stripe_size: ByteSize::mib(1),
+            background_load: 0.0,
+            background_jitter: 0.0,
+            read_bandwidth_factor: 2.0,
+        };
+        let mut model = OstModel::new(cfg, 1);
+        let mut total_bytes = 0u64;
+        for (at_ms, bytes, key) in &reqs {
+            let now = SimTime::from_millis(*at_ms);
+            let done = model.submit(now, *bytes, *key);
+            prop_assert!(done >= now + SimTime::for_bytes(*bytes / (*bytes).div_ceil(1 << 20).max(1), 1e9));
+            total_bytes += bytes;
+        }
+        // Aggregate capacity: the drain horizon cannot beat perfect
+        // parallelism over all OSTs.
+        let ideal = SimTime::for_bytes(total_bytes, 1e9 * n_osts as f64);
+        prop_assert!(model.drain_time() >= ideal.min(model.drain_time()));
+        prop_assert_eq!(model.requests(), reqs.len() as u64);
+    }
+
+    /// MemFs storage: arbitrary interleavings of put/get/delete behave like
+    /// a map.
+    #[test]
+    fn memfs_behaves_like_a_map(ops in proptest::collection::vec((0u32..40u32, 0usize..3usize), 1..80)) {
+        let store = MemFs::new();
+        let mut reference = std::collections::HashMap::new();
+        for (idx, op) in ops {
+            let id = BlockId::new(Rank(0), StepId(0), idx);
+            match op {
+                0 => {
+                    let b = Block::from_payload(
+                        Rank(0), StepId(0), idx, 40, GlobalPos::default(),
+                        deterministic_payload(id, 8 + idx as usize),
+                    );
+                    store.put(&b).unwrap();
+                    reference.insert(idx, b);
+                }
+                1 => {
+                    let got = store.get(id).ok();
+                    prop_assert_eq!(got.as_ref(), reference.get(&idx));
+                }
+                _ => {
+                    store.delete(id).unwrap();
+                    reference.remove(&idx);
+                }
+            }
+            prop_assert_eq!(store.len(), reference.len());
+        }
+    }
+
+    /// Variance accumulator merging is order-insensitive.
+    #[test]
+    fn variance_merge_is_order_insensitive(data in proptest::collection::vec(-1e3f64..1e3, 2..200), split in 1usize..100) {
+        use zipper_apps::analysis::VarianceAccumulator;
+        let split = split % data.len().max(1);
+        let mut whole = VarianceAccumulator::new();
+        whole.update(&data);
+
+        let (a, b) = data.split_at(split);
+        let mut left = VarianceAccumulator::new();
+        left.update(a);
+        let mut right = VarianceAccumulator::new();
+        right.update(b);
+        // Merge in both orders.
+        let mut lr = left;
+        lr.merge(&right);
+        let mut rl = right;
+        rl.merge(&left);
+        let v = whole.variance().unwrap();
+        prop_assert!((lr.variance().unwrap() - v).abs() < 1e-6);
+        prop_assert!((rl.variance().unwrap() - v).abs() < 1e-6);
+    }
+
+    /// Moment accumulator: merging partials equals a single pass, for all
+    /// tracked orders.
+    #[test]
+    fn moments_merge_exactly(data in proptest::collection::vec(-10f64..10.0, 1..100), split in 0usize..100) {
+        use zipper_apps::analysis::MomentAccumulator;
+        let split = split % (data.len() + 1);
+        let mut whole = MomentAccumulator::new(4);
+        whole.update(&data);
+        let mut merged = MomentAccumulator::new(4);
+        let mut p1 = MomentAccumulator::new(4);
+        p1.update(&data[..split]);
+        let mut p2 = MomentAccumulator::new(4);
+        p2.update(&data[split..]);
+        merged.merge(&p1);
+        merged.merge(&p2);
+        for n in 1..=4 {
+            let (w, m) = (whole.moment(n), merged.moment(n));
+            match (w, m) {
+                (Some(w), Some(m)) => prop_assert!((w - m).abs() <= 1e-9 * w.abs().max(1.0)),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+    }
+}
+
+/// The threaded block queue keeps FIFO order and loses nothing under a
+/// randomized producer/stealer/consumer interleaving.
+#[test]
+fn block_queue_randomized_interleaving() {
+    use std::sync::Arc;
+    use zipper_core::BlockQueue;
+    for trial in 0..10u64 {
+        let q = Arc::new(BlockQueue::new(4));
+        let n = 120u32;
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let id = BlockId::new(Rank(0), StepId(trial), i);
+                qp.push(Block::from_payload(
+                    Rank(0),
+                    StepId(trial),
+                    i,
+                    n,
+                    GlobalPos::default(),
+                    deterministic_payload(id, 16),
+                ));
+            }
+            qp.close();
+        });
+        let qs = q.clone();
+        let stealer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let (Some(b), _) = qs.steal(2) {
+                got.push(b.id().idx);
+            }
+            got
+        });
+        let mut popped = Vec::new();
+        while let (Some(b), _) = q.pop() {
+            popped.push(b.id().idx);
+        }
+        producer.join().unwrap();
+        let stolen = stealer.join().unwrap();
+        let mut all: Vec<u32> = popped.iter().chain(stolen.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "trial {trial}");
+        // Each consumer's view is individually FIFO (global order is split
+        // between the two takers but never reordered within one).
+        assert!(popped.windows(2).all(|w| w[0] < w[1]));
+        assert!(stolen.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Integration tests of the discrete-event stack: every transport model on
+//! every workload, plus the structural properties each one must exhibit.
+
+use zipper_apps::Complexity;
+use zipper_trace::stats::kind_time_filtered;
+use zipper_trace::SpanKind;
+use zipper_transports::{
+    run, run_analysis_only, run_sim_only, run_with_detail, TransportKind, WorkflowSpec,
+};
+
+fn tiny_cfd() -> WorkflowSpec {
+    let mut s = WorkflowSpec::cfd(6, 3, 4);
+    s.ranks_per_node = 3;
+    s.staging_servers = 2;
+    s.decaf_links = 2;
+    s
+}
+
+fn tiny_lammps() -> WorkflowSpec {
+    let mut s = WorkflowSpec::lammps(6, 3, 3);
+    s.ranks_per_node = 3;
+    s.staging_servers = 2;
+    s.decaf_links = 2;
+    s
+}
+
+#[test]
+fn all_transports_complete_both_applications() {
+    for spec in [tiny_cfd(), tiny_lammps()] {
+        let sim_only = run_sim_only(&spec);
+        assert!(sim_only.is_clean());
+        for kind in TransportKind::ALL {
+            let r = run(kind, &spec);
+            assert!(r.is_clean(), "{} failed: {:?}", r.name, r.fault);
+            assert!(
+                r.end_to_end >= sim_only.end_to_end,
+                "{} ({}) beat simulation-only ({})",
+                r.name,
+                r.end_to_end,
+                sim_only.end_to_end
+            );
+            // Every step got analyzed on every consumer.
+            let analyzed = r
+                .trace
+                .spans()
+                .iter()
+                .filter(|s| s.kind == SpanKind::Analysis)
+                .count();
+            assert!(
+                analyzed >= (spec.ana_ranks as u64 * spec.steps) as usize,
+                "{}: only {analyzed} analysis spans",
+                r.name
+            );
+        }
+    }
+}
+
+#[test]
+fn zipper_wins_and_tracks_sim_only() {
+    let spec = tiny_cfd();
+    let zipper = run(TransportKind::Zipper, &spec);
+    let sim_only = run_sim_only(&spec);
+    for kind in TransportKind::ALL {
+        if kind == TransportKind::Zipper {
+            continue;
+        }
+        let r = run(kind, &spec);
+        assert!(
+            r.end_to_end >= zipper.end_to_end,
+            "{} ({}) beat Zipper ({})",
+            r.name,
+            r.end_to_end,
+            zipper.end_to_end
+        );
+    }
+    // §6.3: "Zipper's end-to-end time is almost equal to the
+    // simulation-only time".
+    let ratio = zipper.end_to_end.as_secs_f64() / sim_only.end_to_end.as_secs_f64();
+    assert!(ratio < 1.3, "Zipper/sim-only = {ratio}");
+}
+
+#[test]
+fn adios_wrappers_cost_more_than_native() {
+    let spec = tiny_cfd();
+    let ds_native = run(TransportKind::DataSpacesNative, &spec);
+    let ds_adios = run(TransportKind::DataSpacesAdios, &spec);
+    assert!(ds_adios.end_to_end > ds_native.end_to_end);
+    let dimes_native = run(TransportKind::DimesNative, &spec);
+    let dimes_adios = run(TransportKind::DimesAdios, &spec);
+    assert!(dimes_adios.end_to_end > dimes_native.end_to_end);
+}
+
+#[test]
+fn decaf_shows_waitall_and_dimes_shows_locks() {
+    let spec = tiny_cfd();
+    let decaf = run(TransportKind::Decaf, &spec);
+    assert!(decaf.waitall.as_nanos() > 0, "Decaf must MPI_Waitall");
+    let dimes = run(TransportKind::DimesNative, &spec);
+    let barrier = kind_time_filtered(&dimes.trace, SpanKind::Barrier, |l| l.starts_with("sim/"));
+    assert!(barrier.as_nanos() > 0, "DIMES type-2 lock is collective");
+    let zipper = run(TransportKind::Zipper, &spec);
+    assert_eq!(zipper.waitall.as_nanos(), 0, "Zipper has no waitall");
+    assert_eq!(zipper.lock.as_nanos(), 0, "Zipper has no staging locks");
+}
+
+#[test]
+fn crash_thresholds_fire_only_at_scale() {
+    let mut spec = tiny_cfd();
+    spec.flexpath_crash_cores = Some(9);
+    spec.decaf_crash_cores = Some(9);
+    let flex = run(TransportKind::Flexpath, &spec);
+    assert!(flex.fault.as_deref().unwrap_or("").contains("segmentation"));
+    let decaf = run(TransportKind::Decaf, &spec);
+    assert!(decaf.fault.as_deref().unwrap_or("").contains("overflow"));
+    // Below threshold: clean.
+    spec.flexpath_crash_cores = Some(1000);
+    spec.decaf_crash_cores = Some(1000);
+    assert!(run(TransportKind::Flexpath, &spec).is_clean());
+    assert!(run(TransportKind::Decaf, &spec).is_clean());
+}
+
+#[test]
+fn runs_are_deterministic_per_seed_and_vary_across_seeds() {
+    let spec = tiny_cfd();
+    let a = run(TransportKind::MpiIo, &spec);
+    let b = run(TransportKind::MpiIo, &spec);
+    assert_eq!(a.end_to_end, b.end_to_end);
+    assert_eq!(a.events, b.events);
+
+    let mut spec2 = tiny_cfd();
+    spec2.seed = spec.seed + 1;
+    let c = run(TransportKind::MpiIo, &spec2);
+    assert_ne!(
+        a.end_to_end, c.end_to_end,
+        "PFS/MDS load variance must differ across seeds"
+    );
+}
+
+#[test]
+fn trace_detail_off_preserves_aggregates() {
+    let spec = tiny_cfd();
+    let full = run_with_detail(TransportKind::Zipper, &spec, true);
+    let lite = run_with_detail(TransportKind::Zipper, &spec, false);
+    assert_eq!(full.end_to_end, lite.end_to_end);
+    assert_eq!(full.stall, lite.stall);
+    assert_eq!(full.sendrecv, lite.sendrecv);
+    assert_eq!(full.sim_finish, lite.sim_finish);
+    assert!(!full.trace.spans().is_empty());
+    assert_eq!(lite.trace.spans().len(), 0, "lite mode stores no spans");
+}
+
+#[test]
+fn dual_channel_reduces_producer_stall_when_network_is_the_bottleneck() {
+    // O(n) producers overwhelm the NICs (the Fig. 14a regime).
+    let mk = |concurrent| {
+        let mut s = WorkflowSpec::synthetic(Complexity::Linear, 56, 28, 256 << 20, 1 << 20);
+        s.concurrent_transfer = concurrent;
+        s
+    };
+    let msg_only = run_with_detail(TransportKind::Zipper, &mk(false), false);
+    let dual = run_with_detail(TransportKind::Zipper, &mk(true), false);
+    assert!(msg_only.is_clean() && dual.is_clean());
+    assert!(dual.pfs_requests > 0, "stealing must engage");
+    assert!(
+        dual.sim_finish < msg_only.sim_finish,
+        "dual channel must shorten the simulation wall clock: {} vs {}",
+        dual.sim_finish,
+        msg_only.sim_finish
+    );
+    assert!(
+        dual.xmit_wait_sim < msg_only.xmit_wait_sim,
+        "dual channel must ease congestion (Fig. 15)"
+    );
+}
+
+#[test]
+fn compute_bound_producer_never_steals() {
+    // O(n^1.5): the buffer stays near-empty, the optimization falls back
+    // to message passing (Fig. 14c).
+    let mut s = WorkflowSpec::synthetic(Complexity::N32, 12, 6, 64 << 20, 1 << 20);
+    s.concurrent_transfer = true;
+    let r = run_with_detail(TransportKind::Zipper, &s, false);
+    assert!(r.is_clean());
+    assert_eq!(r.pfs_requests, 0, "no stealing opportunities");
+}
+
+#[test]
+fn analysis_only_scales_with_sources() {
+    let spec = tiny_cfd();
+    let one = run_analysis_only(&spec);
+    let mut bigger = tiny_cfd();
+    bigger.ana_ranks = 1; // all six producers on one consumer
+    let heavy = run_analysis_only(&bigger);
+    assert!(heavy > one);
+}
+
+#[test]
+fn mpiio_touches_pfs_staging_transports_do_not() {
+    let spec = tiny_cfd();
+    let mpiio = run(TransportKind::MpiIo, &spec);
+    assert!(mpiio.pfs_requests > 0);
+    for kind in [
+        TransportKind::DataSpacesNative,
+        TransportKind::DimesNative,
+        TransportKind::Flexpath,
+        TransportKind::Decaf,
+    ] {
+        let r = run(kind, &spec);
+        assert_eq!(r.pfs_requests, 0, "{} must not touch the PFS", r.name);
+    }
+}

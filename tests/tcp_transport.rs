@@ -1,0 +1,141 @@
+//! End-to-end workflow over the TCP transport: producer and consumer
+//! runtime modules exchanging mixed messages through real sockets —
+//! the cross-process deployment shape of the paper's workflows.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use zipper_core::{listen_consumers, Consumer, Producer, TcpSender};
+use zipper_pfs::MemFs;
+use zipper_types::block::deterministic_payload;
+use zipper_types::{
+    Block, BlockId, ByteSize, GlobalPos, PreserveMode, Rank, RoutingPolicy, StepId, ZipperTuning,
+};
+
+fn tuning() -> ZipperTuning {
+    ZipperTuning {
+        block_size: ByteSize::kib(8),
+        producer_slots: 8,
+        high_water_mark: 5,
+        consumer_slots: 64,
+        concurrent_transfer: true,
+        preserve: PreserveMode::NoPreserve,
+        routing: RoutingPolicy::SourceAffine,
+    }
+}
+
+#[test]
+fn full_workflow_over_real_sockets() {
+    let producers = 3usize;
+    let consumers = 2usize;
+    let blocks_per_producer = 40u32;
+    let block_len = 8 << 10;
+
+    // In a real deployment the consumer job binds and publishes its
+    // addresses; the producer job connects. Here both run in one test
+    // process, still through the loopback TCP stack.
+    let (addrs, receivers) = listen_consumers(consumers, producers).unwrap();
+    let storage = Arc::new(MemFs::new());
+
+    let mut consumer_handles = Vec::new();
+    for (q, rx) in receivers.into_iter().enumerate() {
+        let mut c = Consumer::spawn(Rank(q as u32), tuning(), producers, rx, storage.clone());
+        let reader = c.reader();
+        consumer_handles.push((
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(b) = reader.read() {
+                    assert_eq!(
+                        b.payload,
+                        deterministic_payload(b.id(), b.payload.len()),
+                        "payload corrupted in TCP transit"
+                    );
+                    seen.push(b.id());
+                }
+                seen
+            }),
+            c,
+        ));
+    }
+
+    let mut producer_handles = Vec::new();
+    for p in 0..producers {
+        let sender = TcpSender::connect(&addrs).unwrap();
+        let mut prod = Producer::spawn(Rank(p as u32), tuning(), sender, storage.clone());
+        let writer = prod.writer(block_len);
+        producer_handles.push((
+            std::thread::spawn(move || {
+                for i in 0..blocks_per_producer {
+                    let id = BlockId::new(Rank(p as u32), StepId(0), i);
+                    writer.write(Block::from_payload(
+                        Rank(p as u32),
+                        StepId(0),
+                        i,
+                        blocks_per_producer,
+                        GlobalPos::default(),
+                        deterministic_payload(id, block_len),
+                    ));
+                }
+                writer.finish();
+            }),
+            prod,
+        ));
+    }
+
+    for (h, prod) in producer_handles {
+        h.join().unwrap();
+        prod.join().unwrap();
+    }
+    let mut all = Vec::new();
+    for (h, c) in consumer_handles {
+        all.extend(h.join().unwrap());
+        let m = c.join().unwrap();
+        assert!(m.errors.is_empty(), "{:?}", m.errors);
+    }
+    let unique: HashSet<BlockId> = all.iter().copied().collect();
+    assert_eq!(all.len(), producers * blocks_per_producer as usize);
+    assert_eq!(unique.len(), all.len(), "duplicate deliveries over TCP");
+}
+
+#[test]
+fn source_affinity_survives_the_socket_path() {
+    let (addrs, receivers) = listen_consumers(2, 2).unwrap();
+    let storage = Arc::new(MemFs::new());
+    let mut handles = Vec::new();
+    for (q, rx) in receivers.into_iter().enumerate() {
+        let mut c = Consumer::spawn(Rank(q as u32), tuning(), 2, rx, storage.clone());
+        let reader = c.reader();
+        handles.push((
+            std::thread::spawn(move || {
+                let mut srcs = HashSet::new();
+                while let Some(b) = reader.read() {
+                    srcs.insert(b.id().src.0);
+                }
+                srcs
+            }),
+            c,
+        ));
+    }
+    for p in 0..2u32 {
+        let sender = TcpSender::connect(&addrs).unwrap();
+        let mut prod = Producer::spawn(Rank(p), tuning(), sender, storage.clone());
+        let writer = prod.writer(1024);
+        for i in 0..10u32 {
+            let id = BlockId::new(Rank(p), StepId(0), i);
+            writer.write(Block::from_payload(
+                Rank(p),
+                StepId(0),
+                i,
+                10,
+                GlobalPos::default(),
+                deterministic_payload(id, 1024),
+            ));
+        }
+        writer.finish();
+        prod.join().unwrap();
+    }
+    for (q, (h, c)) in handles.into_iter().enumerate() {
+        let srcs = h.join().unwrap();
+        assert_eq!(srcs, HashSet::from([q as u32]));
+        c.join().unwrap();
+    }
+}
