@@ -23,13 +23,17 @@ fn fig2_transports(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2_transports");
     let spec = tiny_cfd();
     for kind in TransportKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let r = run_with_detail(kind, &spec, false);
-                assert!(r.is_clean());
-                std::hint::black_box(r.end_to_end)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let r = run_with_detail(kind, &spec, false);
+                    assert!(r.is_clean());
+                    std::hint::black_box(r.end_to_end)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -60,13 +64,17 @@ fn fig4_6_traces(c: &mut Criterion) {
         TransportKind::Flexpath,
         TransportKind::Decaf,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let r = run_with_detail(kind, &spec, true);
-                assert!(r.is_clean());
-                std::hint::black_box(r.trace.spans().len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let r = run_with_detail(kind, &spec, true);
+                    assert!(r.is_clean());
+                    std::hint::black_box(r.trace.spans().len())
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -79,8 +87,7 @@ fn fig12_13_synthetics(c: &mut Criterion) {
         for preserve in [false, true] {
             let name = format!("{}{}", cx.label(), if preserve { "+preserve" } else { "" });
             g.bench_function(BenchmarkId::from_parameter(name), |b| {
-                let mut spec =
-                    WorkflowSpec::synthetic(cx, 8, 4, 32 << 20, 1 << 20);
+                let mut spec = WorkflowSpec::synthetic(cx, 8, 4, 32 << 20, 1 << 20);
                 spec.preserve = preserve;
                 b.iter(|| {
                     let r = run_with_detail(TransportKind::Zipper, &spec, false);
@@ -97,10 +104,13 @@ fn fig12_13_synthetics(c: &mut Criterion) {
 fn fig14_15_dual_channel(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_15_dual_channel");
     for concurrent in [false, true] {
-        let name = if concurrent { "concurrent" } else { "message-only" };
+        let name = if concurrent {
+            "concurrent"
+        } else {
+            "message-only"
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            let mut spec =
-                WorkflowSpec::synthetic(Complexity::Linear, 28, 14, 64 << 20, 1 << 20);
+            let mut spec = WorkflowSpec::synthetic(Complexity::Linear, 28, 14, 64 << 20, 1 << 20);
             spec.concurrent_transfer = concurrent;
             b.iter(|| {
                 let r = run_with_detail(TransportKind::Zipper, &spec, false);
@@ -117,10 +127,20 @@ fn fig16_18_scaling_point(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig16_18_scaling_point");
     g.sample_size(10);
     for (app, mk) in [
-        ("cfd", WorkflowSpec::cfd as fn(usize, usize, u64) -> WorkflowSpec),
-        ("lammps", WorkflowSpec::lammps as fn(usize, usize, u64) -> WorkflowSpec),
+        (
+            "cfd",
+            WorkflowSpec::cfd as fn(usize, usize, u64) -> WorkflowSpec,
+        ),
+        (
+            "lammps",
+            WorkflowSpec::lammps as fn(usize, usize, u64) -> WorkflowSpec,
+        ),
     ] {
-        for kind in [TransportKind::MpiIo, TransportKind::Decaf, TransportKind::Zipper] {
+        for kind in [
+            TransportKind::MpiIo,
+            TransportKind::Decaf,
+            TransportKind::Zipper,
+        ] {
             let name = format!("{app}/{}", kind.name());
             g.bench_function(BenchmarkId::from_parameter(name), |b| {
                 let mut spec = mk(32, 16, 3);

@@ -6,7 +6,9 @@ use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
-use zipper_workflow::{run_workflow, NetworkOptions, StorageOptions};
+use zipper_workflow::{
+    run_workflow, run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions,
+};
 
 fn run_once(cfg: &WorkflowConfig, net: NetworkOptions) {
     let steps = cfg.steps;
@@ -59,7 +61,11 @@ fn dual_channel_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime_dual_channel");
     g.sample_size(10);
     for concurrent in [false, true] {
-        let name = if concurrent { "concurrent" } else { "message-only" };
+        let name = if concurrent {
+            "concurrent"
+        } else {
+            "message-only"
+        };
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut cfg = WorkflowConfig {
                 producers: 2,
@@ -75,6 +81,63 @@ fn dual_channel_ablation(c: &mut Criterion) {
             // 40 MB/s channel: producer-bound, so stealing matters.
             let net = NetworkOptions::throttled(2, 40e6, Duration::ZERO);
             b.iter(|| run_once(&cfg, net));
+        });
+    }
+    g.finish();
+}
+
+/// Instrumentation overhead: the same block-size workload with tracing
+/// off, lane-totals only, and full span capture (+ wire lanes). The
+/// acceptance bar is that `off` tracks the untraced baseline within
+/// noise (< 5%): an inert recorder never reads the clock and never takes
+/// a lock, so disabled instrumentation must be free.
+fn instrumentation_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_instrumentation");
+    g.sample_size(10);
+    let workload = || {
+        let mut cfg = WorkflowConfig {
+            producers: 2,
+            consumers: 1,
+            steps: 4,
+            bytes_per_rank_step: ByteSize::mib(1),
+            ..Default::default()
+        };
+        cfg.tuning.block_size = ByteSize::kib(64);
+        cfg
+    };
+    let run_traced = |cfg: &WorkflowConfig, trace: TraceOptions| {
+        let steps = cfg.steps;
+        let slab = cfg.bytes_per_rank_step.as_u64() as usize;
+        let (report, _) = run_workflow_traced(
+            cfg,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            trace,
+            move |rank, writer| {
+                for s in 0..steps {
+                    writer.write_slab(
+                        StepId(s),
+                        GlobalPos::default(),
+                        Bytes::from(vec![rank.0 as u8; slab]),
+                    );
+                }
+            },
+            |_r, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+    };
+    g.bench_function(BenchmarkId::from_parameter("untraced"), |b| {
+        let cfg = workload();
+        b.iter(|| run_once(&cfg, NetworkOptions::default()));
+    });
+    for (name, trace) in [
+        ("off", TraceOptions::off()),
+        ("totals", TraceOptions::default()),
+        ("full", TraceOptions::full()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let cfg = workload();
+            b.iter(|| run_traced(&cfg, trace));
         });
     }
     g.finish();
@@ -107,6 +170,6 @@ fn buffer_depth(c: &mut Criterion) {
 criterion_group! {
     name = runtime;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = block_size_sweep, dual_channel_ablation, buffer_depth
+    targets = block_size_sweep, dual_channel_ablation, instrumentation_overhead, buffer_depth
 }
 criterion_main!(runtime);

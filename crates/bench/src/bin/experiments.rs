@@ -91,5 +91,8 @@ fn main() {
         );
         std::process::exit(2);
     }
-    eprintln!("\n[experiments completed in {:.1}s]", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "\n[experiments completed in {:.1}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

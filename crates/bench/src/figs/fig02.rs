@@ -74,12 +74,7 @@ pub fn run_fig(scale: Scale) -> String {
             let per = base.sim_ranks as u64;
             table.row(vec![
                 format!("{} (min/med/max)", r.name),
-                format!(
-                    "{}/{}/{}",
-                    secs(times[0]),
-                    secs(times[1]),
-                    secs(times[2])
-                ),
+                format!("{}/{}/{}", secs(times[0]), secs(times[1]), secs(times[2])),
                 secs(r.stall / per),
                 secs(r.lock / per),
                 secs(r.waitall / per),

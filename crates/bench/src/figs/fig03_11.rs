@@ -68,7 +68,13 @@ pub fn run_fig11(_scale: Scale) -> String {
         let cells: Vec<String> = row
             .iter()
             .zip(["C", "O", "I", "A"])
-            .map(|((s, f), name)| format!("{name}[{}-{}ms]", s.as_nanos() / 1_000_000, f.as_nanos() / 1_000_000))
+            .map(|((s, f), name)| {
+                format!(
+                    "{name}[{}-{}ms]",
+                    s.as_nanos() / 1_000_000,
+                    f.as_nanos() / 1_000_000
+                )
+            })
             .collect();
         out.push_str(&format!("block {i}: {}\n", cells.join(" ")));
     }

@@ -92,7 +92,11 @@ pub fn run_fig5(scale: Scale) -> String {
     let f = flex.sendrecv / per;
     let mut t = Table::new(&["run", "sendrecv per rank-step (s)", "e2e (s)"]);
     t.row(vec!["CFD-only".into(), secs3(b), secs3(base.end_to_end)]);
-    t.row(vec!["Flexpath workflow".into(), secs3(f), secs3(flex.end_to_end)]);
+    t.row(vec![
+        "Flexpath workflow".into(),
+        secs3(f),
+        secs3(flex.end_to_end),
+    ]);
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nMPI_Sendrecv inflation: {:.2}x (staging bursts compete with the LBM streaming\n\
@@ -100,9 +104,19 @@ pub fn run_fig5(scale: Scale) -> String {
         f.as_secs_f64() / b.as_secs_f64().max(1e-12)
     ));
     out.push_str("CFD-only:\n");
-    out.push_str(&render_snip(&base, "sim/r0", 0.4, SimTime::from_secs_f64(3.0)));
+    out.push_str(&render_snip(
+        &base,
+        "sim/r0",
+        0.4,
+        SimTime::from_secs_f64(3.0),
+    ));
     out.push_str("Flexpath:\n");
-    out.push_str(&render_snip(&flex, "sim/r0", 0.4, SimTime::from_secs_f64(3.0)));
+    out.push_str(&render_snip(
+        &flex,
+        "sim/r0",
+        0.4,
+        SimTime::from_secs_f64(3.0),
+    ));
     out
 }
 
@@ -113,7 +127,13 @@ pub fn run_fig6(scale: Scale) -> String {
     let decaf = run(TransportKind::Decaf, &spec);
     assert!(base.is_clean() && decaf.is_clean());
     let per = spec.sim_ranks as u64 * spec.steps;
-    let mut t = Table::new(&["run", "sendrecv/step (s)", "waitall/step (s)", "stall/step (s)", "e2e (s)"]);
+    let mut t = Table::new(&[
+        "run",
+        "sendrecv/step (s)",
+        "waitall/step (s)",
+        "stall/step (s)",
+        "e2e (s)",
+    ]);
     t.row(vec![
         "CFD-only".into(),
         secs3(base.sendrecv / per),
@@ -134,8 +154,18 @@ pub fn run_fig6(scale: Scale) -> String {
          safely in the link nodes, and Sendrecv inflates under the burst traffic (§3).\n\n",
     );
     out.push_str("CFD-only:\n");
-    out.push_str(&render_snip(&base, "sim/r0", 0.4, SimTime::from_secs_f64(0.9)));
+    out.push_str(&render_snip(
+        &base,
+        "sim/r0",
+        0.4,
+        SimTime::from_secs_f64(0.9),
+    ));
     out.push_str("Decaf:\n");
-    out.push_str(&render_snip(&decaf, "sim/r0", 0.4, SimTime::from_secs_f64(0.9)));
+    out.push_str(&render_snip(
+        &decaf,
+        "sim/r0",
+        0.4,
+        SimTime::from_secs_f64(0.9),
+    ));
     out
 }

@@ -101,8 +101,8 @@ pub fn render_fig14(points: &[(Complexity, Vec<(Point, Point)>)]) -> String {
             "wallclock-reduction",
         ]);
         for (msg, conc) in pts {
-            let reduction = 1.0
-                - conc.wallclock.as_secs_f64() / msg.wallclock.as_secs_f64().max(1e-12);
+            let reduction =
+                1.0 - conc.wallclock.as_secs_f64() / msg.wallclock.as_secs_f64().max(1e-12);
             table.row(vec![
                 msg.cores.to_string(),
                 "message-only".into(),

@@ -12,9 +12,7 @@
 
 use crate::util::{banner, secs, Table};
 use crate::Scale;
-use zipper_transports::{
-    run_sim_only_with_detail, run_with_detail, TransportKind, WorkflowSpec,
-};
+use zipper_transports::{run_sim_only_with_detail, run_with_detail, TransportKind, WorkflowSpec};
 use zipper_types::SimTime;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,7 +62,14 @@ pub fn run_scaling(app: App, scale: Scale) -> String {
         TransportKind::Zipper,
     ];
     let mut table = Table::new(&[
-        "cores", "MPI-IO", "Flexpath", "Decaf", "Zipper", "Sim-only", "Decaf/Zipper", "Flexpath/Zipper",
+        "cores",
+        "MPI-IO",
+        "Flexpath",
+        "Decaf",
+        "Zipper",
+        "Sim-only",
+        "Decaf/Zipper",
+        "Flexpath/Zipper",
     ]);
 
     // Last clean measurement per method, for the dotted-line ideal.

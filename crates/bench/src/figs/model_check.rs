@@ -23,9 +23,7 @@ fn model_input(spec: &WorkflowSpec) -> ModelInput {
     ModelInput {
         p: spec.sim_ranks as u64,
         q: spec.ana_ranks as u64,
-        total_bytes: ByteSize::bytes(
-            spec.bytes_per_rank_step * spec.sim_ranks as u64 * spec.steps,
-        ),
+        total_bytes: ByteSize::bytes(spec.bytes_per_rank_step * spec.sim_ranks as u64 * spec.steps),
         block_size: ByteSize::bytes(block),
         tc,
         tm: SimTime::for_bytes(block, 10.2e9 / spec.ranks_per_node as f64),

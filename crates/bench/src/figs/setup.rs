@@ -54,11 +54,13 @@ pub fn run_setup(scale: Scale) -> String {
     let mut t2 = Table::new(&["model", "configuration encoded"]);
     t2.row(vec![
         "MPI-IO".into(),
-        "per-step collective write; 2 ms serialized MDS op; shared PFS w/ 30%±50% background load".into(),
+        "per-step collective write; 2 ms serialized MDS op; shared PFS w/ 30%±50% background load"
+            .into(),
     ]);
     t2.row(vec![
         "DataSpaces".into(),
-        "dedicated servers; 0.3 ms lock RTT (native, multi-lock) / coarse global lock (ADIOS)".into(),
+        "dedicated servers; 0.3 ms lock RTT (native, multi-lock) / coarse global lock (ADIOS)"
+            .into(),
     ]);
     t2.row(vec![
         "DIMES".into(),

@@ -6,7 +6,7 @@ use crate::objects::{BufItem, BufferWake, SimBarrier, SimBuffer, SimLock, SimSig
 use crate::ops::{BufId, BufferTaken, MsgMeta, Op, ProcCtx, Program, Step};
 use std::collections::{BinaryHeap, VecDeque};
 use zipper_pfs::{OstModel, OstModelConfig};
-use zipper_trace::{LaneId, Span, SpanKind, TraceLog};
+use zipper_trace::{LaneId, Span, SpanKind, TraceLog, VirtualClock};
 use zipper_types::{NodeId, ProcId, SimTime};
 
 /// Simulator-wide configuration.
@@ -70,8 +70,15 @@ struct ProcSlot {
 #[derive(Debug)]
 enum Event {
     Resume(ProcId),
-    Deliver { to: ProcId, msg: MsgMeta },
-    AsyncDelivered { sender: ProcId, to: ProcId, msg: MsgMeta },
+    Deliver {
+        to: ProcId,
+        msg: MsgMeta,
+    },
+    AsyncDelivered {
+        sender: ProcId,
+        to: ProcId,
+        msg: MsgMeta,
+    },
 }
 
 struct QEntry {
@@ -137,6 +144,10 @@ pub struct Simulator {
     network: Network,
     pfs: OstModel,
     trace: TraceLog,
+    /// Shared virtual clock, advanced in lock-step with `now` — lets
+    /// substrate-agnostic components (recorders built over a
+    /// `zipper_trace::TraceSink`) stamp spans in DES virtual time.
+    clock: VirtualClock,
     rng_state: u64,
     faults: Vec<String>,
     halted: bool,
@@ -159,6 +170,7 @@ impl Simulator {
             network: Network::new(cfg.network.clone()),
             pfs: OstModel::new(cfg.pfs.clone(), cfg.seed ^ 0xF00D),
             trace: TraceLog::new(),
+            clock: VirtualClock::new(),
             rng_state: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             faults: Vec::new(),
             halted: false,
@@ -250,6 +262,17 @@ impl Simulator {
         self.now
     }
 
+    /// A [`VirtualClock`] that tracks the simulator's virtual time; clones
+    /// share state. Build a `zipper_trace::TraceSink` over it
+    /// (`TraceSink::new(mode, Arc::new(sim.clock()))`) and any
+    /// substrate-agnostic component holding a `LaneRecorder` from that
+    /// sink — a step assembler, a shared runtime helper — stamps its spans
+    /// in DES virtual time, exactly as the threaded runtime stamps wall
+    /// time. This is the DES half of the unified clock abstraction.
+    pub fn clock(&self) -> VirtualClock {
+        self.clock.clone()
+    }
+
     /// The recorded trace.
     pub fn trace(&self) -> &TraceLog {
         &self.trace
@@ -288,7 +311,8 @@ impl Simulator {
 
     fn record(&mut self, lane: LaneId, kind: SpanKind, t0: SimTime, t1: SimTime, step: u64) {
         if t1 > t0 {
-            self.trace.record(Span::new(lane, kind, t0, t1).with_step(step));
+            self.trace
+                .record(Span::new(lane, kind, t0, t1).with_step(step));
         }
     }
 
@@ -305,12 +329,15 @@ impl Simulator {
                 // Past the horizon: stop (drop the event; horizon runs are
                 // for bounded-time inspection only).
                 self.now = horizon;
+                self.clock.set(horizon);
                 break;
             }
             self.now = entry.time;
+            self.clock.set(entry.time);
             self.events += 1;
             if self.events > self.max_events {
-                self.faults.push("max_events exceeded (runaway program?)".into());
+                self.faults
+                    .push("max_events exceeded (runaway program?)".into());
                 break;
             }
             match entry.event {
@@ -341,13 +368,7 @@ impl Simulator {
             .procs
             .iter()
             .filter(|p| p.state == ProcState::Blocked)
-            .map(|p| {
-                format!(
-                    "{} ({:?})",
-                    self.trace.lane_label(p.lane),
-                    p.waiting
-                )
-            })
+            .map(|p| format!("{} ({:?})", self.trace.lane_label(p.lane), p.waiting))
             .collect();
         RunReport {
             end: self.now,
@@ -522,7 +543,12 @@ impl Simulator {
                 self.procs[pid.idx()].state = ProcState::Ready;
                 false
             }
-            Op::Send { to, bytes, tag, kind } => {
+            Op::Send {
+                to,
+                bytes,
+                tag,
+                kind,
+            } => {
                 let to_node = self.procs[to.idx()].node;
                 let flow = ((pid.0 as u64) << 32) | to.0 as u64;
                 let t = self.network.transfer(now, node, to_node, bytes, flow);
@@ -600,34 +626,32 @@ impl Simulator {
                     false
                 }
             }
-            Op::Barrier { id, kind } => {
-                match self.barriers[id].arrive(pid, now) {
-                    Some(members) => {
-                        for (proc, since) in members {
-                            if proc == pid {
-                                self.record(lane, kind, since, now, Span::NO_STEP);
-                                continue;
-                            }
-                            let slot = &mut self.procs[proc.idx()];
-                            let mkind = match slot.waiting {
-                                Waiting::Barrier { kind } => kind,
-                                ref other => unreachable!("barrier member {other:?}"),
-                            };
-                            slot.waiting = Waiting::None;
-                            slot.state = ProcState::Ready;
-                            let mlane = slot.lane;
-                            self.record(mlane, mkind, since, now, Span::NO_STEP);
-                            self.push_event(now, Event::Resume(proc));
+            Op::Barrier { id, kind } => match self.barriers[id].arrive(pid, now) {
+                Some(members) => {
+                    for (proc, since) in members {
+                        if proc == pid {
+                            self.record(lane, kind, since, now, Span::NO_STEP);
+                            continue;
                         }
-                        true
+                        let slot = &mut self.procs[proc.idx()];
+                        let mkind = match slot.waiting {
+                            Waiting::Barrier { kind } => kind,
+                            ref other => unreachable!("barrier member {other:?}"),
+                        };
+                        slot.waiting = Waiting::None;
+                        slot.state = ProcState::Ready;
+                        let mlane = slot.lane;
+                        self.record(mlane, mkind, since, now, Span::NO_STEP);
+                        self.push_event(now, Event::Resume(proc));
                     }
-                    None => {
-                        self.procs[pid.idx()].waiting = Waiting::Barrier { kind };
-                        self.procs[pid.idx()].state = ProcState::Blocked;
-                        false
-                    }
+                    true
                 }
-            }
+                None => {
+                    self.procs[pid.idx()].waiting = Waiting::Barrier { kind };
+                    self.procs[pid.idx()].state = ProcState::Blocked;
+                    false
+                }
+            },
             Op::FsWrite { bytes, key } => {
                 let storage = self.network.config().storage_node_for(key);
                 let t = self.network.transfer(now, node, storage, bytes, key);
@@ -1178,8 +1202,14 @@ mod tests {
             NodeId(0),
             "taker",
             RunOnce::new(vec![
-                Op::SignalWait { sig, kind: SpanKind::Idle },
-                Op::SignalWait { sig, kind: SpanKind::Idle },
+                Op::SignalWait {
+                    sig,
+                    kind: SpanKind::Idle,
+                },
+                Op::SignalWait {
+                    sig,
+                    kind: SpanKind::Idle,
+                },
             ]),
         );
         let r = sim.run();
@@ -1193,8 +1223,14 @@ mod tests {
             NodeId(0),
             "starver",
             RunOnce::new(vec![
-                Op::SignalWait { sig: sig2, kind: SpanKind::Idle },
-                Op::SignalWait { sig: sig2, kind: SpanKind::Idle },
+                Op::SignalWait {
+                    sig: sig2,
+                    kind: SpanKind::Idle,
+                },
+                Op::SignalWait {
+                    sig: sig2,
+                    kind: SpanKind::Idle,
+                },
             ]),
         );
         let r2 = sim2.run();
@@ -1208,12 +1244,19 @@ mod tests {
             sim.spawn(
                 NodeId(0),
                 "w",
-                RunOnce::new(vec![Op::FsWrite { bytes: 64 << 20, key: 0 }]),
+                RunOnce::new(vec![Op::FsWrite {
+                    bytes: 64 << 20,
+                    key: 0,
+                }]),
             );
             sim.spawn(
                 NodeId(1),
                 "r",
-                RunOnce::new(vec![Op::FsRead { bytes: 1 << 20, key: 0, cached }]),
+                RunOnce::new(vec![Op::FsRead {
+                    bytes: 1 << 20,
+                    key: 0,
+                    cached,
+                }]),
             );
             sim.run();
             sim.trace()
@@ -1227,6 +1270,37 @@ mod tests {
             read_time(true) < read_time(false),
             "cache-served read must not wait behind the disk backlog"
         );
+    }
+
+    #[test]
+    fn shared_virtual_clock_tracks_sim_time() {
+        use std::sync::Arc;
+        use zipper_trace::{Clock, TraceMode, TraceSink};
+        let mut sim = small_sim();
+        // A sink over the simulator's clock: substrate-agnostic recorders
+        // stamp spans in DES virtual time.
+        let sink = TraceSink::new(TraceMode::Full, Arc::new(sim.clock()));
+        assert_eq!(sink.now(), SimTime::ZERO);
+        sim.spawn(
+            NodeId(0),
+            "p0",
+            RunOnce::new(vec![Op::Compute {
+                dur: SimTime::from_millis(5),
+                kind: SpanKind::Compute,
+                step: 0,
+            }]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean());
+        assert_eq!(sim.clock().now(), r.end);
+        let mut rec = sink.recorder("external/asm");
+        let t1 = rec.now();
+        assert_eq!(t1, r.end, "recorder reads the advanced virtual time");
+        rec.record(SpanKind::Analysis, SimTime::ZERO, t1);
+        drop(rec);
+        let log = sink.snapshot();
+        assert_eq!(log.spans().len(), 1);
+        assert_eq!(log.spans()[0].t1, SimTime::from_millis(5));
     }
 
     #[test]

@@ -207,8 +207,7 @@ impl Network {
         }
 
         // Sender NIC injection.
-        let inject_tx =
-            Self::occupy(&mut self.nic_tx[src.idx()], ready, bytes, self.cfg.nic_bw);
+        let inject_tx = Self::occupy(&mut self.nic_tx[src.idx()], ready, bytes, self.cfg.nic_bw);
 
         let (sl, dl) = (self.leaf_of(src), self.leaf_of(dst));
         let lat = self.cfg.link_latency;
@@ -325,7 +324,10 @@ mod tests {
         let t = net.transfer(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, 0);
         // 1 MB at 1 GB/s = 1 ms per NIC + 1 µs hop; on an idle path the
         // sender is released as soon as its own NIC finishes.
-        assert_eq!(t.delivered, SimTime::from_millis(2) + SimTime::from_micros(1));
+        assert_eq!(
+            t.delivered,
+            SimTime::from_millis(2) + SimTime::from_micros(1)
+        );
         assert_eq!(t.inject_done, SimTime::from_millis(1));
         assert_eq!(net.xmit_wait(NodeId(0)), 0);
     }
@@ -381,7 +383,11 @@ mod tests {
         // Two senders on the same leaf target one receiver: rx NIC serializes.
         let a = net.transfer(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000, 0);
         let b = net.transfer(SimTime::ZERO, NodeId(1), NodeId(2), 1_000_000, 1);
-        let (first, second) = if a.delivered <= b.delivered { (a, b) } else { (b, a) };
+        let (first, second) = if a.delivered <= b.delivered {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert!(second.delivered >= first.delivered + SimTime::from_millis(1));
     }
 

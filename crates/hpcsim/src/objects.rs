@@ -89,12 +89,7 @@ impl SimBuffer {
 
     /// Try to insert; on success returns wakeups to dispatch. If the buffer
     /// is full the putter parks and `None` is returned.
-    pub fn put(
-        &mut self,
-        proc: ProcId,
-        item: BufItem,
-        now: SimTime,
-    ) -> Option<Vec<BufferWake>> {
+    pub fn put(&mut self, proc: ProcId, item: BufItem, now: SimTime) -> Option<Vec<BufferWake>> {
         assert!(!self.closed, "put into closed buffer by {proc:?}");
         if self.items.len() >= self.capacity {
             self.putters.push_back(WaitingPutter {
@@ -163,9 +158,11 @@ impl SimBuffer {
             // Serve the first eligible taker (FIFO with skip: a stealer at
             // the queue head must not starve a plain taker behind it when
             // only the plain taker's condition holds).
-            if let Some(pos) = self.takers.iter().position(|t| {
-                self.items.len() >= t.min_occupancy || (self.closed)
-            }) {
+            if let Some(pos) = self
+                .takers
+                .iter()
+                .position(|t| self.items.len() >= t.min_occupancy || (self.closed))
+            {
                 let t = self.takers.remove(pos).expect("position valid");
                 if self.items.len() >= t.min_occupancy {
                     let item = self.items.pop_front().expect("occupancy checked");

@@ -1,8 +1,8 @@
 //! Property tests of the fabric model: conservation, monotonicity, and
 //! FIFO sanity under arbitrary traffic.
 
-use proptest::prelude::*;
 use hpcsim::{Network, NetworkConfig};
+use proptest::prelude::*;
 use zipper_types::{NodeId, SimTime};
 
 fn cfg(nodes: usize) -> NetworkConfig {

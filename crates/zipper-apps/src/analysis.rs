@@ -237,7 +237,11 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 let center = self.lo + (i as f64 + 0.5) * width;
-                let density = if n == 0.0 { 0.0 } else { c as f64 / (n * width) };
+                let density = if n == 0.0 {
+                    0.0
+                } else {
+                    c as f64 / (n * width)
+                };
                 (center, density)
             })
             .collect()
@@ -247,7 +251,10 @@ impl Histogram {
 /// Decode a velocity slab (little-endian `f64`s) into samples — the
 /// consumer-side inverse of `Lbm::velocity_bytes`.
 pub fn decode_scalar_field(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len().is_multiple_of(8), "scalar field must be whole f64s");
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "scalar field must be whole f64s"
+    );
     bytes
         .chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -321,7 +328,9 @@ mod tests {
         let reference = [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]];
         let current = [[1.0, 0.0, 0.0], [1.0, 1.0, 2.0]];
         // Displacements: (1,0,0) and (0,0,1) → MSD = (1 + 1)/2 = 1.
-        assert!((mean_squared_displacement(&current, &reference, f64::INFINITY) - 1.0).abs() < 1e-12);
+        assert!(
+            (mean_squared_displacement(&current, &reference, f64::INFINITY) - 1.0).abs() < 1e-12
+        );
 
         // Periodic: moving from 0.1 to 9.9 in a box of 10 is a move of -0.2.
         let a = [[0.1, 0.0, 0.0]];

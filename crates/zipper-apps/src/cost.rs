@@ -208,7 +208,12 @@ mod tests {
             let per = AppCostModel::synthetic(*c).sim_block_time(1 << 20);
             let total = per.as_secs_f64() * blocks as f64;
             let rel = (total - expect[i]).abs() / expect[i];
-            assert!(rel < 0.25, "{}: {total:.1}s vs paper {}s", c.label(), expect[i]);
+            assert!(
+                rel < 0.25,
+                "{}: {total:.1}s vs paper {}s",
+                c.label(),
+                expect[i]
+            );
         }
     }
 

@@ -321,7 +321,10 @@ impl LjMd {
 
 /// Decode a positions slab produced by [`LjMd::positions_bytes`].
 pub fn decode_positions(bytes: &[u8]) -> Vec<[f64; 3]> {
-    assert!(bytes.len().is_multiple_of(24), "positions slab must be 24-byte atoms");
+    assert!(
+        bytes.len().is_multiple_of(24),
+        "positions slab must be 24-byte atoms"
+    );
     bytes
         .chunks_exact(24)
         .map(|c| {

@@ -1,9 +1,17 @@
 //! The consumer runtime module (Fig. 9): receiver thread + reader thread +
 //! (Preserve mode) output thread feeding a consumer buffer, behind the
 //! `Zipper.read()` API.
+//!
+//! Like the producer module, every thread records spans to the run's
+//! [`TraceSink`]: the receiver lane captures message-channel recv time,
+//! the reader lane captures PFS fetch time, and the application lane
+//! captures read-wait (blocked in `Zipper.read`) and analysis time (the
+//! step-marked gaps between reads). [`ConsumerMetrics`] time fields are
+//! derived from these lanes at [`Consumer::join`].
 
 use crate::buffer::BlockQueue;
 use crate::metrics::ConsumerMetrics;
+use crate::producer::record_wait;
 use crate::transport::{MeshReceiver, Wire};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -11,7 +19,31 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_pfs::Storage;
-use zipper_types::{Block, BlockId, Rank, Result, ZipperTuning};
+use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
+use zipper_types::{Block, BlockId, Rank, Result, RuntimeError, ZipperTuning};
+
+/// Lane label of consumer `rank`'s receiver thread.
+pub fn recv_lane(rank: Rank) -> String {
+    format!("ana/q{}/recv", rank.0)
+}
+
+/// Lane label of consumer `rank`'s PFS reader thread.
+pub fn reader_lane(rank: Rank) -> String {
+    format!("ana/q{}/fs", rank.0)
+}
+
+/// Lane label of consumer `rank`'s application (analysis) lane.
+pub fn analysis_lane(rank: Rank) -> String {
+    format!("ana/q{}/app", rank.0)
+}
+
+/// The application lane plus the step of the last delivered block, so the
+/// analysis gap between two reads can be attributed to the step that was
+/// being analyzed.
+struct AppLane {
+    rec: LaneRecorder,
+    step: u64,
+}
 
 /// Application-facing reader handle: the paper's
 /// `Zipper.read(block_id, data, block_size)`. Blocks are delivered in
@@ -21,17 +53,30 @@ use zipper_types::{Block, BlockId, Rank, Result, ZipperTuning};
 pub struct ZipperReader {
     queue: Arc<BlockQueue>,
     metrics: Arc<Mutex<ConsumerMetrics>>,
+    lane: Mutex<AppLane>,
 }
 
 impl ZipperReader {
     /// Fetch the next available block; `None` once every producer finished
     /// and all their blocks were delivered.
+    ///
+    /// Time blocked in here is recorded as a `ReadWait` span; the time
+    /// *since the previous call* is recorded as a step-marked `Analysis`
+    /// span — from the trace's point of view, whatever the application did
+    /// between reads was analyzing the previously delivered block.
     pub fn read(&self) -> Option<Block> {
+        let mut g = self.lane.lock();
+        let prev_step = g.step;
+        g.rec.close_gap(SpanKind::Analysis, prev_step);
         let (block, waited) = self.queue.pop();
-        let mut m = self.metrics.lock();
-        m.read_wait += waited;
-        if block.is_some() {
-            m.blocks_delivered += 1;
+        record_wait(&mut g.rec, SpanKind::ReadWait, waited);
+        match &block {
+            Some(b) => {
+                g.step = b.id().step.0;
+                g.rec.mark();
+                self.metrics.lock().blocks_delivered += 1;
+            }
+            None => g.rec.flush(), // end of stream: lane is complete
         }
         block
     }
@@ -44,26 +89,50 @@ impl ZipperReader {
 
 /// One consumer rank's runtime: owns receiver/reader/output threads.
 pub struct Consumer {
+    rank: Rank,
     queue: Arc<BlockQueue>,
     metrics: Arc<Mutex<ConsumerMetrics>>,
+    sink: TraceSink,
     closer: Option<JoinHandle<()>>,
     output: Option<JoinHandle<Result<()>>>,
     reader_taken: bool,
 }
 
 impl Consumer {
-    /// Spawn the runtime module for consumer `rank`.
-    ///
-    /// * `producers` — total number of producer ranks (for EOS counting).
-    /// * `mesh_rx` — this rank's endpoint of the message channel.
-    /// * `storage` — the PFS the reader thread fetches stolen blocks from
-    ///   and the output thread stores into (Preserve mode).
+    /// Spawn the runtime module for consumer `rank` with a private
+    /// totals-mode trace sink (stand-alone use; workflow runs share one
+    /// sink via [`Consumer::spawn_traced`]).
     pub fn spawn(
         rank: Rank,
         tuning: ZipperTuning,
         producers: usize,
         mesh_rx: MeshReceiver,
         storage: Arc<dyn Storage>,
+    ) -> Consumer {
+        Self::spawn_traced(
+            rank,
+            tuning,
+            producers,
+            mesh_rx,
+            storage,
+            TraceSink::default(),
+        )
+    }
+
+    /// Spawn the runtime module for consumer `rank`.
+    ///
+    /// * `producers` — total number of producer ranks (for EOS counting).
+    /// * `mesh_rx` — this rank's endpoint of the message channel.
+    /// * `storage` — the PFS the reader thread fetches stolen blocks from
+    ///   and the output thread stores into (Preserve mode).
+    /// * `sink` — the run's trace sink (shared by every rank of one run).
+    pub fn spawn_traced(
+        rank: Rank,
+        tuning: ZipperTuning,
+        producers: usize,
+        mesh_rx: MeshReceiver,
+        storage: Arc<dyn Storage>,
+        sink: TraceSink,
     ) -> Consumer {
         tuning.validate().expect("invalid tuning");
         assert!(producers > 0, "need at least one producer");
@@ -84,12 +153,13 @@ impl Consumer {
             let queue = queue.clone();
             let metrics = metrics.clone();
             let out_tx = out_tx.clone();
+            let mut rec = sink.recorder(recv_lane(rank));
             std::thread::Builder::new()
                 .name(format!("zipper-receiver-{rank}"))
-                .spawn(move || -> Result<()> {
+                .spawn(move || {
                     let mut eos: HashSet<Rank> = HashSet::new();
                     loop {
-                        match mesh_rx.recv() {
+                        match rec.time(SpanKind::Recv, || mesh_rx.recv()) {
                             Ok(Wire::Msg(m)) => {
                                 for id in m.on_disk {
                                     // Reader thread fetches these from the PFS.
@@ -103,7 +173,8 @@ impl Consumer {
                                         // (on_disk = false path of §4.2).
                                         let _ = out.send(b.clone());
                                     }
-                                    queue.push(b);
+                                    let stalled = queue.push(b);
+                                    record_wait(&mut rec, SpanKind::Stall, stalled);
                                 }
                             }
                             Ok(Wire::Eos(p)) => {
@@ -112,13 +183,18 @@ impl Consumer {
                                     break;
                                 }
                             }
-                            Err(e) => {
-                                metrics.lock().errors.push(e.to_string());
+                            Err(_) => {
+                                metrics
+                                    .lock()
+                                    .errors
+                                    .push(RuntimeError::ChannelDisconnected {
+                                        rank,
+                                        context: "message channel closed mid-stream",
+                                    });
                                 break;
                             }
                         }
                     }
-                    Ok(())
                 })
                 .expect("spawn receiver thread")
         };
@@ -128,19 +204,23 @@ impl Consumer {
             let queue = queue.clone();
             let metrics = metrics.clone();
             let storage = storage.clone();
+            let mut rec = sink.recorder(reader_lane(rank));
             std::thread::Builder::new()
                 .name(format!("zipper-reader-{rank}"))
-                .spawn(move || -> Result<()> {
+                .spawn(move || {
                     for id in ids_rx {
-                        match storage.get(id) {
+                        match rec.time(SpanKind::FsRead, || storage.get(id)) {
                             Ok(b) => {
                                 metrics.lock().blocks_disk += 1;
-                                queue.push(b);
+                                let stalled = queue.push(b);
+                                record_wait(&mut rec, SpanKind::Stall, stalled);
                             }
-                            Err(e) => metrics.lock().errors.push(e.to_string()),
+                            Err(e) => metrics.lock().errors.push(RuntimeError::BlockFetchFailed {
+                                rank,
+                                detail: e.to_string(),
+                            }),
                         }
                     }
-                    Ok(())
                 })
                 .expect("spawn reader thread")
         };
@@ -149,11 +229,12 @@ impl Consumer {
         // network-delivered blocks.
         let output = out_rx.map(|rx| {
             let metrics = metrics.clone();
+            let mut rec = sink.recorder(format!("ana/q{}/out", rank.0));
             std::thread::Builder::new()
                 .name(format!("zipper-output-{rank}"))
                 .spawn(move || -> Result<()> {
                     for b in rx {
-                        storage.put(&b)?;
+                        rec.time(SpanKind::FsWrite, || storage.put(&b))?;
                         metrics.lock().blocks_stored += 1;
                     }
                     Ok(())
@@ -166,24 +247,21 @@ impl Consumer {
         // seen all EOS *and* the reader drained every announced ID.
         let closer = {
             let queue = queue.clone();
-            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name(format!("zipper-closer-{rank}"))
                 .spawn(move || {
-                    if let Err(e) = receiver.join().expect("receiver panicked") {
-                        metrics.lock().errors.push(e.to_string());
-                    }
-                    if let Err(e) = reader.join().expect("reader panicked") {
-                        metrics.lock().errors.push(e.to_string());
-                    }
+                    receiver.join().expect("receiver panicked");
+                    reader.join().expect("reader panicked");
                     queue.close();
                 })
                 .expect("spawn closer thread")
         };
 
         Consumer {
+            rank,
             queue,
             metrics,
+            sink,
             closer: Some(closer),
             output,
             reader_taken: false,
@@ -194,16 +272,22 @@ impl Consumer {
     pub fn reader(&mut self) -> ZipperReader {
         assert!(!self.reader_taken, "reader handle already taken");
         self.reader_taken = true;
+        let mut rec = self.sink.recorder(analysis_lane(self.rank));
+        // Arm the analysis-gap marker: time from here to the first read is
+        // the analysis setup attributed to step 0.
+        rec.mark();
         ZipperReader {
             queue: self.queue.clone(),
             metrics: self.metrics.clone(),
+            lane: Mutex::new(AppLane { rec, step: 0 }),
         }
     }
 
-    /// Join the runtime threads and return this rank's metrics. The
-    /// application must have drained its [`ZipperReader`] first (reads
-    /// until `None`), otherwise delivery backpressure can block the
-    /// runtime threads forever.
+    /// Join the runtime threads and return this rank's metrics, with the
+    /// time fields derived from the rank's trace lanes. The application
+    /// must have drained its [`ZipperReader`] first (reads until `None` —
+    /// which also flushes the analysis lane), otherwise delivery
+    /// backpressure can block the runtime threads forever.
     pub fn join(mut self) -> Result<ConsumerMetrics> {
         if let Some(h) = self.closer.take() {
             h.join().expect("closer thread panicked");
@@ -211,7 +295,11 @@ impl Consumer {
         if let Some(h) = self.output.take() {
             h.join().expect("output thread panicked")?;
         }
-        Ok(self.metrics.lock().clone())
+        let mut m = self.metrics.lock().clone();
+        m.recv = self.sink.lane_totals(&recv_lane(self.rank));
+        m.disk = self.sink.lane_totals(&reader_lane(self.rank));
+        m.app = self.sink.lane_totals(&analysis_lane(self.rank));
+        Ok(m)
     }
 }
 
@@ -243,7 +331,12 @@ mod tests {
         n_blocks: u32,
         block_len: usize,
         producer_delay: Option<std::time::Duration>,
-    ) -> (Vec<BlockId>, crate::metrics::ProducerMetrics, ConsumerMetrics, Arc<MemFs>) {
+    ) -> (
+        Vec<BlockId>,
+        crate::metrics::ProducerMetrics,
+        ConsumerMetrics,
+        Arc<MemFs>,
+    ) {
         let inbox = if throttle.is_some() { 2 } else { 64 };
         let mut mesh = ChannelMesh::new(1, inbox);
         if let Some(bw) = throttle {
@@ -251,13 +344,7 @@ mod tests {
         }
         let storage = Arc::new(MemFs::new());
         let t = tuning(preserve, concurrent);
-        let mut cons = Consumer::spawn(
-            Rank(0),
-            t,
-            1,
-            mesh.take_receiver(Rank(0)),
-            storage.clone(),
-        );
+        let mut cons = Consumer::spawn(Rank(0), t, 1, mesh.take_receiver(Rank(0)), storage.clone());
         let reader = cons.reader();
         let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage.clone());
         let writer = prod.writer(block_len);
@@ -297,8 +384,14 @@ mod tests {
 
     #[test]
     fn every_block_delivered_exactly_once_fast_network() {
-        let (mut got, pm, cm, storage) =
-            run_pipeline(PreserveMode::NoPreserve, true, None, 50, 512, Some(std::time::Duration::from_micros(300)));
+        let (mut got, pm, cm, storage) = run_pipeline(
+            PreserveMode::NoPreserve,
+            true,
+            None,
+            50,
+            512,
+            Some(std::time::Duration::from_micros(300)),
+        );
         got.sort();
         got.dedup();
         assert_eq!(got.len(), 50);
@@ -307,6 +400,10 @@ mod tests {
         assert!(cm.errors.is_empty(), "{:?}", cm.errors);
         // Fast network: nothing needed the file path, nothing persisted.
         assert_eq!(storage.len(), 0);
+        // The consumer spent time waiting for the compute-bound producer,
+        // and that wait is visible through the derived view.
+        assert!(cm.read_wait() > std::time::Duration::ZERO);
+        assert!(cm.recv_busy() > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -320,6 +417,10 @@ mod tests {
         assert!(pm.blocks_stolen > 0, "expected file-path traffic");
         assert_eq!(cm.blocks_disk, pm.blocks_stolen);
         assert_eq!(cm.blocks_net, pm.blocks_sent);
+        assert!(
+            cm.disk_busy() > std::time::Duration::ZERO,
+            "fetches are timed"
+        );
     }
 
     #[test]
@@ -338,7 +439,8 @@ mod tests {
 
     #[test]
     fn no_preserve_without_stealing_keeps_pfs_empty() {
-        let (_, pm, _, storage) = run_pipeline(PreserveMode::NoPreserve, false, None, 25, 256, None);
+        let (_, pm, _, storage) =
+            run_pipeline(PreserveMode::NoPreserve, false, None, 25, 256, None);
         assert_eq!(pm.blocks_stolen, 0);
         assert_eq!(storage.len(), 0);
     }
@@ -420,13 +522,8 @@ mod tests {
         let t = tuning(PreserveMode::NoPreserve, false);
         let readers: Vec<_> = (0..2)
             .map(|q| {
-                let mut c = Consumer::spawn(
-                    Rank(q),
-                    t,
-                    2,
-                    mesh.take_receiver(Rank(q)),
-                    storage.clone(),
-                );
+                let mut c =
+                    Consumer::spawn(Rank(q), t, 2, mesh.take_receiver(Rank(q)), storage.clone());
                 let r = c.reader();
                 (
                     std::thread::spawn(move || {
@@ -463,5 +560,54 @@ mod tests {
             assert!(srcs.iter().all(|s| s.idx() % 2 == q));
             c.join().unwrap();
         }
+    }
+
+    #[test]
+    fn shared_full_sink_sees_analysis_spans() {
+        use zipper_trace::{TraceMode, TraceSink};
+        let sink = TraceSink::wall(TraceMode::Full);
+        let mesh = ChannelMesh::new(1, 64);
+        let storage: Arc<MemFs> = Arc::new(MemFs::new());
+        let t = tuning(PreserveMode::NoPreserve, false);
+        let mut cons = Consumer::spawn_traced(
+            Rank(1),
+            t,
+            1,
+            mesh.take_receiver(Rank(0)),
+            storage.clone(),
+            sink.clone(),
+        );
+        let reader = cons.reader();
+        let mut prod = Producer::spawn_traced(Rank(0), t, mesh.sender(), storage, sink.clone());
+        let w = prod.writer(256);
+        for s in 0..3u64 {
+            let id = BlockId::new(Rank(0), StepId(s), 0);
+            w.write(Block::from_payload(
+                Rank(0),
+                StepId(s),
+                0,
+                1,
+                GlobalPos::default(),
+                deterministic_payload(id, 256),
+            ));
+        }
+        w.finish();
+        while reader.read().is_some() {}
+        prod.join().unwrap();
+        let cm = cons.join().unwrap();
+        assert_eq!(cm.blocks_delivered, 3);
+        let log = sink.snapshot();
+        let app = log.lane_by_label("ana/q1/app").expect("analysis lane");
+        let analysis: Vec<u64> = log
+            .lane_spans(app)
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .map(|s| s.step)
+            .collect();
+        // The gap before read k is attributed to the previously delivered
+        // step; the first gap (reader setup) is attributed to step 0.
+        assert_eq!(analysis, vec![0, 0, 1, 2]);
+        assert!(log.lane_by_label("ana/q1/recv").is_some());
+        assert!(log.lane_by_label("sim/p0/app").is_some());
     }
 }

@@ -34,5 +34,7 @@ pub use buffer::BlockQueue;
 pub use consumer::{Consumer, ZipperReader};
 pub use metrics::{ConsumerMetrics, ProducerMetrics};
 pub use producer::{Producer, ZipperWriter};
-pub use transport::{ChannelMesh, MeshReceiver, MeshSender, Wire, WireSender};
-pub use transport_tcp::{listen_consumers, TcpSender};
+pub use transport::{ChannelMesh, MeshReceiver, MeshSender, TracedSender, Wire, WireSender};
+pub use transport_tcp::{
+    decode_wire, encode_wire, listen_consumers, listen_consumers_traced, TcpSender, MAX_FRAME,
+};

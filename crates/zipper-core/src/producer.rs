@@ -1,5 +1,12 @@
 //! The producer runtime module (Fig. 8): producer buffer + sender thread +
 //! work-stealing writer thread, behind the `Zipper.write()` API.
+//!
+//! Every thread of the module records spans to the run's
+//! [`TraceSink`]: the application lane captures compute (the gaps
+//! between `write` calls, step-marked) and stall (blocked on a full
+//! buffer), the sender lane captures send/idle, and the writer lane
+//! captures fs-write/idle. The per-rank [`ProducerMetrics`] time fields
+//! are views over these lanes, derived at [`Producer::join`].
 
 use crate::buffer::BlockQueue;
 use crate::metrics::ProducerMetrics;
@@ -8,16 +15,31 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
-use zipper_pfs::Storage;
+use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
 use zipper_types::{
-    Block, BlockId, GlobalPos, MixedMessage, Rank, Result, RoutingPolicy, StepId, ZipperTuning,
+    Block, BlockId, GlobalPos, MixedMessage, Rank, Result, RoutingPolicy, RuntimeError, SimTime,
+    StepId, ZipperTuning,
 };
 
 /// Pending on-disk block IDs, bucketed by destination consumer. The writer
 /// thread fills these; the sender thread piggybacks them onto its next
 /// message to that consumer (the paper's "mixed messages").
 type PendingIds = Arc<Mutex<Vec<Vec<BlockId>>>>;
+
+/// Lane label of producer `rank`'s application (compute) lane.
+pub fn app_lane(rank: Rank) -> String {
+    format!("sim/p{}/app", rank.0)
+}
+
+/// Lane label of producer `rank`'s sender thread.
+pub fn sender_lane(rank: Rank) -> String {
+    format!("sim/p{}/send", rank.0)
+}
+
+/// Lane label of producer `rank`'s work-stealing writer thread.
+pub fn writer_lane(rank: Rank) -> String {
+    format!("sim/p{}/fs", rank.0)
+}
 
 /// Shutdown handshake between the writer and sender threads: at
 /// end-of-stream the sender must not flush the pending-ID buckets (and
@@ -44,6 +66,15 @@ impl WriterDone {
     }
 }
 
+/// Record a wait that ended "now" and lasted `waited` as a span of `kind`.
+pub(crate) fn record_wait(rec: &mut LaneRecorder, kind: SpanKind, waited: std::time::Duration) {
+    if rec.enabled() && !waited.is_zero() {
+        let t1 = rec.now();
+        let t0 = t1.saturating_sub(SimTime::from_nanos(waited.as_nanos() as u64));
+        rec.record(kind, t0, t1);
+    }
+}
+
 /// Application-facing writer handle: the paper's
 /// `Zipper.write(block_id, data, block_size)`.
 pub struct ZipperWriter {
@@ -52,6 +83,9 @@ pub struct ZipperWriter {
     consumers: usize,
     block_size: usize,
     metrics: Arc<Mutex<ProducerMetrics>>,
+    /// The application lane. Guarded by a (uncontended) mutex only so the
+    /// handle stays usable behind `&self`, matching the paper's API shape.
+    recorder: Mutex<LaneRecorder>,
 }
 
 impl ZipperWriter {
@@ -62,11 +96,20 @@ impl ZipperWriter {
 
     /// Hand one pre-built fine-grain block to the runtime. Blocks while the
     /// producer buffer is full — that time is recorded as simulation stall.
+    ///
+    /// The time *between* runtime calls is recorded as a step-marked
+    /// compute span: from the trace's point of view, whatever the
+    /// application did since it last handed over a block is simulation
+    /// compute.
     pub fn write(&self, block: Block) {
+        let step = block.id().step.0;
+        let mut rec = self.recorder.lock();
+        rec.close_gap(SpanKind::Compute, step);
         let stall = self.queue.push(block);
-        let mut m = self.metrics.lock();
-        m.blocks_written += 1;
-        m.stall += stall;
+        record_wait(&mut rec, SpanKind::Stall, stall);
+        rec.mark();
+        drop(rec);
+        self.metrics.lock().blocks_written += 1;
     }
 
     /// Split one step's output slab into fine-grain blocks of the
@@ -94,10 +137,11 @@ impl ZipperWriter {
     }
 
     /// Finish the stream: close the producer buffer so the sender and
-    /// writer threads drain and exit. Call exactly once, after the last
-    /// `write`.
+    /// writer threads drain and exit, and flush this lane's spans into the
+    /// trace. Call exactly once, after the last `write`.
     pub fn finish(self) {
         self.queue.close();
+        // Dropping `self` flushes the lane recorder.
     }
 }
 
@@ -107,12 +151,25 @@ pub struct Producer {
     queue: Arc<BlockQueue>,
     consumers: usize,
     metrics: Arc<Mutex<ProducerMetrics>>,
+    sink: TraceSink,
     sender_thread: Option<JoinHandle<Result<()>>>,
     writer_thread: Option<JoinHandle<Result<()>>>,
     writer_taken: bool,
 }
 
 impl Producer {
+    /// Spawn the runtime module for producer `rank` with a private
+    /// totals-mode trace sink (stand-alone use; workflow runs share one
+    /// sink via [`Producer::spawn_traced`]).
+    pub fn spawn(
+        rank: Rank,
+        tuning: ZipperTuning,
+        mesh: impl WireSender + 'static,
+        storage: Arc<dyn zipper_pfs::Storage>,
+    ) -> Producer {
+        Self::spawn_traced(rank, tuning, mesh, storage, TraceSink::default())
+    }
+
     /// Spawn the runtime module for producer `rank`.
     ///
     /// * `tuning` — buffer capacity, high-water mark, routing, dual-channel
@@ -120,11 +177,14 @@ impl Producer {
     /// * `mesh` — the message channel toward the consumers.
     /// * `storage` — the PFS used by the work-stealing writer thread
     ///   (ignored when `tuning.concurrent_transfer` is off).
-    pub fn spawn(
+    /// * `sink` — the run's trace sink; all lanes of all ranks of one run
+    ///   should share one sink so their spans share a time axis.
+    pub fn spawn_traced(
         rank: Rank,
         tuning: ZipperTuning,
         mesh: impl WireSender + 'static,
-        storage: Arc<dyn Storage>,
+        storage: Arc<dyn zipper_pfs::Storage>,
+        sink: TraceSink,
     ) -> Producer {
         tuning.validate().expect("invalid tuning");
         let consumers = mesh.consumers();
@@ -140,12 +200,13 @@ impl Producer {
             let hwm = tuning.high_water_mark;
             let routing = tuning.routing;
             let done = writer_done.clone();
+            let rec = sink.recorder(writer_lane(rank));
             Some(
                 std::thread::Builder::new()
                     .name(format!("zipper-writer-{rank}"))
                     .spawn(move || {
                         let r = writer_loop(
-                            rank, queue, storage, pending, metrics, hwm, routing, consumers,
+                            rank, queue, storage, pending, metrics, hwm, routing, consumers, rec,
                         );
                         done.signal();
                         r
@@ -161,12 +222,21 @@ impl Producer {
             let queue = queue.clone();
             let metrics = metrics.clone();
             let routing = tuning.routing;
+            let rec = sink.recorder(sender_lane(rank));
             Some(
                 std::thread::Builder::new()
                     .name(format!("zipper-sender-{rank}"))
                     .spawn(move || {
                         sender_loop(
-                            rank, queue, mesh, pending, metrics, routing, consumers, writer_done,
+                            rank,
+                            queue,
+                            mesh,
+                            pending,
+                            metrics,
+                            routing,
+                            consumers,
+                            writer_done,
+                            rec,
                         )
                     })
                     .expect("spawn sender thread"),
@@ -178,6 +248,7 @@ impl Producer {
             queue,
             consumers,
             metrics,
+            sink,
             sender_thread,
             writer_thread,
             writer_taken: false,
@@ -189,18 +260,25 @@ impl Producer {
         assert!(!self.writer_taken, "writer handle already taken");
         assert!(block_size > 0, "block size must be positive");
         self.writer_taken = true;
+        let mut recorder = self.sink.recorder(app_lane(self.rank));
+        // Arm the compute-gap marker: time from here to the first write is
+        // the first step's compute.
+        recorder.mark();
         ZipperWriter {
             rank: self.rank,
             queue: self.queue.clone(),
             consumers: self.consumers,
             block_size,
             metrics: self.metrics.clone(),
+            recorder: Mutex::new(recorder),
         }
     }
 
-    /// Join the runtime threads and return this rank's metrics. The
+    /// Join the runtime threads and return this rank's metrics, with the
+    /// time fields derived from the rank's trace lanes. The
     /// [`ZipperWriter`] must have been finished first, otherwise the
-    /// threads never exit and this blocks forever.
+    /// threads never exit and this blocks forever (finishing also flushes
+    /// the application lane, making the derived view complete).
     pub fn join(mut self) -> Result<ProducerMetrics> {
         if let Some(h) = self.sender_thread.take() {
             h.join().expect("sender thread panicked")?;
@@ -208,7 +286,11 @@ impl Producer {
         if let Some(h) = self.writer_thread.take() {
             h.join().expect("writer thread panicked")?;
         }
-        Ok(self.metrics.lock().clone())
+        let mut m = self.metrics.lock().clone();
+        m.app = self.sink.lane_totals(&app_lane(self.rank));
+        m.sender = self.sink.lane_totals(&sender_lane(self.rank));
+        m.writer = self.sink.lane_totals(&writer_lane(self.rank));
+        Ok(m)
     }
 }
 
@@ -237,24 +319,24 @@ fn sender_loop(
     routing: RoutingPolicy,
     consumers: usize,
     writer_done: Arc<WriterDone>,
+    mut rec: LaneRecorder,
 ) -> Result<()> {
     let mut rr_counter = 0u64;
     loop {
         let (block, idle) = queue.pop();
-        metrics.lock().send_idle += idle;
+        record_wait(&mut rec, SpanKind::Idle, idle);
         let Some(block) = block else { break };
         let dest = route(routing, block.id(), &mut rr_counter, consumers);
         let on_disk = std::mem::take(&mut pending.lock()[dest.idx()]);
         let bytes = block.header.len;
-        let n_disk = on_disk.len() as u64;
-        let msg = MixedMessage { data: Some(block), on_disk };
-        let t0 = Instant::now();
-        mesh.send(dest, Wire::Msg(msg))?;
+        let msg = MixedMessage {
+            data: Some(block),
+            on_disk,
+        };
+        rec.time(SpanKind::Send, || mesh.send(dest, Wire::Msg(msg)))?;
         let mut m = metrics.lock();
-        m.send_busy += t0.elapsed();
         m.blocks_sent += 1;
         m.bytes_sent += bytes;
-        let _ = n_disk;
     }
     // End of stream. The writer may still be storing its final stolen
     // block: wait for it to retire before flushing, so every on-disk ID is
@@ -281,14 +363,15 @@ fn sender_loop(
 /// IDs for the sender to piggyback.
 #[allow(clippy::too_many_arguments)]
 fn writer_loop(
-    _rank: Rank,
+    rank: Rank,
     queue: Arc<BlockQueue>,
-    storage: Arc<dyn Storage>,
+    storage: Arc<dyn zipper_pfs::Storage>,
     pending: PendingIds,
     metrics: Arc<Mutex<ProducerMetrics>>,
     hwm: usize,
     routing: RoutingPolicy,
     consumers: usize,
+    mut rec: LaneRecorder,
 ) -> Result<()> {
     // The writer's routing must agree with the sender's for SourceAffine;
     // for RoundRobin stolen blocks get their own rotation (any consumer is
@@ -296,25 +379,24 @@ fn writer_loop(
     let mut rr_counter = 0u64;
     loop {
         let (block, idle) = queue.steal(hwm);
-        metrics.lock().fs_idle += idle;
+        record_wait(&mut rec, SpanKind::Idle, idle);
         let Some(block) = block else { break };
-        let t0 = Instant::now();
-        if let Err(e) = storage.put(&block) {
+        let stored = rec.time(SpanKind::FsWrite, || storage.put(&block));
+        if let Err(e) = stored {
             // PFS failure: no data is lost — the stolen block goes back to
             // the producer buffer for the message path, and the writer
             // thread retires, degrading the runtime to
             // message-passing-only for the rest of the run.
             queue.push(block);
-            metrics
-                .lock()
-                .errors
-                .push(format!("writer thread retired after PFS failure: {e}"));
+            metrics.lock().errors.push(RuntimeError::WriterRetired {
+                rank,
+                detail: e.to_string(),
+            });
             return Ok(());
         }
         let dest = route(routing, block.id(), &mut rr_counter, consumers);
         pending.lock()[dest.idx()].push(block.id());
         let mut m = metrics.lock();
-        m.fs_busy += t0.elapsed();
         m.blocks_stolen += 1;
         m.bytes_stolen += block.header.len;
     }
@@ -325,7 +407,8 @@ fn writer_loop(
 mod tests {
     use super::*;
     use crate::transport::ChannelMesh;
-    use zipper_pfs::MemFs;
+    use zipper_pfs::{MemFs, Storage};
+    use zipper_trace::TraceMode;
     use zipper_types::block::deterministic_payload;
     use zipper_types::{ByteSize, PreserveMode};
 
@@ -402,8 +485,7 @@ mod tests {
     fn slow_network_triggers_stealing_and_ids_arrive() {
         // Tiny inbox + throttled mesh: the sender cannot keep up, the
         // buffer fills past the high-water mark, the writer steals.
-        let mesh = ChannelMesh::new(1, 1)
-            .with_throttle(0.5e6, std::time::Duration::ZERO); // 0.5 MB/s
+        let mesh = ChannelMesh::new(1, 1).with_throttle(0.5e6, std::time::Duration::ZERO); // 0.5 MB/s
         let storage = Arc::new(MemFs::new());
         let mut prod = Producer::spawn(Rank(0), tuning(true), mesh.sender(), storage.clone());
         let writer = prod.writer(4096);
@@ -430,6 +512,10 @@ mod tests {
         for id in disk {
             assert!(storage.contains(id));
         }
+        // The derived views are live: the writer thread's fs-write time
+        // and the sender's send time came from the trace lanes.
+        assert!(metrics.fs_busy() > std::time::Duration::ZERO);
+        assert!(metrics.send_busy() > std::time::Duration::ZERO);
     }
 
     #[test]
@@ -488,5 +574,38 @@ mod tests {
         prod.join().unwrap();
         assert_eq!(c0.join().unwrap(), 5);
         assert_eq!(c1.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn shared_full_sink_collects_step_marked_spans() {
+        let sink = TraceSink::wall(TraceMode::Full);
+        let mesh = ChannelMesh::new(1, 64);
+        let storage = Arc::new(MemFs::new());
+        let mut prod =
+            Producer::spawn_traced(Rank(3), tuning(false), mesh.sender(), storage, sink.clone());
+        let writer = prod.writer(4096);
+        let collector = collect_rank0(&mesh, 1);
+        for s in 0..4u64 {
+            writer.write_slab(
+                StepId(s),
+                GlobalPos::default(),
+                Bytes::from(vec![1u8; 4096]),
+            );
+        }
+        writer.finish();
+        prod.join().unwrap();
+        collector.join().unwrap();
+        let log = sink.snapshot();
+        let app = log.lane_by_label("sim/p3/app").expect("app lane");
+        let spans = log.lane_spans(app);
+        assert!(!spans.is_empty());
+        // One step-marked compute span per write.
+        let steps: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Compute)
+            .map(|s| s.step)
+            .collect();
+        assert_eq!(steps, vec![0, 1, 2, 3]);
+        assert!(log.lane_by_label("sim/p3/send").is_some());
     }
 }

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
 use zipper_types::{Error, MixedMessage, Rank, Result};
 
 /// What travels on the wire: mixed messages, or an end-of-stream marker
@@ -216,6 +217,49 @@ impl Clone for MeshSender {
     }
 }
 
+impl WireSender for Box<dyn WireSender> {
+    fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        (**self).send(to, wire)
+    }
+
+    fn consumers(&self) -> usize {
+        (**self).consumers()
+    }
+}
+
+/// A [`WireSender`] adapter that records every outgoing wire as a `Send`
+/// span on a dedicated network lane (e.g. `net/p0`). The workflow driver
+/// wraps each producer's mesh endpoint with one of these in full-trace
+/// mode, which makes wire time its own row on the rendered timeline —
+/// distinct from the sender *thread*'s lane, whose `Send` spans also
+/// include routing and pending-ID bookkeeping.
+pub struct TracedSender<S> {
+    inner: S,
+    rec: Mutex<LaneRecorder>,
+}
+
+impl<S: WireSender> TracedSender<S> {
+    /// Wrap `inner`, recording its sends on the sink lane `label`.
+    pub fn new(inner: S, sink: &TraceSink, label: impl Into<String>) -> Self {
+        TracedSender {
+            inner,
+            rec: Mutex::new(sink.recorder(label)),
+        }
+    }
+}
+
+impl<S: WireSender> WireSender for TracedSender<S> {
+    fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        self.rec
+            .lock()
+            .time(SpanKind::Send, || self.inner.send(to, wire))
+    }
+
+    fn consumers(&self) -> usize {
+        self.inner.consumers()
+    }
+}
+
 /// Consumer-side endpoint: receives wires for one rank.
 pub struct MeshReceiver {
     rx: Receiver<Wire>,
@@ -305,6 +349,25 @@ mod tests {
         let t0 = Instant::now();
         s.send(Rank(0), Wire::Msg(msg(0, 1_000_000))).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn traced_sender_records_wire_spans() {
+        use zipper_trace::TraceMode;
+        let (sink, clock) = TraceSink::virtual_clock(TraceMode::Full);
+        let mesh = ChannelMesh::new(1, 8);
+        let rx = mesh.take_receiver(Rank(0));
+        let traced = TracedSender::new(mesh.sender(), &sink, "net/p0");
+        clock.advance(zipper_types::SimTime::from_millis(1));
+        traced.send(Rank(0), Wire::Msg(msg(0, 64))).unwrap();
+        traced.broadcast_eos(Rank(0)).unwrap();
+        drop(traced); // flush the net lane
+        assert!(matches!(rx.recv().unwrap(), Wire::Msg(_)));
+        let log = sink.snapshot();
+        let lane = log.lane_by_label("net/p0").expect("net lane");
+        let spans = log.lane_spans(lane);
+        assert_eq!(spans.len(), 2, "one span per wire");
+        assert!(spans.iter().all(|s| s.kind == SpanKind::Send));
     }
 
     #[test]

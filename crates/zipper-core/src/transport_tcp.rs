@@ -25,7 +25,15 @@ use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use zipper_trace::{SpanKind, TraceSink};
 use zipper_types::{Block, BlockHeader, BlockId, Error, GlobalPos, MixedMessage, Rank, Result};
+
+/// Upper bound on a single frame body. A length prefix is attacker- (or
+/// corruption-) controlled input: without a cap, a flipped bit in the
+/// 8-byte prefix would make the reader allocate and zero an arbitrary
+/// amount of memory before the first payload byte arrives. 1 GiB is far
+/// above any real mixed message (block payloads are megabytes).
+pub const MAX_FRAME: usize = 1 << 30;
 
 /// Encode one wire into its frame body (without the length prefix).
 pub fn encode_wire(wire: &Wire) -> Vec<u8> {
@@ -65,10 +73,11 @@ pub fn decode_wire(body: &[u8]) -> Result<Wire> {
     let bad = |what: &str| Error::Storage(format!("malformed TCP frame: {what}"));
     let mut at = 0usize;
     let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
-        let s = body
-            .get(*at..*at + n)
-            .ok_or_else(|| bad("truncated"))?;
-        *at += n;
+        // checked_add: `n` can be a hostile 64-bit length; `at + n` must
+        // not wrap around and alias an earlier slice.
+        let end = at.checked_add(n).ok_or_else(|| bad("truncated"))?;
+        let s = body.get(*at..end).ok_or_else(|| bad("truncated"))?;
+        *at = end;
         Ok(s)
     };
     let kind = *take(&mut at, 1)?.first().unwrap();
@@ -79,6 +88,13 @@ pub fn decode_wire(body: &[u8]) -> Result<Wire> {
         }
         0 => {
             let n_ids = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
+            // The count is attacker-controlled: every ID takes 8 body
+            // bytes, so a count the remaining body cannot hold is
+            // malformed — reject it *before* sizing the Vec, otherwise a
+            // 4-byte prefix could demand a 32 GiB allocation.
+            if n_ids.saturating_mul(8) > body.len().saturating_sub(at) {
+                return Err(bad("id count exceeds frame"));
+            }
             let mut on_disk = Vec::with_capacity(n_ids);
             for _ in 0..n_ids {
                 let key = u64::from_le_bytes(take(&mut at, 8)?.try_into().unwrap());
@@ -129,11 +145,11 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Wire>> {
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
     }
-    let len = u64::from_le_bytes(len_buf) as usize;
-    const MAX_FRAME: usize = 1 << 30;
-    if len > MAX_FRAME {
+    let len = u64::from_le_bytes(len_buf);
+    if len > MAX_FRAME as u64 {
         return Err(Error::Storage(format!("oversized TCP frame ({len} bytes)")));
     }
+    let len = len as usize;
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     decode_wire(&body).map(Some)
@@ -150,6 +166,18 @@ pub fn listen_consumers(
     consumers: usize,
     producers: usize,
 ) -> Result<(Vec<SocketAddr>, Vec<MeshReceiver>)> {
+    listen_consumers_traced(consumers, producers, &TraceSink::off())
+}
+
+/// [`listen_consumers`] with wire-level tracing: every frame decoded off a
+/// socket is recorded as a `Recv` span on lane `net/q{rank}` of `sink`
+/// (all connections of one consumer share the lane label, so their spans
+/// merge into one timeline row).
+pub fn listen_consumers_traced(
+    consumers: usize,
+    producers: usize,
+    sink: &TraceSink,
+) -> Result<(Vec<SocketAddr>, Vec<MeshReceiver>)> {
     assert!(consumers > 0 && producers > 0);
     let mut addrs = Vec::with_capacity(consumers);
     let mut receivers = Vec::with_capacity(consumers);
@@ -157,6 +185,7 @@ pub fn listen_consumers(
         let listener = TcpListener::bind("127.0.0.1:0")?;
         addrs.push(listener.local_addr()?);
         let (tx, rx) = unbounded();
+        let sink = sink.clone();
         std::thread::Builder::new()
             .name(format!("zipper-tcp-accept-{q}"))
             .spawn(move || {
@@ -165,12 +194,13 @@ pub fn listen_consumers(
                         return;
                     };
                     let tx = tx.clone();
+                    let mut rec = sink.recorder(format!("net/q{q}"));
                     std::thread::Builder::new()
                         .name("zipper-tcp-read".into())
                         .spawn(move || {
                             let mut stream = stream;
                             loop {
-                                match read_frame(&mut stream) {
+                                match rec.time(SpanKind::Recv, || read_frame(&mut stream)) {
                                     Ok(Some(wire)) => {
                                         if tx.send(wire).is_err() {
                                             return;
@@ -269,9 +299,30 @@ mod tests {
         assert!(decode_wire(&[]).is_err());
         assert!(decode_wire(&[9]).is_err()); // unknown kind
         assert!(decode_wire(&[1, 0]).is_err()); // truncated eos
-        // Valid message with trailing garbage.
+                                                // Valid message with trailing garbage.
         let mut body = encode_wire(&Wire::Eos(Rank(1)));
         body[0] = 0; // claim it's a Msg -> structure no longer matches
+        assert!(decode_wire(&body).is_err());
+    }
+
+    #[test]
+    fn hostile_id_count_rejected_without_allocation() {
+        // kind=Msg, n_ids = u32::MAX: claims ~32 GiB of IDs in a 5-byte
+        // body. Must fail fast instead of pre-allocating.
+        let body = [0u8, 0xFF, 0xFF, 0xFF, 0xFF];
+        let err = decode_wire(&body).unwrap_err();
+        assert!(err.to_string().contains("id count"), "{err}");
+    }
+
+    #[test]
+    fn hostile_payload_length_rejected() {
+        // A data block claiming a u64::MAX payload length: `take` must
+        // not overflow its cursor arithmetic.
+        let mut body = vec![0u8]; // Msg
+        body.extend_from_slice(&0u32.to_le_bytes()); // no ids
+        body.push(1); // has_data
+        body.extend_from_slice(&[0u8; 8 * 4 + 4]); // id, pos xyz, blocks_in_step
+        body.extend_from_slice(&u64::MAX.to_le_bytes()); // payload len
         assert!(decode_wire(&body).is_err());
     }
 
@@ -281,7 +332,10 @@ mod tests {
         let sender = TcpSender::connect(&addrs).unwrap();
         assert_eq!(WireSender::consumers(&sender), 2);
         sender
-            .send(Rank(0), Wire::Msg(MixedMessage::data_only(sample_block(1000))))
+            .send(
+                Rank(0),
+                Wire::Msg(MixedMessage::data_only(sample_block(1000))),
+            )
             .unwrap();
         sender.send(Rank(1), Wire::Eos(Rank(7))).unwrap();
         match receivers[0].recv().unwrap() {

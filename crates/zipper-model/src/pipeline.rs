@@ -45,10 +45,7 @@ pub fn integrated_time(n_blocks: u64, stage_times: &[SimTime]) -> SimTime {
 
 /// Full schedule of the integrated pipeline: for each block, the
 /// `(start, finish)` of every stage. Used to *draw* Fig. 11.
-pub fn pipeline_schedule(
-    n_blocks: u64,
-    stage_times: &[SimTime],
-) -> Vec<Vec<(SimTime, SimTime)>> {
+pub fn pipeline_schedule(n_blocks: u64, stage_times: &[SimTime]) -> Vec<Vec<(SimTime, SimTime)>> {
     assert!(!stage_times.is_empty(), "need at least one stage");
     let k = stage_times.len();
     let mut rows = Vec::with_capacity(n_blocks as usize);
@@ -93,8 +90,7 @@ mod tests {
         for n in [1u64, 2, 7, 100] {
             let dp = integrated_time(n, &stages);
             let closed = SimTime::from_nanos(
-                stages.iter().map(|t| t.as_nanos()).sum::<u64>()
-                    + (n - 1) * ms(5).as_nanos(),
+                stages.iter().map(|t| t.as_nanos()).sum::<u64>() + (n - 1) * ms(5).as_nanos(),
             );
             assert_eq!(dp, closed, "n={n}");
         }

@@ -147,8 +147,8 @@ impl OstModel {
     /// per-request jitter.
     fn effective_bandwidth(&mut self) -> f64 {
         let jitter = (self.next_unit() * 2.0 - 1.0) * self.cfg.background_jitter;
-        let load = (self.cfg.background_load * self.run_load_scale * (1.0 + jitter))
-            .clamp(0.0, 0.98);
+        let load =
+            (self.cfg.background_load * self.run_load_scale * (1.0 + jitter)).clamp(0.0, 0.98);
         self.cfg.ost_bandwidth * (1.0 - load)
     }
 

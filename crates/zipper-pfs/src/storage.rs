@@ -60,8 +60,7 @@ impl MemFs {
 
 impl Storage for MemFs {
     fn put(&self, block: &Block) -> Result<()> {
-        self.written
-            .fetch_add(block.header.len, Ordering::Relaxed);
+        self.written.fetch_add(block.header.len, Ordering::Relaxed);
         self.map.write().insert(block.id().as_u64(), block.clone());
         Ok(())
     }

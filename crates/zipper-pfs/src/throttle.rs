@@ -120,10 +120,7 @@ impl<S: Storage> FailingFs<S> {
     }
 
     fn maybe_fail(&self, what: &str) -> zipper_types::Result<()> {
-        let n = self
-            .ops
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            + 1;
+        let n = self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
         if n.is_multiple_of(self.failure_period) {
             Err(zipper_types::Error::Storage(format!(
                 "injected fault on {what} #{n}"

@@ -1,22 +1,36 @@
 //! # zipper-trace
 //!
 //! A lightweight span tracer standing in for TAU / Intel Trace Analyzer in
-//! the paper's methodology (§3). Both the discrete-event simulator and the
-//! real threaded runtime record `(lane, kind, t0, t1)` spans into a
-//! [`TraceLog`]; the analysis module then derives the statistics the paper
-//! reads off its trace screenshots:
+//! the paper's methodology (§3). Both substrates record `(lane, kind, t0,
+//! t1)` spans into a [`TraceLog`] through one substrate-agnostic layer:
+//!
+//! * the discrete-event simulator drives a [`clock::VirtualClock`] and
+//!   records at virtual timestamps;
+//! * the real threaded runtime opens a per-lane [`recorder::LaneRecorder`]
+//!   from the run's [`recorder::TraceSink`] (wall-clock), accumulates
+//!   lane-locally on the hot path, and merges at join — producer
+//!   compute/stall/send/steal, consumer recv/disk-read/read-wait/deliver,
+//!   and wire send/recv all land in the same log, and the runtime's
+//!   metrics structs are derived views over it.
+//!
+//! The analysis module then derives the statistics the paper reads off its
+//! trace screenshots:
 //!
 //! * time-per-kind breakdowns (how much of a lane is `MPI_Sendrecv`,
 //!   stall, lock, …) — Figs. 4–6;
-//! * steps completed within a wall-clock window — Figs. 17 & 19
+//! * steps completed within a time window — Figs. 17 & 19
 //!   ("Zipper runs 3 steps while Decaf runs 2 in the same 1.3 s");
 //! * ASCII timeline rendering for human inspection.
 
+pub mod clock;
 pub mod log;
+pub mod recorder;
 pub mod render;
 pub mod span;
 pub mod stats;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use log::{SharedTraceLog, TraceLog};
+pub use recorder::{LaneRecorder, TraceMode, TraceSink};
 pub use span::{LaneId, Span, SpanKind};
 pub use stats::{KindBreakdown, LaneStats, WindowStats};

@@ -20,7 +20,7 @@ use zipper_types::SimTime;
 ///
 /// Spans do not need to arrive in time order (the threaded runtime's lanes
 /// race); [`TraceLog::sorted_spans`] orders them on demand.
-#[derive(Default, Debug)]
+#[derive(Default, Debug, Clone)]
 pub struct TraceLog {
     lanes: Vec<String>,
     lane_index: HashMap<String, LaneId>,
@@ -78,6 +78,11 @@ impl TraceLog {
         id
     }
 
+    /// Look up an already-interned lane by label.
+    pub fn lane_by_label(&self, label: &str) -> Option<LaneId> {
+        self.lane_index.get(label).copied()
+    }
+
     /// Label of a lane.
     pub fn lane_label(&self, lane: LaneId) -> &str {
         &self.lanes[lane.idx()]
@@ -111,6 +116,28 @@ impl TraceLog {
         self.record(Span::new(lane, kind, t0, t1));
     }
 
+    /// Merge pre-aggregated per-kind totals into a lane, updating its
+    /// extent and the trace horizon — the totals-only counterpart of
+    /// [`TraceLog::record`], used by lane recorders that never kept raw
+    /// spans. `first`/`last` bound the merged activity; a lane that never
+    /// recorded passes `(SimTime::MAX, ZERO)` and leaves extents alone.
+    pub fn add_lane_totals(
+        &mut self,
+        lane: LaneId,
+        totals: &KindBreakdown,
+        first: SimTime,
+        last: SimTime,
+    ) {
+        debug_assert!(lane.idx() < self.lanes.len(), "unknown lane");
+        self.totals[lane.idx()].merge(totals);
+        if first != SimTime::MAX {
+            let e = &mut self.extents[lane.idx()];
+            e.0 = e.0.min(first);
+            e.1 = e.1.max(last);
+            self.horizon = self.horizon.max(last);
+        }
+    }
+
     /// All spans in insertion order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
@@ -118,7 +145,12 @@ impl TraceLog {
 
     /// Spans of one lane, ordered by start time.
     pub fn lane_spans(&self, lane: LaneId) -> Vec<Span> {
-        let mut v: Vec<Span> = self.spans.iter().copied().filter(|s| s.lane == lane).collect();
+        let mut v: Vec<Span> = self
+            .spans
+            .iter()
+            .copied()
+            .filter(|s| s.lane == lane)
+            .collect();
         v.sort_by_key(|s| (s.t0, s.t1));
         v
     }
@@ -137,16 +169,33 @@ impl TraceLog {
 
     /// Merge another log into this one, remapping its lanes by label.
     /// Used by the threaded runtime to combine per-thread local logs.
+    ///
+    /// Totals, extents, and the horizon are merged directly (not rebuilt
+    /// from raw spans), so logs whose span storage was disabled — or whose
+    /// totals were fed through [`TraceLog::add_lane_totals`] — merge
+    /// losslessly.
     pub fn absorb(&mut self, other: &TraceLog) {
         let remap: Vec<LaneId> = other
             .lanes
             .iter()
             .map(|label| self.lane(label.clone()))
             .collect();
-        for s in &other.spans {
-            let mut s = *s;
-            s.lane = remap[s.lane.idx()];
-            self.record(s);
+        for (idx, &mapped) in remap.iter().enumerate() {
+            self.totals[mapped.idx()].merge(&other.totals[idx]);
+            let (f, l) = other.extents[idx];
+            if f != SimTime::MAX {
+                let e = &mut self.extents[mapped.idx()];
+                e.0 = e.0.min(f);
+                e.1 = e.1.max(l);
+            }
+        }
+        self.horizon = self.horizon.max(other.horizon);
+        if !self.drop_spans {
+            for s in &other.spans {
+                let mut s = *s;
+                s.lane = remap[s.lane.idx()];
+                self.spans.push(s);
+            }
         }
     }
 }
@@ -209,7 +258,12 @@ mod tests {
     fn lane_spans_are_time_ordered() {
         let mut log = TraceLog::new();
         let l = log.lane("r0");
-        log.record_interval(l, SpanKind::Compute, SimTime::from_millis(5), SimTime::from_millis(9));
+        log.record_interval(
+            l,
+            SpanKind::Compute,
+            SimTime::from_millis(5),
+            SimTime::from_millis(9),
+        );
         log.record_interval(l, SpanKind::Stall, SimTime::ZERO, SimTime::from_millis(5));
         let spans = log.lane_spans(l);
         assert_eq!(spans.len(), 2);
@@ -222,11 +276,21 @@ mod tests {
     fn absorb_remaps_lanes_by_label() {
         let mut a = TraceLog::new();
         let la = a.lane("shared");
-        a.record_interval(la, SpanKind::Compute, SimTime::ZERO, SimTime::from_millis(1));
+        a.record_interval(
+            la,
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
 
         let mut b = TraceLog::new();
         let lb = b.lane("shared");
-        b.record_interval(lb, SpanKind::Stall, SimTime::from_millis(1), SimTime::from_millis(2));
+        b.record_interval(
+            lb,
+            SpanKind::Stall,
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+        );
 
         a.absorb(&b);
         assert_eq!(a.lane_count(), 1);

@@ -1,0 +1,421 @@
+//! Low-overhead span recording for concurrent substrates.
+//!
+//! The threaded runtime has a dozen lanes (application, sender, writer,
+//! receiver, reader, deliver — per rank) racing on the hot path; a global
+//! locked log per span would serialize them. Instead each lane owns a
+//! [`LaneRecorder`]: spans and per-kind totals accumulate in lane-local
+//! buffers with *no* shared state touched, and are merged into the run's
+//! [`TraceSink`] when the lane finishes (or when a large local buffer
+//! rotates). Recording cost per span is two [`Clock`] reads and a couple
+//! of adds; with tracing [`TraceMode::Off`] the clock is never read at
+//! all.
+//!
+//! Three fidelity levels:
+//!
+//! * [`TraceMode::Off`] — recorders are inert; near-zero cost.
+//! * [`TraceMode::Totals`] — per-lane, per-kind time totals only
+//!   (O(lanes) memory); enough for every aggregate metric view
+//!   (stall/send/recv/fs/read-wait times). The default for real runs.
+//! * [`TraceMode::Full`] — raw spans too, enabling timeline rendering and
+//!   windowed step statistics (the paper's Figs. 17/19 views).
+
+use crate::clock::{Clock, VirtualClock, WallClock};
+use crate::log::{SharedTraceLog, TraceLog};
+use crate::span::{LaneId, Span, SpanKind};
+use crate::stats::KindBreakdown;
+use std::sync::Arc;
+use zipper_types::SimTime;
+
+/// How much the run records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceMode {
+    /// Record nothing; recorders never read the clock.
+    Off,
+    /// Accumulate per-lane per-kind totals, drop raw spans.
+    #[default]
+    Totals,
+    /// Keep raw spans as well (timeline rendering, window stats).
+    Full,
+}
+
+impl TraceMode {
+    pub fn enabled(self) -> bool {
+        self != TraceMode::Off
+    }
+
+    /// Whether raw spans survive into the merged log.
+    pub fn keeps_spans(self) -> bool {
+        self == TraceMode::Full
+    }
+}
+
+/// Spans buffered per lane before a mid-run rotation into the shared log.
+/// Only reached by `Full`-mode lanes that record very many spans.
+const ROTATE_AT: usize = 1 << 16;
+
+/// The per-run collection point: one shared clock plus the merged
+/// [`TraceLog`]. Cloning is cheap (`Arc`s); every lane of a run must hold
+/// a recorder from the same sink so all spans share one time axis.
+#[derive(Clone)]
+pub struct TraceSink {
+    mode: TraceMode,
+    clock: Arc<dyn Clock>,
+    log: SharedTraceLog,
+}
+
+impl TraceSink {
+    /// A sink on the given clock. Threaded runs want [`TraceSink::wall`];
+    /// the DES and tests pass a [`VirtualClock`].
+    pub fn new(mode: TraceMode, clock: Arc<dyn Clock>) -> Self {
+        let log = SharedTraceLog::new();
+        log.with(|l| l.set_keep_spans(mode.keeps_spans()));
+        Self { mode, clock, log }
+    }
+
+    /// A wall-clock sink whose origin is "now" — the real runtime's sink.
+    pub fn wall(mode: TraceMode) -> Self {
+        Self::new(mode, Arc::new(WallClock::new()))
+    }
+
+    /// A sink driven by the returned virtual clock (DES / tests).
+    pub fn virtual_clock(mode: TraceMode) -> (Self, VirtualClock) {
+        let clock = VirtualClock::new();
+        (Self::new(mode, Arc::new(clock.clone())), clock)
+    }
+
+    /// An inert sink: recorders cost nothing, the log stays empty.
+    pub fn off() -> Self {
+        Self::wall(TraceMode::Off)
+    }
+
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.mode.enabled()
+    }
+
+    /// Current time on the sink's clock (ZERO when tracing is off).
+    pub fn now(&self) -> SimTime {
+        if self.mode.enabled() {
+            self.clock.now()
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Open a recorder for one lane. The label is interned immediately so
+    /// lanes appear in creation order even before they record.
+    pub fn recorder(&self, label: impl Into<String>) -> LaneRecorder {
+        if !self.mode.enabled() {
+            return LaneRecorder::inert();
+        }
+        let lane = self.log.lane(label);
+        LaneRecorder {
+            shared: Some(self.log.clone()),
+            clock: Arc::clone(&self.clock),
+            lane,
+            keep_spans: self.mode.keeps_spans(),
+            spans: Vec::new(),
+            totals: KindBreakdown::default(),
+            first: SimTime::MAX,
+            last: SimTime::ZERO,
+            mark: None,
+        }
+    }
+
+    /// Clone out the merged log. Lanes flush on drop/finish; recorders
+    /// still alive have not contributed yet.
+    pub fn snapshot(&self) -> TraceLog {
+        self.log.snapshot()
+    }
+
+    /// Per-lane per-kind totals by label (the derived-metrics hook).
+    /// Zero breakdown if the lane never recorded.
+    pub fn lane_totals(&self, label: &str) -> KindBreakdown {
+        self.log.with(|l| {
+            l.lane_by_label(label)
+                .map(|lane| l.lane_totals(lane).clone())
+                .unwrap_or_default()
+        })
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::wall(TraceMode::default())
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+/// A lane-local span buffer: the only thing hot paths touch.
+///
+/// Obtained from [`TraceSink::recorder`]; owned by exactly one thread at a
+/// time (it is `Send` but deliberately not `Sync`/`Clone`). All
+/// accumulation is local; the shared log is locked only on [`flush`],
+/// drop, or a `ROTATE_AT` rotation.
+///
+/// [`flush`]: LaneRecorder::flush
+pub struct LaneRecorder {
+    shared: Option<SharedTraceLog>,
+    clock: Arc<dyn Clock>,
+    lane: LaneId,
+    keep_spans: bool,
+    spans: Vec<Span>,
+    totals: KindBreakdown,
+    first: SimTime,
+    last: SimTime,
+    mark: Option<SimTime>,
+}
+
+/// Placeholder clock for inert recorders (never read).
+struct NeverClock;
+
+impl Clock for NeverClock {
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+impl LaneRecorder {
+    /// A recorder that drops everything (tracing off).
+    pub fn inert() -> Self {
+        Self {
+            shared: None,
+            clock: Arc::new(NeverClock),
+            lane: LaneId(0),
+            keep_spans: false,
+            spans: Vec::new(),
+            totals: KindBreakdown::default(),
+            first: SimTime::MAX,
+            last: SimTime::ZERO,
+            mark: None,
+        }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Current time on the run's clock (ZERO when inert — callers use the
+    /// `enabled()` guard or `time()` to avoid depending on it).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        if self.shared.is_some() {
+            self.clock.now()
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Record a `[t0, t1)` span.
+    #[inline]
+    pub fn record(&mut self, kind: SpanKind, t0: SimTime, t1: SimTime) {
+        self.record_span(Span::new(self.lane, kind, t0, t1));
+    }
+
+    /// Record a step-marked `[t0, t1)` span (feeds windowed step counts).
+    #[inline]
+    pub fn record_step(&mut self, kind: SpanKind, t0: SimTime, t1: SimTime, step: u64) {
+        self.record_span(Span::new(self.lane, kind, t0, t1).with_step(step));
+    }
+
+    fn record_span(&mut self, span: Span) {
+        if self.shared.is_none() {
+            return;
+        }
+        self.totals.add(span.kind, span.duration());
+        self.first = self.first.min(span.t0);
+        self.last = self.last.max(span.t1);
+        if self.keep_spans {
+            self.spans.push(span);
+            if self.spans.len() >= ROTATE_AT {
+                self.flush();
+            }
+        }
+    }
+
+    /// Time `f` and record it as one `kind` span. When inert the closure
+    /// runs untimed — no clock reads.
+    #[inline]
+    pub fn time<R>(&mut self, kind: SpanKind, f: impl FnOnce() -> R) -> R {
+        if self.shared.is_none() {
+            return f();
+        }
+        let t0 = self.clock.now();
+        let r = f();
+        let t1 = self.clock.now();
+        self.record(kind, t0, t1);
+        r
+    }
+
+    /// Set the gap marker to "now": the start point of the next
+    /// [`close_gap`] span.
+    ///
+    /// [`close_gap`]: LaneRecorder::close_gap
+    #[inline]
+    pub fn mark(&mut self) {
+        if self.shared.is_some() {
+            self.mark = Some(self.clock.now());
+        }
+    }
+
+    /// Record the time since the last mark as one `kind` span (step-marked
+    /// unless `step` is [`Span::NO_STEP`]) and re-arm the marker. This is
+    /// how application compute time is captured: the runtime marks when it
+    /// hands control back to the application and closes the gap at the
+    /// next runtime call — the gap *is* the application's compute span.
+    pub fn close_gap(&mut self, kind: SpanKind, step: u64) {
+        if self.shared.is_none() {
+            return;
+        }
+        let now = self.clock.now();
+        if let Some(t0) = self.mark.replace(now) {
+            if now > t0 {
+                self.record_span(Span::new(self.lane, kind, t0, now).with_step(step));
+            }
+        }
+    }
+
+    /// Merge everything local into the shared log. Called automatically on
+    /// drop and on buffer rotation; idempotent.
+    pub fn flush(&mut self) {
+        let Some(shared) = &self.shared else {
+            return;
+        };
+        if self.first == SimTime::MAX && self.spans.is_empty() {
+            return; // nothing recorded since last flush
+        }
+        shared.with(|log| {
+            if self.keep_spans {
+                // `record` refreshes totals/extents from the raw spans.
+                for s in self.spans.drain(..) {
+                    log.record(s);
+                }
+            } else {
+                log.add_lane_totals(self.lane, &self.totals, self.first, self.last);
+            }
+        });
+        self.totals = KindBreakdown::default();
+        self.first = SimTime::MAX;
+        self.last = SimTime::ZERO;
+    }
+}
+
+impl Drop for LaneRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn totals_mode_accumulates_without_spans() {
+        let (sink, clock) = TraceSink::virtual_clock(TraceMode::Totals);
+        let mut rec = sink.recorder("sim/p0/app");
+        let done = rec.time(SpanKind::Compute, || {
+            clock.advance(ms(7));
+            42
+        });
+        assert_eq!(done, 42);
+        rec.record(SpanKind::Stall, ms(7), ms(10));
+        drop(rec); // flushes
+        let log = sink.snapshot();
+        assert_eq!(log.spans().len(), 0, "totals mode drops raw spans");
+        assert_eq!(sink.lane_totals("sim/p0/app").get(SpanKind::Compute), ms(7));
+        assert_eq!(sink.lane_totals("sim/p0/app").get(SpanKind::Stall), ms(3));
+        assert_eq!(log.horizon(), ms(10));
+    }
+
+    #[test]
+    fn full_mode_keeps_spans_for_rendering() {
+        let (sink, clock) = TraceSink::virtual_clock(TraceMode::Full);
+        let mut rec = sink.recorder("ana/q0/app");
+        clock.set(ms(1));
+        rec.mark();
+        clock.advance(ms(4));
+        rec.close_gap(SpanKind::Analysis, 0);
+        clock.advance(ms(2));
+        rec.close_gap(SpanKind::Analysis, 1);
+        rec.flush();
+        let log = sink.snapshot();
+        assert_eq!(log.spans().len(), 2);
+        assert_eq!(log.spans()[0].step, 0);
+        assert_eq!(log.spans()[0].t0, ms(1));
+        assert_eq!(log.spans()[0].t1, ms(5));
+        let w = stats::window_stats(&log, ms(0), ms(10));
+        assert!((w.steps_per_lane - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inert_recorder_costs_nothing_and_records_nothing() {
+        let sink = TraceSink::off();
+        let mut rec = sink.recorder("sim/p0/app");
+        assert!(!rec.enabled());
+        rec.mark();
+        rec.record(SpanKind::Compute, ms(0), ms(5));
+        let x = rec.time(SpanKind::Send, || 5);
+        assert_eq!(x, 5);
+        rec.close_gap(SpanKind::Compute, 0);
+        drop(rec);
+        let log = sink.snapshot();
+        assert_eq!(log.lane_count(), 0);
+        assert_eq!(log.spans().len(), 0);
+    }
+
+    #[test]
+    fn concurrent_lanes_merge_into_one_log() {
+        let sink = TraceSink::wall(TraceMode::Full);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let sink = sink.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rec = sink.recorder(format!("sim/p{t}/app"));
+                for step in 0..8 {
+                    rec.time(SpanKind::Compute, || std::hint::black_box(step));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let log = sink.snapshot();
+        assert_eq!(log.lane_count(), 4);
+        assert_eq!(log.spans().len(), 32);
+    }
+
+    #[test]
+    fn rotation_does_not_double_count() {
+        let (sink, clock) = TraceSink::virtual_clock(TraceMode::Full);
+        let mut rec = sink.recorder("lane");
+        for _ in 0..(ROTATE_AT + 10) {
+            let t0 = clock.now();
+            clock.advance(SimTime::from_nanos(1));
+            rec.record(SpanKind::Compute, t0, clock.now());
+        }
+        rec.flush();
+        let log = sink.snapshot();
+        assert_eq!(log.spans().len(), ROTATE_AT + 10);
+        assert_eq!(
+            log.lane_totals(LaneId(0)).get(SpanKind::Compute),
+            SimTime::from_nanos((ROTATE_AT + 10) as u64)
+        );
+    }
+}

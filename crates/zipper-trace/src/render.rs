@@ -197,7 +197,12 @@ mod tests {
         let a = log.lane("sim/r0");
         let b = log.lane("ana/r0");
         log.record_interval(a, SpanKind::Compute, SimTime::ZERO, SimTime::from_millis(1));
-        log.record_interval(b, SpanKind::Analysis, SimTime::ZERO, SimTime::from_millis(1));
+        log.record_interval(
+            b,
+            SpanKind::Analysis,
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        );
         let opts = RenderOptions {
             width: 10,
             lane_prefix: Some("ana/".into()),
@@ -220,8 +225,13 @@ mod tests {
         let mut log = TraceLog::new();
         let l = log.lane("sim/r0");
         log.record(
-            Span::new(l, SpanKind::Compute, SimTime::from_millis(1), SimTime::from_millis(3))
-                .with_step(7),
+            Span::new(
+                l,
+                SpanKind::Compute,
+                SimTime::from_millis(1),
+                SimTime::from_millis(3),
+            )
+            .with_step(7),
         );
         log.record_interval(l, SpanKind::Stall, SimTime::ZERO, SimTime::from_millis(1));
         let csv = export_csv(&log);

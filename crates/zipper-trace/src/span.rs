@@ -51,6 +51,9 @@ pub enum SpanKind {
     FsWrite,
     /// Reading from the parallel file system.
     FsRead,
+    /// Consumer application blocked waiting for the next block to arrive
+    /// (the analysis-side mirror of the producer's `Stall`).
+    ReadWait,
     /// Transport-level put (staging insert).
     Put,
     /// Transport-level get (staging extract).
@@ -77,6 +80,7 @@ impl SpanKind {
             SpanKind::Waitall => 'W',
             SpanKind::FsWrite => 'w',
             SpanKind::FsRead => 'r',
+            SpanKind::ReadWait => '~',
             SpanKind::Put => 'P',
             SpanKind::Get => 'G',
             SpanKind::Idle => '.',
@@ -93,12 +97,13 @@ impl SpanKind {
                 | SpanKind::Lock
                 | SpanKind::Barrier
                 | SpanKind::Waitall
+                | SpanKind::ReadWait
                 | SpanKind::Idle
         )
     }
 
     /// All kinds, for iteration in breakdown tables.
-    pub const ALL: [SpanKind; 17] = [
+    pub const ALL: [SpanKind; 18] = [
         SpanKind::Compute,
         SpanKind::Collision,
         SpanKind::Streaming,
@@ -113,6 +118,7 @@ impl SpanKind {
         SpanKind::Waitall,
         SpanKind::FsWrite,
         SpanKind::FsRead,
+        SpanKind::ReadWait,
         SpanKind::Put,
         SpanKind::Get,
         SpanKind::Idle,
@@ -135,9 +141,10 @@ impl SpanKind {
             SpanKind::Waitall => 11,
             SpanKind::FsWrite => 12,
             SpanKind::FsRead => 13,
-            SpanKind::Put => 14,
-            SpanKind::Get => 15,
-            SpanKind::Idle => 16,
+            SpanKind::ReadWait => 14,
+            SpanKind::Put => 15,
+            SpanKind::Get => 16,
+            SpanKind::Idle => 17,
         }
     }
 }
@@ -159,6 +166,7 @@ impl fmt::Display for SpanKind {
             SpanKind::Waitall => "waitall",
             SpanKind::FsWrite => "fs_write",
             SpanKind::FsRead => "fs_read",
+            SpanKind::ReadWait => "read_wait",
             SpanKind::Put => "put",
             SpanKind::Get => "get",
             SpanKind::Idle => "idle",

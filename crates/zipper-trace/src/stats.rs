@@ -251,7 +251,11 @@ mod tests {
         log.record(Span::new(l, SpanKind::Compute, ms(8), ms(12)).with_step(1));
         let w = window_stats(&log, ms(0), ms(10));
         assert_eq!(w.active_lanes, 1);
-        assert!((w.steps_per_lane - 1.5).abs() < 1e-9, "{}", w.steps_per_lane);
+        assert!(
+            (w.steps_per_lane - 1.5).abs() < 1e-9,
+            "{}",
+            w.steps_per_lane
+        );
         assert_eq!(w.breakdown.get(SpanKind::Compute), ms(6));
     }
 

@@ -50,11 +50,7 @@ pub fn halo_ops(me: usize, left: ProcId, right: ProcId, bytes: u64, step: u64) -
 /// One step's compute ops: collision → streaming (+ halo inside the
 /// streaming phase, where the paper's traces place `MPI_Sendrecv`) →
 /// update.
-pub fn step_compute_ops(
-    phases: [SimTime; 3],
-    halo: Vec<Op>,
-    step: u64,
-) -> Vec<Op> {
+pub fn step_compute_ops(phases: [SimTime; 3], halo: Vec<Op>, step: u64) -> Vec<Op> {
     let mut ops = Vec::with_capacity(3 + halo.len());
     ops.push(Op::Compute {
         dur: phases[0],
@@ -210,7 +206,9 @@ impl Program for CrashAfter {
                 kind: SpanKind::Compute,
                 step: 0,
             },
-            Op::Halt { error: self.error.clone() },
+            Op::Halt {
+                error: self.error.clone(),
+            },
         ])
     }
 }
@@ -232,7 +230,13 @@ mod tests {
     fn halo_ops_are_two_sends_two_recvs() {
         let ops = halo_ops(3, ProcId(2), ProcId(4), 1000, 7);
         assert_eq!(ops.len(), 4);
-        assert!(matches!(ops[0], Op::Send { kind: SpanKind::Sendrecv, .. }));
+        assert!(matches!(
+            ops[0],
+            Op::Send {
+                kind: SpanKind::Sendrecv,
+                ..
+            }
+        ));
         assert!(matches!(ops[2], Op::Recv { .. }));
         assert!(halo_ops(0, ProcId(0), ProcId(0), 0, 0).is_empty());
     }

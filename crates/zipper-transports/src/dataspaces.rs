@@ -171,7 +171,15 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout, a
         let pid = sim.spawn(
             layout.sim_node(r),
             format!("sim/r{r}/comp"),
-            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+            BaselineSimRank::new(
+                r,
+                spec.steps,
+                phases,
+                spec.cost.halo_bytes(),
+                left,
+                right,
+                emit,
+            ),
         );
         assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
     }

@@ -194,7 +194,15 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
         let pid = sim.spawn(
             layout.sim_node(r),
             format!("sim/r{r}/comp"),
-            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+            BaselineSimRank::new(
+                r,
+                spec.steps,
+                phases,
+                spec.cost.halo_bytes(),
+                left,
+                right,
+                emit,
+            ),
         );
         assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
     }
@@ -278,11 +286,10 @@ mod tests {
             .count();
         assert_eq!(analyzed, 6);
         // Waitall stalls are the Decaf signature (Fig. 6).
-        let waitall = zipper_trace::stats::kind_time_filtered(
-            sim.trace(),
-            SpanKind::Waitall,
-            |l| l.starts_with("sim/"),
-        );
+        let waitall =
+            zipper_trace::stats::kind_time_filtered(sim.trace(), SpanKind::Waitall, |l| {
+                l.starts_with("sim/")
+            });
         assert!(waitall.as_nanos() > 0, "expected MPI_Waitall time");
     }
 

@@ -190,7 +190,15 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout, a
         let pid = sim.spawn(
             layout.sim_node(r),
             format!("sim/r{r}/comp"),
-            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+            BaselineSimRank::new(
+                r,
+                spec.steps,
+                phases,
+                spec.cost.halo_bytes(),
+                left,
+                right,
+                emit,
+            ),
         );
         assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
     }
@@ -236,9 +244,7 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout, a
                 });
                 // Client-side reassembly of the fetched slab.
                 ops.push(Op::Compute {
-                    dur: SimTime::from_secs_f64(
-                        DIMES_GET_CPU_PER_BYTE * cpu * spec_slab as f64,
-                    ),
+                    dur: SimTime::from_secs_f64(DIMES_GET_CPU_PER_BYTE * cpu * spec_slab as f64),
                     kind: SpanKind::Get,
                     step,
                 });
@@ -324,11 +330,10 @@ mod tests {
             .count();
         assert_eq!(analyzed, 8);
         // The collective lock's barrier shows in the trace.
-        let barrier = zipper_trace::stats::kind_time_filtered(
-            sim.trace(),
-            SpanKind::Barrier,
-            |l| l.starts_with("sim/"),
-        );
+        let barrier =
+            zipper_trace::stats::kind_time_filtered(sim.trace(), SpanKind::Barrier, |l| {
+                l.starts_with("sim/")
+            });
         assert!(barrier.as_nanos() > 0);
     }
 

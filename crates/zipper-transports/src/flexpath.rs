@@ -146,8 +146,7 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
         .collect();
 
     let marshal = SimTime::from_secs_f64(MARSHAL_PER_BYTE * spec.cpu_slowdown * slab as f64);
-    let socket_cpu =
-        SimTime::from_secs_f64(SOCKET_CPU_PER_BYTE * spec.cpu_slowdown * slab as f64);
+    let socket_cpu = SimTime::from_secs_f64(SOCKET_CPU_PER_BYTE * spec.cpu_slowdown * slab as f64);
     // One socket-stack lock per simulation node.
     let node_locks: Vec<usize> = (0..layout.sim_nodes).map(|_| sim.add_lock()).collect();
 
@@ -193,7 +192,15 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
         let pid = sim.spawn(
             layout.sim_node(r),
             format!("sim/r{r}/comp"),
-            BaselineSimRank::new(r, spec.steps, phases, spec.cost.halo_bytes(), left, right, emit),
+            BaselineSimRank::new(
+                r,
+                spec.steps,
+                phases,
+                spec.cost.halo_bytes(),
+                left,
+                right,
+                emit,
+            ),
         );
         assert_eq!(pid, ProcId(r as u32), "spawn order drifted");
     }
@@ -300,11 +307,10 @@ mod tests {
         // staging bursts sharing the NICs — Fig. 5's observation.
         let (r_with, sim_with) = run_one(|_| {});
         assert!(r_with.is_clean());
-        let with = zipper_trace::stats::kind_time_filtered(
-            sim_with.trace(),
-            SpanKind::Sendrecv,
-            |l| l.contains("/comp"),
-        );
+        let with =
+            zipper_trace::stats::kind_time_filtered(sim_with.trace(), SpanKind::Sendrecv, |l| {
+                l.contains("/comp")
+            });
 
         let spec = {
             let mut s = WorkflowSpec::cfd(4, 2, 3);
@@ -316,11 +322,10 @@ mod tests {
         crate::zipper::build_sim_only(&mut sim_only, &spec, &layout);
         let r0 = sim_only.run();
         assert!(r0.is_clean());
-        let without = zipper_trace::stats::kind_time_filtered(
-            sim_only.trace(),
-            SpanKind::Sendrecv,
-            |l| l.contains("/comp"),
-        );
+        let without =
+            zipper_trace::stats::kind_time_filtered(sim_only.trace(), SpanKind::Sendrecv, |l| {
+                l.contains("/comp")
+            });
         assert!(
             with >= without,
             "staging must not make halo cheaper: {with} vs {without}"

@@ -31,7 +31,7 @@ pub mod spec;
 pub mod zipper;
 
 pub use runner::{
-    run, run_analysis_only, run_sim_only, run_sim_only_with_detail, run_with_detail,
-    TransportKind, TransportResult,
+    run, run_analysis_only, run_sim_only, run_sim_only_with_detail, run_with_detail, TransportKind,
+    TransportResult,
 };
 pub use spec::WorkflowSpec;

@@ -123,7 +123,12 @@ impl TransportResult {
     }
 }
 
-fn finish(name: &'static str, report: RunReport, sim: Simulator, layout: &ClusterLayout) -> TransportResult {
+fn finish(
+    name: &'static str,
+    report: RunReport,
+    sim: Simulator,
+    layout: &ClusterLayout,
+) -> TransportResult {
     let xmit_wait_sim = sim.network().xmit_wait_sum(layout.sim_node_range());
     let pfs_requests = sim.pfs().requests();
     let pfs_bytes = sim.pfs().bytes_moved();
@@ -172,11 +177,7 @@ pub fn run(kind: TransportKind, spec: &WorkflowSpec) -> TransportResult {
 
 /// Run with an explicit trace-detail choice: `detail = false` keeps only
 /// per-lane totals (constant memory), for the 13,056-core-scale runs.
-pub fn run_with_detail(
-    kind: TransportKind,
-    spec: &WorkflowSpec,
-    detail: bool,
-) -> TransportResult {
+pub fn run_with_detail(kind: TransportKind, spec: &WorkflowSpec, detail: bool) -> TransportResult {
     spec.validate().expect("invalid spec");
     let layout = ClusterLayout::new(spec, kind.extra_staging_procs(spec));
     let mut sim = Simulator::new(sim_config(spec, &layout));
@@ -263,8 +264,7 @@ mod tests {
         let spec = tiny_cfd();
         let t = run_analysis_only(&spec);
         // 2 sources × 16 MiB × 14.4 ns/B × 3 steps ≈ 1.45 s.
-        let expect = spec.cost.analysis_block_time(2 * spec.bytes_per_rank_step)
-            * spec.steps;
+        let expect = spec.cost.analysis_block_time(2 * spec.bytes_per_rank_step) * spec.steps;
         assert_eq!(t, expect);
     }
 

@@ -277,12 +277,7 @@ pub struct ReceiverProc {
 }
 
 impl ReceiverProc {
-    pub fn new(
-        bufc: usize,
-        ids_buf: usize,
-        out_buf: Option<usize>,
-        expected_eos: usize,
-    ) -> Self {
+    pub fn new(bufc: usize, ids_buf: usize, out_buf: Option<usize>, expected_eos: usize) -> Self {
         assert!(expected_eos > 0, "receiver needs at least one source");
         ReceiverProc {
             bufc,
@@ -528,8 +523,7 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
     let per_c = 3 + usize::from(spec.preserve);
     let per_s = 2 + usize::from(spec.concurrent_transfer);
     let receiver_pid = |q: usize| ProcId((q * per_c) as u32);
-    let compute_pid =
-        |r: usize| ProcId((spec.ana_ranks * per_c + r * per_s) as u32);
+    let compute_pid = |r: usize| ProcId((spec.ana_ranks * per_c + r * per_s) as u32);
 
     for q in 0..spec.ana_ranks {
         let node = layout.ana_node(q);
@@ -545,7 +539,11 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
             ReceiverProc::new(bufc, ids, out, expected_eos),
         );
         assert_eq!(pid, receiver_pid(q), "spawn order drifted");
-        sim.spawn(node, format!("ana/q{q}/read"), ReaderProc::new(ids, bufc, q));
+        sim.spawn(
+            node,
+            format!("ana/q{q}/read"),
+            ReaderProc::new(ids, bufc, q),
+        );
         sim.spawn(
             node,
             format!("ana/q{q}/ana"),

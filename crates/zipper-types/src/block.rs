@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// Position of a block's subdomain within the global input domain, as a
 /// 3-D offset (in domain cells). For non-grid applications (MD, synthetic)
 /// only `x` is meaningful and denotes the element offset.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
 pub struct GlobalPos {
     pub x: u64,
     pub y: u64,
@@ -244,7 +242,10 @@ mod tests {
         let b = block(1024);
         let m = MixedMessage::mixed(
             b.clone(),
-            vec![BlockId::new(Rank(2), StepId(4), 0), BlockId::new(Rank(2), StepId(4), 1)],
+            vec![
+                BlockId::new(Rank(2), StepId(4), 0),
+                BlockId::new(Rank(2), StepId(4), 1),
+            ],
         );
         assert_eq!(m.block_count(), 3);
         assert_eq!(m.wire_bytes(), b.wire_bytes() + 32);

@@ -1,6 +1,6 @@
 //! Error type shared across the workspace.
 
-use crate::ids::BlockId;
+use crate::ids::{BlockId, Rank};
 use std::fmt;
 
 /// Errors surfaced by the runtime, storage, and workflow layers.
@@ -45,6 +45,60 @@ impl From<std::io::Error> for Error {
 
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// A runtime-thread failure report, carried in the per-rank metrics and
+/// surfaced through the workflow report.
+///
+/// Unlike [`Error`] (which aborts an operation and propagates to the
+/// caller), these describe *degraded-but-running* conditions: the runtime
+/// absorbed the failure and kept the workflow alive, and tests /
+/// operators match on the variant instead of grepping message strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The producer's writer thread hit a PFS failure and retired; the
+    /// pending block fell back to the message channel and stealing is off
+    /// for the rest of the run.
+    WriterRetired { rank: Rank, detail: String },
+    /// A consumer's reader thread failed to fetch an on-disk block; the
+    /// block is lost to the application and accounted here.
+    BlockFetchFailed { rank: Rank, detail: String },
+    /// A runtime channel disconnected while the run was still active
+    /// (peer thread died or shut down early).
+    ChannelDisconnected { rank: Rank, context: &'static str },
+    /// A transport-layer failure (socket error, malformed frame…).
+    Transport { rank: Rank, detail: String },
+}
+
+impl RuntimeError {
+    /// Rank whose runtime reported the failure.
+    pub fn rank(&self) -> Rank {
+        match self {
+            RuntimeError::WriterRetired { rank, .. }
+            | RuntimeError::BlockFetchFailed { rank, .. }
+            | RuntimeError::ChannelDisconnected { rank, .. }
+            | RuntimeError::Transport { rank, .. } => *rank,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::WriterRetired { rank, detail } => {
+                write!(f, "rank {rank}: writer thread retired: {detail}")
+            }
+            RuntimeError::BlockFetchFailed { rank, detail } => {
+                write!(f, "rank {rank}: block fetch failed: {detail}")
+            }
+            RuntimeError::ChannelDisconnected { rank, context } => {
+                write!(f, "rank {rank}: channel disconnected: {context}")
+            }
+            RuntimeError::Transport { rank, detail } => {
+                write!(f, "rank {rank}: transport failure: {detail}")
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -22,7 +22,7 @@ pub mod time;
 
 pub use block::{Block, BlockHeader, GlobalPos, MixedMessage};
 pub use config::{PreserveMode, RoutingPolicy, WorkflowConfig, ZipperTuning};
-pub use error::{Error, Result};
+pub use error::{Error, Result, RuntimeError};
 pub use ids::{BlockId, NodeId, ProcId, Rank, StepId};
 pub use size::ByteSize;
 pub use time::SimTime;

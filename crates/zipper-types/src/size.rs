@@ -10,9 +10,7 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Mul};
 
 /// A byte count. Uses binary units (1 MiB = 2^20) as HPC I/O tooling does.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct ByteSize(pub u64);
 
 impl ByteSize {

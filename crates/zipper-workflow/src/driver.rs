@@ -3,8 +3,11 @@
 use crate::report::WorkflowReport;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zipper_core::{ChannelMesh, Consumer, Producer, ZipperReader, ZipperWriter};
+use zipper_core::{
+    ChannelMesh, Consumer, Producer, TracedSender, WireSender, ZipperReader, ZipperWriter,
+};
 use zipper_pfs::{MemFs, Storage, ThrottledFs};
+use zipper_trace::{TraceMode, TraceSink};
 use zipper_types::{Rank, WorkflowConfig};
 
 /// Message-channel options for a run.
@@ -68,9 +71,51 @@ impl StorageOptions {
     }
 }
 
+/// Trace fidelity of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceOptions {
+    /// How much the shared sink records (default: per-lane totals, which
+    /// is what the derived metrics need and costs O(lanes) memory).
+    pub mode: TraceMode,
+    /// Also record wire-level `net/p{rank}` lanes (each producer's mesh
+    /// endpoint wrapped in a [`TracedSender`]). Only meaningful when the
+    /// mode keeps spans — it exists to put wire time on the timeline.
+    pub wire_lanes: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            mode: TraceMode::Totals,
+            wire_lanes: false,
+        }
+    }
+}
+
+impl TraceOptions {
+    /// No tracing at all: recorders are inert, metrics time fields are
+    /// zero, counters still work.
+    pub fn off() -> Self {
+        TraceOptions {
+            mode: TraceMode::Off,
+            wire_lanes: false,
+        }
+    }
+
+    /// Full-fidelity tracing: raw spans plus wire lanes — everything the
+    /// timeline and window statistics need.
+    pub fn full() -> Self {
+        TraceOptions {
+            mode: TraceMode::Full,
+            wire_lanes: true,
+        }
+    }
+}
+
 /// Run a coupled workflow: `cfg.producers` simulation ranks each driving
 /// `produce(rank, &writer)`, and `cfg.consumers` analysis ranks each
-/// driving `consume(rank, &reader)` to completion.
+/// driving `consume(rank, &reader)` to completion. Traces with the default
+/// totals fidelity; see [`run_workflow_traced`] to choose.
 ///
 /// Contracts:
 /// * `produce` must return only after its last `write`; the driver calls
@@ -92,12 +137,39 @@ where
     P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
     C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
 {
+    run_workflow_traced(
+        cfg,
+        net,
+        storage_opts,
+        TraceOptions::default(),
+        produce,
+        consume,
+    )
+}
+
+/// [`run_workflow`] with explicit trace fidelity: every rank's runtime
+/// lanes record into one shared wall-clock [`TraceSink`], and the merged
+/// log lands in [`WorkflowReport::trace`].
+pub fn run_workflow_traced<R, P, C>(
+    cfg: &WorkflowConfig,
+    net: NetworkOptions,
+    storage_opts: StorageOptions,
+    trace: TraceOptions,
+    produce: P,
+    consume: C,
+) -> (WorkflowReport, Vec<R>)
+where
+    R: Send + 'static,
+    P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
+    C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
+{
     cfg.validate().expect("invalid workflow config");
     let storage = storage_opts.build();
     let mut mesh = ChannelMesh::new(cfg.consumers, net.inbox_capacity);
     if let Some((bw, lat)) = net.throttle {
         mesh = mesh.with_throttle(bw, lat);
     }
+    let sink = TraceSink::wall(trace.mode);
 
     let produce = Arc::new(produce);
     let consume = Arc::new(consume);
@@ -109,12 +181,13 @@ where
     let mut consumer_runtimes = Vec::with_capacity(cfg.consumers);
     for q in 0..cfg.consumers {
         let rank = Rank(q as u32);
-        let mut c = Consumer::spawn(
+        let mut c = Consumer::spawn_traced(
             rank,
             cfg.tuning,
             cfg.producers,
             mesh.take_receiver(rank),
             storage.clone(),
+            sink.clone(),
         );
         let reader = c.reader();
         consumer_runtimes.push(c);
@@ -132,7 +205,13 @@ where
     let mut producer_runtimes = Vec::with_capacity(cfg.producers);
     for p in 0..cfg.producers {
         let rank = Rank(p as u32);
-        let mut prod = Producer::spawn(rank, cfg.tuning, mesh.sender(), storage.clone());
+        let sender: Box<dyn WireSender> = if trace.wire_lanes && trace.mode.enabled() {
+            Box::new(TracedSender::new(mesh.sender(), &sink, format!("net/p{p}")))
+        } else {
+            Box::new(mesh.sender())
+        };
+        let mut prod =
+            Producer::spawn_traced(rank, cfg.tuning, sender, storage.clone(), sink.clone());
         let writer = prod.writer(cfg.tuning.block_size.as_u64() as usize);
         producer_runtimes.push(prod);
         let produce = produce.clone();
@@ -173,6 +252,7 @@ where
         net_messages: mesh.messages_sent(),
         pfs_blocks: storage.len(),
         pfs_bytes_written: storage.bytes_written(),
+        trace: sink.snapshot(),
     };
     (report, results)
 }
@@ -271,6 +351,74 @@ mod tests {
             c.total_blocks(),
             "both channels together deliver everything"
         );
+    }
+
+    #[test]
+    fn full_trace_produces_a_renderable_timeline() {
+        use zipper_trace::SpanKind;
+        let c = cfg(2, 2, 3);
+        let (report, _) = run_workflow_traced(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::full(),
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        // Every rank's lanes made it into the merged log, including the
+        // wire lanes.
+        let labels: Vec<String> = report
+            .trace
+            .lanes()
+            .map(|l| report.trace.lane_label(l).to_string())
+            .collect();
+        for needed in [
+            "sim/p0/app",
+            "sim/p1/send",
+            "net/p0",
+            "ana/q0/recv",
+            "ana/q1/app",
+        ] {
+            assert!(
+                labels.iter().any(|l| l == needed),
+                "missing lane {needed}: {labels:?}"
+            );
+        }
+        // The metrics are views over the same log: aggregate compute time
+        // in the trace equals the metrics' derived compute total.
+        let p = report.producer_total();
+        let trace_compute =
+            zipper_trace::stats::kind_time_filtered(&report.trace, SpanKind::Compute, |l| {
+                l.starts_with("sim/") && l.ends_with("/app")
+            });
+        assert_eq!(p.compute(), Duration::from_nanos(trace_compute.as_nanos()));
+        // And the timeline renders with step-marked compute on it.
+        let t = report.timeline(60);
+        assert!(t.contains("sim/p0/app"), "{t}");
+        assert!(
+            report
+                .window(zipper_types::SimTime::ZERO, report.trace.horizon())
+                .steps_per_lane
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn trace_off_still_counts_blocks() {
+        let c = cfg(1, 1, 2);
+        let (report, _) = run_workflow_traced(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::off(),
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert_eq!(report.producer_total().blocks_written, c.total_blocks());
+        assert_eq!(report.producer_total().compute(), Duration::ZERO);
+        assert_eq!(report.trace.lane_count(), 0);
     }
 
     #[test]

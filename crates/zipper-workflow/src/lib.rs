@@ -19,6 +19,6 @@ pub mod driver;
 pub mod mapreduce;
 pub mod report;
 
-pub use driver::{run_workflow, NetworkOptions, StorageOptions};
+pub use driver::{run_workflow, run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions};
 pub use mapreduce::run_map_reduce;
 pub use report::WorkflowReport;

@@ -59,10 +59,7 @@ where
     });
 
     // Cross-rank reduction of the per-consumer partials.
-    let total = partials
-        .into_iter()
-        .flatten()
-        .reduce(|a, b| reduce(a, b));
+    let total = partials.into_iter().flatten().reduce(|a, b| reduce(a, b));
     (report, total)
 }
 

@@ -1,7 +1,19 @@
-//! The workflow run report: per-rank and aggregate metrics.
+//! The workflow run report: per-rank and aggregate metrics, plus the run's
+//! merged trace.
+//!
+//! Every time-based number in here is a view over the span log: the rank
+//! runtimes record spans through `zipper-trace` lanes, `join()` derives the
+//! per-rank metrics from the lane totals, and the report additionally
+//! carries the merged [`TraceLog`] itself — so the same run can be read as
+//! aggregate numbers (Figs. 12–14), as a rendered timeline (Figs. 17/19),
+//! or as windowed step statistics, all from one source of truth.
 
+use std::fmt::Write as _;
 use std::time::Duration;
 use zipper_core::{ConsumerMetrics, ProducerMetrics};
+use zipper_trace::render::{render_timeline, RenderOptions};
+use zipper_trace::{stats, KindBreakdown, SpanKind, TraceLog, WindowStats};
+use zipper_types::{RuntimeError, SimTime};
 
 /// Everything measured in one coupled run.
 #[derive(Clone, Debug)]
@@ -20,6 +32,9 @@ pub struct WorkflowReport {
     pub pfs_blocks: usize,
     /// Total payload bytes ever written to the PFS.
     pub pfs_bytes_written: u64,
+    /// The merged span log of the run (lane totals always; raw spans when
+    /// the run traced in full mode).
+    pub trace: TraceLog,
 }
 
 impl WorkflowReport {
@@ -47,7 +62,7 @@ impl WorkflowReport {
         if self.producers.is_empty() {
             return Duration::ZERO;
         }
-        self.producer_total().stall / self.producers.len() as u32
+        self.producer_total().stall() / self.producers.len() as u32
     }
 
     /// Fraction of all produced blocks that took the file path
@@ -57,7 +72,7 @@ impl WorkflowReport {
     }
 
     /// All runtime errors across producer and consumer ranks.
-    pub fn errors(&self) -> Vec<String> {
+    pub fn errors(&self) -> Vec<RuntimeError> {
         self.producers
             .iter()
             .flat_map(|p| p.errors.iter().cloned())
@@ -77,26 +92,101 @@ impl WorkflowReport {
             "lost blocks: {written} written, {delivered} delivered"
         );
     }
+
+    /// Aggregate per-kind time breakdown over every lane of the trace.
+    pub fn breakdown(&self) -> KindBreakdown {
+        stats::total_breakdown(&self.trace)
+    }
+
+    /// Windowed statistics over `[a, b)` of the trace — the
+    /// steps-per-window reading of Figs. 17/19. Needs a full-mode trace
+    /// (raw spans); in totals mode the window appears empty.
+    pub fn window(&self, a: SimTime, b: SimTime) -> WindowStats {
+        stats::window_stats(&self.trace, a, b)
+    }
+
+    /// Render the run's trace as an ASCII timeline (needs a full-mode
+    /// trace; in totals mode the window is empty).
+    pub fn timeline(&self, width: usize) -> String {
+        let opts = RenderOptions {
+            width,
+            max_lanes: 64,
+            ..Default::default()
+        };
+        render_timeline(&self.trace, &opts)
+    }
+
+    /// A human-readable multi-line summary: counters plus the dominant
+    /// per-kind times of the simulation and analysis sides.
+    pub fn summary(&self) -> String {
+        let p = self.producer_total();
+        let c = self.consumer_total();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wall {:?} | {} blocks written, {} sent, {} stolen ({:.1}% file path)",
+            self.wall,
+            p.blocks_written,
+            p.blocks_sent,
+            p.blocks_stolen,
+            self.steal_fraction() * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "net {} msgs / {} B | pfs {} blocks / {} B",
+            self.net_messages, self.net_bytes, self.pfs_blocks, self.pfs_bytes_written,
+        );
+        let _ = writeln!(
+            out,
+            "sim  : compute {:?}  stall {:?}  send {:?}  fs-write {:?}",
+            p.compute(),
+            p.stall(),
+            p.send_busy(),
+            p.fs_busy(),
+        );
+        let _ = writeln!(
+            out,
+            "ana  : analysis {:?}  read-wait {:?}  recv {:?}  fs-read {:?}",
+            Duration::from_nanos(c.app.get(SpanKind::Analysis).as_nanos()),
+            c.read_wait(),
+            c.recv_busy(),
+            c.disk_busy(),
+        );
+        let ranked = self.breakdown().ranked();
+        if !ranked.is_empty() {
+            let _ = write!(out, "trace:");
+            for (kind, t) in ranked.iter().take(8) {
+                let _ = write!(out, "  {kind}={t}");
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zipper_types::Rank;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
 
     fn report() -> WorkflowReport {
-        let p0 = ProducerMetrics {
+        let mut p0 = ProducerMetrics {
             blocks_written: 10,
             blocks_sent: 7,
             blocks_stolen: 3,
-            stall: Duration::from_millis(30),
             ..Default::default()
         };
-        let p1 = ProducerMetrics {
+        p0.app.add(SpanKind::Stall, ms(30));
+        let mut p1 = ProducerMetrics {
             blocks_written: 10,
             blocks_sent: 10,
-            stall: Duration::from_millis(10),
             ..Default::default()
         };
+        p1.app.add(SpanKind::Stall, ms(10));
         let c0 = ConsumerMetrics {
             blocks_net: 17,
             blocks_disk: 3,
@@ -111,6 +201,7 @@ mod tests {
             net_messages: 17,
             pfs_blocks: 3,
             pfs_bytes_written: 300,
+            trace: TraceLog::new(),
         }
     }
 
@@ -138,7 +229,10 @@ mod tests {
     #[should_panic(expected = "workflow errors")]
     fn assert_complete_surfaces_errors() {
         let mut r = report();
-        r.producers[0].errors.push("writer thread retired".into());
+        r.producers[0].errors.push(RuntimeError::WriterRetired {
+            rank: Rank(0),
+            detail: "pfs on fire".into(),
+        });
         r.assert_complete();
     }
 
@@ -152,9 +246,27 @@ mod tests {
             net_messages: 0,
             pfs_blocks: 0,
             pfs_bytes_written: 0,
+            trace: TraceLog::new(),
         };
         assert_eq!(r.mean_stall(), Duration::ZERO);
         assert_eq!(r.steal_fraction(), 0.0);
         r.assert_complete();
+    }
+
+    #[test]
+    fn summary_and_timeline_render_from_the_trace() {
+        let mut r = report();
+        let lane = r.trace.lane("sim/p0/app");
+        r.trace
+            .record_interval(lane, SpanKind::Compute, ms(0), ms(60));
+        r.trace
+            .record_interval(lane, SpanKind::Stall, ms(60), ms(100));
+        let s = r.summary();
+        assert!(s.contains("20 blocks written"), "{s}");
+        assert!(s.contains("compute=60.0ms"), "{s}");
+        let t = r.timeline(20);
+        assert!(t.contains("sim/p0/app"), "{t}");
+        let w = r.window(ms(0), ms(50));
+        assert_eq!(w.breakdown.get(SpanKind::Compute), ms(50));
     }
 }

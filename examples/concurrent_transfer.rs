@@ -73,8 +73,7 @@ fn main() {
         "the slow channel should trigger stealing"
     );
     let gain = 1.0
-        - concurrent.mean_stall().as_secs_f64()
-            / message_only.mean_stall().as_secs_f64().max(1e-9);
+        - concurrent.mean_stall().as_secs_f64() / message_only.mean_stall().as_secs_f64().max(1e-9);
     println!(
         "\nstall-time reduction from the dual channel: {:.0}% \
          (paper Fig. 14a: 16-32% wall-clock reduction for the O(n) app)",

@@ -49,8 +49,7 @@ fn producer_main(addrs: Vec<SocketAddr>) {
         handles.push((
             std::thread::spawn(move || {
                 for s in 0..STEPS {
-                    let slab =
-                        generate_block(Complexity::Linear, SLAB, (p as u64) << 32 | s);
+                    let slab = generate_block(Complexity::Linear, SLAB, (p as u64) << 32 | s);
                     writer.write_slab(StepId(s), GlobalPos::default(), slab);
                 }
                 writer.finish();

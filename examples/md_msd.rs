@@ -77,11 +77,8 @@ fn main() {
                     }
                     let positions = decode_positions(&bytes);
                     let md0 = reference(key.0);
-                    let value = mean_squared_displacement(
-                        &positions,
-                        md0.positions(),
-                        md0.box_len(),
-                    );
+                    let value =
+                        mean_squared_displacement(&positions, md0.positions(), md0.box_len());
                     msd.entry(key.1).or_default().push(value);
                 }
             }

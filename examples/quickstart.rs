@@ -11,8 +11,9 @@
 use bytes::Bytes;
 use zipper_apps::analysis::VarianceAccumulator;
 use zipper_apps::synthetic::{decode_block, generate_block, Complexity};
+use zipper_types::SimTime;
 use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
-use zipper_workflow::{run_workflow, NetworkOptions, StorageOptions};
+use zipper_workflow::{run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions};
 
 fn main() {
     // 1. Describe the coupled workflow: P producers, Q consumers, how much
@@ -39,10 +40,14 @@ fn main() {
     // 2. Run it. The producer closure is your simulation loop: compute a
     //    step, hand the slab to Zipper. The consumer closure is your
     //    analysis loop: read blocks until the stream ends.
-    let (report, results) = run_workflow(
+    let (report, results) = run_workflow_traced(
         &cfg,
         NetworkOptions::default(),
         StorageOptions::Memory,
+        // Full tracing: every runtime thread records spans into one shared
+        // log, which the report renders below. `TraceOptions::default()`
+        // keeps lane totals only; `off()` removes even that.
+        TraceOptions::full(),
         move |rank, writer| {
             for step in 0..8u64 {
                 // "Simulate": generate this step's output slab.
@@ -86,4 +91,19 @@ fn main() {
         "done in {:?}: {} blocks written, {} sent by message, {} stolen to the file channel",
         report.wall, totals.blocks_written, totals.blocks_sent, totals.blocks_stolen,
     );
+
+    // 4. The same run, read as a trace. Every number above is a view over
+    //    this span log; the timeline is the paper's Fig. 17/19 reading of
+    //    the run (one row per runtime lane, one glyph per span kind).
+    println!("\n--- summary ---\n{}", report.summary());
+    println!("--- timeline ---\n{}", report.timeline(100));
+    let horizon = report.trace.horizon();
+    if horizon > SimTime::ZERO {
+        let half = SimTime::from_nanos(horizon.as_nanos() / 2);
+        let w = report.window(SimTime::ZERO, half);
+        println!(
+            "first half of the run: {:.2} steps/lane across {} active lanes",
+            w.steps_per_lane, w.active_lanes,
+        );
+    }
 }

@@ -8,7 +8,10 @@ use zipper_transports::{run, run_sim_only, TransportKind, WorkflowSpec};
 
 fn main() {
     println!("mini Fig. 16: CFD weak scaling on the cluster simulator\n");
-    println!("{:>7} {:>10} {:>10} {:>10} {:>12}", "cores", "Decaf(s)", "Zipper(s)", "sim-only", "Decaf/Zipper");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>12}",
+        "cores", "Decaf(s)", "Zipper(s)", "sim-only", "Decaf/Zipper"
+    );
 
     for cores in [48usize, 96, 192, 384] {
         let sim_ranks = cores * 2 / 3;

@@ -7,7 +7,7 @@ use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
 use zipper_pfs::{FailingFs, MemFs};
-use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
+use zipper_types::{ByteSize, GlobalPos, RuntimeError, StepId, WorkflowConfig};
 use zipper_workflow::{run_workflow, NetworkOptions, StorageOptions};
 
 fn cfg() -> WorkflowConfig {
@@ -24,8 +24,9 @@ fn cfg() -> WorkflowConfig {
     cfg
 }
 
-fn produce(cfg: &WorkflowConfig) -> impl Fn(zipper_types::Rank, &zipper_core::ZipperWriter) + Send + Sync
-{
+fn produce(
+    cfg: &WorkflowConfig,
+) -> impl Fn(zipper_types::Rank, &zipper_core::ZipperWriter) + Send + Sync {
     let steps = cfg.steps;
     let slab = cfg.bytes_per_rank_step.as_u64() as usize;
     move |rank, writer| {
@@ -68,8 +69,17 @@ fn pfs_write_failure_degrades_to_message_only_without_data_loss() {
     // The degradation is reported, not silent.
     let errors = report.errors();
     assert!(
-        errors.iter().any(|e| e.contains("writer thread retired")),
+        errors
+            .iter()
+            .any(|e| matches!(e, RuntimeError::WriterRetired { .. })),
         "expected a writer retirement report, got {errors:?}"
+    );
+    // The typed error still renders the human-readable story.
+    assert!(
+        errors
+            .iter()
+            .any(|e| e.to_string().contains("writer thread retired")),
+        "display form lost the retirement message: {errors:?}"
     );
 }
 
@@ -98,7 +108,7 @@ fn intermittent_pfs_faults_are_accounted_exactly() {
         .consumer_total()
         .errors
         .iter()
-        .filter(|e| e.contains("injected fault"))
+        .filter(|e| matches!(e, RuntimeError::BlockFetchFailed { .. }))
         .count() as u64;
     assert_eq!(
         delivered + read_faults,

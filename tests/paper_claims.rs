@@ -45,8 +45,7 @@ fn fig2_ordering_holds_at_reduced_scale() {
         s.ana_ranks = ranks / 2;
         run(kind, &s).end_to_end.as_secs_f64()
     };
-    let mpiio_growth =
-        scale_time(TransportKind::MpiIo, 128) / scale_time(TransportKind::MpiIo, 32);
+    let mpiio_growth = scale_time(TransportKind::MpiIo, 128) / scale_time(TransportKind::MpiIo, 32);
     let decaf_growth = scale_time(TransportKind::Decaf, 64) / scale_time(TransportKind::Decaf, 32);
     assert!(
         mpiio_growth > 1.6,
@@ -66,7 +65,10 @@ fn fig2_ordering_holds_at_reduced_scale() {
     let samples = [e2e(1), e2e(2), e2e(3), e2e(4)];
     let min = samples.iter().cloned().fold(f64::MAX, f64::min);
     let max = samples.iter().cloned().fold(0.0, f64::max);
-    assert!(max / min > 1.1, "MPI-IO should vary across runs: {samples:?}");
+    assert!(
+        max / min > 1.1,
+        "MPI-IO should vary across runs: {samples:?}"
+    );
 }
 
 /// §6.3 / Fig. 16: Zipper's end-to-end time almost equals simulation-only,
@@ -134,8 +136,8 @@ fn analytical_model_predicts_compute_bound_runs() {
 fn pipeline_speedup_approaches_stage_count() {
     let stages = [SimTime::from_millis(10); 4];
     let n = 2000;
-    let speedup = non_integrated_time(n, &stages).as_secs_f64()
-        / integrated_time(n, &stages).as_secs_f64();
+    let speedup =
+        non_integrated_time(n, &stages).as_secs_f64() / integrated_time(n, &stages).as_secs_f64();
     assert!((3.9..=4.0).contains(&speedup), "speedup {speedup}");
 }
 

@@ -1,8 +1,12 @@
 //! Property-based tests over the core data structures and models.
 
 use proptest::prelude::*;
+use std::sync::Arc;
 use zipper_model::{integrated_time, non_integrated_time};
 use zipper_pfs::{MemFs, OstModel, OstModelConfig, Storage};
+use zipper_trace::{
+    stats, KindBreakdown, Span, SpanKind, TraceLog, TraceMode, TraceSink, VirtualClock,
+};
 use zipper_types::block::deterministic_payload;
 use zipper_types::{Block, BlockId, ByteSize, GlobalPos, Rank, SimTime, StepId};
 
@@ -181,6 +185,107 @@ proptest! {
                 (Some(w), Some(m)) => prop_assert!((w - m).abs() <= 1e-9 * w.abs().max(1.0)),
                 (a, b) => prop_assert_eq!(a, b),
             }
+        }
+    }
+}
+
+proptest! {
+    /// Spans produced by one lane recorder over a virtual clock are
+    /// well-formed (`t1 >= t0`), mutually non-overlapping in time order,
+    /// and the lane's per-kind totals are exactly the sum of its span
+    /// durations — the invariant that lets metrics be derived views over
+    /// the span log rather than separate bookkeeping.
+    #[test]
+    fn recorder_spans_are_ordered_and_totals_match(
+        ops in proptest::collection::vec((0usize..3usize, 1u64..1000u64, 0u64..500u64), 1..60)
+    ) {
+        let clock = VirtualClock::new();
+        let sink = TraceSink::new(TraceMode::Full, Arc::new(clock.clone()));
+        let mut rec = sink.recorder("prop/lane");
+        for (k, dur, gap) in &ops {
+            // Random dead time between spans, then a timed op that
+            // advances the shared clock while it runs.
+            clock.advance(SimTime::from_nanos(*gap));
+            let kind = [SpanKind::Compute, SpanKind::Send, SpanKind::Stall][*k];
+            rec.time(kind, || clock.advance(SimTime::from_nanos(*dur)));
+        }
+        drop(rec);
+        let log = sink.snapshot();
+        let spans = log.spans();
+        prop_assert_eq!(spans.len(), ops.len());
+        let mut sum = KindBreakdown::default();
+        for s in spans {
+            prop_assert!(s.t1 >= s.t0);
+            sum.add(s.kind, s.duration());
+        }
+        for w in spans.windows(2) {
+            prop_assert!(w[0].t1 <= w[1].t0, "lane spans overlap: {:?} then {:?}", w[0], w[1]);
+        }
+        let totals = stats::total_breakdown(&log);
+        for &k in SpanKind::ALL.iter() {
+            prop_assert_eq!(totals.get(k), sum.get(k));
+        }
+    }
+
+    /// A breakdown's `total()` is the sum of its parts, `overhead()` never
+    /// exceeds it, and splitting the entry stream arbitrarily and merging
+    /// the two halves reproduces the whole.
+    #[test]
+    fn breakdown_totals_are_sums_of_parts(
+        entries in proptest::collection::vec((0usize..18usize, 0u64..1_000_000u64), 0..50),
+        split in 0usize..50,
+    ) {
+        let mut whole = KindBreakdown::default();
+        let mut left = KindBreakdown::default();
+        let mut right = KindBreakdown::default();
+        let split = split.min(entries.len());
+        let mut nanos = 0u64;
+        for (i, (k, d)) in entries.iter().enumerate() {
+            let kind = SpanKind::ALL[k % SpanKind::ALL.len()];
+            let dur = SimTime::from_nanos(*d);
+            nanos += d;
+            whole.add(kind, dur);
+            if i < split { left.add(kind, dur) } else { right.add(kind, dur) }
+        }
+        prop_assert_eq!(whole.total(), SimTime::from_nanos(nanos));
+        prop_assert!(whole.overhead() <= whole.total());
+        left.merge(&right);
+        for &k in SpanKind::ALL.iter() {
+            prop_assert_eq!(left.get(k), whole.get(k));
+        }
+    }
+
+    /// Windowed statistics partition additively: cutting `[0, end)` at any
+    /// point yields two windows whose per-kind breakdowns sum back to the
+    /// whole, and the whole window's breakdown equals the raw span time.
+    #[test]
+    fn window_stats_partition_additively(
+        spans in proptest::collection::vec(
+            (0u64..10_000u64, 1u64..5_000u64, 0usize..18usize, 0u64..8u64), 1..60),
+        cut in 1u64..15_000u64,
+    ) {
+        let mut log = TraceLog::new();
+        let lane = log.lane("prop/window");
+        let mut horizon = 0u64;
+        let mut per_kind = KindBreakdown::default();
+        for (t0, dur, k, step) in &spans {
+            let kind = SpanKind::ALL[k % SpanKind::ALL.len()];
+            let (a, b) = (SimTime::from_nanos(*t0), SimTime::from_nanos(t0 + dur));
+            log.record(Span::new(lane, kind, a, b).with_step(*step));
+            per_kind.add(kind, SimTime::from_nanos(*dur));
+            horizon = horizon.max(t0 + dur);
+        }
+        let end = horizon + 1;
+        let cut = cut.clamp(1, end - 1).max(1);
+        let whole = stats::window_stats(&log, SimTime::ZERO, SimTime::from_nanos(end));
+        let first = stats::window_stats(&log, SimTime::ZERO, SimTime::from_nanos(cut));
+        let second = stats::window_stats(&log, SimTime::from_nanos(cut), SimTime::from_nanos(end));
+        for &k in SpanKind::ALL.iter() {
+            prop_assert_eq!(whole.breakdown.get(k), per_kind.get(k));
+            prop_assert_eq!(
+                first.breakdown.get(k) + second.breakdown.get(k),
+                whole.breakdown.get(k)
+            );
         }
     }
 }

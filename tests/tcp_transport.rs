@@ -3,10 +3,13 @@
 //! the cross-process deployment shape of the paper's workflows.
 
 use std::collections::HashSet;
+use std::io::Write;
+use std::net::TcpStream;
 use std::sync::Arc;
-use zipper_core::{listen_consumers, Consumer, Producer, TcpSender};
+use zipper_core::{encode_wire, listen_consumers, Consumer, Producer, TcpSender, Wire, MAX_FRAME};
 use zipper_pfs::MemFs;
 use zipper_types::block::deterministic_payload;
+use zipper_types::MixedMessage;
 use zipper_types::{
     Block, BlockId, ByteSize, GlobalPos, PreserveMode, Rank, RoutingPolicy, StepId, ZipperTuning,
 };
@@ -94,6 +97,106 @@ fn full_workflow_over_real_sockets() {
     let unique: HashSet<BlockId> = all.iter().copied().collect();
     assert_eq!(all.len(), producers * blocks_per_producer as usize);
     assert_eq!(unique.len(), all.len(), "duplicate deliveries over TCP");
+}
+
+/// A frame drip-fed one byte at a time — length prefix included — must
+/// reassemble on the consumer side exactly as if it arrived whole. TCP
+/// gives no framing guarantees; the reader's `read_exact` loop is what
+/// turns an arbitrary byte dribble back into frames.
+#[test]
+fn partial_writes_reassemble_into_whole_frames() {
+    let (addrs, receivers) = listen_consumers(1, 1).unwrap();
+    let mut raw = TcpStream::connect(addrs[0]).unwrap();
+    raw.set_nodelay(true).unwrap();
+
+    let id = BlockId::new(Rank(0), StepId(4), 1);
+    let block = Block::from_payload(
+        Rank(0),
+        StepId(4),
+        1,
+        2,
+        GlobalPos::default(),
+        deterministic_payload(id, 512),
+    );
+    let body = encode_wire(&Wire::Msg(MixedMessage::data_only(block)));
+    let mut frame = (body.len() as u64).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    // Byte-at-a-time: every read on the far side sees a short count.
+    for b in &frame {
+        raw.write_all(std::slice::from_ref(b)).unwrap();
+        raw.flush().unwrap();
+    }
+    // A second frame split across the length-prefix boundary.
+    let body2 = encode_wire(&Wire::Eos(Rank(0)));
+    let mut frame2 = (body2.len() as u64).to_le_bytes().to_vec();
+    frame2.extend_from_slice(&body2);
+    let (head, tail) = frame2.split_at(3);
+    raw.write_all(head).unwrap();
+    raw.flush().unwrap();
+    raw.write_all(tail).unwrap();
+    drop(raw);
+
+    match receivers[0].recv().unwrap() {
+        Wire::Msg(m) => {
+            let b = m.data.unwrap();
+            assert_eq!(b.id(), id);
+            assert_eq!(b.payload, deterministic_payload(id, 512));
+        }
+        w => panic!("unexpected {w:?}"),
+    }
+    match receivers[0].recv().unwrap() {
+        Wire::Eos(r) => assert_eq!(r, Rank(0)),
+        w => panic!("unexpected {w:?}"),
+    }
+    // Clean close after the last frame ends the stream without an error
+    // wire; the channel simply disconnects.
+    assert!(receivers[0].recv().is_err());
+}
+
+/// A hostile length prefix (larger than [`MAX_FRAME`]) must drop the
+/// connection instead of allocating the claimed buffer — the reader
+/// rejects the frame before touching the allocator, so this returns
+/// promptly rather than OOMing or hanging.
+#[test]
+fn oversized_length_prefix_drops_the_connection() {
+    let (addrs, receivers) = listen_consumers(1, 1).unwrap();
+    let mut raw = TcpStream::connect(addrs[0]).unwrap();
+    raw.write_all(&((MAX_FRAME as u64) + 1).to_le_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+    // Reader thread rejects and exits -> its channel handle drops -> the
+    // receiver disconnects. No wire ever arrives.
+    assert!(receivers[0].recv().is_err());
+}
+
+/// A stream that dies mid-body (short read) must not deliver a partial
+/// wire: frames already completed arrive, the truncated one does not.
+#[test]
+fn truncated_frame_body_is_not_delivered() {
+    let (addrs, receivers) = listen_consumers(1, 1).unwrap();
+    let mut raw = TcpStream::connect(addrs[0]).unwrap();
+    // One complete frame first.
+    let body = encode_wire(&Wire::Msg(MixedMessage::disk_only(vec![BlockId::new(
+        Rank(2),
+        StepId(0),
+        5,
+    )])));
+    raw.write_all(&(body.len() as u64).to_le_bytes()).unwrap();
+    raw.write_all(&body).unwrap();
+    // Then a frame that claims 100 bytes but delivers 10 before dying.
+    raw.write_all(&100u64.to_le_bytes()).unwrap();
+    raw.write_all(&[0u8; 10]).unwrap();
+    raw.flush().unwrap();
+    drop(raw);
+
+    match receivers[0].recv().unwrap() {
+        Wire::Msg(m) => assert_eq!(m.on_disk, vec![BlockId::new(Rank(2), StepId(0), 5)]),
+        w => panic!("unexpected {w:?}"),
+    }
+    assert!(
+        receivers[0].recv().is_err(),
+        "truncated frame must not surface as a wire"
+    );
 }
 
 #[test]

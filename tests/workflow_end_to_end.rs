@@ -6,7 +6,9 @@ use bytes::Bytes;
 use std::collections::HashSet;
 use std::time::Duration;
 use zipper_types::block::deterministic_payload;
-use zipper_types::{Block, BlockId, ByteSize, GlobalPos, PreserveMode, Rank, StepId, WorkflowConfig};
+use zipper_types::{
+    Block, BlockId, ByteSize, GlobalPos, PreserveMode, Rank, StepId, WorkflowConfig,
+};
 use zipper_workflow::{run_workflow, NetworkOptions, StorageOptions};
 
 fn base_cfg() -> WorkflowConfig {
@@ -24,7 +26,9 @@ fn base_cfg() -> WorkflowConfig {
 }
 
 /// Producer emitting deterministic, verifiable blocks.
-fn verifiable_producer(cfg: &WorkflowConfig) -> impl Fn(Rank, &zipper_core::ZipperWriter) + Send + Sync {
+fn verifiable_producer(
+    cfg: &WorkflowConfig,
+) -> impl Fn(Rank, &zipper_core::ZipperWriter) + Send + Sync {
     let steps = cfg.steps;
     let block = cfg.tuning.block_size.as_u64() as usize;
     let per_step = cfg.blocks_per_rank_step() as u32;
@@ -151,7 +155,11 @@ fn real_disk_backend_round_trips_stolen_blocks() {
 
     let feeder = std::thread::spawn(move || {
         for s in 0..4u64 {
-            writer.write_slab(StepId(s), GlobalPos::default(), Bytes::from(vec![7u8; 1 << 16]));
+            writer.write_slab(
+                StepId(s),
+                GlobalPos::default(),
+                Bytes::from(vec![7u8; 1 << 16]),
+            );
         }
         writer.finish();
     });

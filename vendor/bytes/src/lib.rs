@@ -1,0 +1,232 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset of the real API this workspace uses: a cheaply
+//! cloneable, sliceable, immutable byte buffer backed by an `Arc<[u8]>`.
+//! Clones and slices share the underlying allocation (pointer-stable),
+//! matching the aliasing guarantees the runtime relies on for zero-copy
+//! block routing.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable slice of shared bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
+    /// Wrap a static slice. (Copies once; the real crate aliases the
+    /// static, but no caller here depends on that.)
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self::from_vec(s.to_vec())
+    }
+
+    /// Copy an arbitrary slice into a fresh shared buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Self::from_vec(s.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-slice sharing the same allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of range"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    // Inherent method shadowing the AsRef trait method: callers use
+    // `b.as_ref()` without importing the trait, matching the real
+    // `bytes` crate API.
+    #[allow(clippy::should_implement_trait)]
+    pub fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        Bytes::as_ref(self)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::from_static(s)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from_vec(s.into_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref().iter().take(32) {
+            if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len() > 32 {
+            write!(f, "..{} bytes", self.len())?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        Bytes::as_ref(self).iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_allocation() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+    }
+
+    #[test]
+    fn slices_share_and_offset() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = a.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(s.as_ptr(), unsafe { a.as_ptr().add(2) });
+    }
+
+    #[test]
+    fn equality_and_len() {
+        let a = Bytes::from_static(b"hello");
+        assert_eq!(a, Bytes::copy_from_slice(b"hello"));
+        assert_eq!(a.len(), 5);
+        assert!(!a.is_empty());
+        assert_eq!(a, b"hello"[..]);
+    }
+}

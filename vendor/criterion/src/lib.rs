@@ -1,0 +1,365 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the `bench` crate uses — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_custom`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock harness: warm up, run `sample_size` samples, report the
+//! median ns/iter (plus derived throughput) on stdout. No statistics
+//! beyond the median, no HTML reports, no baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.full_name(), self, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_benchmark(
+            &format!("{}/{}", self.name, id.full_name()),
+            &cfg,
+            self.throughput.clone(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("benchmark"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full_name())
+    }
+}
+
+pub struct Bencher {
+    /// Total measured time across all samples of the current run.
+    elapsed: Duration,
+    /// Iterations the harness asks the next measurement to run.
+    iters: u64,
+    /// Iterations actually performed (for ns/iter).
+    done: u64,
+}
+
+impl Bencher {
+    /// Time `f`, called `iters` times; the return value is passed through
+    /// `black_box` so the work cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.done += self.iters;
+    }
+
+    /// Hand the iteration count to `f` and trust its own timing — used by
+    /// benches that must set up per-measurement state outside the timed
+    /// region.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed += f(self.iters);
+        self.done += self.iters;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    cfg: &Criterion,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // estimating the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    let mut warmed = 0u32;
+    while warm_start.elapsed() < cfg.warm_up_time && warmed < 1_000 {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+            done: 0,
+        };
+        f(&mut b);
+        if b.done > 0 {
+            per_iter = b.elapsed / b.done as u32;
+        }
+        warmed += 1;
+    }
+
+    // Size each sample so the whole measurement roughly fits the budget.
+    let budget_per_sample = cfg.measurement_time / cfg.sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: iters_per_sample,
+            done: 0,
+        };
+        f(&mut b);
+        if b.done > 0 {
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.done as f64);
+        }
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = if samples_ns.is_empty() {
+        0.0
+    } else {
+        samples_ns[samples_ns.len() / 2]
+    };
+
+    let mut line = format!(
+        "{name:<50} {:>12}/iter ({} samples x {iters_per_sample} iters)",
+        format_ns(median),
+        samples_ns.len(),
+    );
+    if median > 0.0 {
+        match throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                let gib_s = n as f64 / median; // bytes per ns == GB/s
+                line.push_str(&format!("  {gib_s:>8.3} GB/s"));
+            }
+            Some(Throughput::Elements(n)) => {
+                let me_s = n as f64 / median * 1e3; // elements per ns -> M/s
+                line.push_str(&format!("  {me_s:>8.3} Melem/s"));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running each group (the bench targets use
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("smoke");
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| ran += 1));
+            g.bench_function("custom", |b| {
+                b.iter_custom(|iters| {
+                    let t = Instant::now();
+                    for _ in 0..iters {
+                        black_box(());
+                    }
+                    t.elapsed()
+                })
+            });
+            g.finish();
+        }
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for `crossbeam` (only the `channel` module), backed by
+//! `std::sync::mpsc`. Covers the subset this workspace uses: `bounded`,
+//! `unbounded`, cloneable `Sender`, iterable `Receiver`.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Multi-producer sender; cloneable for both bounded and unbounded
+    /// flavours (std's `SyncSender` and `Sender` are each cloneable).
+    pub enum Sender<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; `Err` iff all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `Err` iff the channel is empty and all
+        /// senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.rx.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.rx.iter()
+        }
+    }
+
+    /// A channel with a bounded buffer: senders block while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { rx })
+    }
+
+    /// A channel with an unbounded buffer: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { rx })
+    }
+
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Ok(1));
+        let rest: Vec<u32> = rx.into_iter().collect();
+        assert_eq!(rest, [2]);
+    }
+
+    #[test]
+    fn unbounded_iteration() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.into_iter().sum::<u32>(), 10);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the `proptest! { #[test] fn name(x in strategy, ..) { .. } }` macro,
+//! * numeric `Range`/`RangeInclusive` strategies, tuple strategies, and
+//!   `proptest::collection::vec`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Each property runs a fixed number of deterministic cases (seeded from
+//! the test name), with no shrinking: a failing case reports its index
+//! and seed so it can be replayed by re-running the test.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Cases per property. The real crate defaults to 256; 64 keeps the
+/// heavier model-based properties quick while still exploring the space.
+pub const NUM_CASES: u64 = 64;
+
+/// Deterministic generator for strategy sampling (xorshift64*).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            state: seed | 1, // xorshift must not start at zero
+        }
+    }
+
+    /// Seed derived from the property name, so every test gets a distinct
+    /// but reproducible stream.
+    pub fn for_property(name: &str, case: u64) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        case.hash(&mut h);
+        Self::from_seed(h.finish())
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of values of one type. Unlike the real crate there is no
+/// value tree / shrinking — `sample` draws directly.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element_strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Define property tests. Grammar (matching the subset of the real macro
+/// this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     /// doc
+///     #[test]
+///     fn prop_name(x in 0u32..10, v in proptest::collection::vec(0u8..255, 1..9)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                for __case in 0..$crate::NUM_CASES {
+                    let mut __rng = $crate::TestRng::for_property(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "property {} failed at case {}/{}:\n{}",
+                            stringify!($name),
+                            __case,
+                            $crate::NUM_CASES,
+                            __msg
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` ({}:{})\n  both: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` ({}:{}): {}\n  both: {:?}",
+                stringify!($left), stringify!($right), file!(), line!(),
+                format!($($fmt)+), __l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// Integer ranges respect their bounds.
+        #[test]
+        fn int_ranges_in_bounds(x in 3u32..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec((0u8..4, 0.0f64..1.0), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for (b, f) in &v {
+                prop_assert!(*b < 4);
+                prop_assert!((0.0..1.0).contains(f), "f64 element {} out of range", f);
+            }
+        }
+
+        #[test]
+        fn eq_and_ne_macros(a in 0u64..100) {
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::for_property("p", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::TestRng::for_property("p", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on plain data
+//! types for downstream consumers; no code path actually serializes. So
+//! the traits are markers and the derive macros (re-exported from the
+//! companion `serde_derive` stub) expand to empty impls.
+
+/// Marker trait matching `serde::Serialize`'s name and derive surface.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name and derive surface.
+/// The lifetime parameter mirrors the real trait so explicit bounds like
+/// `for<'de> T: Deserialize<'de>` still compile.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
