@@ -101,7 +101,7 @@ fn bench_block_queue(c: &mut Criterion) {
     g.bench_function("push_pop_uncontended", |b| {
         let q = BlockQueue::new(64);
         b.iter(|| {
-            q.push(block.clone());
+            q.push(block.clone()).unwrap();
             std::hint::black_box(q.pop().0)
         })
     });
@@ -113,7 +113,7 @@ fn bench_block_queue(c: &mut Criterion) {
             let start = std::time::Instant::now();
             let producer = std::thread::spawn(move || {
                 for _ in 0..iters {
-                    q2.push(blk.clone());
+                    q2.push(blk.clone()).unwrap();
                 }
                 q2.close();
             });

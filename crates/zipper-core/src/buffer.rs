@@ -16,7 +16,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
-use zipper_types::Block;
+use zipper_types::{Block, Error, Result};
 
 #[derive(Default)]
 struct Inner {
@@ -68,22 +68,26 @@ impl BlockQueue {
     /// Insert a block, blocking while the queue is full. Returns the time
     /// spent blocked (the producer stall).
     ///
-    /// Panics if the queue was closed — producers must stop writing before
-    /// closing, so a push-after-close is a caller bug, not backpressure.
-    pub fn push(&self, block: Block) -> Duration {
+    /// Returns [`Error::ShutDown`] if the queue is (or becomes, while this
+    /// call is blocked) closed. During shutdown a racing pusher and closer
+    /// are normal — the caller absorbs the error and drops the block
+    /// instead of the whole process aborting.
+    pub fn push(&self, block: Block) -> Result<Duration> {
         let t0 = Instant::now();
         let mut g = self.inner.lock();
         while g.items.len() >= self.capacity && !g.closed {
             self.not_full.wait(&mut g);
         }
-        assert!(!g.closed, "push into closed BlockQueue");
+        if g.closed {
+            return Err(Error::ShutDown);
+        }
         g.items.push_back(block);
         g.total_in += 1;
         let len = g.items.len();
         g.peak = g.peak.max(len);
         drop(g);
         self.not_empty.notify_all();
-        t0.elapsed()
+        Ok(t0.elapsed())
     }
 
     /// Remove the oldest block, blocking while empty. Returns `None` once
@@ -180,7 +184,7 @@ mod tests {
     fn fifo_order_preserved() {
         let q = BlockQueue::new(8);
         for i in 0..5 {
-            q.push(block(i));
+            q.push(block(i)).unwrap();
         }
         q.close();
         let mut got = Vec::new();
@@ -194,14 +198,14 @@ mod tests {
     #[test]
     fn push_blocks_until_space_and_reports_stall() {
         let q = Arc::new(BlockQueue::new(1));
-        q.push(block(0));
+        q.push(block(0)).unwrap();
         let q2 = q.clone();
         let popper = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(50));
             let (b, _) = q2.pop();
             b.unwrap().id().idx
         });
-        let stall = q.push(block(1)); // must wait for the pop
+        let stall = q.push(block(1)).unwrap(); // must wait for the pop
         assert!(stall >= Duration::from_millis(40), "stall={stall:?}");
         assert_eq!(popper.join().unwrap(), 0);
     }
@@ -215,7 +219,7 @@ mod tests {
             (b.unwrap().id().idx, waited)
         });
         std::thread::sleep(Duration::from_millis(50));
-        q.push(block(7));
+        q.push(block(7)).unwrap();
         let (idx, waited) = h.join().unwrap();
         assert_eq!(idx, 7);
         assert!(waited >= Duration::from_millis(40));
@@ -230,10 +234,10 @@ mod tests {
             b.map(|b| b.id().idx)
         });
         // One and two blocks are not enough (threshold is strict).
-        q.push(block(0));
-        q.push(block(1));
+        q.push(block(0)).unwrap();
+        q.push(block(1)).unwrap();
         std::thread::sleep(Duration::from_millis(30));
-        q.push(block(2)); // occupancy 3 > 2: stealer takes the front
+        q.push(block(2)).unwrap(); // occupancy 3 > 2: stealer takes the front
         assert_eq!(stealer.join().unwrap(), Some(0));
         assert_eq!(q.len(), 2);
     }
@@ -241,7 +245,7 @@ mod tests {
     #[test]
     fn steal_retires_on_close_below_threshold() {
         let q = Arc::new(BlockQueue::new(16));
-        q.push(block(0));
+        q.push(block(0)).unwrap();
         let q2 = q.clone();
         let stealer = std::thread::spawn(move || q2.steal(4).0);
         std::thread::sleep(Duration::from_millis(20));
@@ -256,17 +260,28 @@ mod tests {
     fn try_steal_is_nonblocking() {
         let q = BlockQueue::new(8);
         assert!(q.try_steal(0).is_none());
-        q.push(block(0));
+        q.push(block(0)).unwrap();
         assert!(q.try_steal(1).is_none()); // occupancy 1 not > 1
         assert_eq!(q.try_steal(0).unwrap().id().idx, 0);
     }
 
     #[test]
-    #[should_panic(expected = "closed BlockQueue")]
-    fn push_after_close_panics() {
+    fn push_after_close_errors() {
         let q = BlockQueue::new(2);
         q.close();
-        q.push(block(0));
+        assert!(matches!(q.push(block(0)), Err(Error::ShutDown)));
+        assert_eq!(q.stats(), (0, 0), "rejected push not counted");
+    }
+
+    #[test]
+    fn blocked_push_wakes_with_error_on_close() {
+        let q = Arc::new(BlockQueue::new(1));
+        q.push(block(0)).unwrap();
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push(block(1)));
+        std::thread::sleep(Duration::from_millis(30));
+        q.close(); // must wake the blocked pusher, not strand it
+        assert!(matches!(pusher.join().unwrap(), Err(Error::ShutDown)));
     }
 
     #[test]
@@ -286,7 +301,8 @@ mod tests {
                             n_per,
                             GlobalPos::default(),
                             deterministic_payload(id, 16),
-                        ));
+                        ))
+                        .unwrap();
                     }
                 })
             })

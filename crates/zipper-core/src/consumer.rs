@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_pfs::Storage;
 use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
-use zipper_types::{Block, BlockId, Rank, Result, RuntimeError, ZipperTuning};
+use zipper_types::{panic_detail, Block, BlockId, Error, Rank, RuntimeError, ZipperTuning};
 
 /// Lane label of consumer `rank`'s receiver thread.
 pub fn recv_lane(rank: Rank) -> String {
@@ -43,6 +43,11 @@ pub fn analysis_lane(rank: Rank) -> String {
 struct AppLane {
     rec: LaneRecorder,
     step: u64,
+    /// True once `read` returned `None` — the stream was fully drained.
+    /// A reader dropped before that abandons the stream; its `Drop` guard
+    /// closes the queue and records the abandonment so the runtime
+    /// threads shut down instead of blocking on delivery forever.
+    done: bool,
 }
 
 /// Application-facing reader handle: the paper's
@@ -51,6 +56,7 @@ struct AppLane {
 /// header carries the step / source-rank / position metadata the analysis
 /// needs (§4.2).
 pub struct ZipperReader {
+    rank: Rank,
     queue: Arc<BlockQueue>,
     metrics: Arc<Mutex<ConsumerMetrics>>,
     lane: Mutex<AppLane>,
@@ -76,7 +82,10 @@ impl ZipperReader {
                 g.rec.mark();
                 self.metrics.lock().blocks_delivered += 1;
             }
-            None => g.rec.flush(), // end of stream: lane is complete
+            None => {
+                g.done = true;
+                g.rec.flush(); // end of stream: lane is complete
+            }
         }
         block
     }
@@ -87,6 +96,27 @@ impl ZipperReader {
     }
 }
 
+impl Drop for ZipperReader {
+    fn drop(&mut self) {
+        let done = self.lane.lock().done;
+        if !done {
+            // The application abandoned the stream (panicked or returned
+            // early). Close the queue so blocked runtime threads wake with
+            // a typed error instead of deadlocking, and account the blocks
+            // that will never be delivered.
+            self.queue.close();
+            let dropped = self.queue.len() as u64;
+            self.metrics
+                .lock()
+                .errors
+                .push(RuntimeError::ReaderAbandoned {
+                    rank: self.rank,
+                    dropped_blocks: dropped,
+                });
+        }
+    }
+}
+
 /// One consumer rank's runtime: owns receiver/reader/output threads.
 pub struct Consumer {
     rank: Rank,
@@ -94,7 +124,7 @@ pub struct Consumer {
     metrics: Arc<Mutex<ConsumerMetrics>>,
     sink: TraceSink,
     closer: Option<JoinHandle<()>>,
-    output: Option<JoinHandle<Result<()>>>,
+    output: Option<JoinHandle<()>>,
     reader_taken: bool,
 }
 
@@ -148,33 +178,61 @@ impl Consumer {
             (None, None)
         };
 
-        // Receiver thread (Fig. 9 step 1): split mixed messages.
+        // Receiver thread (Fig. 9 step 1): split mixed messages. The
+        // optional EOS watchdog bounds how long it will sit in `recv` with
+        // end-of-stream markers still missing: a dead producer, a lost EOS,
+        // or a wedged transport then surfaces as a typed error instead of
+        // hanging `Consumer::join` forever. In-band transport faults are
+        // recorded and the stream continues (the transport stayed aligned).
+        let eos_timeout = tuning.eos_timeout;
         let receiver = {
             let queue = queue.clone();
-            let metrics = metrics.clone();
+            let tm = metrics.clone();
             let out_tx = out_tx.clone();
             let mut rec = sink.recorder(recv_lane(rank));
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("zipper-receiver-{rank}"))
                 .spawn(move || {
                     let mut eos: HashSet<Rank> = HashSet::new();
+                    let mut discarding = false;
                     loop {
-                        match rec.time(SpanKind::Recv, || mesh_rx.recv()) {
+                        let wire = rec.time(SpanKind::Recv, || match eos_timeout {
+                            Some(t) => mesh_rx.recv_timeout(t),
+                            None => mesh_rx.recv(),
+                        });
+                        match wire {
                             Ok(Wire::Msg(m)) => {
                                 for id in m.on_disk {
                                     // Reader thread fetches these from the PFS.
                                     let _ = ids_tx.send(id);
                                 }
                                 if let Some(b) = m.data {
-                                    metrics.lock().blocks_net += 1;
+                                    tm.lock().blocks_net += 1;
                                     if let Some(out) = &out_tx {
                                         // Network blocks are not yet on the
                                         // PFS: Preserve mode must store them
                                         // (on_disk = false path of §4.2).
                                         let _ = out.send(b.clone());
                                     }
-                                    let stalled = queue.push(b);
-                                    record_wait(&mut rec, SpanKind::Stall, stalled);
+                                    if discarding {
+                                        continue;
+                                    }
+                                    match queue.push(b) {
+                                        Ok(stalled) => {
+                                            record_wait(&mut rec, SpanKind::Stall, stalled);
+                                        }
+                                        Err(_) => {
+                                            // The application abandoned its
+                                            // reader. Keep draining the mesh so
+                                            // producers do not block on a full
+                                            // inbox, but discard the blocks.
+                                            discarding = true;
+                                            tm.lock().errors.push(RuntimeError::QueueClosed {
+                                                rank,
+                                                context: "receiver push",
+                                            });
+                                        }
+                                    }
                                 }
                             }
                             Ok(Wire::Eos(p)) => {
@@ -183,78 +241,166 @@ impl Consumer {
                                     break;
                                 }
                             }
+                            Err(Error::Timeout(_)) => {
+                                tm.lock().errors.push(RuntimeError::EosTimeout {
+                                    rank,
+                                    eos_seen: eos.len(),
+                                    eos_expected: producers,
+                                });
+                                break;
+                            }
+                            Err(Error::Runtime(re)) => {
+                                tm.lock().errors.push(re);
+                            }
                             Err(_) => {
-                                metrics
-                                    .lock()
-                                    .errors
-                                    .push(RuntimeError::ChannelDisconnected {
-                                        rank,
-                                        context: "message channel closed mid-stream",
-                                    });
+                                tm.lock().errors.push(RuntimeError::ChannelDisconnected {
+                                    rank,
+                                    context: "message channel closed mid-stream",
+                                });
                                 break;
                             }
                         }
                     }
-                })
-                .expect("spawn receiver thread")
+                });
+            match spawned {
+                Ok(h) => Some(h),
+                Err(_) => {
+                    metrics
+                        .lock()
+                        .errors
+                        .push(RuntimeError::ChannelDisconnected {
+                            rank,
+                            context: "receiver thread could not be spawned",
+                        });
+                    None
+                }
+            }
         };
 
         // Reader thread (Fig. 9 step 2): fetch announced on-disk blocks.
         let reader = {
             let queue = queue.clone();
-            let metrics = metrics.clone();
+            let tm = metrics.clone();
             let storage = storage.clone();
             let mut rec = sink.recorder(reader_lane(rank));
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("zipper-reader-{rank}"))
                 .spawn(move || {
                     for id in ids_rx {
                         match rec.time(SpanKind::FsRead, || storage.get(id)) {
                             Ok(b) => {
-                                metrics.lock().blocks_disk += 1;
-                                let stalled = queue.push(b);
-                                record_wait(&mut rec, SpanKind::Stall, stalled);
+                                tm.lock().blocks_disk += 1;
+                                match queue.push(b) {
+                                    Ok(stalled) => {
+                                        record_wait(&mut rec, SpanKind::Stall, stalled);
+                                    }
+                                    Err(_) => {
+                                        // Reader abandoned; remaining IDs
+                                        // would only feed a closed queue.
+                                        tm.lock().errors.push(RuntimeError::QueueClosed {
+                                            rank,
+                                            context: "reader push",
+                                        });
+                                        break;
+                                    }
+                                }
                             }
-                            Err(e) => metrics.lock().errors.push(RuntimeError::BlockFetchFailed {
+                            Err(e) => tm.lock().errors.push(RuntimeError::BlockFetchFailed {
                                 rank,
                                 detail: e.to_string(),
                             }),
                         }
                     }
-                })
-                .expect("spawn reader thread")
+                });
+            match spawned {
+                Ok(h) => Some(h),
+                Err(_) => {
+                    metrics
+                        .lock()
+                        .errors
+                        .push(RuntimeError::ChannelDisconnected {
+                            rank,
+                            context: "reader thread could not be spawned",
+                        });
+                    None
+                }
+            }
         };
 
         // Output thread (Fig. 9 step 3, Preserve mode only): persist
-        // network-delivered blocks.
-        let output = out_rx.map(|rx| {
-            let metrics = metrics.clone();
+        // network-delivered blocks. A store failure loses preservation for
+        // that block only; the stream keeps flowing.
+        let output = out_rx.and_then(|rx| {
+            let out_metrics = metrics.clone();
             let mut rec = sink.recorder(format!("ana/q{}/out", rank.0));
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("zipper-output-{rank}"))
-                .spawn(move || -> Result<()> {
+                .spawn(move || {
                     for b in rx {
-                        rec.time(SpanKind::FsWrite, || storage.put(&b))?;
-                        metrics.lock().blocks_stored += 1;
+                        match rec.time(SpanKind::FsWrite, || storage.put(&b)) {
+                            Ok(()) => out_metrics.lock().blocks_stored += 1,
+                            Err(e) => out_metrics.lock().errors.push(RuntimeError::StoreFailed {
+                                rank,
+                                detail: e.to_string(),
+                            }),
+                        }
                     }
-                    Ok(())
-                })
-                .expect("spawn output thread")
+                });
+            match spawned {
+                Ok(h) => Some(h),
+                Err(_) => {
+                    metrics.lock().errors.push(RuntimeError::StoreFailed {
+                        rank,
+                        detail: "output thread could not be spawned".into(),
+                    });
+                    None
+                }
+            }
         });
         drop(out_tx);
 
         // Closer: the consumer queue may close only after the receiver has
-        // seen all EOS *and* the reader drained every announced ID.
+        // seen all EOS *and* the reader drained every announced ID. A
+        // panicked runtime thread is folded into the metrics, and the queue
+        // is closed regardless so the application's reads terminate.
         let closer = {
-            let queue = queue.clone();
-            std::thread::Builder::new()
+            let tq = queue.clone();
+            let tm = metrics.clone();
+            let spawned = std::thread::Builder::new()
                 .name(format!("zipper-closer-{rank}"))
                 .spawn(move || {
-                    receiver.join().expect("receiver panicked");
-                    reader.join().expect("reader panicked");
+                    for (h, role) in [
+                        (receiver, "consumer receiver thread"),
+                        (reader, "consumer reader thread"),
+                    ] {
+                        if let Some(h) = h {
+                            if let Err(payload) = h.join() {
+                                tm.lock().errors.push(RuntimeError::AppPanicked {
+                                    rank,
+                                    role,
+                                    detail: panic_detail(payload.as_ref()),
+                                });
+                            }
+                        }
+                    }
+                    tq.close();
+                });
+            match spawned {
+                Ok(h) => Some(h),
+                Err(_) => {
+                    // No closer: close now so reads cannot hang. Any blocks
+                    // still in flight surface as QueueClosed reports.
                     queue.close();
-                })
-                .expect("spawn closer thread")
+                    metrics
+                        .lock()
+                        .errors
+                        .push(RuntimeError::ChannelDisconnected {
+                            rank,
+                            context: "closer thread could not be spawned",
+                        });
+                    None
+                }
+            }
         };
 
         Consumer {
@@ -262,7 +408,7 @@ impl Consumer {
             queue,
             metrics,
             sink,
-            closer: Some(closer),
+            closer,
             output,
             reader_taken: false,
         }
@@ -277,29 +423,49 @@ impl Consumer {
         // the analysis setup attributed to step 0.
         rec.mark();
         ZipperReader {
+            rank: self.rank,
             queue: self.queue.clone(),
             metrics: self.metrics.clone(),
-            lane: Mutex::new(AppLane { rec, step: 0 }),
+            lane: Mutex::new(AppLane {
+                rec,
+                step: 0,
+                done: false,
+            }),
         }
     }
 
     /// Join the runtime threads and return this rank's metrics, with the
     /// time fields derived from the rank's trace lanes. The application
-    /// must have drained its [`ZipperReader`] first (reads until `None` —
-    /// which also flushes the analysis lane), otherwise delivery
-    /// backpressure can block the runtime threads forever.
-    pub fn join(mut self) -> Result<ConsumerMetrics> {
-        if let Some(h) = self.closer.take() {
-            h.join().expect("closer thread panicked");
-        }
-        if let Some(h) = self.output.take() {
-            h.join().expect("output thread panicked")?;
+    /// should have drained its [`ZipperReader`] first (reads until `None` —
+    /// which also flushes the analysis lane); a reader dropped early is
+    /// absorbed by its `Drop` guard and reported in `metrics.errors`.
+    ///
+    /// Never panics and never blocks indefinitely while the EOS watchdog
+    /// is enabled: runtime-thread panics are folded into the metrics as
+    /// [`RuntimeError::AppPanicked`].
+    pub fn join(mut self) -> ConsumerMetrics {
+        for (h, role) in [
+            (self.closer.take(), "consumer closer thread"),
+            (self.output.take(), "consumer output thread"),
+        ] {
+            if let Some(h) = h {
+                if let Err(payload) = h.join() {
+                    // The closer closes the queue on its normal path; if it
+                    // died, close here so application reads still terminate.
+                    self.queue.close();
+                    self.metrics.lock().errors.push(RuntimeError::AppPanicked {
+                        rank: self.rank,
+                        role,
+                        detail: panic_detail(payload.as_ref()),
+                    });
+                }
+            }
         }
         let mut m = self.metrics.lock().clone();
         m.recv = self.sink.lane_totals(&recv_lane(self.rank));
         m.disk = self.sink.lane_totals(&reader_lane(self.rank));
         m.app = self.sink.lane_totals(&analysis_lane(self.rank));
-        Ok(m)
+        m
     }
 }
 
@@ -321,6 +487,7 @@ mod tests {
             concurrent_transfer: concurrent,
             preserve,
             routing: RoutingPolicy::SourceAffine,
+            eos_timeout: Some(std::time::Duration::from_secs(30)),
         }
     }
 
@@ -344,7 +511,13 @@ mod tests {
         }
         let storage = Arc::new(MemFs::new());
         let t = tuning(preserve, concurrent);
-        let mut cons = Consumer::spawn(Rank(0), t, 1, mesh.take_receiver(Rank(0)), storage.clone());
+        let mut cons = Consumer::spawn(
+            Rank(0),
+            t,
+            1,
+            mesh.take_receiver(Rank(0)).unwrap(),
+            storage.clone(),
+        );
         let reader = cons.reader();
         let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage.clone());
         let writer = prod.writer(block_len);
@@ -377,8 +550,8 @@ mod tests {
             got.push(b.id());
         }
         feeder.join().unwrap();
-        let pm = prod.join().unwrap();
-        let cm = cons.join().unwrap();
+        let pm = prod.join();
+        let cm = cons.join();
         (got, pm, cm, storage)
     }
 
@@ -460,7 +633,7 @@ mod tests {
                 Rank(q),
                 t,
                 producers as usize,
-                mesh.take_receiver(Rank(q)),
+                mesh.take_receiver(Rank(q)).unwrap(),
                 storage.clone(),
             );
             let r = c.reader();
@@ -501,14 +674,14 @@ mod tests {
 
         for (h, prod) in prod_handles {
             h.join().unwrap();
-            prod.join().unwrap();
+            prod.join();
         }
         let mut all = Vec::new();
         for (h, c) in cons_handles {
             let ids = h.join().unwrap();
             // SourceAffine routing: consumer q must only see ranks ≡ q (mod 2).
             all.extend(ids);
-            c.join().unwrap();
+            c.join();
         }
         all.sort();
         all.dedup();
@@ -522,8 +695,13 @@ mod tests {
         let t = tuning(PreserveMode::NoPreserve, false);
         let readers: Vec<_> = (0..2)
             .map(|q| {
-                let mut c =
-                    Consumer::spawn(Rank(q), t, 2, mesh.take_receiver(Rank(q)), storage.clone());
+                let mut c = Consumer::spawn(
+                    Rank(q),
+                    t,
+                    2,
+                    mesh.take_receiver(Rank(q)).unwrap(),
+                    storage.clone(),
+                );
                 let r = c.reader();
                 (
                     std::thread::spawn(move || {
@@ -552,13 +730,13 @@ mod tests {
                 ));
             }
             w.finish();
-            prod.join().unwrap();
+            prod.join();
         }
         for (q, (h, c)) in readers.into_iter().enumerate() {
             let srcs = h.join().unwrap();
             assert_eq!(srcs.len(), 10);
             assert!(srcs.iter().all(|s| s.idx() % 2 == q));
-            c.join().unwrap();
+            c.join();
         }
     }
 
@@ -573,7 +751,7 @@ mod tests {
             Rank(1),
             t,
             1,
-            mesh.take_receiver(Rank(0)),
+            mesh.take_receiver(Rank(0)).unwrap(),
             storage.clone(),
             sink.clone(),
         );
@@ -593,8 +771,8 @@ mod tests {
         }
         w.finish();
         while reader.read().is_some() {}
-        prod.join().unwrap();
-        let cm = cons.join().unwrap();
+        prod.join();
+        let cm = cons.join();
         assert_eq!(cm.blocks_delivered, 3);
         let log = sink.snapshot();
         let app = log.lane_by_label("ana/q1/app").expect("analysis lane");

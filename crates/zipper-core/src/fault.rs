@@ -1,0 +1,207 @@
+//! Failure injection for the message channel — the network-side sibling of
+//! `zipper-pfs`'s `FailingFs`.
+//!
+//! [`FailingTransport`] wraps a [`MeshSender`] and misbehaves on a
+//! deterministic schedule (every N-th wire), which lets the
+//! failure-injection tests drive the fail-soft layer without any real
+//! network faults: transient send errors exercise the retry/backoff path,
+//! dropped or corrupted wires exercise the consumer's in-band fault
+//! handling, and swallowed EOS markers exercise the EOS watchdog.
+
+use crate::transport::{MeshSender, Wire, WireSender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use zipper_types::{Error, Rank, Result, RuntimeError};
+
+/// What the transport does on a scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return a transient [`Error::Runtime`] without delivering the wire.
+    /// A retrying sender re-sends the same wire, so with retries enabled
+    /// no data is lost.
+    FailSend,
+    /// Silently drop the wire: it is reported as sent but never arrives
+    /// (a lost frame).
+    DropWire,
+    /// Replace the wire with an in-band [`RuntimeError::Transport`] fault,
+    /// as a TCP reader does when it decodes a corrupt frame.
+    CorruptWire,
+    /// Deliver the wire after an extra delay (a slow or congested link).
+    DelayWire,
+    /// Swallow every end-of-stream marker — the lost-EOS scenario the
+    /// consumer's watchdog exists for. Data wires pass untouched.
+    DropEos,
+}
+
+/// A deterministic fault schedule: `kind` strikes on every `every`-th
+/// wire (1-based count; `every = 1` means every wire).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    pub kind: FaultKind,
+    pub every: u64,
+    /// Extra latency for [`FaultKind::DelayWire`]; ignored otherwise.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    pub fn every(kind: FaultKind, every: u64) -> Self {
+        assert!(every >= 1, "fault period must be at least 1");
+        FaultPlan {
+            kind,
+            every,
+            delay: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A [`WireSender`] that injects faults per a [`FaultPlan`].
+pub struct FailingTransport {
+    inner: MeshSender,
+    plan: FaultPlan,
+    sent: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FailingTransport {
+    pub fn new(inner: MeshSender, plan: FaultPlan) -> Self {
+        FailingTransport {
+            inner,
+            plan,
+            sent: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn strikes(&self) -> bool {
+        let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
+        n.is_multiple_of(self.plan.every)
+    }
+}
+
+impl WireSender for FailingTransport {
+    fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        if self.plan.kind == FaultKind::DropEos {
+            if matches!(wire, Wire::Eos(_)) {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            return self.inner.send(to, wire);
+        }
+        if !self.strikes() {
+            return self.inner.send(to, wire);
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        match self.plan.kind {
+            FaultKind::FailSend => Err(Error::Runtime(RuntimeError::Transport {
+                rank: to,
+                detail: "injected transient send failure".into(),
+            })),
+            FaultKind::DropWire => Ok(()),
+            FaultKind::CorruptWire => self.inner.send_fault(
+                to,
+                RuntimeError::Transport {
+                    rank: to,
+                    detail: "injected corrupt wire".into(),
+                },
+            ),
+            FaultKind::DelayWire => {
+                std::thread::sleep(self.plan.delay);
+                self.inner.send(to, wire)
+            }
+            FaultKind::DropEos => unreachable!("handled above"),
+        }
+    }
+
+    fn consumers(&self) -> usize {
+        self.inner.consumers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{ChannelMesh, MeshReceiver, RetryingSender};
+    use zipper_types::RetryPolicy;
+
+    fn mesh_pair() -> (MeshSender, MeshReceiver) {
+        let mesh = ChannelMesh::new(1, 16);
+        let r = mesh.take_receiver(Rank(0)).unwrap();
+        (mesh.sender(), r)
+    }
+
+    #[test]
+    fn fail_send_every_other_wire() {
+        let (s, r) = mesh_pair();
+        let f = FailingTransport::new(s, FaultPlan::every(FaultKind::FailSend, 2));
+        f.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        assert!(f.send(Rank(0), Wire::Eos(Rank(1))).is_err());
+        f.send(Rank(0), Wire::Eos(Rank(2))).unwrap();
+        assert_eq!(f.injected(), 1);
+        drop(f);
+        let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
+        assert_eq!(got.len(), 2, "failed wire was not delivered");
+    }
+
+    #[test]
+    fn corrupt_wire_surfaces_in_band_fault() {
+        let (s, r) = mesh_pair();
+        let f = FailingTransport::new(s, FaultPlan::every(FaultKind::CorruptWire, 1));
+        f.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        assert!(matches!(
+            r.recv(),
+            Err(Error::Runtime(RuntimeError::Transport { .. }))
+        ));
+    }
+
+    #[test]
+    fn drop_eos_passes_data_and_swallows_markers() {
+        use zipper_types::block::deterministic_payload;
+        use zipper_types::{Block, BlockId, GlobalPos, MixedMessage, StepId};
+        let (s, r) = mesh_pair();
+        let f = FailingTransport::new(s, FaultPlan::every(FaultKind::DropEos, 1));
+        let id = BlockId::new(Rank(0), StepId(0), 0);
+        let block = Block::from_payload(
+            Rank(0),
+            StepId(0),
+            0,
+            1,
+            GlobalPos::default(),
+            deterministic_payload(id, 32),
+        );
+        f.send(Rank(0), Wire::Msg(MixedMessage::data_only(block)))
+            .unwrap();
+        f.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        assert_eq!(f.injected(), 1);
+        drop(f);
+        let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0], Wire::Msg(_)));
+    }
+
+    #[test]
+    fn retrying_sender_rides_over_injected_failures() {
+        let (s, r) = mesh_pair();
+        let f = FailingTransport::new(s, FaultPlan::every(FaultKind::FailSend, 2));
+        let retrying = RetryingSender::new(
+            f,
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_micros(100),
+                max_delay: Duration::from_micros(400),
+                jitter: 0.0,
+            },
+        );
+        for i in 0..6 {
+            retrying.send(Rank(0), Wire::Eos(Rank(i))).unwrap();
+        }
+        assert!(retrying.retries() > 0);
+        drop(retrying);
+        let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
+        assert_eq!(got.len(), 6, "every wire eventually delivered");
+    }
+}

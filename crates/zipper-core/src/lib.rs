@@ -24,6 +24,7 @@
 pub mod assemble;
 pub mod buffer;
 pub mod consumer;
+pub mod fault;
 pub mod metrics;
 pub mod producer;
 pub mod transport;
@@ -32,9 +33,12 @@ pub mod transport_tcp;
 pub use assemble::{Slab, StepAssembler};
 pub use buffer::BlockQueue;
 pub use consumer::{Consumer, ZipperReader};
+pub use fault::{FailingTransport, FaultKind, FaultPlan};
 pub use metrics::{ConsumerMetrics, ProducerMetrics};
 pub use producer::{Producer, ZipperWriter};
-pub use transport::{ChannelMesh, MeshReceiver, MeshSender, TracedSender, Wire, WireSender};
+pub use transport::{
+    ChannelMesh, MeshReceiver, MeshSender, RetryingSender, TracedSender, Wire, WireItem, WireSender,
+};
 pub use transport_tcp::{
     decode_wire, encode_wire, listen_consumers, listen_consumers_traced, TcpSender, MAX_FRAME,
 };

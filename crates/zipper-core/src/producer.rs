@@ -17,8 +17,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
 use zipper_types::{
-    Block, BlockId, GlobalPos, MixedMessage, Rank, Result, RoutingPolicy, RuntimeError, SimTime,
-    StepId, ZipperTuning,
+    panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RoutingPolicy,
+    RuntimeError, SimTime, StepId, ZipperTuning,
 };
 
 /// Pending on-disk block IDs, bucketed by destination consumer. The writer
@@ -86,6 +86,11 @@ pub struct ZipperWriter {
     /// The application lane. Guarded by a (uncontended) mutex only so the
     /// handle stays usable behind `&self`, matching the paper's API shape.
     recorder: Mutex<LaneRecorder>,
+    /// Set by `finish`; when a writer is dropped without finishing (the
+    /// application panicked or bailed early), the `Drop` guard still closes
+    /// the queue so the sender drains, announces EOS, and the consumers can
+    /// shut down instead of hanging.
+    finished: bool,
 }
 
 impl ZipperWriter {
@@ -105,11 +110,25 @@ impl ZipperWriter {
         let step = block.id().step.0;
         let mut rec = self.recorder.lock();
         rec.close_gap(SpanKind::Compute, step);
-        let stall = self.queue.push(block);
-        record_wait(&mut rec, SpanKind::Stall, stall);
-        rec.mark();
-        drop(rec);
-        self.metrics.lock().blocks_written += 1;
+        match self.queue.push(block) {
+            Ok(stall) => {
+                record_wait(&mut rec, SpanKind::Stall, stall);
+                rec.mark();
+                drop(rec);
+                self.metrics.lock().blocks_written += 1;
+            }
+            Err(_) => {
+                // Shutdown race: the queue closed under us. The block is
+                // dropped and the condition recorded; the application keeps
+                // running.
+                rec.mark();
+                drop(rec);
+                self.metrics.lock().errors.push(RuntimeError::QueueClosed {
+                    rank: self.rank,
+                    context: "producer write",
+                });
+            }
+        }
     }
 
     /// Split one step's output slab into fine-grain blocks of the
@@ -139,9 +158,21 @@ impl ZipperWriter {
     /// Finish the stream: close the producer buffer so the sender and
     /// writer threads drain and exit, and flush this lane's spans into the
     /// trace. Call exactly once, after the last `write`.
-    pub fn finish(self) {
+    pub fn finish(mut self) {
+        self.finished = true;
         self.queue.close();
         // Dropping `self` flushes the lane recorder.
+    }
+}
+
+impl Drop for ZipperWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // The application never called `finish` — it panicked or
+            // returned early. Close the queue anyway so the runtime threads
+            // drain, EOS reaches the consumers, and nothing hangs.
+            self.queue.close();
+        }
     }
 }
 
@@ -152,8 +183,8 @@ pub struct Producer {
     consumers: usize,
     metrics: Arc<Mutex<ProducerMetrics>>,
     sink: TraceSink,
-    sender_thread: Option<JoinHandle<Result<()>>>,
-    writer_thread: Option<JoinHandle<Result<()>>>,
+    sender_thread: Option<JoinHandle<()>>,
+    writer_thread: Option<JoinHandle<()>>,
     writer_taken: bool,
 }
 
@@ -194,53 +225,78 @@ impl Producer {
         let writer_done = Arc::new(WriterDone::default());
 
         let writer_thread = if tuning.concurrent_transfer {
-            let queue = queue.clone();
-            let pending = pending.clone();
-            let metrics = metrics.clone();
+            let wq = queue.clone();
+            let wpending = pending.clone();
+            let wmetrics = metrics.clone();
             let hwm = tuning.high_water_mark;
             let routing = tuning.routing;
             let done = writer_done.clone();
             let rec = sink.recorder(writer_lane(rank));
-            Some(
-                std::thread::Builder::new()
-                    .name(format!("zipper-writer-{rank}"))
-                    .spawn(move || {
-                        let r = writer_loop(
-                            rank, queue, storage, pending, metrics, hwm, routing, consumers, rec,
-                        );
-                        done.signal();
-                        r
-                    })
-                    .expect("spawn writer thread"),
-            )
+            let spawned = std::thread::Builder::new()
+                .name(format!("zipper-writer-{rank}"))
+                .spawn(move || {
+                    writer_loop(
+                        rank, wq, storage, wpending, wmetrics, hwm, routing, consumers, rec,
+                    );
+                    done.signal();
+                });
+            match spawned {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    // Degrade to message-passing-only instead of aborting:
+                    // the sender must not wait for a writer that never ran.
+                    writer_done.signal();
+                    metrics.lock().errors.push(RuntimeError::WriterRetired {
+                        rank,
+                        detail: format!("could not spawn writer thread: {e}"),
+                    });
+                    None
+                }
+            }
         } else {
             writer_done.signal();
             None
         };
 
         let sender_thread = {
-            let queue = queue.clone();
-            let metrics = metrics.clone();
+            let sq = queue.clone();
+            let smetrics = metrics.clone();
             let routing = tuning.routing;
             let rec = sink.recorder(sender_lane(rank));
-            Some(
-                std::thread::Builder::new()
-                    .name(format!("zipper-sender-{rank}"))
-                    .spawn(move || {
-                        sender_loop(
+            let spawned = std::thread::Builder::new()
+                .name(format!("zipper-sender-{rank}"))
+                .spawn(move || {
+                    sender_loop(
+                        rank,
+                        sq,
+                        mesh,
+                        pending,
+                        smetrics,
+                        routing,
+                        consumers,
+                        writer_done,
+                        rec,
+                    )
+                });
+            match spawned {
+                Ok(h) => Some(h),
+                Err(e) => {
+                    // Without a sender nothing can be shipped; close the
+                    // queue so writes fail soft instead of filling forever,
+                    // and record why. The consumers' EOS watchdog covers
+                    // the missing end-of-stream markers.
+                    queue.close();
+                    metrics
+                        .lock()
+                        .errors
+                        .push(RuntimeError::ChannelDisconnected {
                             rank,
-                            queue,
-                            mesh,
-                            pending,
-                            metrics,
-                            routing,
-                            consumers,
-                            writer_done,
-                            rec,
-                        )
-                    })
-                    .expect("spawn sender thread"),
-            )
+                            context: "sender thread could not be spawned",
+                        });
+                    let _ = e;
+                    None
+                }
+            }
         };
 
         Producer {
@@ -271,26 +327,38 @@ impl Producer {
             block_size,
             metrics: self.metrics.clone(),
             recorder: Mutex::new(recorder),
+            finished: false,
         }
     }
 
     /// Join the runtime threads and return this rank's metrics, with the
     /// time fields derived from the rank's trace lanes. The
-    /// [`ZipperWriter`] must have been finished first, otherwise the
-    /// threads never exit and this blocks forever (finishing also flushes
-    /// the application lane, making the derived view complete).
-    pub fn join(mut self) -> Result<ProducerMetrics> {
-        if let Some(h) = self.sender_thread.take() {
-            h.join().expect("sender thread panicked")?;
-        }
-        if let Some(h) = self.writer_thread.take() {
-            h.join().expect("writer thread panicked")?;
+    /// [`ZipperWriter`] must have been finished (or dropped — its guard
+    /// closes the queue) first, otherwise the threads never exit and this
+    /// blocks forever.
+    ///
+    /// Never panics: a runtime thread that panicked is folded into
+    /// `metrics.errors` as an [`RuntimeError::AppPanicked`] report.
+    pub fn join(mut self) -> ProducerMetrics {
+        for (h, role) in [
+            (self.sender_thread.take(), "producer sender thread"),
+            (self.writer_thread.take(), "producer writer thread"),
+        ] {
+            if let Some(h) = h {
+                if let Err(payload) = h.join() {
+                    self.metrics.lock().errors.push(RuntimeError::AppPanicked {
+                        rank: self.rank,
+                        role,
+                        detail: panic_detail(payload.as_ref()),
+                    });
+                }
+            }
         }
         let mut m = self.metrics.lock().clone();
         m.app = self.sink.lane_totals(&app_lane(self.rank));
         m.sender = self.sink.lane_totals(&sender_lane(self.rank));
         m.writer = self.sink.lane_totals(&writer_lane(self.rank));
-        Ok(m)
+        m
     }
 }
 
@@ -306,9 +374,25 @@ fn route(routing: RoutingPolicy, block: BlockId, counter: &mut u64, consumers: u
     }
 }
 
+/// Map an operation-level send error to the runtime fault it represents.
+fn wire_fault(rank: Rank, e: Error) -> RuntimeError {
+    match e {
+        Error::Disconnected(context) => RuntimeError::ChannelDisconnected { rank, context },
+        Error::Runtime(re) => re,
+        other => RuntimeError::Transport {
+            rank,
+            detail: other.to_string(),
+        },
+    }
+}
+
 /// Sender thread (Fig. 8): drain the producer buffer over the message
 /// channel, piggybacking any on-disk block IDs destined for the same
 /// consumer; at end-of-stream flush leftover IDs and broadcast EOS.
+///
+/// Fail-soft: a consumer whose channel fails is marked dead and recorded
+/// once; blocks routed to it are dropped while the rest of the mesh keeps
+/// flowing, and the thread itself never panics or aborts the run.
 #[allow(clippy::too_many_arguments)]
 fn sender_loop(
     rank: Rank,
@@ -320,23 +404,34 @@ fn sender_loop(
     consumers: usize,
     writer_done: Arc<WriterDone>,
     mut rec: LaneRecorder,
-) -> Result<()> {
+) {
     let mut rr_counter = 0u64;
+    let mut dead = vec![false; consumers];
     loop {
         let (block, idle) = queue.pop();
         record_wait(&mut rec, SpanKind::Idle, idle);
         let Some(block) = block else { break };
         let dest = route(routing, block.id(), &mut rr_counter, consumers);
+        if dead[dest.idx()] {
+            continue; // destination already failed; drop, error recorded
+        }
         let on_disk = std::mem::take(&mut pending.lock()[dest.idx()]);
         let bytes = block.header.len;
         let msg = MixedMessage {
             data: Some(block),
             on_disk,
         };
-        rec.time(SpanKind::Send, || mesh.send(dest, Wire::Msg(msg)))?;
-        let mut m = metrics.lock();
-        m.blocks_sent += 1;
-        m.bytes_sent += bytes;
+        match rec.time(SpanKind::Send, || mesh.send(dest, Wire::Msg(msg))) {
+            Ok(()) => {
+                let mut m = metrics.lock();
+                m.blocks_sent += 1;
+                m.bytes_sent += bytes;
+            }
+            Err(e) => {
+                dead[dest.idx()] = true;
+                metrics.lock().errors.push(wire_fault(rank, e));
+            }
+        }
     }
     // End of stream. The writer may still be storing its final stolen
     // block: wait for it to retire before flushing, so every on-disk ID is
@@ -348,14 +443,27 @@ fn sender_loop(
     {
         let mut p = pending.lock();
         for (q, ids) in p.iter_mut().enumerate() {
-            if !ids.is_empty() {
+            if !ids.is_empty() && !dead[q] {
                 let msg = MixedMessage::disk_only(std::mem::take(ids));
-                mesh.send(Rank(q as u32), Wire::Msg(msg))?;
+                if let Err(e) = mesh.send(Rank(q as u32), Wire::Msg(msg)) {
+                    dead[q] = true;
+                    metrics.lock().errors.push(wire_fault(rank, e));
+                }
             }
         }
     }
-    mesh.broadcast_eos(rank)?;
-    Ok(())
+    // Every consumer is attempted even when some already failed; the
+    // aggregated error is unpacked into individual reports.
+    if let Err(e) = mesh.broadcast_eos(rank) {
+        let mut m = metrics.lock();
+        match e {
+            Error::Aggregate(errs) => {
+                m.errors
+                    .extend(errs.into_iter().map(|e| wire_fault(rank, e)));
+            }
+            e => m.errors.push(wire_fault(rank, e)),
+        }
+    }
 }
 
 /// Writer thread (Fig. 8 + Algorithm 1): steal blocks once the buffer
@@ -372,7 +480,7 @@ fn writer_loop(
     routing: RoutingPolicy,
     consumers: usize,
     mut rec: LaneRecorder,
-) -> Result<()> {
+) {
     // The writer's routing must agree with the sender's for SourceAffine;
     // for RoundRobin stolen blocks get their own rotation (any consumer is
     // equally valid under that policy).
@@ -383,16 +491,24 @@ fn writer_loop(
         let Some(block) = block else { break };
         let stored = rec.time(SpanKind::FsWrite, || storage.put(&block));
         if let Err(e) = stored {
-            // PFS failure: no data is lost — the stolen block goes back to
-            // the producer buffer for the message path, and the writer
-            // thread retires, degrading the runtime to
-            // message-passing-only for the rest of the run.
-            queue.push(block);
-            metrics.lock().errors.push(RuntimeError::WriterRetired {
+            // PFS failure: the stolen block goes back to the producer
+            // buffer for the message path, and the writer thread retires,
+            // degrading the runtime to message-passing-only for the rest
+            // of the run. If the queue closed in the meantime (shutdown
+            // race) the block is dropped and that too is recorded.
+            let fallback_failed = queue.push(block).is_err();
+            let mut m = metrics.lock();
+            if fallback_failed {
+                m.errors.push(RuntimeError::QueueClosed {
+                    rank,
+                    context: "writer fallback push",
+                });
+            }
+            m.errors.push(RuntimeError::WriterRetired {
                 rank,
                 detail: e.to_string(),
             });
-            return Ok(());
+            return;
         }
         let dest = route(routing, block.id(), &mut rr_counter, consumers);
         pending.lock()[dest.idx()].push(block.id());
@@ -400,7 +516,6 @@ fn writer_loop(
         m.blocks_stolen += 1;
         m.bytes_stolen += block.header.len;
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -421,6 +536,7 @@ mod tests {
             concurrent_transfer: concurrent,
             preserve: PreserveMode::NoPreserve,
             routing: RoutingPolicy::SourceAffine,
+            eos_timeout: Some(std::time::Duration::from_secs(30)),
         }
     }
 
@@ -428,7 +544,7 @@ mod tests {
         mesh: &ChannelMesh,
         producers: usize,
     ) -> std::thread::JoinHandle<(Vec<BlockId>, Vec<BlockId>)> {
-        let rx = mesh.take_receiver(Rank(0));
+        let rx = mesh.take_receiver(Rank(0)).unwrap();
         std::thread::spawn(move || {
             let mut net = Vec::new();
             let mut disk = Vec::new();
@@ -472,7 +588,8 @@ mod tests {
             ));
         }
         writer.finish();
-        let metrics = prod.join().unwrap();
+        let metrics = prod.join();
+        assert!(metrics.errors.is_empty(), "{:?}", metrics.errors);
         let (net, disk) = collector.join().unwrap();
         assert_eq!(net.len(), 20);
         assert!(disk.is_empty());
@@ -502,7 +619,7 @@ mod tests {
             ));
         }
         writer.finish();
-        let metrics = prod.join().unwrap();
+        let metrics = prod.join();
         let (net, disk) = collector.join().unwrap();
         assert_eq!(net.len() + disk.len(), 30, "every block announced");
         assert!(metrics.blocks_stolen > 0, "expected steals");
@@ -530,7 +647,7 @@ mod tests {
         let n = writer.write_slab(StepId(3), GlobalPos::linear(100), slab);
         assert_eq!(n, 5);
         writer.finish();
-        prod.join().unwrap();
+        prod.join();
         let (net, _) = collector.join().unwrap();
         assert_eq!(net.len(), 5);
         assert!(net.iter().all(|id| id.step == StepId(3)));
@@ -546,8 +663,8 @@ mod tests {
         t.routing = RoutingPolicy::RoundRobin;
         let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage);
         let writer = prod.writer(4096);
-        let rx0 = mesh.take_receiver(Rank(0));
-        let rx1 = mesh.take_receiver(Rank(1));
+        let rx0 = mesh.take_receiver(Rank(0)).unwrap();
+        let rx1 = mesh.take_receiver(Rank(1)).unwrap();
         let count = |rx: crate::transport::MeshReceiver| {
             std::thread::spawn(move || {
                 let mut n = 0;
@@ -571,7 +688,7 @@ mod tests {
             ));
         }
         writer.finish();
-        prod.join().unwrap();
+        prod.join();
         assert_eq!(c0.join().unwrap(), 5);
         assert_eq!(c1.join().unwrap(), 5);
     }
@@ -593,7 +710,7 @@ mod tests {
             );
         }
         writer.finish();
-        prod.join().unwrap();
+        prod.join();
         collector.join().unwrap();
         let log = sink.snapshot();
         let app = log.lane_by_label("sim/p3/app").expect("app lane");

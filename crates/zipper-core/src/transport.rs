@@ -2,13 +2,13 @@
 //! bounded channels, optionally throttled to a shared aggregate bandwidth
 //! so a laptop run exhibits the finite-network effects the paper measures.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
-use zipper_types::{Error, MixedMessage, Rank, Result};
+use zipper_types::{Error, MixedMessage, Rank, Result, RetryPolicy, RuntimeError};
 
 /// What travels on the wire: mixed messages, or an end-of-stream marker
 /// from one producer rank.
@@ -17,6 +17,12 @@ pub enum Wire {
     Msg(MixedMessage),
     Eos(Rank),
 }
+
+/// One slot in a consumer's inbox: a decoded wire, or a typed transport
+/// fault forwarded in-band (e.g. a TCP reader that hit a corrupt frame).
+/// Delivering faults through the same channel keeps them ordered with the
+/// data stream and guarantees the consumer sees them instead of hanging.
+pub type WireItem = std::result::Result<Wire, RuntimeError>;
 
 impl Wire {
     fn wire_bytes(&self) -> u64 {
@@ -57,11 +63,12 @@ impl Throttle {
 /// A P→Q channel mesh: every producer holds a [`MeshSender`] that can reach
 /// any consumer; every consumer holds the [`MeshReceiver`] for its own rank.
 pub struct ChannelMesh {
-    txs: Vec<Sender<Wire>>,
-    rxs: Mutex<Vec<Option<Receiver<Wire>>>>,
+    txs: Vec<Sender<WireItem>>,
+    rxs: Mutex<Vec<Option<Receiver<WireItem>>>>,
     throttle: Option<Arc<Throttle>>,
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
+    backpressure_ns: Arc<AtomicU64>,
 }
 
 impl ChannelMesh {
@@ -84,6 +91,7 @@ impl ChannelMesh {
             throttle: None,
             bytes_sent: Arc::new(AtomicU64::new(0)),
             messages_sent: Arc::new(AtomicU64::new(0)),
+            backpressure_ns: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -112,19 +120,22 @@ impl ChannelMesh {
             throttle: self.throttle.clone(),
             bytes_sent: self.bytes_sent.clone(),
             messages_sent: self.messages_sent.clone(),
+            backpressure_ns: self.backpressure_ns.clone(),
         }
     }
 
     /// Take the receiver endpoint for consumer `rank`. Each rank's receiver
-    /// can be taken exactly once.
-    pub fn take_receiver(&self, rank: Rank) -> MeshReceiver {
+    /// can be taken exactly once; a second take (or an out-of-range rank)
+    /// is a configuration error, reported instead of panicking.
+    pub fn take_receiver(&self, rank: Rank) -> Result<MeshReceiver> {
         let mut rxs = self.rxs.lock();
-        let rx = rxs
+        let slot = rxs
             .get_mut(rank.idx())
-            .unwrap_or_else(|| panic!("consumer {rank:?} out of range"))
+            .ok_or_else(|| Error::Config(format!("consumer {rank:?} out of range")))?;
+        let rx = slot
             .take()
-            .unwrap_or_else(|| panic!("receiver for {rank:?} already taken"));
-        MeshReceiver { rx }
+            .ok_or_else(|| Error::Config(format!("receiver for {rank:?} already taken")))?;
+        Ok(MeshReceiver { rx })
     }
 
     /// Total payload bytes pushed through the mesh.
@@ -135,6 +146,12 @@ impl ChannelMesh {
     /// Total messages pushed through the mesh.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative time senders spent blocked on full consumer inboxes —
+    /// distinct from the bandwidth throttle's transfer time.
+    pub fn backpressure(&self) -> Duration {
+        Duration::from_nanos(self.backpressure_ns.load(Ordering::Relaxed))
     }
 }
 
@@ -148,20 +165,32 @@ pub trait WireSender: Send {
     fn consumers(&self) -> usize;
 
     /// Announce end-of-stream from producer `rank` to every consumer.
+    ///
+    /// Every consumer is attempted even when an earlier one fails — a dead
+    /// consumer must not starve the remaining ones of the EOS they are
+    /// waiting on. Failures are aggregated into a single error.
     fn broadcast_eos(&self, rank: Rank) -> Result<()> {
+        let mut failures = Vec::new();
         for q in 0..self.consumers() {
-            self.send(Rank(q as u32), Wire::Eos(rank))?;
+            if let Err(e) = self.send(Rank(q as u32), Wire::Eos(rank)) {
+                failures.push(e);
+            }
         }
-        Ok(())
+        match failures.len() {
+            0 => Ok(()),
+            1 => Err(failures.remove(0)),
+            _ => Err(Error::Aggregate(failures)),
+        }
     }
 }
 
 /// Producer-side endpoint: sends wires to any consumer rank.
 pub struct MeshSender {
-    txs: Vec<Sender<Wire>>,
+    txs: Vec<Sender<WireItem>>,
     throttle: Option<Arc<Throttle>>,
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
+    backpressure_ns: Arc<AtomicU64>,
 }
 
 impl WireSender for MeshSender {
@@ -175,34 +204,68 @@ impl WireSender for MeshSender {
 }
 
 impl MeshSender {
-    /// Send one wire to consumer `to`, blocking on throttle and inbox
-    /// backpressure.
+    /// Send one wire to consumer `to`, blocking on inbox backpressure and
+    /// then the bandwidth throttle.
+    ///
+    /// Order matters: the wire is enqueued *first* and the shared-bandwidth
+    /// timeline is charged only once the send succeeded. Charging up front
+    /// meant a failed send still reserved bandwidth for every other sender,
+    /// and a full inbox delayed twice (throttle sleep, then blocking send).
+    /// Inbox-blocked time is recorded separately as backpressure.
     pub fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        use crossbeam::channel::TrySendError;
         let bytes = wire.wire_bytes();
+        let tx = self
+            .txs
+            .get(to.idx())
+            .ok_or(Error::Disconnected("unknown consumer rank"))?;
+        match tx.try_send(Ok(wire)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(item)) => {
+                let t0 = Instant::now();
+                tx.send(item)
+                    .map_err(|_| Error::Disconnected("consumer inbox closed"))?;
+                self.backpressure_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(Error::Disconnected("consumer inbox closed"));
+            }
+        }
         if let Some(t) = &self.throttle {
             t.charge(bytes);
         }
-        self.txs
-            .get(to.idx())
-            .ok_or(Error::Disconnected("unknown consumer rank"))?
-            .send(wire)
-            .map_err(|_| Error::Disconnected("consumer inbox closed"))?;
         self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Announce end-of-stream from producer `rank` to every consumer.
+    /// Forward a typed runtime fault in-band to consumer `to`, so it is
+    /// ordered with the data stream. Best-effort: a full inbox blocks, a
+    /// disconnected one reports.
+    pub fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        self.txs
+            .get(to.idx())
+            .ok_or(Error::Disconnected("unknown consumer rank"))?
+            .send(Err(fault))
+            .map_err(|_| Error::Disconnected("consumer inbox closed"))
+    }
+
+    /// Announce end-of-stream from producer `rank` to every consumer,
+    /// attempting all of them (see [`WireSender::broadcast_eos`]).
     pub fn broadcast_eos(&self, rank: Rank) -> Result<()> {
-        for q in 0..self.txs.len() {
-            self.send(Rank(q as u32), Wire::Eos(rank))?;
-        }
-        Ok(())
+        WireSender::broadcast_eos(self, rank)
     }
 
     /// Number of consumer endpoints.
     pub fn consumers(&self) -> usize {
         self.txs.len()
+    }
+
+    /// Cumulative time this endpoint's clones spent blocked on full
+    /// consumer inboxes.
+    pub fn backpressure(&self) -> Duration {
+        Duration::from_nanos(self.backpressure_ns.load(Ordering::Relaxed))
     }
 }
 
@@ -213,6 +276,7 @@ impl Clone for MeshSender {
             throttle: self.throttle.clone(),
             bytes_sent: self.bytes_sent.clone(),
             messages_sent: self.messages_sent.clone(),
+            backpressure_ns: self.backpressure_ns.clone(),
         }
     }
 }
@@ -260,23 +324,120 @@ impl<S: WireSender> WireSender for TracedSender<S> {
     }
 }
 
+/// A [`WireSender`] adapter that re-attempts failed sends under a bounded
+/// [`RetryPolicy`], sleeping an exponentially-backed-off, jittered delay
+/// between attempts. Each backoff is recorded as a [`SpanKind::Retry`]
+/// span when a trace lane is attached, and the total retry count is shared
+/// through an atomic so the workflow report can surface it.
+pub struct RetryingSender<S> {
+    inner: S,
+    policy: RetryPolicy,
+    retries: Arc<AtomicU64>,
+    rec: Option<Mutex<LaneRecorder>>,
+}
+
+impl<S: WireSender> RetryingSender<S> {
+    pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        RetryingSender {
+            inner,
+            policy,
+            retries: Arc::new(AtomicU64::new(0)),
+            rec: None,
+        }
+    }
+
+    /// Record backoff sleeps as `Retry` spans on the sink lane `label`.
+    pub fn traced(mut self, sink: &TraceSink, label: impl Into<String>) -> Self {
+        self.rec = Some(Mutex::new(sink.recorder(label)));
+        self
+    }
+
+    /// Shared handle to the cumulative retry count.
+    pub fn retry_counter(&self) -> Arc<AtomicU64> {
+        self.retries.clone()
+    }
+
+    /// Retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn backoff(&self, attempt: u32, seed: u64) {
+        let delay = self.policy.backoff(attempt, seed);
+        let sleep = || {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        };
+        match &self.rec {
+            Some(rec) => {
+                let mut rec = rec.lock();
+                rec.time(SpanKind::Retry, sleep);
+                // Retries are rare: publish immediately so a trace snapshot
+                // taken mid-run (or a hung-run postmortem) shows them.
+                rec.flush();
+            }
+            None => sleep(),
+        }
+    }
+}
+
+impl<S: WireSender> WireSender for RetryingSender<S> {
+    fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        let mut attempt = 1u32;
+        loop {
+            match self.inner.send(to, wire.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    if !self.policy.should_retry(attempt) {
+                        return Err(e);
+                    }
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff(attempt, u64::from(to.0));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn consumers(&self) -> usize {
+        self.inner.consumers()
+    }
+}
+
 /// Consumer-side endpoint: receives wires for one rank.
 pub struct MeshReceiver {
-    rx: Receiver<Wire>,
+    rx: Receiver<WireItem>,
 }
 
 impl MeshReceiver {
     /// Wrap a raw wire channel — used by alternative transports (TCP)
     /// whose reader threads decode frames into a channel.
-    pub fn from_channel(rx: Receiver<Wire>) -> Self {
+    pub fn from_channel(rx: Receiver<WireItem>) -> Self {
         MeshReceiver { rx }
     }
 
-    /// Blocking receive; `Err` means every sender disconnected.
+    /// Blocking receive; `Err(Error::Runtime(..))` is a typed fault the
+    /// transport forwarded in-band, `Err(Error::Disconnected(..))` means
+    /// every sender disconnected.
     pub fn recv(&self) -> Result<Wire> {
         self.rx
             .recv()
-            .map_err(|_| Error::Disconnected("all producers disconnected"))
+            .map_err(|_| Error::Disconnected("all producers disconnected"))?
+            .map_err(Error::Runtime)
+    }
+
+    /// Blocking receive with a deadline; `Err(Error::Timeout(..))` means
+    /// the window elapsed with no wire traffic at all — the EOS watchdog's
+    /// trigger.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Wire> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(item) => item.map_err(Error::Runtime),
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout("wire receive")),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(Error::Disconnected("all producers disconnected"))
+            }
+        }
     }
 }
 
@@ -302,8 +463,8 @@ mod tests {
     fn mesh_routes_to_the_right_consumer() {
         let mesh = ChannelMesh::new(2, 8);
         let s = mesh.sender();
-        let r0 = mesh.take_receiver(Rank(0));
-        let r1 = mesh.take_receiver(Rank(1));
+        let r0 = mesh.take_receiver(Rank(0)).unwrap();
+        let r1 = mesh.take_receiver(Rank(1)).unwrap();
         s.send(Rank(0), Wire::Msg(msg(10, 64))).unwrap();
         s.send(Rank(1), Wire::Msg(msg(11, 64))).unwrap();
         match r0.recv().unwrap() {
@@ -322,7 +483,9 @@ mod tests {
     fn eos_broadcast_reaches_everyone() {
         let mesh = ChannelMesh::new(3, 4);
         let s = mesh.sender();
-        let rs: Vec<_> = (0..3).map(|q| mesh.take_receiver(Rank(q))).collect();
+        let rs: Vec<_> = (0..3)
+            .map(|q| mesh.take_receiver(Rank(q)).unwrap())
+            .collect();
         s.broadcast_eos(Rank(5)).unwrap();
         for r in &rs {
             match r.recv().unwrap() {
@@ -333,11 +496,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already taken")]
-    fn double_take_receiver_panics() {
+    fn double_take_receiver_errors() {
         let mesh = ChannelMesh::new(1, 1);
-        let _a = mesh.take_receiver(Rank(0));
-        let _b = mesh.take_receiver(Rank(0));
+        let _a = mesh.take_receiver(Rank(0)).unwrap();
+        assert!(matches!(mesh.take_receiver(Rank(0)), Err(Error::Config(_))));
+        assert!(matches!(mesh.take_receiver(Rank(9)), Err(Error::Config(_))));
     }
 
     #[test]
@@ -345,10 +508,165 @@ mod tests {
         // 1 MB at 10 MB/s ⇒ ~100 ms.
         let mesh = ChannelMesh::new(1, 8).with_throttle(10e6, Duration::ZERO);
         let s = mesh.sender();
-        let _r = mesh.take_receiver(Rank(0));
+        let _r = mesh.take_receiver(Rank(0)).unwrap();
         let t0 = Instant::now();
         s.send(Rank(0), Wire::Msg(msg(0, 1_000_000))).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn failed_send_does_not_charge_bandwidth() {
+        // 1 MB at 1 MB/s would sleep ~1 s if charged; a dead consumer
+        // must fail fast instead.
+        let mesh = ChannelMesh::new(1, 1).with_throttle(1e6, Duration::ZERO);
+        let s = mesh.sender();
+        drop(mesh.take_receiver(Rank(0)).unwrap());
+        drop(mesh);
+        let t0 = Instant::now();
+        assert!(s.send(Rank(0), Wire::Msg(msg(0, 1_000_000))).is_err());
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "no charge on failure"
+        );
+        assert_eq!(s.backpressure(), Duration::ZERO);
+    }
+
+    #[test]
+    fn full_inbox_wait_is_recorded_as_backpressure() {
+        let mesh = ChannelMesh::new(1, 1);
+        let s = mesh.sender();
+        let r = mesh.take_receiver(Rank(0)).unwrap();
+        s.send(Rank(0), Wire::Msg(msg(0, 64))).unwrap();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(60));
+            r.recv().unwrap();
+            r
+        });
+        // Inbox holds 1: this send blocks until the receiver drains it.
+        s.send(Rank(0), Wire::Msg(msg(1, 64))).unwrap();
+        assert!(
+            s.backpressure() >= Duration::from_millis(40),
+            "backpressure={:?}",
+            s.backpressure()
+        );
+        assert_eq!(mesh.messages_sent(), 2);
+        drop(h.join().unwrap());
+    }
+
+    #[test]
+    fn broadcast_eos_reaches_live_consumers_past_dead_ones() {
+        let mesh = ChannelMesh::new(3, 4);
+        let s = mesh.sender();
+        drop(mesh.take_receiver(Rank(0)).unwrap()); // consumer 0 is dead
+        let r1 = mesh.take_receiver(Rank(1)).unwrap();
+        let r2 = mesh.take_receiver(Rank(2)).unwrap();
+        drop(mesh); // release the mesh's own tx clones for rank 0
+        let err = s.broadcast_eos(Rank(7)).unwrap_err();
+        assert!(matches!(err, Error::Disconnected(_)), "{err}");
+        for r in [&r1, &r2] {
+            match r.recv().unwrap() {
+                Wire::Eos(p) => assert_eq!(p, Rank(7)),
+                w => panic!("unexpected {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn receiver_surfaces_in_band_faults_and_timeouts() {
+        let (tx, rx) = bounded(4);
+        let r = MeshReceiver::from_channel(rx);
+        tx.send(Err(RuntimeError::Transport {
+            rank: Rank(0),
+            detail: "corrupt frame".into(),
+        }))
+        .unwrap();
+        assert!(matches!(
+            r.recv(),
+            Err(Error::Runtime(RuntimeError::Transport { .. }))
+        ));
+        assert!(matches!(
+            r.recv_timeout(Duration::from_millis(20)),
+            Err(Error::Timeout(_))
+        ));
+        tx.send(Ok(Wire::Eos(Rank(1)))).unwrap();
+        assert!(matches!(
+            r.recv_timeout(Duration::from_millis(20)),
+            Ok(Wire::Eos(Rank(1)))
+        ));
+    }
+
+    #[test]
+    fn retrying_sender_retries_transient_failures_and_records_spans() {
+        use std::sync::atomic::AtomicU32;
+        use zipper_trace::TraceMode;
+
+        /// Fails the first `fail_first` sends, then succeeds.
+        struct Flaky {
+            fail_first: u32,
+            calls: AtomicU32,
+        }
+        impl WireSender for Flaky {
+            fn send(&self, _to: Rank, _wire: Wire) -> Result<()> {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed);
+                if n < self.fail_first {
+                    Err(Error::Disconnected("transient"))
+                } else {
+                    Ok(())
+                }
+            }
+            fn consumers(&self) -> usize {
+                1
+            }
+        }
+
+        let (sink, clock) = TraceSink::virtual_clock(TraceMode::Full);
+        let flaky = Flaky {
+            fail_first: 2,
+            calls: AtomicU32::new(0),
+        };
+        let retrying = RetryingSender::new(
+            flaky,
+            RetryPolicy {
+                max_attempts: 4,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(4),
+                jitter: 0.0,
+            },
+        )
+        .traced(&sink, "net/retry");
+        clock.advance(zipper_types::SimTime::from_millis(1));
+        retrying.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        assert_eq!(retrying.retries(), 2);
+        drop(retrying);
+        let log = sink.snapshot();
+        let lane = log.lane_by_label("net/retry").expect("retry lane");
+        let spans = log.lane_spans(lane);
+        assert_eq!(spans.len(), 2, "one Retry span per backoff");
+        assert!(spans.iter().all(|s| s.kind == SpanKind::Retry));
+    }
+
+    #[test]
+    fn retrying_sender_gives_up_after_budget() {
+        struct AlwaysDown;
+        impl WireSender for AlwaysDown {
+            fn send(&self, _to: Rank, _wire: Wire) -> Result<()> {
+                Err(Error::Disconnected("down"))
+            }
+            fn consumers(&self) -> usize {
+                1
+            }
+        }
+        let retrying = RetryingSender::new(
+            AlwaysDown,
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay: Duration::from_micros(100),
+                max_delay: Duration::from_micros(400),
+                jitter: 0.0,
+            },
+        );
+        assert!(retrying.send(Rank(0), Wire::Eos(Rank(0))).is_err());
+        assert_eq!(retrying.retries(), 2, "attempts - 1 backoffs");
     }
 
     #[test]
@@ -356,7 +674,7 @@ mod tests {
         use zipper_trace::TraceMode;
         let (sink, clock) = TraceSink::virtual_clock(TraceMode::Full);
         let mesh = ChannelMesh::new(1, 8);
-        let rx = mesh.take_receiver(Rank(0));
+        let rx = mesh.take_receiver(Rank(0)).unwrap();
         let traced = TracedSender::new(mesh.sender(), &sink, "net/p0");
         clock.advance(zipper_types::SimTime::from_millis(1));
         traced.send(Rank(0), Wire::Msg(msg(0, 64))).unwrap();
@@ -374,7 +692,7 @@ mod tests {
     fn send_to_dropped_receiver_errors() {
         let mesh = ChannelMesh::new(1, 1);
         let s = mesh.sender();
-        drop(mesh.take_receiver(Rank(0)));
+        drop(mesh.take_receiver(Rank(0)).unwrap());
         drop(mesh); // drop the mesh's own tx clones too
         assert!(matches!(
             s.send(Rank(0), Wire::Eos(Rank(0))),

@@ -25,8 +25,12 @@ use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 use zipper_trace::{SpanKind, TraceSink};
-use zipper_types::{Block, BlockHeader, BlockId, Error, GlobalPos, MixedMessage, Rank, Result};
+use zipper_types::{
+    Block, BlockHeader, BlockId, Error, GlobalPos, MixedMessage, Rank, Result, RetryPolicy,
+    RuntimeError,
+};
 
 /// Upper bound on a single frame body. A length prefix is attacker- (or
 /// corruption-) controlled input: without a cap, a flipped bit in the
@@ -137,11 +141,15 @@ fn write_frame(stream: &mut TcpStream, wire: &Wire) -> Result<()> {
     Ok(())
 }
 
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Wire>> {
+/// Read one length-prefixed frame body. `Ok(None)` is a clean connection
+/// close between frames. `Err` means the stream itself failed or the
+/// length prefix can no longer be trusted — no resync is possible. A body
+/// that fails to *decode* is not this function's concern: the caller can
+/// keep reading, because the length prefix kept the stream aligned.
+fn read_body(stream: &mut TcpStream) -> Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 8];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
-        // Clean connection close between frames ends the stream.
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
     }
@@ -149,10 +157,9 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Wire>> {
     if len > MAX_FRAME as u64 {
         return Err(Error::Storage(format!("oversized TCP frame ({len} bytes)")));
     }
-    let len = len as usize;
-    let mut body = vec![0u8; len];
+    let mut body = vec![0u8; len as usize];
     stream.read_exact(&mut body)?;
-    decode_wire(&body).map(Some)
+    Ok(Some(body))
 }
 
 /// Bind one listener per consumer rank and start acceptor/reader threads.
@@ -184,37 +191,77 @@ pub fn listen_consumers_traced(
     for q in 0..consumers {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         addrs.push(listener.local_addr()?);
+        let rank = Rank(q as u32);
         let (tx, rx) = unbounded();
         let sink = sink.clone();
         std::thread::Builder::new()
             .name(format!("zipper-tcp-accept-{q}"))
             .spawn(move || {
                 for _ in 0..producers {
-                    let Ok((stream, _peer)) = listener.accept() else {
-                        return;
+                    let stream = match listener.accept() {
+                        Ok((stream, _peer)) => stream,
+                        Err(e) => {
+                            let _ = tx.send(Err(RuntimeError::Transport {
+                                rank,
+                                detail: format!("listener accept failed: {e}"),
+                            }));
+                            return;
+                        }
                     };
-                    let tx = tx.clone();
+                    let conn_tx = tx.clone();
                     let mut rec = sink.recorder(format!("net/q{q}"));
-                    std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("zipper-tcp-read".into())
                         .spawn(move || {
                             let mut stream = stream;
                             loop {
-                                match rec.time(SpanKind::Recv, || read_frame(&mut stream)) {
-                                    Ok(Some(wire)) => {
-                                        if tx.send(wire).is_err() {
-                                            return;
+                                match rec.time(SpanKind::Recv, || read_body(&mut stream)) {
+                                    Ok(Some(body)) => match decode_wire(&body) {
+                                        Ok(wire) => {
+                                            if conn_tx.send(Ok(wire)).is_err() {
+                                                return;
+                                            }
                                         }
-                                    }
+                                        // A corrupt body leaves the
+                                        // length-prefixed stream aligned on
+                                        // the next frame: report the lost
+                                        // message in-band and keep reading,
+                                        // instead of silently dying and
+                                        // leaving the consumer waiting on
+                                        // this producer's EOS forever.
+                                        Err(e) => {
+                                            let fault = RuntimeError::Transport {
+                                                rank,
+                                                detail: e.to_string(),
+                                            };
+                                            if conn_tx.send(Err(fault)).is_err() {
+                                                return;
+                                            }
+                                        }
+                                    },
                                     Ok(None) => return,
-                                    Err(_) => return,
+                                    // The socket failed (or the length
+                                    // prefix is untrustworthy): surface the
+                                    // failure, then give up on this stream.
+                                    Err(e) => {
+                                        let _ = conn_tx.send(Err(RuntimeError::Transport {
+                                            rank,
+                                            detail: e.to_string(),
+                                        }));
+                                        return;
+                                    }
                                 }
                             }
-                        })
-                        .expect("spawn tcp reader");
+                        });
+                    if let Err(e) = spawned {
+                        let _ = tx.send(Err(RuntimeError::Transport {
+                            rank,
+                            detail: format!("could not spawn tcp reader: {e}"),
+                        }));
+                        return;
+                    }
                 }
-            })
-            .expect("spawn tcp acceptor");
+            })?;
         receivers.push(MeshReceiver::from_channel(rx));
     }
     Ok((addrs, receivers))
@@ -228,12 +275,36 @@ pub struct TcpSender {
 }
 
 impl TcpSender {
-    /// Connect to every consumer listener.
+    /// Connect to every consumer listener with the default retry policy
+    /// and a 5-second per-attempt timeout.
     pub fn connect(addrs: &[SocketAddr]) -> Result<Self> {
+        Self::connect_with(addrs, &RetryPolicy::default(), Duration::from_secs(5))
+    }
+
+    /// Connect to every consumer listener, retrying failed attempts under
+    /// `policy` with exponential backoff. `timeout` bounds each connect
+    /// attempt *and* every subsequent frame write, so a wedged consumer
+    /// surfaces as a typed error instead of hanging the sender thread.
+    pub fn connect_with(
+        addrs: &[SocketAddr],
+        policy: &RetryPolicy,
+        timeout: Duration,
+    ) -> Result<Self> {
         let mut streams = Vec::with_capacity(addrs.len());
-        for a in addrs {
-            let s = TcpStream::connect(a)?;
+        for (i, a) in addrs.iter().enumerate() {
+            let mut attempt = 1u32;
+            let s = loop {
+                match TcpStream::connect_timeout(a, timeout) {
+                    Ok(s) => break s,
+                    Err(_) if policy.should_retry(attempt) => {
+                        std::thread::sleep(policy.backoff(attempt, i as u64));
+                        attempt += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
             s.set_nodelay(true)?;
+            s.set_write_timeout(Some(timeout))?;
             streams.push(Mutex::new(s));
         }
         Ok(TcpSender { streams })
@@ -350,5 +421,41 @@ mod tests {
             Wire::Eos(r) => assert_eq!(r, Rank(7)),
             w => panic!("unexpected {w:?}"),
         }
+    }
+
+    #[test]
+    fn corrupt_frame_is_reported_in_band_and_stream_survives() {
+        let (addrs, receivers) = listen_consumers(1, 1).unwrap();
+        let mut raw = TcpStream::connect(addrs[0]).unwrap();
+        // Garbage body under a valid length prefix: framing stays aligned.
+        let garbage = [9u8, 1, 2, 3];
+        raw.write_all(&(garbage.len() as u64).to_le_bytes())
+            .unwrap();
+        raw.write_all(&garbage).unwrap();
+        // A valid frame right behind it must still get through.
+        let body = encode_wire(&Wire::Eos(Rank(5)));
+        raw.write_all(&(body.len() as u64).to_le_bytes()).unwrap();
+        raw.write_all(&body).unwrap();
+        let err = receivers[0].recv().unwrap_err();
+        assert!(
+            matches!(err, Error::Runtime(RuntimeError::Transport { .. })),
+            "{err:?}"
+        );
+        match receivers[0].recv().unwrap() {
+            Wire::Eos(r) => assert_eq!(r, Rank(5)),
+            w => panic!("unexpected {w:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_to_dead_consumer_errors_after_bounded_retry() {
+        // Bind then drop so the port is closed when we dial it.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let policy = RetryPolicy::new(2, Duration::from_millis(1), Duration::from_millis(2));
+        let r = TcpSender::connect_with(&[addr], &policy, Duration::from_millis(200));
+        assert!(r.is_err(), "connect to a dead listener must fail, not hang");
     }
 }

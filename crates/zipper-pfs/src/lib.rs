@@ -15,9 +15,11 @@
 //!    operations (and to reproduce MPI-IO's high variance, §3).
 
 pub mod model;
+pub mod retry;
 pub mod storage;
 pub mod throttle;
 
 pub use model::{OstModel, OstModelConfig};
+pub use retry::RetryingFs;
 pub use storage::{DiskFs, MemFs, Storage};
 pub use throttle::{FailingFs, ThrottledFs};

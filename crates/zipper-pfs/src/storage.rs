@@ -41,6 +41,47 @@ pub trait Storage: Send + Sync {
 
     /// Total payload bytes ever written through `put` (for reports).
     fn bytes_written(&self) -> u64;
+
+    /// Operations that were retried after a transient failure. Plain
+    /// backends never retry; [`crate::RetryingFs`] overrides this and
+    /// decorators forward it, so the workflow report can surface storage
+    /// retry counts regardless of how the stack is composed.
+    fn retries(&self) -> u64 {
+        0
+    }
+}
+
+/// Shared handles are stores too, so decorators like [`crate::RetryingFs`]
+/// can wrap an `Arc<dyn Storage>` the same way they wrap a concrete
+/// backend.
+impl<S: Storage + ?Sized> Storage for std::sync::Arc<S> {
+    fn put(&self, block: &Block) -> Result<()> {
+        (**self).put(block)
+    }
+
+    fn get(&self, id: BlockId) -> Result<Block> {
+        (**self).get(id)
+    }
+
+    fn contains(&self, id: BlockId) -> bool {
+        (**self).contains(id)
+    }
+
+    fn delete(&self, id: BlockId) -> Result<()> {
+        (**self).delete(id)
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        (**self).bytes_written()
+    }
+
+    fn retries(&self) -> u64 {
+        (**self).retries()
+    }
 }
 
 /// In-memory object store. The default backend for tests and for

@@ -96,6 +96,10 @@ impl<S: Storage> Storage for ThrottledFs<S> {
     fn bytes_written(&self) -> u64 {
         self.inner.bytes_written()
     }
+
+    fn retries(&self) -> u64 {
+        self.inner.retries()
+    }
 }
 
 /// Fault-injecting storage decorator: every `failure_period`-th operation
@@ -156,6 +160,10 @@ impl<S: Storage> Storage for FailingFs<S> {
 
     fn bytes_written(&self) -> u64 {
         self.inner.bytes_written()
+    }
+
+    fn retries(&self) -> u64 {
+        self.inner.retries()
     }
 }
 

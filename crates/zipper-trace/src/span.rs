@@ -58,6 +58,9 @@ pub enum SpanKind {
     Put,
     /// Transport-level get (staging extract).
     Get,
+    /// Backoff sleep before re-attempting a failed send/connect/PFS write
+    /// (the fail-soft layer's bounded retry).
+    Retry,
     /// Idle (nothing scheduled).
     Idle,
 }
@@ -83,6 +86,7 @@ impl SpanKind {
             SpanKind::ReadWait => '~',
             SpanKind::Put => 'P',
             SpanKind::Get => 'G',
+            SpanKind::Retry => 'R',
             SpanKind::Idle => '.',
         }
     }
@@ -98,12 +102,13 @@ impl SpanKind {
                 | SpanKind::Barrier
                 | SpanKind::Waitall
                 | SpanKind::ReadWait
+                | SpanKind::Retry
                 | SpanKind::Idle
         )
     }
 
     /// All kinds, for iteration in breakdown tables.
-    pub const ALL: [SpanKind; 18] = [
+    pub const ALL: [SpanKind; 19] = [
         SpanKind::Compute,
         SpanKind::Collision,
         SpanKind::Streaming,
@@ -121,6 +126,7 @@ impl SpanKind {
         SpanKind::ReadWait,
         SpanKind::Put,
         SpanKind::Get,
+        SpanKind::Retry,
         SpanKind::Idle,
     ];
 
@@ -144,7 +150,8 @@ impl SpanKind {
             SpanKind::ReadWait => 14,
             SpanKind::Put => 15,
             SpanKind::Get => 16,
-            SpanKind::Idle => 17,
+            SpanKind::Retry => 17,
+            SpanKind::Idle => 18,
         }
     }
 }
@@ -169,6 +176,7 @@ impl fmt::Display for SpanKind {
             SpanKind::ReadWait => "read_wait",
             SpanKind::Put => "put",
             SpanKind::Get => "get",
+            SpanKind::Retry => "retry",
             SpanKind::Idle => "idle",
         };
         f.write_str(name)

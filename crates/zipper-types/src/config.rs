@@ -2,6 +2,7 @@
 
 use crate::size::ByteSize;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Whether computed results are kept on the parallel file system for future
 /// analysis/validation (§4.1).
@@ -59,6 +60,11 @@ pub struct ZipperTuning {
     pub preserve: PreserveMode,
     /// Producer→consumer routing policy.
     pub routing: RoutingPolicy,
+    /// EOS watchdog window: if a consumer's receiver sees no wire traffic
+    /// for this long while end-of-stream markers are still outstanding, it
+    /// records a [`crate::RuntimeError::EosTimeout`] and shuts the rank
+    /// down instead of hanging forever. `None` disables the watchdog.
+    pub eos_timeout: Option<Duration>,
 }
 
 impl Default for ZipperTuning {
@@ -71,6 +77,7 @@ impl Default for ZipperTuning {
             concurrent_transfer: true,
             preserve: PreserveMode::NoPreserve,
             routing: RoutingPolicy::SourceAffine,
+            eos_timeout: Some(Duration::from_secs(30)),
         }
     }
 }

@@ -20,6 +20,14 @@ pub enum Error {
     /// A simulated application fault (used to model Decaf's integer
     /// overflow and Flexpath's segfault at scale, §6.3).
     ApplicationFault(String),
+    /// A typed runtime failure travelling through a `Result` (e.g. a
+    /// transport fault forwarded over the wire channel to the consumer).
+    Runtime(RuntimeError),
+    /// A blocking receive gave up after its deadline elapsed.
+    Timeout(&'static str),
+    /// Several independent failures from one fan-out operation (e.g. an
+    /// EOS broadcast that kept going after the first dead consumer).
+    Aggregate(Vec<Error>),
 }
 
 impl fmt::Display for Error {
@@ -31,6 +39,15 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::ShutDown => write!(f, "runtime already shut down"),
             Error::ApplicationFault(msg) => write!(f, "application fault: {msg}"),
+            Error::Runtime(e) => write!(f, "runtime failure: {e}"),
+            Error::Timeout(what) => write!(f, "timed out: {what}"),
+            Error::Aggregate(errs) => {
+                write!(f, "{} failures", errs.len())?;
+                if let Some(first) = errs.first() {
+                    write!(f, " (first: {first})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -43,8 +60,26 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Self {
+        Error::Runtime(e)
+    }
+}
+
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Extract a human-readable message from a caught panic payload
+/// (`std::thread::JoinHandle::join`'s `Err`, or `catch_unwind`'s).
+pub fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A runtime-thread failure report, carried in the per-rank metrics and
 /// surfaced through the workflow report.
@@ -62,11 +97,39 @@ pub enum RuntimeError {
     /// A consumer's reader thread failed to fetch an on-disk block; the
     /// block is lost to the application and accounted here.
     BlockFetchFailed { rank: Rank, detail: String },
+    /// A consumer's output thread failed to persist a network-delivered
+    /// block (Preserve mode); the block was analyzed but not preserved.
+    StoreFailed { rank: Rank, detail: String },
     /// A runtime channel disconnected while the run was still active
     /// (peer thread died or shut down early).
     ChannelDisconnected { rank: Rank, context: &'static str },
     /// A transport-layer failure (socket error, malformed frame…).
     Transport { rank: Rank, detail: String },
+    /// An application thread panicked; the driver caught the unwind and
+    /// the rank's runtime was torn down instead of aborting the process.
+    AppPanicked {
+        rank: Rank,
+        /// Which side of the pipeline panicked: `"producer"` or
+        /// `"consumer"`.
+        role: &'static str,
+        detail: String,
+    },
+    /// A consumer dropped its `ZipperReader` before draining the stream;
+    /// the runtime discarded the remaining blocks and shut the rank down.
+    ReaderAbandoned { rank: Rank, dropped_blocks: u64 },
+    /// The consumer's EOS watchdog fired: no wire traffic arrived for the
+    /// configured window while end-of-stream markers were still missing
+    /// (dead producer, lost EOS, or a wedged transport).
+    EosTimeout {
+        rank: Rank,
+        /// Producer ranks whose EOS had arrived when the watchdog fired.
+        eos_seen: usize,
+        /// Total producer ranks expected to announce EOS.
+        eos_expected: usize,
+    },
+    /// A runtime thread tried to push into an already-closed queue — the
+    /// shutdown race the fail-soft layer absorbs; the block was dropped.
+    QueueClosed { rank: Rank, context: &'static str },
 }
 
 impl RuntimeError {
@@ -75,8 +138,13 @@ impl RuntimeError {
         match self {
             RuntimeError::WriterRetired { rank, .. }
             | RuntimeError::BlockFetchFailed { rank, .. }
+            | RuntimeError::StoreFailed { rank, .. }
             | RuntimeError::ChannelDisconnected { rank, .. }
-            | RuntimeError::Transport { rank, .. } => *rank,
+            | RuntimeError::Transport { rank, .. }
+            | RuntimeError::AppPanicked { rank, .. }
+            | RuntimeError::ReaderAbandoned { rank, .. }
+            | RuntimeError::EosTimeout { rank, .. }
+            | RuntimeError::QueueClosed { rank, .. } => *rank,
         }
     }
 }
@@ -90,11 +158,41 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BlockFetchFailed { rank, detail } => {
                 write!(f, "rank {rank}: block fetch failed: {detail}")
             }
+            RuntimeError::StoreFailed { rank, detail } => {
+                write!(f, "rank {rank}: block store failed: {detail}")
+            }
             RuntimeError::ChannelDisconnected { rank, context } => {
                 write!(f, "rank {rank}: channel disconnected: {context}")
             }
             RuntimeError::Transport { rank, detail } => {
                 write!(f, "rank {rank}: transport failure: {detail}")
+            }
+            RuntimeError::AppPanicked { rank, role, detail } => {
+                write!(f, "rank {rank}: {role} application panicked: {detail}")
+            }
+            RuntimeError::ReaderAbandoned {
+                rank,
+                dropped_blocks,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: reader abandoned mid-stream; \
+                     {dropped_blocks} undelivered blocks discarded"
+                )
+            }
+            RuntimeError::EosTimeout {
+                rank,
+                eos_seen,
+                eos_expected,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: EOS watchdog fired with {eos_seen}/{eos_expected} \
+                     end-of-stream markers received"
+                )
+            }
+            RuntimeError::QueueClosed { rank, context } => {
+                write!(f, "rank {rank}: push into closed queue: {context}")
             }
         }
     }
@@ -113,5 +211,59 @@ mod tests {
         assert!(e.to_string().contains("bad"));
         let io = std::io::Error::other("disk on fire");
         assert!(Error::from(io).to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn runtime_errors_render_and_carry_rank() {
+        let cases = [
+            RuntimeError::AppPanicked {
+                rank: Rank(3),
+                role: "producer",
+                detail: "boom".into(),
+            },
+            RuntimeError::ReaderAbandoned {
+                rank: Rank(3),
+                dropped_blocks: 7,
+            },
+            RuntimeError::EosTimeout {
+                rank: Rank(3),
+                eos_seen: 1,
+                eos_expected: 4,
+            },
+            RuntimeError::QueueClosed {
+                rank: Rank(3),
+                context: "receiver",
+            },
+        ];
+        for e in cases {
+            assert_eq!(e.rank(), Rank(3));
+            assert!(e.to_string().contains("rank 3"), "{e}");
+        }
+    }
+
+    #[test]
+    fn aggregate_displays_count_and_first() {
+        let e = Error::Aggregate(vec![Error::ShutDown, Error::Timeout("eos")]);
+        let s = e.to_string();
+        assert!(s.contains("2 failures"), "{s}");
+        assert!(s.contains("shut down"), "{s}");
+    }
+
+    #[test]
+    fn panic_detail_handles_common_payloads() {
+        let str_payload = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_detail(str_payload.as_ref()), "plain str");
+        let string_payload = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_detail(string_payload.as_ref()), "formatted 42");
+    }
+
+    #[test]
+    fn runtime_error_converts_into_error() {
+        let re = RuntimeError::Transport {
+            rank: Rank(0),
+            detail: "corrupt frame".into(),
+        };
+        let e: Error = re.clone().into();
+        assert!(matches!(e, Error::Runtime(inner) if inner == re));
     }
 }

@@ -17,12 +17,14 @@ pub mod block;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod retry;
 pub mod size;
 pub mod time;
 
 pub use block::{Block, BlockHeader, GlobalPos, MixedMessage};
 pub use config::{PreserveMode, RoutingPolicy, WorkflowConfig, ZipperTuning};
-pub use error::{Error, Result, RuntimeError};
+pub use error::{panic_detail, Error, Result, RuntimeError};
 pub use ids::{BlockId, NodeId, ProcId, Rank, StepId};
+pub use retry::RetryPolicy;
 pub use size::ByteSize;
 pub use time::SimTime;

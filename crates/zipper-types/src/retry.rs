@@ -1,0 +1,143 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Every fail-soft layer of the runtime (transport sends, TCP connects,
+//! PFS writes) shares this one policy type so operators tune retries in a
+//! single vocabulary. Jitter is derived from a caller-provided seed with a
+//! splitmix-style hash — no RNG state, no `rand` dependency, and the same
+//! (seed, attempt) pair always yields the same delay, which keeps the
+//! failure-injection tests reproducible.
+
+use std::time::Duration;
+
+/// A bounded-retry policy: how many attempts, and how to back off between
+/// them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling after exponential growth.
+    pub max_delay: Duration,
+    /// Fraction of the computed delay added as jitter in `[0, jitter)`
+    /// (0.0 = none). Keeps synchronized retry storms from re-colliding.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(250),
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// `attempts` tries with exponential backoff starting at `base`.
+    pub fn new(attempts: u32, base: Duration, max: Duration) -> Self {
+        assert!(attempts >= 1, "a policy needs at least one attempt");
+        RetryPolicy {
+            max_attempts: attempts,
+            base_delay: base,
+            max_delay: max,
+            jitter: 0.25,
+        }
+    }
+
+    /// Whether a failed `attempt` (1-based) should be retried.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+
+    /// Backoff to sleep after failed `attempt` (1-based): exponential in
+    /// the attempt number, capped at `max_delay`, plus deterministic
+    /// jitter derived from `seed`.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay.max(self.base_delay));
+        if self.jitter <= 0.0 {
+            return raw;
+        }
+        let unit = splitmix(seed ^ u64::from(attempt)) as f64 / u64::MAX as f64;
+        raw.mul_f64(1.0 + self.jitter * unit)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, stateless bit mixer.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(50),
+            jitter: 0.0,
+        };
+        assert_eq!(p.backoff(1, 0), Duration::from_millis(10));
+        assert_eq!(p.backoff(2, 0), Duration::from_millis(20));
+        assert_eq!(p.backoff(3, 0), Duration::from_millis(40));
+        assert_eq!(p.backoff(4, 0), Duration::from_millis(50), "capped");
+        assert_eq!(p.backoff(30, 0), Duration::from_millis(50), "no overflow");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        for attempt in 1..6 {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let d = p.backoff(attempt, seed);
+                let base = RetryPolicy { jitter: 0.0, ..p }.backoff(attempt, seed);
+                assert!(d >= base, "jitter never shortens the delay");
+                assert!(d <= base.mul_f64(1.5), "jitter bounded by the fraction");
+                assert_eq!(d, p.backoff(attempt, seed), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.should_retry(1));
+        assert_eq!(p.backoff(1, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn should_retry_respects_budget() {
+        let p = RetryPolicy::new(3, Duration::from_millis(1), Duration::from_millis(8));
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(2));
+        assert!(!p.should_retry(3));
+    }
+}

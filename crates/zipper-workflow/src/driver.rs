@@ -1,14 +1,17 @@
 //! The rank-spawning driver.
 
 use crate::report::WorkflowReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zipper_core::{
-    ChannelMesh, Consumer, Producer, TracedSender, WireSender, ZipperReader, ZipperWriter,
+    ChannelMesh, Consumer, FailingTransport, FaultPlan, Producer, RetryingSender, TracedSender,
+    WireSender, ZipperReader, ZipperWriter,
 };
-use zipper_pfs::{MemFs, Storage, ThrottledFs};
+use zipper_pfs::{MemFs, RetryingFs, Storage, ThrottledFs};
 use zipper_trace::{TraceMode, TraceSink};
-use zipper_types::{Rank, WorkflowConfig};
+use zipper_types::{panic_detail, Rank, RetryPolicy, RuntimeError, WorkflowConfig};
 
 /// Message-channel options for a run.
 #[derive(Clone, Copy, Debug)]
@@ -17,6 +20,16 @@ pub struct NetworkOptions {
     pub inbox_capacity: usize,
     /// Optional aggregate bandwidth (bytes/s) and per-message latency.
     pub throttle: Option<(f64, Duration)>,
+    /// Optional transient-failure retry for every producer's sender: each
+    /// failed send is re-attempted with exponential backoff, recorded as
+    /// `Retry` spans on lane `net/p{rank}/retry` and counted in
+    /// [`WorkflowReport::net_retries`].
+    pub retry: Option<RetryPolicy>,
+    /// Optional fault injection: every producer's mesh endpoint is wrapped
+    /// in a [`FailingTransport`] misbehaving on this schedule. Composes
+    /// under the retry layer, so `FailSend` faults are retried while
+    /// `CorruptWire`/`DropEos` reach the consumer's fault handling.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for NetworkOptions {
@@ -24,6 +37,8 @@ impl Default for NetworkOptions {
         NetworkOptions {
             inbox_capacity: 64,
             throttle: None,
+            retry: None,
+            fault: None,
         }
     }
 }
@@ -33,7 +48,7 @@ impl NetworkOptions {
     pub fn unthrottled(inbox_capacity: usize) -> Self {
         NetworkOptions {
             inbox_capacity,
-            throttle: None,
+            ..Default::default()
         }
     }
 
@@ -42,7 +57,21 @@ impl NetworkOptions {
         NetworkOptions {
             inbox_capacity,
             throttle: Some((bytes_per_sec, latency)),
+            ..Default::default()
         }
+    }
+
+    /// Retry failed sends under `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Inject transport faults on `plan`'s schedule (see
+    /// [`NetworkOptions::fault`]).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
     }
 }
 
@@ -57,16 +86,30 @@ pub enum StorageOptions {
     ThrottledMemory(f64, Duration),
     /// Any caller-provided backend (real disk, fault injection, …).
     Custom(Arc<dyn Storage>),
+    /// Any of the above behind a transient-failure retry layer: failed
+    /// `put`/`get` operations are re-attempted with exponential backoff,
+    /// recorded as `Retry` spans on lane `pfs/retry` and counted in
+    /// [`WorkflowReport::pfs_retries`].
+    Retrying(Box<StorageOptions>, RetryPolicy),
 }
 
 impl StorageOptions {
-    fn build(self) -> Arc<dyn Storage> {
+    /// Wrap this backend in a retry layer (see [`StorageOptions::Retrying`]).
+    pub fn with_retry(self, policy: RetryPolicy) -> Self {
+        StorageOptions::Retrying(Box::new(self), policy)
+    }
+
+    fn build(self, sink: &TraceSink) -> Arc<dyn Storage> {
         match self {
             StorageOptions::Memory => Arc::new(MemFs::new()),
             StorageOptions::ThrottledMemory(bw, lat) => {
                 Arc::new(ThrottledFs::new(MemFs::new(), bw, lat))
             }
             StorageOptions::Custom(storage) => storage,
+            StorageOptions::Retrying(inner, policy) => {
+                let inner = inner.build(sink);
+                Arc::new(RetryingFs::traced(inner, policy, sink, "pfs/retry"))
+            }
         }
     }
 }
@@ -124,7 +167,12 @@ impl TraceOptions {
 ///   data-availability-driven, and an undrained reader would block the
 ///   runtime threads.
 ///
-/// Returns the report plus each consumer's result, indexed by rank.
+/// Returns the report plus the results of the consumers that completed,
+/// in rank order. A producer or consumer app that panics does not abort
+/// the run: the panic is caught, the rank's runtime is torn down through
+/// its drop guards, and the failure lands in
+/// [`WorkflowReport::failures`] (so a dead consumer contributes no result
+/// but the rest of the workflow still drains and reports).
 pub fn run_workflow<R, P, C>(
     cfg: &WorkflowConfig,
     net: NetworkOptions,
@@ -164,94 +212,184 @@ where
     C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
 {
     cfg.validate().expect("invalid workflow config");
-    let storage = storage_opts.build();
+    let sink = TraceSink::wall(trace.mode);
+    let storage = storage_opts.build(&sink);
     let mut mesh = ChannelMesh::new(cfg.consumers, net.inbox_capacity);
     if let Some((bw, lat)) = net.throttle {
         mesh = mesh.with_throttle(bw, lat);
     }
-    let sink = TraceSink::wall(trace.mode);
 
     let produce = Arc::new(produce);
     let consume = Arc::new(consume);
+    // Failures observed by the driver itself (an app thread panicking, a
+    // thread that could not be spawned) — merged into the report alongside
+    // the per-rank runtime errors.
+    let mut failures: Vec<RuntimeError> = Vec::new();
     let t0 = Instant::now();
 
     // Spawn consumer runtimes + application threads first so inboxes exist
-    // before any producer sends.
+    // before any producer sends. Each app thread catches its own unwind:
+    // the handle moves into the closure, so on a panic its drop guard
+    // closes the rank's queue and the rest of the workflow keeps draining.
     let mut consumer_apps = Vec::with_capacity(cfg.consumers);
     let mut consumer_runtimes = Vec::with_capacity(cfg.consumers);
     for q in 0..cfg.consumers {
         let rank = Rank(q as u32);
+        let rx = match mesh.take_receiver(rank) {
+            Ok(rx) => rx,
+            Err(_) => {
+                // Unreachable with a driver-built mesh; recorded, not fatal.
+                failures.push(RuntimeError::ChannelDisconnected {
+                    rank,
+                    context: "mesh receiver unavailable",
+                });
+                continue;
+            }
+        };
         let mut c = Consumer::spawn_traced(
             rank,
             cfg.tuning,
             cfg.producers,
-            mesh.take_receiver(rank),
+            rx,
             storage.clone(),
             sink.clone(),
         );
         let reader = c.reader();
         consumer_runtimes.push(c);
         let consume = consume.clone();
-        consumer_apps.push(
-            std::thread::Builder::new()
-                .name(format!("ana-rank-{q}"))
-                .spawn(move || consume(rank, &reader))
-                .expect("spawn consumer app"),
-        );
+        let spawned = std::thread::Builder::new()
+            .name(format!("ana-rank-{q}"))
+            .spawn(
+                move || match catch_unwind(AssertUnwindSafe(|| consume(rank, &reader))) {
+                    Ok(r) => Ok(r),
+                    Err(payload) => {
+                        // Explicit for the reader: the drop guard closes the
+                        // queue and records the abandoned stream.
+                        drop(reader);
+                        Err(RuntimeError::AppPanicked {
+                            rank,
+                            role: "consumer app",
+                            detail: panic_detail(payload.as_ref()),
+                        })
+                    }
+                },
+            );
+        match spawned {
+            Ok(h) => consumer_apps.push((rank, h)),
+            Err(e) => failures.push(RuntimeError::AppPanicked {
+                rank,
+                role: "consumer app",
+                detail: format!("could not spawn app thread: {e}"),
+            }),
+        }
     }
 
     // Spawn producer runtimes + application threads.
     let mut producer_apps = Vec::with_capacity(cfg.producers);
     let mut producer_runtimes = Vec::with_capacity(cfg.producers);
+    let mut retry_counters: Vec<Arc<AtomicU64>> = Vec::new();
     for p in 0..cfg.producers {
         let rank = Rank(p as u32);
-        let sender: Box<dyn WireSender> = if trace.wire_lanes && trace.mode.enabled() {
-            Box::new(TracedSender::new(mesh.sender(), &sink, format!("net/p{p}")))
+        // Compose innermost-out: fault injection sits at the wire (as a
+        // lossy network would), tracing observes it, retry rides over it.
+        let base: Box<dyn WireSender> = match net.fault {
+            Some(plan) => Box::new(FailingTransport::new(mesh.sender(), plan)),
+            None => Box::new(mesh.sender()),
+        };
+        let traced: Box<dyn WireSender> = if trace.wire_lanes && trace.mode.enabled() {
+            Box::new(TracedSender::new(base, &sink, format!("net/p{p}")))
         } else {
-            Box::new(mesh.sender())
+            base
+        };
+        let sender: Box<dyn WireSender> = match net.retry {
+            Some(policy) => {
+                let r =
+                    RetryingSender::new(traced, policy).traced(&sink, format!("net/p{p}/retry"));
+                retry_counters.push(r.retry_counter());
+                Box::new(r)
+            }
+            None => traced,
         };
         let mut prod =
             Producer::spawn_traced(rank, cfg.tuning, sender, storage.clone(), sink.clone());
         let writer = prod.writer(cfg.tuning.block_size.as_u64() as usize);
         producer_runtimes.push(prod);
         let produce = produce.clone();
-        producer_apps.push(
-            std::thread::Builder::new()
-                .name(format!("sim-rank-{p}"))
-                .spawn(move || {
-                    produce(rank, &writer);
-                    writer.finish();
-                })
-                .expect("spawn producer app"),
-        );
+        let spawned = std::thread::Builder::new()
+            .name(format!("sim-rank-{p}"))
+            .spawn(
+                move || match catch_unwind(AssertUnwindSafe(|| produce(rank, &writer))) {
+                    Ok(()) => {
+                        writer.finish();
+                        Ok(())
+                    }
+                    Err(payload) => {
+                        // Drop guard closes the queue: the sender thread still
+                        // flushes EOS, so consumers terminate normally.
+                        drop(writer);
+                        Err(RuntimeError::AppPanicked {
+                            rank,
+                            role: "producer app",
+                            detail: panic_detail(payload.as_ref()),
+                        })
+                    }
+                },
+            );
+        match spawned {
+            Ok(h) => producer_apps.push((rank, h)),
+            Err(e) => failures.push(RuntimeError::AppPanicked {
+                rank,
+                role: "producer app",
+                detail: format!("could not spawn app thread: {e}"),
+            }),
+        }
     }
 
     // Join in dependency order: producer apps → producer runtimes (EOS
-    // flows to consumers) → consumer apps → consumer runtimes.
-    for h in producer_apps {
-        h.join().expect("producer app panicked");
+    // flows to consumers) → consumer apps → consumer runtimes. Every join
+    // is absorbed into the failure list instead of propagating a panic —
+    // the report is produced no matter which ranks died.
+    for (rank, h) in producer_apps {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => failures.push(e),
+            Err(payload) => failures.push(RuntimeError::AppPanicked {
+                rank,
+                role: "producer app",
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
     }
-    let producers: Vec<_> = producer_runtimes
-        .into_iter()
-        .map(|p| p.join().expect("producer runtime failed"))
-        .collect();
-    let results: Vec<R> = consumer_apps
-        .into_iter()
-        .map(|h| h.join().expect("consumer app panicked"))
-        .collect();
-    let consumers: Vec<_> = consumer_runtimes
-        .into_iter()
-        .map(|c| c.join().expect("consumer runtime failed"))
-        .collect();
+    let producers: Vec<_> = producer_runtimes.into_iter().map(|p| p.join()).collect();
+    let mut results: Vec<R> = Vec::with_capacity(consumer_apps.len());
+    for (rank, h) in consumer_apps {
+        match h.join() {
+            Ok(Ok(r)) => results.push(r),
+            Ok(Err(e)) => failures.push(e),
+            Err(payload) => failures.push(RuntimeError::AppPanicked {
+                rank,
+                role: "consumer app",
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+    let consumers: Vec<_> = consumer_runtimes.into_iter().map(|c| c.join()).collect();
 
     let report = WorkflowReport {
         wall: t0.elapsed(),
         producers,
         consumers,
+        failures,
         net_bytes: mesh.bytes_sent(),
         net_messages: mesh.messages_sent(),
+        net_backpressure: mesh.backpressure(),
+        net_retries: retry_counters
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum(),
         pfs_blocks: storage.len(),
         pfs_bytes_written: storage.bytes_written(),
+        pfs_retries: storage.retries(),
         trace: sink.snapshot(),
     };
     (report, results)

@@ -24,14 +24,28 @@ pub struct WorkflowReport {
     pub producers: Vec<ProducerMetrics>,
     /// Per-consumer-rank metrics, indexed by rank.
     pub consumers: Vec<ConsumerMetrics>,
+    /// Failures observed by the driver itself: application threads that
+    /// panicked (caught, and their rank's runtime torn down through drop
+    /// guards) or could not be spawned. Per-rank runtime errors live in
+    /// the rank metrics; [`WorkflowReport::errors`] merges both.
+    pub failures: Vec<RuntimeError>,
     /// Payload bytes that crossed the message channel.
     pub net_bytes: u64,
     /// Messages that crossed the message channel.
     pub net_messages: u64,
+    /// Total time producer sender threads spent blocked on full consumer
+    /// inboxes (recorded separately from bandwidth-throttle charges).
+    pub net_backpressure: Duration,
+    /// Sends re-attempted by the retrying transport layer
+    /// ([`crate::NetworkOptions::with_retry`]); 0 when retry is off.
+    pub net_retries: u64,
     /// Blocks resident on the PFS at the end of the run.
     pub pfs_blocks: usize,
     /// Total payload bytes ever written to the PFS.
     pub pfs_bytes_written: u64,
+    /// Storage operations re-attempted by the retrying PFS layer
+    /// ([`crate::StorageOptions::with_retry`]); 0 when retry is off.
+    pub pfs_retries: u64,
     /// The merged span log of the run (lane totals always; raw spans when
     /// the run traced in full mode).
     pub trace: TraceLog,
@@ -71,12 +85,14 @@ impl WorkflowReport {
         self.producer_total().steal_fraction()
     }
 
-    /// All runtime errors across producer and consumer ranks.
+    /// All runtime errors across producer and consumer ranks, plus the
+    /// failures the driver observed directly (app panics, spawn failures).
     pub fn errors(&self) -> Vec<RuntimeError> {
         self.producers
             .iter()
             .flat_map(|p| p.errors.iter().cloned())
             .chain(self.consumers.iter().flat_map(|c| c.errors.iter().cloned()))
+            .chain(self.failures.iter().cloned())
             .collect()
     }
 
@@ -136,6 +152,20 @@ impl WorkflowReport {
             "net {} msgs / {} B | pfs {} blocks / {} B",
             self.net_messages, self.net_bytes, self.pfs_blocks, self.pfs_bytes_written,
         );
+        if self.net_retries > 0 || self.pfs_retries > 0 || !self.net_backpressure.is_zero() {
+            let _ = writeln!(
+                out,
+                "fault: net-retries {}  pfs-retries {}  backpressure {:?}",
+                self.net_retries, self.pfs_retries, self.net_backpressure,
+            );
+        }
+        let errs = self.errors();
+        if !errs.is_empty() {
+            let _ = writeln!(out, "errors ({}):", errs.len());
+            for e in errs.iter().take(8) {
+                let _ = writeln!(out, "  - {e}");
+            }
+        }
         let _ = writeln!(
             out,
             "sim  : compute {:?}  stall {:?}  send {:?}  fs-write {:?}",
@@ -197,10 +227,14 @@ mod tests {
             wall: Duration::from_millis(100),
             producers: vec![p0, p1],
             consumers: vec![c0],
+            failures: vec![],
             net_bytes: 1000,
             net_messages: 17,
+            net_backpressure: Duration::ZERO,
+            net_retries: 0,
             pfs_blocks: 3,
             pfs_bytes_written: 300,
+            pfs_retries: 0,
             trace: TraceLog::new(),
         }
     }
@@ -237,15 +271,32 @@ mod tests {
     }
 
     #[test]
+    fn driver_failures_merge_into_errors_and_summary() {
+        let mut r = report();
+        r.failures.push(RuntimeError::AppPanicked {
+            rank: Rank(1),
+            role: "consumer app",
+            detail: "div by zero".into(),
+        });
+        let errs = r.errors();
+        assert_eq!(errs.len(), 1);
+        assert!(r.summary().contains("div by zero"), "{}", r.summary());
+    }
+
+    #[test]
     fn empty_report_is_benign() {
         let r = WorkflowReport {
             wall: Duration::ZERO,
             producers: vec![],
             consumers: vec![],
+            failures: vec![],
             net_bytes: 0,
             net_messages: 0,
+            net_backpressure: Duration::ZERO,
+            net_retries: 0,
             pfs_blocks: 0,
             pfs_bytes_written: 0,
+            pfs_retries: 0,
             trace: TraceLog::new(),
         };
         assert_eq!(r.mean_stall(), Duration::ZERO);

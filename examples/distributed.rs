@@ -35,6 +35,7 @@ fn tuning() -> ZipperTuning {
         concurrent_transfer: false,
         preserve: PreserveMode::NoPreserve,
         routing: RoutingPolicy::SourceAffine,
+        eos_timeout: Some(std::time::Duration::from_secs(30)),
     }
 }
 
@@ -59,7 +60,8 @@ fn producer_main(addrs: Vec<SocketAddr>) {
     }
     for (h, prod) in handles {
         h.join().unwrap();
-        prod.join().unwrap();
+        let m = prod.join();
+        assert!(m.errors.is_empty(), "{:?}", m.errors);
     }
     eprintln!("[producer process {}] done", std::process::id());
 }
@@ -103,7 +105,7 @@ fn consumer_main() {
     let mut total_blocks = 0;
     for (q, (h, c)) in handles.into_iter().enumerate() {
         let (blocks, acc) = h.join().unwrap();
-        let m = c.join().unwrap();
+        let m = c.join();
         assert!(m.errors.is_empty(), "{:?}", m.errors);
         total_blocks += blocks;
         println!(

@@ -2,12 +2,21 @@
 //! never lose data on a *write*-side PFS failure (the writer thread pushes
 //! the block back to the message path and retires), and surface read-side
 //! failures in the consumer metrics.
+//!
+//! The matrix below drives every injectable fault through the full
+//! workflow driver: PFS write/read failures (`FailingFs`, with and without
+//! the retry layer), transport faults (`FailingTransport`: transient send
+//! failures, corrupt wires, swallowed EOS markers), and asserts each run
+//! terminates with the failure *typed* in the [`WorkflowReport`] — never a
+//! hang, never a panic, never silent loss.
 
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
+use zipper_core::{FaultKind, FaultPlan};
 use zipper_pfs::{FailingFs, MemFs};
-use zipper_types::{ByteSize, GlobalPos, RuntimeError, StepId, WorkflowConfig};
+use zipper_trace::SpanKind;
+use zipper_types::{ByteSize, GlobalPos, RetryPolicy, RuntimeError, StepId, WorkflowConfig};
 use zipper_workflow::{run_workflow, NetworkOptions, StorageOptions};
 
 fn cfg() -> WorkflowConfig {
@@ -118,4 +127,162 @@ fn intermittent_pfs_faults_are_accounted_exactly() {
     // The run terminated (we are here) — no hang — and producers finished
     // their full output.
     assert_eq!(report.producer_total().blocks_written, cfg.total_blocks());
+}
+
+/// An intermittently failing PFS behind the retry layer loses nothing:
+/// every failed `put`/`get` is re-attempted, the run completes clean, and
+/// the recovery work is visible as `pfs_retries` plus `Retry` spans on the
+/// `pfs/retry` trace lane.
+#[test]
+fn pfs_retry_layer_rides_over_intermittent_faults() {
+    let cfg = cfg();
+    let storage = Arc::new(FailingFs::new(MemFs::new(), 5)); // fail every 5th op
+    let (report, counts) = run_workflow(
+        &cfg,
+        // Slow channel so the disk path (and thus the faulty PFS) engages.
+        NetworkOptions::throttled(1, 2e6, Duration::ZERO),
+        StorageOptions::Custom(storage).with_retry(RetryPolicy::new(
+            4,
+            Duration::from_micros(200),
+            Duration::from_millis(2),
+        )),
+        produce(&cfg),
+        |_r, reader| {
+            let mut n = 0u64;
+            while reader.read().is_some() {
+                n += 1;
+            }
+            n
+        },
+    );
+    // Retries absorbed every fault: nothing lost, nothing degraded.
+    report.assert_complete();
+    assert_eq!(counts.iter().sum::<u64>(), cfg.total_blocks());
+    assert!(
+        report.producer_total().blocks_stolen > 0,
+        "throttled channel must engage the disk path for this test to bite"
+    );
+    assert!(report.pfs_retries > 0, "the faulty PFS must have been hit");
+    let retry_time = zipper_trace::stats::kind_time_filtered(&report.trace, SpanKind::Retry, |l| {
+        l == "pfs/retry"
+    });
+    assert!(
+        retry_time > zipper_types::SimTime::ZERO,
+        "backoff must appear as Retry spans on the pfs/retry lane"
+    );
+}
+
+/// Transient send failures under the retrying sender: every wire is
+/// eventually delivered, the run completes clean, and the recovery is
+/// visible as `net_retries` plus `Retry` spans on the per-producer retry
+/// lanes.
+#[test]
+fn transient_send_failures_ride_over_net_retry() {
+    let cfg = cfg();
+    let (report, counts) = run_workflow(
+        &cfg,
+        NetworkOptions::unthrottled(4)
+            .with_fault(FaultPlan::every(FaultKind::FailSend, 7))
+            .with_retry(RetryPolicy::new(
+                3,
+                Duration::from_micros(200),
+                Duration::from_millis(2),
+            )),
+        StorageOptions::Memory,
+        produce(&cfg),
+        |_r, reader| {
+            let mut n = 0u64;
+            while reader.read().is_some() {
+                n += 1;
+            }
+            n
+        },
+    );
+    report.assert_complete();
+    assert_eq!(counts.iter().sum::<u64>(), cfg.total_blocks());
+    assert!(report.net_retries > 0, "injected send failures must retry");
+    let retry_time = zipper_trace::stats::kind_time_filtered(&report.trace, SpanKind::Retry, |l| {
+        l.starts_with("net/") && l.ends_with("/retry")
+    });
+    assert!(
+        retry_time > zipper_types::SimTime::ZERO,
+        "backoff must appear as Retry spans on the net retry lanes"
+    );
+}
+
+/// Corrupt wires — the workflow-level equivalent of a TCP reader hitting
+/// an undecodable frame — surface as typed in-band `Transport` faults in
+/// the consumer's metrics. The stream *survives*: every uncorrupted wire
+/// still arrives, including EOS, so the run terminates normally.
+#[test]
+fn corrupt_wires_are_typed_errors_and_the_stream_survives() {
+    let mut cfg = cfg();
+    // Message channel only: each producer's wire stream is then exactly
+    // its blocks followed by one EOS, making the fault schedule exact.
+    cfg.tuning.concurrent_transfer = false;
+    // 64 data wires + 1 EOS per producer; a period-4 schedule strikes only
+    // data wires (65 is odd), so EOS always survives this test.
+    let per_producer = cfg.steps * cfg.blocks_per_rank_step();
+    let (report, counts) = run_workflow(
+        &cfg,
+        NetworkOptions::unthrottled(8).with_fault(FaultPlan::every(FaultKind::CorruptWire, 4)),
+        StorageOptions::Memory,
+        produce(&cfg),
+        |_r, reader| {
+            let mut n = 0u64;
+            while reader.read().is_some() {
+                n += 1;
+            }
+            n
+        },
+    );
+    let corrupted_per_producer = per_producer / 4;
+    let expected_faults = corrupted_per_producer * cfg.producers as u64;
+    let delivered: u64 = counts.iter().sum();
+    assert_eq!(delivered, cfg.total_blocks() - expected_faults);
+    let transport_faults = report
+        .errors()
+        .iter()
+        .filter(|e| matches!(e, RuntimeError::Transport { .. }))
+        .count() as u64;
+    assert_eq!(
+        transport_faults,
+        expected_faults,
+        "every corrupt wire is one typed Transport error: {:?}",
+        report.errors()
+    );
+    // The stream survived past each fault: producers flushed everything.
+    assert_eq!(report.producer_total().blocks_written, cfg.total_blocks());
+}
+
+/// Every EOS marker swallowed — the lost-EOS hang this PR's watchdog
+/// exists for. All data arrives, the stream never terminates; the
+/// consumer's EOS watchdog must fire, close the stream, and report a typed
+/// `EosTimeout` instead of hanging `join()` forever.
+#[test]
+fn swallowed_eos_trips_the_watchdog_instead_of_hanging() {
+    let mut cfg = cfg();
+    cfg.tuning.eos_timeout = Some(Duration::from_millis(300));
+    let (report, counts) = run_workflow(
+        &cfg,
+        NetworkOptions::unthrottled(8).with_fault(FaultPlan::every(FaultKind::DropEos, 1)),
+        StorageOptions::Memory,
+        produce(&cfg),
+        |_r, reader| {
+            let mut n = 0u64;
+            while reader.read().is_some() {
+                n += 1;
+            }
+            n
+        },
+    );
+    // All data made it; only the EOS markers were lost.
+    assert_eq!(counts.iter().sum::<u64>(), cfg.total_blocks());
+    let errors = report.errors();
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e, RuntimeError::EosTimeout { eos_seen: 0, .. })),
+        "expected an EOS-watchdog report, got {errors:?}"
+    );
 }

@@ -310,7 +310,8 @@ fn block_queue_randomized_interleaving() {
                     n,
                     GlobalPos::default(),
                     deterministic_payload(id, 16),
-                ));
+                ))
+                .unwrap();
             }
             qp.close();
         });

@@ -23,6 +23,7 @@ fn tuning() -> ZipperTuning {
         concurrent_transfer: true,
         preserve: PreserveMode::NoPreserve,
         routing: RoutingPolicy::SourceAffine,
+        eos_timeout: Some(std::time::Duration::from_secs(30)),
     }
 }
 
@@ -86,12 +87,13 @@ fn full_workflow_over_real_sockets() {
 
     for (h, prod) in producer_handles {
         h.join().unwrap();
-        prod.join().unwrap();
+        let pm = prod.join();
+        assert!(pm.errors.is_empty(), "{:?}", pm.errors);
     }
     let mut all = Vec::new();
     for (h, c) in consumer_handles {
         all.extend(h.join().unwrap());
-        let m = c.join().unwrap();
+        let m = c.join();
         assert!(m.errors.is_empty(), "{:?}", m.errors);
     }
     let unique: HashSet<BlockId> = all.iter().copied().collect();
@@ -164,9 +166,17 @@ fn oversized_length_prefix_drops_the_connection() {
     raw.write_all(&((MAX_FRAME as u64) + 1).to_le_bytes())
         .unwrap();
     raw.flush().unwrap();
-    // Reader thread rejects and exits -> its channel handle drops -> the
-    // receiver disconnects. No wire ever arrives.
-    assert!(receivers[0].recv().is_err());
+    // Reader thread rejects before touching the allocator, reports the
+    // failure in-band as a typed transport fault, and exits. No wire ever
+    // arrives.
+    let err = receivers[0].recv().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            zipper_types::Error::Runtime(zipper_types::RuntimeError::Transport { .. })
+        ),
+        "{err:?}"
+    );
 }
 
 /// A stream that dies mid-body (short read) must not deliver a partial
@@ -193,9 +203,15 @@ fn truncated_frame_body_is_not_delivered() {
         Wire::Msg(m) => assert_eq!(m.on_disk, vec![BlockId::new(Rank(2), StepId(0), 5)]),
         w => panic!("unexpected {w:?}"),
     }
+    // The truncated frame surfaces as a typed transport fault, never as a
+    // partial wire.
+    let err = receivers[0].recv().unwrap_err();
     assert!(
-        receivers[0].recv().is_err(),
-        "truncated frame must not surface as a wire"
+        matches!(
+            err,
+            zipper_types::Error::Runtime(zipper_types::RuntimeError::Transport { .. })
+        ),
+        "{err:?}"
     );
 }
 
@@ -234,11 +250,12 @@ fn source_affinity_survives_the_socket_path() {
             ));
         }
         writer.finish();
-        prod.join().unwrap();
+        let pm = prod.join();
+        assert!(pm.errors.is_empty(), "{:?}", pm.errors);
     }
     for (q, (h, c)) in handles.into_iter().enumerate() {
         let srcs = h.join().unwrap();
         assert_eq!(srcs, HashSet::from([q as u32]));
-        c.join().unwrap();
+        c.join();
     }
 }

@@ -145,7 +145,7 @@ fn real_disk_backend_round_trips_stolen_blocks() {
         Rank(0),
         tuning,
         1,
-        mesh.take_receiver(Rank(0)),
+        mesh.take_receiver(Rank(0)).unwrap(),
         storage.clone(),
     );
     let reader = consumer.reader();
@@ -169,9 +169,10 @@ fn real_disk_backend_round_trips_stolen_blocks() {
         n += 1;
     }
     feeder.join().unwrap();
-    let pm = producer.join().unwrap();
-    let cm = consumer.join().unwrap();
+    let pm = producer.join();
+    let cm = consumer.join();
     assert_eq!(n, 16);
+    assert!(pm.errors.is_empty(), "{:?}", pm.errors);
     assert!(cm.errors.is_empty(), "{:?}", cm.errors);
     assert!(pm.blocks_stolen > 0, "expected disk-path traffic");
     std::fs::remove_dir_all(&dir).unwrap();

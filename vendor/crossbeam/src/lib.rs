@@ -5,6 +5,7 @@
 pub mod channel {
     use std::fmt;
     use std::sync::mpsc;
+    use std::time::Duration;
 
     /// Multi-producer sender; cloneable for both bounded and unbounded
     /// flavours (std's `SyncSender` and `Sender` are each cloneable).
@@ -30,6 +31,18 @@ pub mod channel {
                 Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
             }
         }
+
+        /// Non-blocking send; `Full` iff a bounded buffer has no free slot
+        /// (an unbounded channel is never full).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match self {
+                Sender::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+                Sender::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+            }
+        }
     }
 
     pub struct Receiver<T> {
@@ -47,6 +60,15 @@ pub mod channel {
             self.rx.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking receive with a deadline; `Timeout` iff nothing arrived
+        /// within `timeout` and senders are still alive.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
         }
 
@@ -111,6 +133,43 @@ pub mod channel {
         Empty,
         Disconnected,
     }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +186,38 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         let rest: Vec<u32> = rx.into_iter().collect();
         assert_eq!(rest, [2]);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(tx.try_send(2).unwrap_err().is_full());
+        drop(rx);
+        assert!(tx.try_send(3).unwrap_err().is_disconnected());
+        let (tx, rx) = channel::unbounded::<u32>();
+        for i in 0..10 {
+            tx.try_send(i).unwrap();
+        }
+        drop(rx);
+        assert_eq!(tx.try_send(11).unwrap_err().into_inner(), 11);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = channel::bounded::<u32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
