@@ -87,10 +87,14 @@ fn dual_channel_ablation(c: &mut Criterion) {
 }
 
 /// Instrumentation overhead: the same block-size workload with tracing
-/// off, lane-totals only, and full span capture (+ wire lanes). The
+/// off, lane-totals only, full span capture (+ wire lanes), and full
+/// capture plus the telemetry registry and its background sampler. The
 /// acceptance bar is that `off` tracks the untraced baseline within
 /// noise (< 5%): an inert recorder never reads the clock and never takes
-/// a lock, so disabled instrumentation must be free.
+/// a lock, and a disabled telemetry handle is a no-op branch, so disabled
+/// instrumentation must be free (the inertness itself is asserted by
+/// `telemetry_off_report_is_inert` in zipper-workflow — this bench
+/// measures the cost side of the same bar).
 fn instrumentation_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime_instrumentation");
     g.sample_size(10);
@@ -134,6 +138,10 @@ fn instrumentation_overhead(c: &mut Criterion) {
         ("off", TraceOptions::off()),
         ("totals", TraceOptions::default()),
         ("full", TraceOptions::full()),
+        (
+            "full+telemetry",
+            TraceOptions::full().with_telemetry(Duration::from_millis(1)),
+        ),
     ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             let cfg = workload();

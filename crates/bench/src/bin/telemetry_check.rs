@@ -1,0 +1,59 @@
+//! CI gate for flight-recorder exports: validate that every file an
+//! example produced is well-formed, and that the congestion counters
+//! actually made it into the export.
+//!
+//! Usage: `telemetry_check FILE...` — `.json` files are checked as Chrome
+//! traces (balanced JSON with a `traceEvents` array), `.jsonl` files line
+//! by line. Exits nonzero on the first malformed file, so a CI step can
+//! run an example with `ZIPPER_EXPORT_DIR` set and then gate on this.
+
+use std::process::ExitCode;
+use zipper_trace::export::{validate_json, validate_jsonl};
+
+fn check(path: &str) -> Result<String, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if body.is_empty() {
+        return Err("empty export".into());
+    }
+    if path.ends_with(".jsonl") {
+        let events = validate_jsonl(&body)?;
+        if events < 2 {
+            return Err(format!("only {events} events — no spans exported"));
+        }
+        Ok(format!("{events} events"))
+    } else if path.ends_with(".json") {
+        validate_json(&body)?;
+        if !body.contains("\"traceEvents\"") {
+            return Err("not a Chrome trace: missing traceEvents".into());
+        }
+        if !body.contains("net.bytes") {
+            return Err("no telemetry counters in trace".into());
+        }
+        Ok(format!("{} bytes of Chrome trace", body.len()))
+    } else {
+        Err("unknown extension (expected .json or .jsonl)".into())
+    }
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: telemetry_check FILE...");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &files {
+        match check(path) {
+            Ok(detail) => println!("ok   {path}: {detail}"),
+            Err(why) => {
+                eprintln!("FAIL {path}: {why}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

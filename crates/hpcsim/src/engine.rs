@@ -6,7 +6,10 @@ use crate::objects::{BufItem, BufferWake, SimBarrier, SimBuffer, SimLock, SimSig
 use crate::ops::{BufId, BufferTaken, MsgMeta, Op, ProcCtx, Program, Step};
 use std::collections::{BinaryHeap, VecDeque};
 use zipper_pfs::{OstModel, OstModelConfig};
-use zipper_trace::{LaneId, Span, SpanKind, TraceLog, VirtualClock};
+use zipper_trace::{
+    CounterId, GaugeId, LaneId, Probe, SampleSeries, Span, SpanKind, Telemetry, TraceLog,
+    VirtualClock,
+};
 use zipper_types::{NodeId, ProcId, SimTime};
 
 /// Simulator-wide configuration.
@@ -154,6 +157,11 @@ pub struct Simulator {
     events: u64,
     /// Safety valve against runaway programs.
     max_events: u64,
+    /// Metric registry; off unless [`Simulator::enable_telemetry`] ran.
+    telemetry: Telemetry,
+    /// Virtual-clock sampling probe, fired on period boundaries as events
+    /// execute.
+    probe: Option<Probe>,
 }
 
 impl Simulator {
@@ -176,6 +184,63 @@ impl Simulator {
             halted: false,
             events: 0,
             max_events: u64::MAX,
+            telemetry: Telemetry::off(),
+            probe: None,
+        }
+    }
+
+    /// Turn on metric collection and virtual-time sampling every `period`.
+    /// The probe mirrors the fabric's XmitWait/traffic counters and the
+    /// aggregate buffer occupancy into the registry on every event, and
+    /// snapshots the registry whenever virtual time crosses a period
+    /// boundary — the DES analogue of the wall-clock sampler thread.
+    pub fn enable_telemetry(&mut self, period: SimTime) {
+        self.telemetry = Telemetry::on();
+        self.probe = Some(Probe::new(period));
+    }
+
+    /// The metric registry (off unless [`Simulator::enable_telemetry`] ran).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Stop sampling and return the virtual-time series collected so far,
+    /// with a final sample at the current virtual time. Returns an empty
+    /// series when telemetry was never enabled.
+    pub fn finish_telemetry(&mut self) -> SampleSeries {
+        self.refresh_metrics();
+        match self.probe.take() {
+            Some(probe) => probe.finish(self.now, &self.telemetry),
+            None => SampleSeries::default(),
+        }
+    }
+
+    /// Mirror externally-accumulated DES state (fabric counters, buffer
+    /// occupancy) into the registry so samples see current values.
+    fn refresh_metrics(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let nodes = self.network.config().total_nodes();
+        self.telemetry
+            .set_counter(CounterId::XmitWaitNs, self.network.xmit_wait_sum(0..nodes));
+        self.telemetry
+            .set_counter(CounterId::NetBytes, self.network.bytes());
+        self.telemetry
+            .set_counter(CounterId::NetMessages, self.network.messages());
+        let depth: usize = self.buffers.iter().map(|b| b.len()).sum();
+        self.telemetry
+            .gauge_set(GaugeId::DesBufferDepth, depth as i64);
+    }
+
+    /// Fire the sampling probe for any period boundaries crossed up to the
+    /// current virtual time.
+    fn poll_telemetry(&mut self) {
+        if self.probe.is_some() {
+            self.refresh_metrics();
+            if let Some(probe) = self.probe.as_mut() {
+                probe.poll(self.now, &self.telemetry);
+            }
         }
     }
 
@@ -334,6 +399,7 @@ impl Simulator {
             }
             self.now = entry.time;
             self.clock.set(entry.time);
+            self.poll_telemetry();
             self.events += 1;
             if self.events > self.max_events {
                 self.faults
@@ -1301,6 +1367,60 @@ mod tests {
         let log = sink.snapshot();
         assert_eq!(log.spans().len(), 1);
         assert_eq!(log.spans()[0].t1, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn telemetry_probe_samples_on_the_virtual_clock() {
+        use zipper_trace::{CounterId, GaugeId};
+        let mut sim = small_sim();
+        sim.enable_telemetry(SimTime::from_millis(1));
+        let mut done = false;
+        let sink = move |_ctx: &mut ProcCtx<'_>| {
+            if done {
+                return Step::Done;
+            }
+            done = true;
+            Step::Ops(vec![Op::Recv {
+                tag_min: 0,
+                tag_max: u64::MAX,
+                kind: SpanKind::Recv,
+            }])
+        };
+        sim.spawn(NodeId(1), "recv", sink);
+        sim.spawn(
+            NodeId(0),
+            "send",
+            RunOnce::new(vec![
+                Op::Compute {
+                    dur: SimTime::from_millis(3),
+                    kind: SpanKind::Compute,
+                    step: 0,
+                },
+                Op::Send {
+                    to: ProcId(0),
+                    bytes: 4_000_000,
+                    tag: 1,
+                    kind: SpanKind::Send,
+                },
+            ]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        let series = sim.finish_telemetry();
+        assert!(series.is_monotone());
+        assert!(!series.is_empty());
+        // Virtual timestamps land exactly on period boundaries (the
+        // closing sample stamps the end time instead).
+        for p in &series.points[..series.len() - 1] {
+            assert_eq!(p.t.as_nanos() % SimTime::from_millis(1).as_nanos(), 0);
+        }
+        let last = series.points.last().unwrap();
+        assert_eq!(last.counter(CounterId::NetBytes), 4_000_000);
+        assert_eq!(last.counter(CounterId::NetMessages), 1);
+        assert_eq!(last.gauge(GaugeId::DesBufferDepth), 0);
+        // The registry totals match the fabric's own counters.
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(snap.counter(CounterId::NetBytes), sim.network().bytes());
     }
 
     #[test]

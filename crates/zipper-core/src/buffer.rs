@@ -16,6 +16,7 @@
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+use zipper_trace::{CounterId, GaugeId, Telemetry};
 use zipper_types::{Block, Error, Result};
 
 #[derive(Default)]
@@ -32,6 +33,8 @@ pub struct BlockQueue {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    telemetry: Telemetry,
+    depth_gauge: GaugeId,
 }
 
 impl BlockQueue {
@@ -43,7 +46,18 @@ impl BlockQueue {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
+            telemetry: Telemetry::off(),
+            depth_gauge: GaugeId::ProducerQueueDepth,
         }
+    }
+
+    /// Publish occupancy to `gauge` and blocked push/pop time to the
+    /// stall counters of `telemetry` — the queue-congestion view the
+    /// paper reads off `XmitWait`-style counters.
+    pub fn with_telemetry(mut self, telemetry: Telemetry, gauge: GaugeId) -> Self {
+        self.telemetry = telemetry;
+        self.depth_gauge = gauge;
+        self
     }
 
     pub fn capacity(&self) -> usize {
@@ -87,7 +101,12 @@ impl BlockQueue {
         g.peak = g.peak.max(len);
         drop(g);
         self.not_empty.notify_all();
-        Ok(t0.elapsed())
+        let stalled = t0.elapsed();
+        self.telemetry.gauge_add(self.depth_gauge, 1);
+        self.telemetry.add(CounterId::BlocksEnqueued, 1);
+        self.telemetry
+            .add_time(CounterId::QueuePushStallNs, stalled);
+        Ok(stalled)
     }
 
     /// Remove the oldest block, blocking while empty. Returns `None` once
@@ -101,10 +120,16 @@ impl BlockQueue {
                 self.not_full.notify_one();
                 // A pop also changes occupancy relative to steal
                 // thresholds; stealers re-check on the next push.
-                return (Some(b), t0.elapsed());
+                let waited = t0.elapsed();
+                self.telemetry.gauge_add(self.depth_gauge, -1);
+                self.telemetry.add(CounterId::BlocksDequeued, 1);
+                self.telemetry.add_time(CounterId::QueuePopWaitNs, waited);
+                return (Some(b), waited);
             }
             if g.closed {
-                return (None, t0.elapsed());
+                let waited = t0.elapsed();
+                self.telemetry.add_time(CounterId::QueuePopWaitNs, waited);
+                return (None, waited);
             }
             self.not_empty.wait(&mut g);
         }
@@ -122,6 +147,8 @@ impl BlockQueue {
                 let b = g.items.pop_front().expect("occupancy checked");
                 drop(g);
                 self.not_full.notify_one();
+                self.telemetry.gauge_add(self.depth_gauge, -1);
+                self.telemetry.add(CounterId::BlocksDequeued, 1);
                 return (Some(b), t0.elapsed());
             }
             if g.closed {
@@ -139,6 +166,8 @@ impl BlockQueue {
             let b = g.items.pop_front().expect("occupancy checked");
             drop(g);
             self.not_full.notify_one();
+            self.telemetry.gauge_add(self.depth_gauge, -1);
+            self.telemetry.add(CounterId::BlocksDequeued, 1);
             Some(b)
         } else {
             None
@@ -282,6 +311,37 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         q.close(); // must wake the blocked pusher, not strand it
         assert!(matches!(pusher.join().unwrap(), Err(Error::ShutDown)));
+    }
+
+    #[test]
+    fn queue_telemetry_tracks_depth_and_stalls() {
+        let telemetry = Telemetry::on();
+        let q = Arc::new(
+            BlockQueue::new(1).with_telemetry(telemetry.clone(), GaugeId::ConsumerQueueDepth),
+        );
+        q.push(block(0)).unwrap();
+        assert_eq!(
+            telemetry.snapshot().gauge(GaugeId::ConsumerQueueDepth),
+            1,
+            "push raised the occupancy gauge"
+        );
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            q2.pop();
+            q2.pop();
+        });
+        q.push(block(1)).unwrap(); // blocks until the popper drains one
+        popper.join().unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.gauge(GaugeId::ConsumerQueueDepth), 0);
+        assert_eq!(snap.counter(CounterId::BlocksEnqueued), 2);
+        assert_eq!(snap.counter(CounterId::BlocksDequeued), 2);
+        assert!(
+            snap.counter(CounterId::QueuePushStallNs) >= 30_000_000,
+            "blocked push time recorded: {}ns",
+            snap.counter(CounterId::QueuePushStallNs)
+        );
     }
 
     #[test]

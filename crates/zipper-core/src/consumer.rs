@@ -19,7 +19,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_pfs::Storage;
-use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
+use zipper_trace::{GaugeId, LaneRecorder, SpanKind, TraceSink};
 use zipper_types::{panic_detail, Block, BlockId, Error, Rank, RuntimeError, ZipperTuning};
 
 /// Lane label of consumer `rank`'s receiver thread.
@@ -166,7 +166,10 @@ impl Consumer {
     ) -> Consumer {
         tuning.validate().expect("invalid tuning");
         assert!(producers > 0, "need at least one producer");
-        let queue = Arc::new(BlockQueue::new(tuning.consumer_slots));
+        let queue = Arc::new(
+            BlockQueue::new(tuning.consumer_slots)
+                .with_telemetry(sink.telemetry().clone(), GaugeId::ConsumerQueueDepth),
+        );
         let metrics = Arc::new(Mutex::new(ConsumerMetrics::default()));
 
         let (ids_tx, ids_rx): (Sender<BlockId>, Receiver<BlockId>) = unbounded();

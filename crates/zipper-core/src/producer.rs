@@ -15,7 +15,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
+use zipper_trace::{GaugeId, HistogramId, LaneRecorder, MetricShard, SpanKind, TraceSink};
 use zipper_types::{
     panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RoutingPolicy,
     RuntimeError, SimTime, StepId, ZipperTuning,
@@ -219,7 +219,10 @@ impl Producer {
     ) -> Producer {
         tuning.validate().expect("invalid tuning");
         let consumers = mesh.consumers();
-        let queue = Arc::new(BlockQueue::new(tuning.producer_slots));
+        let queue = Arc::new(
+            BlockQueue::new(tuning.producer_slots)
+                .with_telemetry(sink.telemetry().clone(), GaugeId::ProducerQueueDepth),
+        );
         let metrics = Arc::new(Mutex::new(ProducerMetrics::default()));
         let pending: PendingIds = Arc::new(Mutex::new(vec![Vec::new(); consumers]));
         let writer_done = Arc::new(WriterDone::default());
@@ -232,11 +235,12 @@ impl Producer {
             let routing = tuning.routing;
             let done = writer_done.clone();
             let rec = sink.recorder(writer_lane(rank));
+            let shard = sink.telemetry().shard();
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-writer-{rank}"))
                 .spawn(move || {
                     writer_loop(
-                        rank, wq, storage, wpending, wmetrics, hwm, routing, consumers, rec,
+                        rank, wq, storage, wpending, wmetrics, hwm, routing, consumers, rec, shard,
                     );
                     done.signal();
                 });
@@ -480,6 +484,7 @@ fn writer_loop(
     routing: RoutingPolicy,
     consumers: usize,
     mut rec: LaneRecorder,
+    mut shard: MetricShard,
 ) {
     // The writer's routing must agree with the sender's for SourceAffine;
     // for RoundRobin stolen blocks get their own rotation (any consumer is
@@ -489,6 +494,7 @@ fn writer_loop(
         let (block, idle) = queue.steal(hwm);
         record_wait(&mut rec, SpanKind::Idle, idle);
         let Some(block) = block else { break };
+        shard.observe(HistogramId::PfsWriteBytes, block.header.len);
         let stored = rec.time(SpanKind::FsWrite, || storage.put(&block));
         if let Err(e) = stored {
             // PFS failure: the stolen block goes back to the producer

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
+use zipper_trace::{CounterId, GaugeId, HistogramId, LaneRecorder, SpanKind, Telemetry, TraceSink};
 use zipper_types::{Error, MixedMessage, Rank, Result, RetryPolicy, RuntimeError};
 
 /// What travels on the wire: mixed messages, or an end-of-stream marker
@@ -25,7 +25,7 @@ pub enum Wire {
 pub type WireItem = std::result::Result<Wire, RuntimeError>;
 
 impl Wire {
-    fn wire_bytes(&self) -> u64 {
+    pub(crate) fn wire_bytes(&self) -> u64 {
         match self {
             Wire::Msg(m) => m.wire_bytes(),
             Wire::Eos(_) => 16,
@@ -42,7 +42,10 @@ struct Throttle {
 }
 
 impl Throttle {
-    fn charge(&self, bytes: u64) {
+    /// Charge `bytes` against the shared-bandwidth timeline, sleeping
+    /// until the transfer would have drained. Returns the time actually
+    /// slept — the sender's `XmitWait`-style stall, fed to telemetry.
+    fn charge(&self, bytes: u64) -> Duration {
         let xfer = Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
         let now = Instant::now();
         let finish = {
@@ -57,6 +60,7 @@ impl Throttle {
         if !wait.is_zero() {
             std::thread::sleep(wait);
         }
+        wait
     }
 }
 
@@ -69,6 +73,7 @@ pub struct ChannelMesh {
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
     backpressure_ns: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl ChannelMesh {
@@ -92,7 +97,15 @@ impl ChannelMesh {
             bytes_sent: Arc::new(AtomicU64::new(0)),
             messages_sent: Arc::new(AtomicU64::new(0)),
             backpressure_ns: Arc::new(AtomicU64::new(0)),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Publish send/stall counters and the in-flight inbox-depth gauge
+    /// into `telemetry`; endpoints created afterwards carry the handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Impose a shared aggregate bandwidth (bytes/s) and per-message
@@ -121,6 +134,7 @@ impl ChannelMesh {
             bytes_sent: self.bytes_sent.clone(),
             messages_sent: self.messages_sent.clone(),
             backpressure_ns: self.backpressure_ns.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -135,7 +149,10 @@ impl ChannelMesh {
         let rx = slot
             .take()
             .ok_or_else(|| Error::Config(format!("receiver for {rank:?} already taken")))?;
-        Ok(MeshReceiver { rx })
+        Ok(MeshReceiver {
+            rx,
+            telemetry: self.telemetry.clone(),
+        })
     }
 
     /// Total payload bytes pushed through the mesh.
@@ -191,6 +208,7 @@ pub struct MeshSender {
     bytes_sent: Arc<AtomicU64>,
     messages_sent: Arc<AtomicU64>,
     backpressure_ns: Arc<AtomicU64>,
+    telemetry: Telemetry,
 }
 
 impl WireSender for MeshSender {
@@ -225,18 +243,28 @@ impl MeshSender {
                 let t0 = Instant::now();
                 tx.send(item)
                     .map_err(|_| Error::Disconnected("consumer inbox closed"))?;
+                let waited = t0.elapsed();
                 self.backpressure_ns
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+                self.telemetry
+                    .add_time(CounterId::NetBackpressureNs, waited);
+                self.telemetry
+                    .observe(HistogramId::StallNs, waited.as_nanos() as u64);
             }
             Err(TrySendError::Disconnected(_)) => {
                 return Err(Error::Disconnected("consumer inbox closed"));
             }
         }
+        self.telemetry.gauge_add(GaugeId::InboxDepth, 1);
         if let Some(t) = &self.throttle {
-            t.charge(bytes);
+            let waited = t.charge(bytes);
+            self.telemetry.add_time(CounterId::ThrottleStallNs, waited);
         }
         self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         self.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add(CounterId::NetBytes, bytes);
+        self.telemetry.add(CounterId::NetMessages, 1);
+        self.telemetry.observe(HistogramId::SendBytes, bytes);
         Ok(())
     }
 
@@ -248,7 +276,9 @@ impl MeshSender {
             .get(to.idx())
             .ok_or(Error::Disconnected("unknown consumer rank"))?
             .send(Err(fault))
-            .map_err(|_| Error::Disconnected("consumer inbox closed"))
+            .map_err(|_| Error::Disconnected("consumer inbox closed"))?;
+        self.telemetry.gauge_add(GaugeId::InboxDepth, 1);
+        Ok(())
     }
 
     /// Announce end-of-stream from producer `rank` to every consumer,
@@ -277,6 +307,7 @@ impl Clone for MeshSender {
             bytes_sent: self.bytes_sent.clone(),
             messages_sent: self.messages_sent.clone(),
             backpressure_ns: self.backpressure_ns.clone(),
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -334,6 +365,7 @@ pub struct RetryingSender<S> {
     policy: RetryPolicy,
     retries: Arc<AtomicU64>,
     rec: Option<Mutex<LaneRecorder>>,
+    telemetry: Telemetry,
 }
 
 impl<S: WireSender> RetryingSender<S> {
@@ -343,12 +375,15 @@ impl<S: WireSender> RetryingSender<S> {
             policy,
             retries: Arc::new(AtomicU64::new(0)),
             rec: None,
+            telemetry: Telemetry::off(),
         }
     }
 
-    /// Record backoff sleeps as `Retry` spans on the sink lane `label`.
+    /// Record backoff sleeps as `Retry` spans on the sink lane `label`
+    /// and into the sink's stall-time telemetry.
     pub fn traced(mut self, sink: &TraceSink, label: impl Into<String>) -> Self {
         self.rec = Some(Mutex::new(sink.recorder(label)));
+        self.telemetry = sink.telemetry().clone();
         self
     }
 
@@ -364,6 +399,7 @@ impl<S: WireSender> RetryingSender<S> {
 
     fn backoff(&self, attempt: u32, seed: u64) {
         let delay = self.policy.backoff(attempt, seed);
+        self.telemetry.add_time(CounterId::RetrySleepNs, delay);
         let sleep = || {
             if !delay.is_zero() {
                 std::thread::sleep(delay);
@@ -371,11 +407,10 @@ impl<S: WireSender> RetryingSender<S> {
         };
         match &self.rec {
             Some(rec) => {
-                let mut rec = rec.lock();
-                rec.time(SpanKind::Retry, sleep);
-                // Retries are rare: publish immediately so a trace snapshot
-                // taken mid-run (or a hung-run postmortem) shows them.
-                rec.flush();
+                // Buffer like every other lane (merged at drop/flush):
+                // eager flushing bypassed the lane-local buffers and broke
+                // span ordering invariants in exported traces.
+                rec.lock().time(SpanKind::Retry, sleep);
             }
             None => sleep(),
         }
@@ -408,23 +443,36 @@ impl<S: WireSender> WireSender for RetryingSender<S> {
 /// Consumer-side endpoint: receives wires for one rank.
 pub struct MeshReceiver {
     rx: Receiver<WireItem>,
+    telemetry: Telemetry,
 }
 
 impl MeshReceiver {
     /// Wrap a raw wire channel — used by alternative transports (TCP)
     /// whose reader threads decode frames into a channel.
     pub fn from_channel(rx: Receiver<WireItem>) -> Self {
-        MeshReceiver { rx }
+        MeshReceiver {
+            rx,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Decrement the in-flight inbox-depth gauge as items are drained
+    /// (paired with the sender-side increment).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Blocking receive; `Err(Error::Runtime(..))` is a typed fault the
     /// transport forwarded in-band, `Err(Error::Disconnected(..))` means
     /// every sender disconnected.
     pub fn recv(&self) -> Result<Wire> {
-        self.rx
+        let item = self
+            .rx
             .recv()
-            .map_err(|_| Error::Disconnected("all producers disconnected"))?
-            .map_err(Error::Runtime)
+            .map_err(|_| Error::Disconnected("all producers disconnected"))?;
+        self.telemetry.gauge_add(GaugeId::InboxDepth, -1);
+        item.map_err(Error::Runtime)
     }
 
     /// Blocking receive with a deadline; `Err(Error::Timeout(..))` means
@@ -432,7 +480,10 @@ impl MeshReceiver {
     /// trigger.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Wire> {
         match self.rx.recv_timeout(timeout) {
-            Ok(item) => item.map_err(Error::Runtime),
+            Ok(item) => {
+                self.telemetry.gauge_add(GaugeId::InboxDepth, -1);
+                item.map_err(Error::Runtime)
+            }
             Err(RecvTimeoutError::Timeout) => Err(Error::Timeout("wire receive")),
             Err(RecvTimeoutError::Disconnected) => {
                 Err(Error::Disconnected("all producers disconnected"))
@@ -686,6 +737,25 @@ mod tests {
         let spans = log.lane_spans(lane);
         assert_eq!(spans.len(), 2, "one span per wire");
         assert!(spans.iter().all(|s| s.kind == SpanKind::Send));
+    }
+
+    #[test]
+    fn mesh_telemetry_tracks_traffic_and_inbox_depth() {
+        let telemetry = Telemetry::on();
+        let mesh = ChannelMesh::new(1, 8).with_telemetry(telemetry.clone());
+        let s = mesh.sender();
+        let r = mesh.take_receiver(Rank(0)).unwrap();
+        s.send(Rank(0), Wire::Msg(msg(0, 64))).unwrap();
+        s.send(Rank(0), Wire::Msg(msg(1, 64))).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(CounterId::NetMessages), 2);
+        assert!(snap.counter(CounterId::NetBytes) > 128);
+        assert_eq!(snap.gauge(GaugeId::InboxDepth), 2);
+        assert_eq!(snap.histogram(HistogramId::SendBytes).count, 2);
+        r.recv().unwrap();
+        assert_eq!(telemetry.snapshot().gauge(GaugeId::InboxDepth), 1);
+        r.recv().unwrap();
+        assert_eq!(telemetry.snapshot().gauge(GaugeId::InboxDepth), 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
-use zipper_trace::{SpanKind, TraceSink};
+use zipper_trace::{CounterId, HistogramId, SpanKind, Telemetry, TraceSink};
 use zipper_types::{
     Block, BlockHeader, BlockId, Error, GlobalPos, MixedMessage, Rank, Result, RetryPolicy,
     RuntimeError,
@@ -272,6 +272,7 @@ pub fn listen_consumers_traced(
 /// [`crate::Producer::spawn`].
 pub struct TcpSender {
     streams: Vec<Mutex<TcpStream>>,
+    telemetry: Telemetry,
 }
 
 impl TcpSender {
@@ -307,7 +308,18 @@ impl TcpSender {
             s.set_write_timeout(Some(timeout))?;
             streams.push(Mutex::new(s));
         }
-        Ok(TcpSender { streams })
+        Ok(TcpSender {
+            streams,
+            telemetry: Telemetry::off(),
+        })
+    }
+
+    /// Record per-frame write-blocked time (`net.tcp_stall_ns`) and wire
+    /// traffic counters into `telemetry` — the socket-level analogue of
+    /// the fabric's `XmitWait` counter.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -318,7 +330,21 @@ impl WireSender for TcpSender {
             .get(to.idx())
             .ok_or(Error::Disconnected("unknown consumer rank"))?
             .lock();
-        write_frame(&mut stream, &wire)
+        if !self.telemetry.is_enabled() {
+            return write_frame(&mut stream, &wire);
+        }
+        let t0 = std::time::Instant::now();
+        let bytes = wire.wire_bytes();
+        let res = write_frame(&mut stream, &wire);
+        // Time inside the frame write is time the OS socket buffer (or the
+        // peer) made us wait — the TCP sender's stall.
+        self.telemetry.add_time(CounterId::TcpStallNs, t0.elapsed());
+        if res.is_ok() {
+            self.telemetry.add(CounterId::NetBytes, bytes);
+            self.telemetry.add(CounterId::NetMessages, 1);
+            self.telemetry.observe(HistogramId::SendBytes, bytes);
+        }
+        res
     }
 
     fn consumers(&self) -> usize {

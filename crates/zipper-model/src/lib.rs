@@ -22,5 +22,5 @@
 pub mod model;
 pub mod pipeline;
 
-pub use model::{ModelInput, Prediction};
+pub use model::{ModelInput, Prediction, Stage};
 pub use pipeline::{integrated_time, non_integrated_time, pipeline_schedule};

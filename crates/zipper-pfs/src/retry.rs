@@ -14,7 +14,7 @@
 use crate::storage::Storage;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use zipper_trace::{LaneRecorder, SpanKind, TraceSink};
+use zipper_trace::{CounterId, LaneRecorder, SpanKind, Telemetry, TraceSink};
 use zipper_types::{Block, BlockId, Error, Result, RetryPolicy};
 
 /// A [`Storage`] decorator that retries transient `put`/`get` failures.
@@ -23,6 +23,7 @@ pub struct RetryingFs<S> {
     policy: RetryPolicy,
     retries: AtomicU64,
     rec: Option<Mutex<LaneRecorder>>,
+    telemetry: Telemetry,
 }
 
 impl<S: Storage> RetryingFs<S> {
@@ -33,6 +34,7 @@ impl<S: Storage> RetryingFs<S> {
             policy,
             retries: AtomicU64::new(0),
             rec: None,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -49,6 +51,7 @@ impl<S: Storage> RetryingFs<S> {
             policy,
             retries: AtomicU64::new(0),
             rec: Some(Mutex::new(sink.recorder(label.into()))),
+            telemetry: sink.telemetry().clone(),
         }
     }
 
@@ -60,13 +63,14 @@ impl<S: Storage> RetryingFs<S> {
     fn backoff(&self, attempt: u32, seed: u64) {
         self.retries.fetch_add(1, Ordering::Relaxed);
         let delay = self.policy.backoff(attempt, seed);
+        self.telemetry.add_time(CounterId::RetrySleepNs, delay);
         match &self.rec {
             Some(rec) => {
-                let mut rec = rec.lock();
-                rec.time(SpanKind::Retry, || std::thread::sleep(delay));
-                // Retries are rare: publish immediately so a trace snapshot
-                // taken mid-run (or a hung-run postmortem) shows them.
-                rec.flush();
+                // Buffer like every other lane (merged at drop/flush):
+                // eager flushing bypassed the lane-local buffers and broke
+                // span ordering invariants in exported traces.
+                rec.lock()
+                    .time(SpanKind::Retry, || std::thread::sleep(delay));
             }
             None => std::thread::sleep(delay),
         }
@@ -192,6 +196,7 @@ mod tests {
         );
         fs.put(&block(0)).unwrap(); // op 1: clean
         fs.put(&block(1)).unwrap(); // op 2 faults, op 3 retries clean
+        drop(fs); // flush the buffered lane recorder
         let log = sink.snapshot();
         let lane = log.lane_by_label("pfs/retry").expect("retry lane");
         let retries = log

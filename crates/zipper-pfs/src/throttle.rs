@@ -13,6 +13,7 @@
 use crate::storage::Storage;
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};
+use zipper_trace::{CounterId, HistogramId, Telemetry};
 use zipper_types::{Block, BlockId, Result};
 
 /// A [`Storage`] decorator imposing a shared aggregate bandwidth and a
@@ -26,6 +27,8 @@ pub struct ThrottledFs<S> {
     /// The single drain: the instant at which the bandwidth timeline is
     /// next free. Shared across threads — this is the contention point.
     free_at: Mutex<Instant>,
+    /// Stall-time and write-size metrics; off by default.
+    telemetry: Telemetry,
 }
 
 impl<S: Storage> ThrottledFs<S> {
@@ -38,7 +41,15 @@ impl<S: Storage> ThrottledFs<S> {
             bytes_per_sec,
             op_latency,
             free_at: Mutex::new(Instant::now()),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Record stall time and write sizes into `telemetry`
+    /// ([`CounterId::PfsStallNs`], [`HistogramId::PfsWriteBytes`]).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Reserve `bytes` on the shared timeline and sleep until the
@@ -58,6 +69,7 @@ impl<S: Storage> ThrottledFs<S> {
         if !waited.is_zero() {
             std::thread::sleep(waited);
         }
+        self.telemetry.add_time(CounterId::PfsStallNs, waited);
         waited
     }
 
@@ -69,6 +81,8 @@ impl<S: Storage> ThrottledFs<S> {
 
 impl<S: Storage> Storage for ThrottledFs<S> {
     fn put(&self, block: &Block) -> Result<()> {
+        self.telemetry
+            .observe(HistogramId::PfsWriteBytes, block.header.len);
         self.charge(block.header.len);
         self.inner.put(block)
     }

@@ -22,15 +22,28 @@
 //!   ("Zipper runs 3 steps while Decaf runs 2 in the same 1.3 s");
 //! * ASCII timeline rendering for human inspection.
 
+//!
+//! PR 4 adds the flight-recorder layer on top: [`telemetry`] carries live
+//! counters/gauges/histograms (the software analogue of the paper's
+//! `XmitWait` fabric counters) with wall-clock and virtual-clock samplers,
+//! and [`export`] renders the merged span log plus the sampled metric
+//! series as Chrome-trace JSON or JSONL.
+
 pub mod clock;
+pub mod export;
 pub mod log;
 pub mod recorder;
 pub mod render;
 pub mod span;
 pub mod stats;
+pub mod telemetry;
 
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use log::{SharedTraceLog, TraceLog};
 pub use recorder::{LaneRecorder, TraceMode, TraceSink};
 pub use span::{LaneId, Span, SpanKind};
 pub use stats::{KindBreakdown, LaneStats, WindowStats};
+pub use telemetry::{
+    CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricShard, MetricsSnapshot, Probe,
+    SamplePoint, SampleSeries, Sampler, Telemetry,
+};

@@ -23,6 +23,7 @@ use crate::clock::{Clock, VirtualClock, WallClock};
 use crate::log::{SharedTraceLog, TraceLog};
 use crate::span::{LaneId, Span, SpanKind};
 use crate::stats::KindBreakdown;
+use crate::telemetry::Telemetry;
 use std::sync::Arc;
 use zipper_types::SimTime;
 
@@ -61,6 +62,7 @@ pub struct TraceSink {
     mode: TraceMode,
     clock: Arc<dyn Clock>,
     log: SharedTraceLog,
+    telemetry: Telemetry,
 }
 
 impl TraceSink {
@@ -69,7 +71,31 @@ impl TraceSink {
     pub fn new(mode: TraceMode, clock: Arc<dyn Clock>) -> Self {
         let log = SharedTraceLog::new();
         log.with(|l| l.set_keep_spans(mode.keeps_spans()));
-        Self { mode, clock, log }
+        Self {
+            mode,
+            clock,
+            log,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attach a live [`Telemetry`] handle: components built from this sink
+    /// (queues, transports, storage) clone it for their counters so all
+    /// metrics of a run land in one registry.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The run's telemetry handle (a disabled one unless attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The clock spans are stamped with — share it with the metric
+    /// [`crate::telemetry::Sampler`] so samples land on the same axis.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// A wall-clock sink whose origin is "now" — the real runtime's sink.

@@ -6,8 +6,13 @@ use crate::spec::{sim_config, ClusterLayout, WorkflowSpec};
 use crate::{dataspaces, decaf, dimes, flexpath, mpiio, zipper};
 use hpcsim::{RunReport, Simulator};
 use zipper_trace::stats::kind_time_filtered;
-use zipper_trace::{SpanKind, TraceLog};
+use zipper_trace::{MetricsSnapshot, SampleSeries, SpanKind, TraceLog};
 use zipper_types::SimTime;
+
+/// Virtual-clock sampling period of the DES telemetry probe (detailed
+/// runs only; totals-mode scaling runs skip sampling to stay
+/// constant-memory).
+const SAMPLE_PERIOD: SimTime = SimTime::from_millis(50);
 
 /// The transport methods of Fig. 2, plus Zipper.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -114,6 +119,12 @@ pub struct TransportResult {
     pub pfs_drain: SimTime,
     /// The full span trace, for figure-specific analysis.
     pub trace: TraceLog,
+    /// Final telemetry counter/gauge/histogram totals (disabled snapshot
+    /// on totals-mode runs).
+    pub metrics: MetricsSnapshot,
+    /// Congestion time-series sampled on the virtual clock every
+    /// [`SAMPLE_PERIOD`] (empty on totals-mode runs).
+    pub samples: SampleSeries,
 }
 
 impl TransportResult {
@@ -126,9 +137,11 @@ impl TransportResult {
 fn finish(
     name: &'static str,
     report: RunReport,
-    sim: Simulator,
+    mut sim: Simulator,
     layout: &ClusterLayout,
 ) -> TransportResult {
+    let samples = sim.finish_telemetry();
+    let metrics = sim.telemetry().snapshot();
     let xmit_wait_sim = sim.network().xmit_wait_sum(layout.sim_node_range());
     let pfs_requests = sim.pfs().requests();
     let pfs_bytes = sim.pfs().bytes_moved();
@@ -167,6 +180,8 @@ fn finish(
         pfs_bytes,
         pfs_drain,
         trace,
+        metrics,
+        samples,
     }
 }
 
@@ -182,6 +197,9 @@ pub fn run_with_detail(kind: TransportKind, spec: &WorkflowSpec, detail: bool) -
     let layout = ClusterLayout::new(spec, kind.extra_staging_procs(spec));
     let mut sim = Simulator::new(sim_config(spec, &layout));
     sim.set_trace_detail(detail);
+    if detail {
+        sim.enable_telemetry(SAMPLE_PERIOD);
+    }
     kind.build(&mut sim, spec, &layout);
     let report = sim.run();
     finish(kind.name(), report, sim, &layout)
@@ -276,5 +294,34 @@ mod tests {
         assert_eq!(a.end_to_end, b.end_to_end);
         assert_eq!(a.events, b.events);
         assert_eq!(a.xmit_wait_sim, b.xmit_wait_sim);
+        // The telemetry series is deterministic too: same timestamps,
+        // same counter values.
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (pa, pb) in a.samples.points.iter().zip(&b.samples.points) {
+            assert_eq!(pa.t, pb.t);
+            assert_eq!(
+                pa.counter(zipper_trace::CounterId::NetBytes),
+                pb.counter(zipper_trace::CounterId::NetBytes)
+            );
+        }
+    }
+
+    #[test]
+    fn detailed_runs_carry_telemetry_and_samples() {
+        use zipper_trace::CounterId;
+        let spec = tiny_cfd();
+        let r = run(TransportKind::Zipper, &spec);
+        assert!(r.is_clean());
+        assert!(r.metrics.is_enabled());
+        assert!(r.metrics.counter(CounterId::NetBytes) > 0);
+        // The registry mirrors the fabric's whole-cluster XmitWait, which
+        // bounds the simulation-node subset reported separately.
+        assert!(r.metrics.counter(CounterId::XmitWaitNs) >= r.xmit_wait_sim);
+        assert!(r.samples.is_monotone());
+        assert!(!r.samples.is_empty());
+        // Totals-mode scaling runs skip sampling.
+        let t = run_with_detail(TransportKind::Zipper, &spec, false);
+        assert!(!t.metrics.is_enabled());
+        assert!(t.samples.is_empty());
     }
 }

@@ -3,6 +3,7 @@
 
 use hpcsim::{NetworkConfig, SimConfig};
 use zipper_apps::{AppCostModel, Complexity};
+use zipper_model::ModelInput;
 use zipper_pfs::OstModelConfig;
 use zipper_types::{ByteSize, NodeId, SimTime};
 
@@ -161,6 +162,42 @@ impl WorkflowSpec {
     /// Bytes consumer `q` analyses per step.
     pub fn ana_bytes_per_step(&self, q: usize) -> u64 {
         self.sources_of(q).len() as u64 * self.bytes_per_rank_step
+    }
+
+    /// The §4.4 model inputs implied by this spec on the calibrated
+    /// fabric — derived purely from configuration (costs, sizes, NIC
+    /// rates), never from a measured run, so a model-fit report compares
+    /// two independent quantities. `tc` folds the per-step phases (if
+    /// stepped) plus per-block generation into a per-block compute time;
+    /// `tm` is one block's wire time on the calibrated NIC; `ta` is the
+    /// analysis kernel's per-block cost. `transfer_lanes` is the NIC
+    /// count of the narrower node pool: ranks share their node's NIC, so
+    /// the stage runs as many concurrent wire transfers as the smaller of
+    /// the simulation and analysis node groups, not one per rank.
+    pub fn model_input(&self) -> ModelInput {
+        let nb_per_step = self.blocks_per_rank_step();
+        let step_compute = self.cost.step_time().unwrap_or(SimTime::ZERO);
+        let gen: SimTime = (0..nb_per_step)
+            .map(|i| self.cost.sim_block_time(self.block_len(i)))
+            .sum();
+        let tc = SimTime::from_nanos((step_compute + gen).as_nanos() / nb_per_step);
+        let layout = ClusterLayout::new(self, 0);
+        let net = sim_config(self, &layout).network;
+        let tm = SimTime::for_bytes(self.block_size, net.nic_bw)
+            + net.per_msg_overhead
+            + net.link_latency;
+        ModelInput {
+            p: self.sim_ranks as u64,
+            q: self.ana_ranks as u64,
+            total_bytes: ByteSize::bytes(
+                self.sim_ranks as u64 * self.bytes_per_rank_step * self.steps,
+            ),
+            block_size: ByteSize::bytes(self.block_size),
+            tc,
+            tm,
+            ta: self.cost.analysis_block_time(self.block_size),
+            transfer_lanes: layout.sim_nodes.min(layout.ana_nodes).max(1) as u64,
+        }
     }
 
     pub fn validate(&self) -> Result<(), String> {

@@ -10,7 +10,7 @@ use zipper_core::{
     WireSender, ZipperReader, ZipperWriter,
 };
 use zipper_pfs::{MemFs, RetryingFs, Storage, ThrottledFs};
-use zipper_trace::{TraceMode, TraceSink};
+use zipper_trace::{SampleSeries, Sampler, Telemetry, TraceMode, TraceSink};
 use zipper_types::{panic_detail, Rank, RetryPolicy, RuntimeError, WorkflowConfig};
 
 /// Message-channel options for a run.
@@ -102,9 +102,9 @@ impl StorageOptions {
     fn build(self, sink: &TraceSink) -> Arc<dyn Storage> {
         match self {
             StorageOptions::Memory => Arc::new(MemFs::new()),
-            StorageOptions::ThrottledMemory(bw, lat) => {
-                Arc::new(ThrottledFs::new(MemFs::new(), bw, lat))
-            }
+            StorageOptions::ThrottledMemory(bw, lat) => Arc::new(
+                ThrottledFs::new(MemFs::new(), bw, lat).with_telemetry(sink.telemetry().clone()),
+            ),
             StorageOptions::Custom(storage) => storage,
             StorageOptions::Retrying(inner, policy) => {
                 let inner = inner.build(sink);
@@ -124,6 +124,13 @@ pub struct TraceOptions {
     /// endpoint wrapped in a [`TracedSender`]). Only meaningful when the
     /// mode keeps spans — it exists to put wire time on the timeline.
     pub wire_lanes: bool,
+    /// Collect congestion metrics (stall counters, queue-depth gauges,
+    /// size histograms) and sample them periodically into
+    /// [`WorkflowReport::samples`]. Independent of `mode`: metrics work
+    /// even with span recording off.
+    pub telemetry: bool,
+    /// Period of the background sampler thread when `telemetry` is on.
+    pub sample_period: Duration,
 }
 
 impl Default for TraceOptions {
@@ -131,6 +138,8 @@ impl Default for TraceOptions {
         TraceOptions {
             mode: TraceMode::Totals,
             wire_lanes: false,
+            telemetry: false,
+            sample_period: Duration::from_millis(10),
         }
     }
 }
@@ -141,7 +150,7 @@ impl TraceOptions {
     pub fn off() -> Self {
         TraceOptions {
             mode: TraceMode::Off,
-            wire_lanes: false,
+            ..Default::default()
         }
     }
 
@@ -151,7 +160,15 @@ impl TraceOptions {
         TraceOptions {
             mode: TraceMode::Full,
             wire_lanes: true,
+            ..Default::default()
         }
+    }
+
+    /// Turn on metric collection, sampled every `period`.
+    pub fn with_telemetry(mut self, period: Duration) -> Self {
+        self.telemetry = true;
+        self.sample_period = period;
+        self
     }
 }
 
@@ -212,12 +229,21 @@ where
     C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
 {
     cfg.validate().expect("invalid workflow config");
-    let sink = TraceSink::wall(trace.mode);
+    let telemetry = if trace.telemetry {
+        Telemetry::on()
+    } else {
+        Telemetry::off()
+    };
+    let sink = TraceSink::wall(trace.mode).with_telemetry(telemetry.clone());
     let storage = storage_opts.build(&sink);
-    let mut mesh = ChannelMesh::new(cfg.consumers, net.inbox_capacity);
+    let mut mesh =
+        ChannelMesh::new(cfg.consumers, net.inbox_capacity).with_telemetry(telemetry.clone());
     if let Some((bw, lat)) = net.throttle {
         mesh = mesh.with_throttle(bw, lat);
     }
+    let sampler = trace
+        .telemetry
+        .then(|| Sampler::spawn(telemetry.clone(), sink.clock(), trace.sample_period));
 
     let produce = Arc::new(produce);
     let consume = Arc::new(consume);
@@ -375,6 +401,21 @@ where
     }
     let consumers: Vec<_> = consumer_runtimes.into_iter().map(|c| c.join()).collect();
 
+    // Stop sampling before the snapshot so the final sample sees the fully
+    // merged state of every rank.
+    let samples = sampler
+        .map(Sampler::stop)
+        .unwrap_or_else(SampleSeries::default);
+
+    // Read the storage totals, then release the driver's handle: every
+    // rank's clone died at join, so this drop is what lets a retry
+    // decorator flush its buffered `pfs/retry` lane into the sink before
+    // the snapshot below.
+    let pfs_blocks = storage.len();
+    let pfs_bytes_written = storage.bytes_written();
+    let pfs_retries = storage.retries();
+    drop(storage);
+
     let report = WorkflowReport {
         wall: t0.elapsed(),
         producers,
@@ -387,10 +428,12 @@ where
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum(),
-        pfs_blocks: storage.len(),
-        pfs_bytes_written: storage.bytes_written(),
-        pfs_retries: storage.retries(),
+        pfs_blocks,
+        pfs_bytes_written,
+        pfs_retries,
         trace: sink.snapshot(),
+        metrics: telemetry.snapshot(),
+        samples,
     };
     (report, results)
 }
@@ -557,6 +600,52 @@ mod tests {
         assert_eq!(report.producer_total().blocks_written, c.total_blocks());
         assert_eq!(report.producer_total().compute(), Duration::ZERO);
         assert_eq!(report.trace.lane_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_populates_metrics_and_samples() {
+        use zipper_trace::{CounterId, GaugeId, HistogramId};
+        let c = cfg(2, 1, 4);
+        let (report, _) = run_workflow_traced(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default().with_telemetry(Duration::from_micros(100)),
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert!(report.metrics.is_enabled());
+        assert!(report.metrics.counter(CounterId::NetBytes) > 0);
+        assert!(report.metrics.counter(CounterId::NetMessages) > 0);
+        let h = report.metrics.histogram(HistogramId::SendBytes);
+        assert!(h.count > 0);
+        assert!(report.samples.is_monotone());
+        assert!(!report.samples.is_empty());
+        // Every message was drained: the inbox-depth gauge closes at zero.
+        let last = report.samples.points.last().unwrap();
+        assert_eq!(last.gauge(GaugeId::InboxDepth), 0);
+        assert!(
+            report.summary().contains("net.bytes"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn telemetry_off_report_is_inert() {
+        let c = cfg(1, 1, 2);
+        let (report, _) = run_workflow_traced(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default(),
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert!(!report.metrics.is_enabled());
+        assert!(report.samples.is_empty());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Model-fit reports: measured phase times vs. the analytical model.
+//!
+//! The paper's §4.4 model predicts `T_t2s = max(T_comp, T_transfer,
+//! T_analysis)` from per-block costs. A [`ModelFit`] closes the loop: it
+//! derives the *measured* phase times from a run's span-trace lane totals
+//! — the same numbers whether the run was the threaded runtime on the
+//! wall clock or the DES on the virtual clock — lines them up against a
+//! [`Prediction`], and reports the per-phase relative error. The fit is
+//! how the repo validates that the model still describes the runtime
+//! after every change (and how experiments spot the phase a regression
+//! landed in).
+//!
+//! Measured phases, from lane totals:
+//! * `T_comp` — the slowest `sim/*` lane's `Compute` time (ranks run in
+//!   parallel, so the max — not the sum — bounds the phase).
+//! * `T_transfer` — the slowest transfer lane's `Send`+`Put`+`FsWrite`
+//!   time over `sim/*` and `net/*` lanes (one transfer channel per lane,
+//!   channels concurrent).
+//! * `T_analysis` — the slowest `ana/*` lane's `Analysis` time.
+//! * `T_t2s` — the run's end-to-end time, supplied by the caller (wall
+//!   clock or virtual horizon).
+
+use crate::report::WorkflowReport;
+use std::fmt;
+use zipper_model::{ModelInput, Prediction, Stage};
+use zipper_trace::{SpanKind, TraceLog};
+use zipper_types::SimTime;
+
+/// Span kinds that count as simulation compute on a lane (generic compute
+/// plus the CFD/MD step phases).
+const COMP_KINDS: [SpanKind; 4] = [
+    SpanKind::Compute,
+    SpanKind::Collision,
+    SpanKind::Streaming,
+    SpanKind::Update,
+];
+
+/// Span kinds that count as transfer work on a lane.
+const TRANSFER_KINDS: [SpanKind; 3] = [SpanKind::Send, SpanKind::Put, SpanKind::FsWrite];
+
+/// One phase's predicted and measured times.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseFit {
+    /// Phase name as printed in the table (`comp`, `transfer`, …).
+    pub name: &'static str,
+    pub predicted: SimTime,
+    pub measured: SimTime,
+}
+
+impl PhaseFit {
+    /// `|measured − predicted| / predicted`. Zero when both are zero,
+    /// infinite when only the prediction is.
+    pub fn relative_error(&self) -> f64 {
+        let p = self.predicted.as_secs_f64();
+        let m = self.measured.as_secs_f64();
+        if p == 0.0 {
+            return if m == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (m - p).abs() / p
+    }
+}
+
+/// Measured vs. predicted phase times for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelFit {
+    pub comp: PhaseFit,
+    pub transfer: PhaseFit,
+    pub analysis: PhaseFit,
+    /// End-to-end: predicted `max` of the three phases vs. the run's
+    /// actual end-to-end time.
+    pub t2s: PhaseFit,
+    /// The stage the model says dominates.
+    pub bottleneck: Stage,
+}
+
+/// Slowest per-lane total of `kinds` over lanes whose label satisfies
+/// `select`.
+fn max_lane_time(trace: &TraceLog, kinds: &[SpanKind], select: impl Fn(&str) -> bool) -> SimTime {
+    trace
+        .lanes()
+        .filter(|&l| select(trace.lane_label(l)))
+        .map(|l| {
+            let totals = trace.lane_totals(l);
+            kinds.iter().map(|&k| totals.get(k)).sum()
+        })
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+impl ModelFit {
+    /// Fit `prediction` against a recorded trace. `end_to_end` is the
+    /// run's measured time to solution (wall-clock duration for the
+    /// threaded runtime, virtual horizon for the DES).
+    pub fn from_trace(trace: &TraceLog, end_to_end: SimTime, prediction: &Prediction) -> ModelFit {
+        let comp = max_lane_time(trace, &COMP_KINDS, |l| l.starts_with("sim/"));
+        let transfer = max_lane_time(trace, &TRANSFER_KINDS, |l| {
+            l.starts_with("sim/") || l.starts_with("net/")
+        });
+        let analysis = max_lane_time(trace, &[SpanKind::Analysis], |l| l.starts_with("ana/"));
+        ModelFit {
+            comp: PhaseFit {
+                name: "comp",
+                predicted: prediction.t_comp,
+                measured: comp,
+            },
+            transfer: PhaseFit {
+                name: "transfer",
+                predicted: prediction.t_transfer,
+                measured: transfer,
+            },
+            analysis: PhaseFit {
+                name: "analysis",
+                predicted: prediction.t_analysis,
+                measured: analysis,
+            },
+            t2s: PhaseFit {
+                name: "t2s",
+                predicted: prediction.time_to_solution(),
+                measured: end_to_end,
+            },
+            bottleneck: prediction.bottleneck(),
+        }
+    }
+
+    /// The four phases in presentation order.
+    pub fn phases(&self) -> [PhaseFit; 4] {
+        [self.comp, self.transfer, self.analysis, self.t2s]
+    }
+
+    /// Largest per-phase relative error.
+    pub fn max_error(&self) -> f64 {
+        self.phases()
+            .iter()
+            .map(PhaseFit::relative_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every phase's relative error is at most `tol`
+    /// (e.g. `0.25` for 25 %).
+    pub fn within(&self, tol: f64) -> bool {
+        self.max_error() <= tol
+    }
+
+    /// Render the fit as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase      predicted     measured     rel-err\n");
+        for ph in self.phases() {
+            let err = ph.relative_error();
+            let err = if err.is_finite() {
+                format!("{:.1}%", err * 100.0)
+            } else {
+                "inf".to_string()
+            };
+            out.push_str(&format!(
+                "{:<9} {:>12} {:>12} {:>11}\n",
+                ph.name,
+                ph.predicted.to_string(),
+                ph.measured.to_string(),
+                err,
+            ));
+        }
+        out.push_str(&format!("bottleneck: {}\n", self.bottleneck));
+        out
+    }
+}
+
+impl fmt::Display for ModelFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table())
+    }
+}
+
+impl WorkflowReport {
+    /// Fit the analytical model against this run: prediction from
+    /// `input`, measured phases from the run's trace, measured `T_t2s`
+    /// from the wall clock.
+    pub fn model_fit(&self, input: &ModelInput) -> ModelFit {
+        let prediction = Prediction::from_input(input);
+        let end_to_end = SimTime::from_nanos(self.wall.as_nanos() as u64);
+        ModelFit::from_trace(&self.trace, end_to_end, &prediction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipper_types::ByteSize;
+
+    fn prediction(tc_ms: u64, tm_ms: u64, ta_ms: u64) -> Prediction {
+        Prediction::from_input(&ModelInput {
+            p: 2,
+            q: 1,
+            total_bytes: ByteSize::mib(8),
+            block_size: ByteSize::mib(1),
+            tc: SimTime::from_millis(tc_ms),
+            tm: SimTime::from_millis(tm_ms),
+            ta: SimTime::from_millis(ta_ms),
+            transfer_lanes: 2,
+        })
+    }
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn measured_phases_come_from_the_slowest_lane() {
+        // 8 blocks: T_comp = 10·8/2 = 40 ms, T_transfer = 5·8/2 = 20 ms,
+        // T_analysis = 8·8/1 = 64 ms.
+        let p = prediction(10, 5, 8);
+        let mut trace = TraceLog::new();
+        let s0 = trace.lane("sim/p0/app");
+        let s1 = trace.lane("sim/p1/app");
+        let n0 = trace.lane("sim/p0/send");
+        let f0 = trace.lane("sim/p0/fs");
+        let a0 = trace.lane("ana/q0/app");
+        trace.record_interval(s0, SpanKind::Compute, ms(0), ms(38));
+        trace.record_interval(s1, SpanKind::Compute, ms(0), ms(41));
+        trace.record_interval(n0, SpanKind::Send, ms(0), ms(15));
+        trace.record_interval(f0, SpanKind::FsWrite, ms(0), ms(4));
+        trace.record_interval(a0, SpanKind::Analysis, ms(0), ms(60));
+        // Analysis-side recv time must not leak into T_analysis.
+        trace.record_interval(a0, SpanKind::Recv, ms(60), ms(99));
+        let fit = ModelFit::from_trace(&trace, ms(66), &p);
+        assert_eq!(fit.comp.measured, ms(41), "max over sim lanes");
+        assert_eq!(fit.transfer.measured, ms(15), "per-lane, not summed");
+        assert_eq!(fit.analysis.measured, ms(60));
+        assert_eq!(fit.t2s.measured, ms(66));
+        assert_eq!(fit.t2s.predicted, ms(64));
+        assert_eq!(fit.bottleneck, Stage::Analysis);
+        assert!(fit.comp.relative_error() < 0.03);
+        assert!(fit.within(0.26), "max err {}", fit.max_error());
+        assert!(!fit.within(0.1));
+    }
+
+    #[test]
+    fn zero_prediction_with_measurement_is_infinite_error() {
+        let ph = PhaseFit {
+            name: "comp",
+            predicted: SimTime::ZERO,
+            measured: ms(1),
+        };
+        assert!(ph.relative_error().is_infinite());
+        let none = PhaseFit {
+            name: "comp",
+            predicted: SimTime::ZERO,
+            measured: SimTime::ZERO,
+        };
+        assert_eq!(none.relative_error(), 0.0);
+    }
+
+    #[test]
+    fn table_renders_every_phase() {
+        let p = prediction(10, 5, 8);
+        let fit = ModelFit::from_trace(&TraceLog::new(), ms(64), &p);
+        let t = fit.table();
+        for needle in ["comp", "transfer", "analysis", "t2s", "bottleneck"] {
+            assert!(t.contains(needle), "missing {needle}: {t}");
+        }
+    }
+}

@@ -16,9 +16,11 @@
 //! counts, steal fractions, wall-clock).
 
 pub mod driver;
+pub mod fit;
 pub mod mapreduce;
 pub mod report;
 
 pub use driver::{run_workflow, run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions};
+pub use fit::{ModelFit, PhaseFit};
 pub use mapreduce::run_map_reduce;
 pub use report::WorkflowReport;

@@ -8,11 +8,15 @@
 //! aggregate numbers (Figs. 12–14), as a rendered timeline (Figs. 17/19),
 //! or as windowed step statistics, all from one source of truth.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 use zipper_core::{ConsumerMetrics, ProducerMetrics};
 use zipper_trace::render::{render_timeline, RenderOptions};
-use zipper_trace::{stats, KindBreakdown, SpanKind, TraceLog, WindowStats};
+use zipper_trace::{
+    stats, KindBreakdown, MetricsSnapshot, SampleSeries, SpanKind, TraceLog, WindowStats,
+};
 use zipper_types::{RuntimeError, SimTime};
 
 /// Everything measured in one coupled run.
@@ -49,6 +53,12 @@ pub struct WorkflowReport {
     /// The merged span log of the run (lane totals always; raw spans when
     /// the run traced in full mode).
     pub trace: TraceLog,
+    /// Final counter/gauge/histogram totals from the telemetry registry
+    /// (disabled snapshot when the run had telemetry off).
+    pub metrics: MetricsSnapshot,
+    /// Queue-depth and stall-time series sampled over the run by the
+    /// wall-clock sampler thread (empty when telemetry was off).
+    pub samples: SampleSeries,
 }
 
 impl WorkflowReport {
@@ -87,13 +97,45 @@ impl WorkflowReport {
 
     /// All runtime errors across producer and consumer ranks, plus the
     /// failures the driver observed directly (app panics, spawn failures).
+    ///
+    /// Repeated [`RuntimeError::Transport`] faults from the same wire
+    /// (same rank, same detail) are deduplicated: a flapping link raises
+    /// the identical fault once per frame, and a report listing one error
+    /// hundreds of times buries everything else. Use
+    /// [`WorkflowReport::error_counts`] when the multiplicity matters.
     pub fn errors(&self) -> Vec<RuntimeError> {
-        self.producers
+        self.error_counts().into_iter().map(|(e, _)| e).collect()
+    }
+
+    /// [`WorkflowReport::errors`] with multiplicities: repeated `Transport`
+    /// faults fold into one entry carrying how often they fired, so fault
+    /// accounting (e.g. "one typed error per corrupt wire") stays exact
+    /// while the deduplicated view stays readable. Every other error kind
+    /// keeps one entry per occurrence.
+    pub fn error_counts(&self) -> Vec<(RuntimeError, usize)> {
+        let mut out: Vec<(RuntimeError, usize)> = Vec::new();
+        let mut seen_wires: HashMap<(u32, String), usize> = HashMap::new();
+        let all = self
+            .producers
             .iter()
-            .flat_map(|p| p.errors.iter().cloned())
-            .chain(self.consumers.iter().flat_map(|c| c.errors.iter().cloned()))
-            .chain(self.failures.iter().cloned())
-            .collect()
+            .flat_map(|p| p.errors.iter())
+            .chain(self.consumers.iter().flat_map(|c| c.errors.iter()))
+            .chain(self.failures.iter());
+        for e in all {
+            match e {
+                RuntimeError::Transport { rank, detail } => {
+                    match seen_wires.entry((rank.0, detail.clone())) {
+                        Entry::Occupied(at) => out[*at.get()].1 += 1,
+                        Entry::Vacant(slot) => {
+                            slot.insert(out.len());
+                            out.push((e.clone(), 1));
+                        }
+                    }
+                }
+                _ => out.push((e.clone(), 1)),
+            }
+        }
+        out
     }
 
     /// Panics if any rank recorded an error or any block went missing
@@ -190,6 +232,17 @@ impl WorkflowReport {
             }
             out.push('\n');
         }
+        if self.metrics.is_enabled() {
+            out.push_str(&self.metrics.summary());
+            if !self.samples.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "samples: {} points @ {:?} period",
+                    self.samples.len(),
+                    self.samples.period,
+                );
+            }
+        }
         out
     }
 }
@@ -236,6 +289,8 @@ mod tests {
             pfs_bytes_written: 300,
             pfs_retries: 0,
             trace: TraceLog::new(),
+            metrics: MetricsSnapshot::default(),
+            samples: SampleSeries::default(),
         }
     }
 
@@ -284,6 +339,54 @@ mod tests {
     }
 
     #[test]
+    fn repeated_transport_faults_from_one_wire_are_deduplicated() {
+        let mut r = report();
+        // A flapping wire raises the identical fault once per frame…
+        for _ in 0..5 {
+            r.producers[0].errors.push(RuntimeError::Transport {
+                rank: Rank(0),
+                detail: "connection reset".into(),
+            });
+        }
+        // …while distinct wires and distinct faults stay distinct.
+        r.producers[1].errors.push(RuntimeError::Transport {
+            rank: Rank(1),
+            detail: "connection reset".into(),
+        });
+        r.producers[0].errors.push(RuntimeError::Transport {
+            rank: Rank(0),
+            detail: "corrupt frame".into(),
+        });
+        r.failures.push(RuntimeError::AppPanicked {
+            rank: Rank(0),
+            role: "producer app",
+            detail: "boom".into(),
+        });
+        let errs = r.errors();
+        assert_eq!(errs.len(), 4, "{errs:?}");
+        let same_wire = errs
+            .iter()
+            .filter(|e| {
+                matches!(e, RuntimeError::Transport { rank, detail }
+                    if rank.0 == 0 && detail == "connection reset")
+            })
+            .count();
+        assert_eq!(same_wire, 1);
+        // The multiplicity survives in the counted view.
+        let counts = r.error_counts();
+        assert_eq!(counts.len(), 4);
+        let folded = counts
+            .iter()
+            .find(|(e, _)| {
+                matches!(e, RuntimeError::Transport { rank, detail }
+                    if rank.0 == 0 && detail == "connection reset")
+            })
+            .expect("folded entry");
+        assert_eq!(folded.1, 5, "five frames fold into one entry");
+        assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), 8);
+    }
+
+    #[test]
     fn empty_report_is_benign() {
         let r = WorkflowReport {
             wall: Duration::ZERO,
@@ -298,6 +401,8 @@ mod tests {
             pfs_bytes_written: 0,
             pfs_retries: 0,
             trace: TraceLog::new(),
+            metrics: MetricsSnapshot::default(),
+            samples: SampleSeries::default(),
         };
         assert_eq!(r.mean_stall(), Duration::ZERO);
         assert_eq!(r.steal_fraction(), 0.0);

@@ -9,8 +9,12 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use bytes::Bytes;
+use std::time::{Duration, Instant};
 use zipper_apps::analysis::VarianceAccumulator;
 use zipper_apps::synthetic::{decode_block, generate_block, Complexity};
+use zipper_model::ModelInput;
+use zipper_trace::export::{chrome_trace, jsonl};
+use zipper_trace::GaugeId;
 use zipper_types::SimTime;
 use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
 use zipper_workflow::{run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions};
@@ -46,8 +50,10 @@ fn main() {
         StorageOptions::Memory,
         // Full tracing: every runtime thread records spans into one shared
         // log, which the report renders below. `TraceOptions::default()`
-        // keeps lane totals only; `off()` removes even that.
-        TraceOptions::full(),
+        // keeps lane totals only; `off()` removes even that. The telemetry
+        // flag additionally turns on the metric registry and a background
+        // sampler that snapshots queue depths and stall counters.
+        TraceOptions::full().with_telemetry(Duration::from_millis(2)),
         move |rank, writer| {
             for step in 0..8u64 {
                 // "Simulate": generate this step's output slab.
@@ -105,5 +111,73 @@ fn main() {
             "first half of the run: {:.2} steps/lane across {} active lanes",
             w.steps_per_lane, w.active_lanes,
         );
+    }
+
+    // 5. Telemetry: the metric registry's totals and the sampled
+    //    congestion time-series for the same run.
+    println!("--- telemetry ---\n{}", report.metrics.summary());
+    println!(
+        "congestion samples: {} points, peak producer queue depth {}",
+        report.samples.len(),
+        report.samples.gauge_peak(GaugeId::ProducerQueueDepth),
+    );
+
+    // 6. Model fit: line the run up against the §4.4 analytical model.
+    //    Per-block compute/analysis costs are probed once on this machine
+    //    (wall-clock costs are not knowable a priori), then scaled by how
+    //    oversubscribed the cores are — the model assumes P dedicated
+    //    cores. The transfer cost assumes a memcpy-rate in-process
+    //    channel. The rel-err column then shows how far that
+    //    back-of-envelope is off, which is exactly how you would use the
+    //    fit to find the surprising phase. (The DES examples fit tightly;
+    //    see `cargo test --test telemetry`.)
+    let slab = cfg.bytes_per_rank_step.as_u64() as usize;
+    let blocks_per_slab = cfg
+        .bytes_per_rank_step
+        .as_u64()
+        .div_ceil(cfg.tuning.block_size.as_u64());
+    let t0 = Instant::now();
+    let probe = std::hint::black_box(generate_block(Complexity::Linear, slab, 42));
+    let slab_gen = t0.elapsed();
+    let decoded = decode_block(&probe);
+    let t0 = Instant::now();
+    let mut acc = VarianceAccumulator::new();
+    acc.update(&decoded);
+    std::hint::black_box(&acc);
+    let slab_ana = t0.elapsed();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let oversub = ((cfg.producers + cfg.consumers) as f64 / cores as f64).max(1.0);
+    let per_block = |slab_time: Duration| {
+        SimTime::from_nanos((slab_time.as_nanos() as f64 * oversub) as u64 / blocks_per_slab)
+    };
+    let input = ModelInput {
+        p: cfg.producers as u64,
+        q: cfg.consumers as u64,
+        total_bytes: ByteSize::bytes(
+            cfg.producers as u64 * cfg.steps * cfg.bytes_per_rank_step.as_u64(),
+        ),
+        block_size: cfg.tuning.block_size,
+        tc: per_block(slab_gen),
+        tm: SimTime::for_bytes(cfg.tuning.block_size.as_u64(), 8.0e9),
+        ta: per_block(slab_ana),
+        transfer_lanes: cfg.producers as u64,
+    };
+    println!(
+        "--- model fit (back-of-envelope costs, {cores} core(s) for {} ranks) ---\n{}",
+        cfg.producers + cfg.consumers,
+        report.model_fit(&input)
+    );
+
+    // 7. Optional flight-recorder export: set ZIPPER_EXPORT_DIR to write
+    //    the span log + samples as a Chrome trace (open in
+    //    chrome://tracing or Perfetto) and as JSONL (one event per line).
+    if let Some(dir) = std::env::var_os("ZIPPER_EXPORT_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create export dir");
+        let chrome = chrome_trace(&report.trace, Some(&report.samples));
+        let lines = jsonl(&report.trace, Some(&report.samples));
+        std::fs::write(dir.join("quickstart_trace.json"), chrome).expect("write chrome trace");
+        std::fs::write(dir.join("quickstart_trace.jsonl"), lines).expect("write jsonl");
+        println!("exported flight recording to {}", dir.display());
     }
 }

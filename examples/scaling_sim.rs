@@ -4,6 +4,7 @@
 //!
 //! Run with: `cargo run --release --example scaling_sim`
 
+use zipper_trace::export::{chrome_trace, jsonl};
 use zipper_transports::{run, run_sim_only, TransportKind, WorkflowSpec};
 
 fn main() {
@@ -31,6 +32,21 @@ fn main() {
             base.end_to_end.as_secs_f64(),
             decaf.end_to_end.as_secs_f64() / zipper.end_to_end.as_secs_f64(),
         );
+
+        // Flight-recorder export of the smallest point's Zipper run (the
+        // virtual-clock spans + congestion samples), when requested:
+        // `ZIPPER_EXPORT_DIR=out cargo run --release --example scaling_sim`.
+        if cores == 48 {
+            if let Some(dir) = std::env::var_os("ZIPPER_EXPORT_DIR") {
+                let dir = std::path::PathBuf::from(dir);
+                std::fs::create_dir_all(&dir).expect("create export dir");
+                let json = chrome_trace(&zipper.trace, Some(&zipper.samples));
+                let lines = jsonl(&zipper.trace, Some(&zipper.samples));
+                std::fs::write(dir.join("scaling_48_trace.json"), json).expect("write trace");
+                std::fs::write(dir.join("scaling_48_trace.jsonl"), lines).expect("write jsonl");
+                println!("        exported 48-core Zipper trace to {}", dir.display());
+            }
+        }
 
         // The paper's two headline properties, checked at every point:
         assert!(

@@ -240,15 +240,29 @@ fn corrupt_wires_are_typed_errors_and_the_stream_survives() {
     let expected_faults = corrupted_per_producer * cfg.producers as u64;
     let delivered: u64 = counts.iter().sum();
     assert_eq!(delivered, cfg.total_blocks() - expected_faults);
-    let transport_faults = report
-        .errors()
+    // Exact fault accounting lives in the counted view: each corrupt wire
+    // fired one typed fault, even though the identical per-frame faults
+    // fold into one readable entry per consumer in `errors()`.
+    let transport_faults: u64 = report
+        .error_counts()
         .iter()
-        .filter(|e| matches!(e, RuntimeError::Transport { .. }))
-        .count() as u64;
+        .filter(|(e, _)| matches!(e, RuntimeError::Transport { .. }))
+        .map(|(_, n)| *n as u64)
+        .sum();
     assert_eq!(
         transport_faults,
         expected_faults,
         "every corrupt wire is one typed Transport error: {:?}",
+        report.error_counts()
+    );
+    let deduped = report
+        .errors()
+        .iter()
+        .filter(|e| matches!(e, RuntimeError::Transport { .. }))
+        .count();
+    assert!(
+        deduped <= cfg.consumers,
+        "identical faults fold to at most one entry per consumer: {:?}",
         report.errors()
     );
     // The stream survived past each fault: producers flushed everything.

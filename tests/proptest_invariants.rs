@@ -5,7 +5,8 @@ use std::sync::Arc;
 use zipper_model::{integrated_time, non_integrated_time};
 use zipper_pfs::{MemFs, OstModel, OstModelConfig, Storage};
 use zipper_trace::{
-    stats, KindBreakdown, Span, SpanKind, TraceLog, TraceMode, TraceSink, VirtualClock,
+    stats, CounterId, GaugeId, HistogramSnapshot, KindBreakdown, Probe, Sampler, Span, SpanKind,
+    Telemetry, TraceLog, TraceMode, TraceSink, VirtualClock, WallClock,
 };
 use zipper_types::block::deterministic_payload;
 use zipper_types::{Block, BlockId, ByteSize, GlobalPos, Rank, SimTime, StepId};
@@ -287,6 +288,104 @@ proptest! {
                 whole.breakdown.get(k)
             );
         }
+    }
+}
+
+fn histogram_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::default();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// Histogram merge is associative and commutative: shards can be
+    /// folded into the registry in any grouping and any order (threads
+    /// exit in nondeterministic order) and the result is identical to a
+    /// single-pass histogram over all observations.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(0u64..u64::MAX / 4, 0..40),
+        ys in proptest::collection::vec(0u64..u64::MAX / 4, 0..40),
+        zs in proptest::collection::vec(0u64..u64::MAX / 4, 0..40),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "associativity");
+        // b ⊕ a == a ⊕ b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+        // And both equal the single-pass histogram.
+        let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+        prop_assert_eq!(&left, &histogram_of(&all), "merge == single pass");
+    }
+
+    /// The DES probe's series is monotone with samples on exact period
+    /// boundaries, and cumulative counters never decrease along it —
+    /// regardless of how event times interleave with the sampling grid.
+    #[test]
+    fn probe_series_is_monotone_on_the_virtual_clock(
+        steps in proptest::collection::vec((1u64..5_000u64, 0u64..1_000u64), 1..50),
+        period in 1u64..2_000u64,
+    ) {
+        let telemetry = Telemetry::on();
+        let mut probe = Probe::new(SimTime::from_nanos(period));
+        let mut now = SimTime::ZERO;
+        for (advance, bytes) in &steps {
+            now += SimTime::from_nanos(*advance);
+            telemetry.add(CounterId::NetBytes, *bytes);
+            telemetry.gauge_add(GaugeId::InboxDepth, (*bytes % 3) as i64 - 1);
+            probe.poll(now, &telemetry);
+        }
+        let series = probe.finish(now, &telemetry);
+        prop_assert!(!series.is_empty(), "finish() always samples");
+        prop_assert!(series.is_monotone());
+        // All but the final sample (stamped at `now`) sit on the grid.
+        for p in &series.points[..series.len() - 1] {
+            prop_assert_eq!(p.t.as_nanos() % period, 0, "off-boundary sample at {}", p.t);
+        }
+        let counters = series.counter_series(CounterId::NetBytes);
+        prop_assert!(counters.windows(2).all(|w| w[0].1 <= w[1].1), "counters are cumulative");
+        let total: u64 = steps.iter().map(|(_, b)| b).sum();
+        prop_assert_eq!(counters.last().unwrap().1, total);
+    }
+}
+
+proptest! {
+    /// The wall-clock sampler's series is monotone and its cumulative
+    /// counters never decrease, whatever the workload does in between.
+    #[test]
+    fn sampler_series_is_monotone_on_the_wall_clock(
+        adds in proptest::collection::vec(1u64..1_000u64, 1..20),
+    ) {
+        let telemetry = Telemetry::on();
+        let sampler = Sampler::spawn(
+            telemetry.clone(),
+            Arc::new(WallClock::default()),
+            std::time::Duration::from_micros(200),
+        );
+        for v in &adds {
+            telemetry.add(CounterId::NetBytes, *v);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        let series = sampler.stop();
+        prop_assert!(!series.is_empty(), "stop() always takes a final sample");
+        prop_assert!(series.is_monotone());
+        let counters = series.counter_series(CounterId::NetBytes);
+        prop_assert!(counters.windows(2).all(|w| w[0].1 <= w[1].1), "counters are cumulative");
+        prop_assert_eq!(counters.last().unwrap().1, adds.iter().sum::<u64>());
     }
 }
 

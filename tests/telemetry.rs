@@ -1,0 +1,99 @@
+//! Cross-crate telemetry integration: DES model-fit accuracy, exporter
+//! round trips, and the byte-stable Chrome-trace golden file.
+
+use zipper_model::Prediction;
+use zipper_trace::export::{chrome_trace, jsonl, validate_json, validate_jsonl};
+use zipper_trace::CounterId;
+use zipper_transports::{run, TransportKind, WorkflowSpec};
+use zipper_workflow::ModelFit;
+
+/// Documented model-fit tolerance on the deterministic DES example: every
+/// phase of the §4.4 model matches the measured lane totals within 10 %.
+/// (See DESIGN.md "Observability" for why the bound is loose: the model
+/// ignores pipeline fill/drain and halo exchange.)
+const FIT_TOLERANCE: f64 = 0.10;
+
+fn tiny_cfd() -> WorkflowSpec {
+    let mut s = WorkflowSpec::cfd(4, 2, 3);
+    s.ranks_per_node = 2;
+    s.staging_servers = 2;
+    s.decaf_links = 2;
+    s
+}
+
+#[test]
+fn des_model_fit_within_documented_tolerance() {
+    // More steps than the export tests: the §4.4 model assumes the block
+    // count dwarfs the pipeline depth, so a longer run amortizes the
+    // fill/drain transient that the model deliberately ignores.
+    let mut spec = tiny_cfd();
+    spec.steps = 12;
+    let r = run(TransportKind::Zipper, &spec);
+    assert!(r.is_clean());
+    let prediction = Prediction::from_input(&spec.model_input());
+    let fit = ModelFit::from_trace(&r.trace, r.end_to_end, &prediction);
+    assert!(
+        fit.within(FIT_TOLERANCE),
+        "max phase error {:.1}% exceeds {:.0}%\n{}",
+        fit.max_error() * 100.0,
+        FIT_TOLERANCE * 100.0,
+        fit.table(),
+    );
+    // The table names every phase.
+    let t = fit.table();
+    for needle in ["comp", "transfer", "analysis", "t2s"] {
+        assert!(t.contains(needle), "{t}");
+    }
+}
+
+#[test]
+fn des_exports_round_trip_a_real_run() {
+    let spec = tiny_cfd();
+    let r = run(TransportKind::Zipper, &spec);
+    assert!(r.is_clean());
+    let chrome = chrome_trace(&r.trace, Some(&r.samples));
+    validate_json(&chrome).expect("chrome trace must be valid JSON");
+    assert!(chrome.contains("\"traceEvents\""));
+    let lines = jsonl(&r.trace, Some(&r.samples));
+    let n = validate_jsonl(&lines).expect("JSONL must be valid");
+    // Meta line + every span + every sample.
+    assert_eq!(n, 1 + r.trace.spans().len() + r.samples.len());
+    // Sampled congestion counters appear in both formats.
+    assert!(r.metrics.counter(CounterId::NetBytes) > 0);
+    assert!(chrome.contains("net.bytes"), "counter events exported");
+    assert!(lines.contains("net.bytes"));
+}
+
+#[test]
+fn chrome_trace_export_is_byte_stable() {
+    // A smaller deterministic run keeps the golden file reviewable.
+    let mut spec = WorkflowSpec::cfd(2, 1, 2);
+    spec.ranks_per_node = 2;
+    spec.staging_servers = 1;
+    spec.decaf_links = 1;
+    let a = run(TransportKind::Zipper, &spec);
+    let b = run(TransportKind::Zipper, &spec);
+    assert!(a.is_clean() && b.is_clean());
+    let ja = chrome_trace(&a.trace, Some(&a.samples));
+    let jb = chrome_trace(&b.trace, Some(&b.samples));
+    assert_eq!(ja, jb, "same spec must export byte-identical traces");
+    validate_json(&ja).expect("valid JSON");
+
+    // Golden file: regenerate with ZIPPER_REGOLD=1 when the trace layout
+    // intentionally changes.
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/tiny_cfd_trace.json"
+    );
+    if std::env::var_os("ZIPPER_REGOLD").is_some() {
+        std::fs::write(golden_path, &ja).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("missing golden file; run with ZIPPER_REGOLD=1 to (re)generate");
+    assert_eq!(
+        ja, golden,
+        "Chrome-trace export drifted from the committed golden file \
+         (ZIPPER_REGOLD=1 regenerates after intentional changes)"
+    );
+}
