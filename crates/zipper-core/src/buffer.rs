@@ -135,6 +135,43 @@ impl BlockQueue {
         }
     }
 
+    /// Like [`BlockQueue::pop`], but runs `decide` on the block *inside the
+    /// queue lock*, before any other taker can observe the new occupancy.
+    ///
+    /// This is how the sender thread consults the shared routing policy
+    /// atomically with its take: the k-th closure invocation across `pop_then`
+    /// and [`BlockQueue::steal_then`] corresponds to the k-th block leaving
+    /// the queue, so a take-order policy (round-robin dealing) is
+    /// deterministic even with the writer racing for the same front block.
+    ///
+    /// `decide` must be fast and must not touch this queue (the lock is
+    /// held). Lock order is queue → policy.
+    pub fn pop_then<R>(
+        &self,
+        mut decide: impl FnMut(&Block) -> R,
+    ) -> (Option<(Block, R)>, Duration) {
+        let t0 = Instant::now();
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(b) = g.items.pop_front() {
+                let verdict = decide(&b);
+                drop(g);
+                self.not_full.notify_one();
+                let waited = t0.elapsed();
+                self.telemetry.gauge_add(self.depth_gauge, -1);
+                self.telemetry.add(CounterId::BlocksDequeued, 1);
+                self.telemetry.add_time(CounterId::QueuePopWaitNs, waited);
+                return (Some((b, verdict)), waited);
+            }
+            if g.closed {
+                let waited = t0.elapsed();
+                self.telemetry.add_time(CounterId::QueuePopWaitNs, waited);
+                return (None, waited);
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
     /// Work-stealing take (Algorithm 1): block until occupancy strictly
     /// exceeds `threshold`, then take the oldest block. Returns `None` when
     /// the queue closes before the threshold is reached again — the writer
@@ -150,6 +187,35 @@ impl BlockQueue {
                 self.telemetry.gauge_add(self.depth_gauge, -1);
                 self.telemetry.add(CounterId::BlocksDequeued, 1);
                 return (Some(b), t0.elapsed());
+            }
+            if g.closed {
+                return (None, t0.elapsed());
+            }
+            self.not_empty.wait(&mut g);
+        }
+    }
+
+    /// Policy-driven variant of [`BlockQueue::steal`]: blocks until `ready`
+    /// approves the current occupancy (Algorithm 1's high-water-mark
+    /// condition, supplied by the policy kernel), then takes the oldest
+    /// block and runs `decide` on it inside the lock — same atomic
+    /// take-and-route contract as [`BlockQueue::pop_then`].
+    pub fn steal_then<R>(
+        &self,
+        ready: impl Fn(usize) -> bool,
+        mut decide: impl FnMut(&Block) -> R,
+    ) -> (Option<(Block, R)>, Duration) {
+        let t0 = Instant::now();
+        let mut g = self.inner.lock();
+        loop {
+            if ready(g.items.len()) {
+                let b = g.items.pop_front().expect("policy approved occupancy > 0");
+                let verdict = decide(&b);
+                drop(g);
+                self.not_full.notify_one();
+                self.telemetry.gauge_add(self.depth_gauge, -1);
+                self.telemetry.add(CounterId::BlocksDequeued, 1);
+                return (Some((b, verdict)), t0.elapsed());
             }
             if g.closed {
                 return (None, t0.elapsed());
@@ -283,6 +349,38 @@ mod tests {
         // The leftover block is still there for the sender to drain.
         assert_eq!(q.pop().0.unwrap().id().idx, 0);
         assert!(q.pop().0.is_none());
+    }
+
+    #[test]
+    fn pop_then_and_steal_then_see_one_take_order() {
+        // Take order is the routing order: the closure invocation sequence
+        // across both takers must match the FIFO order exactly.
+        let q = Arc::new(BlockQueue::new(16));
+        for i in 0..6 {
+            q.push(block(i)).unwrap();
+        }
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        let (a, _) = q.pop_then(|b| o1.lock().push(b.id().idx));
+        let (s, _) = q.steal_then(|occ| occ > 2, |b| o2.lock().push(b.id().idx));
+        let (c, _) = q.pop_then(|b| order.lock().push(b.id().idx));
+        assert_eq!(a.unwrap().0.id().idx, 0);
+        assert_eq!(s.unwrap().0.id().idx, 1);
+        assert_eq!(c.unwrap().0.id().idx, 2);
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn steal_then_retires_on_close_below_threshold() {
+        let q = Arc::new(BlockQueue::new(16));
+        q.push(block(0)).unwrap();
+        let q2 = q.clone();
+        let stealer = std::thread::spawn(move || q2.steal_then(|occ| occ > 4, |_| ()).0);
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(stealer.join().unwrap().is_none());
+        assert_eq!(q.pop_then(|_| ()).0.unwrap().0.id().idx, 0);
+        assert!(q.pop_then(|_| ()).0.is_none());
     }
 
     #[test]

@@ -15,12 +15,16 @@ use crate::producer::record_wait;
 use crate::transport::{MeshReceiver, Wire};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_pfs::Storage;
+use zipper_policy::ConsumerPolicy;
 use zipper_trace::{GaugeId, LaneRecorder, SpanKind, TraceSink};
 use zipper_types::{panic_detail, Block, BlockId, Error, Rank, RuntimeError, ZipperTuning};
+
+/// One consumer rank's decision kernel, shared by its receiver thread (EOS
+/// completion, Preserve verdicts) and exposed to the conformance harness.
+pub type SharedConsumerPolicy = Arc<Mutex<ConsumerPolicy>>;
 
 /// Lane label of consumer `rank`'s receiver thread.
 pub fn recv_lane(rank: Rank) -> String {
@@ -164,8 +168,34 @@ impl Consumer {
         storage: Arc<dyn Storage>,
         sink: TraceSink,
     ) -> Consumer {
+        let policy = Arc::new(Mutex::new(ConsumerPolicy::from_tuning(
+            rank, producers, &tuning,
+        )));
+        Self::spawn_with_policy(rank, tuning, producers, mesh_rx, storage, sink, policy)
+    }
+
+    /// Like [`Consumer::spawn_traced`], but driving a caller-supplied
+    /// policy kernel — the hook the conformance harness uses to record a
+    /// [`zipper_policy::DecisionTrace`] of every EOS/Preserve decision this
+    /// rank makes (pass a [`ConsumerPolicy::recorded`] policy and keep a
+    /// clone of the `Arc`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_policy(
+        rank: Rank,
+        tuning: ZipperTuning,
+        producers: usize,
+        mesh_rx: MeshReceiver,
+        storage: Arc<dyn Storage>,
+        sink: TraceSink,
+        policy: SharedConsumerPolicy,
+    ) -> Consumer {
         tuning.validate().expect("invalid tuning");
         assert!(producers > 0, "need at least one producer");
+        assert_eq!(
+            policy.lock().rank(),
+            rank,
+            "policy built for a different rank"
+        );
         let queue = Arc::new(
             BlockQueue::new(tuning.consumer_slots)
                 .with_telemetry(sink.telemetry().clone(), GaugeId::ConsumerQueueDepth),
@@ -192,11 +222,11 @@ impl Consumer {
             let queue = queue.clone();
             let tm = metrics.clone();
             let out_tx = out_tx.clone();
+            let rpolicy = policy.clone();
             let mut rec = sink.recorder(recv_lane(rank));
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-receiver-{rank}"))
                 .spawn(move || {
-                    let mut eos: HashSet<Rank> = HashSet::new();
                     let mut discarding = false;
                     loop {
                         let wire = rec.time(SpanKind::Recv, || match eos_timeout {
@@ -211,11 +241,13 @@ impl Consumer {
                                 }
                                 if let Some(b) = m.data {
                                     tm.lock().blocks_net += 1;
-                                    if let Some(out) = &out_tx {
+                                    if rpolicy.lock().store_on_arrival(b.id()) {
                                         // Network blocks are not yet on the
                                         // PFS: Preserve mode must store them
                                         // (on_disk = false path of §4.2).
-                                        let _ = out.send(b.clone());
+                                        if let Some(out) = &out_tx {
+                                            let _ = out.send(b.clone());
+                                        }
                                     }
                                     if discarding {
                                         continue;
@@ -230,6 +262,9 @@ impl Consumer {
                                             // producers do not block on a full
                                             // inbox, but discard the blocks.
                                             discarding = true;
+                                            let mut p = rpolicy.lock();
+                                            p.reader_abandoned();
+                                            drop(p);
                                             tm.lock().errors.push(RuntimeError::QueueClosed {
                                                 rank,
                                                 context: "receiver push",
@@ -239,16 +274,19 @@ impl Consumer {
                                 }
                             }
                             Ok(Wire::Eos(p)) => {
-                                eos.insert(p);
-                                if eos.len() == producers {
+                                // One wire EOS from a threaded producer
+                                // covers every channel it used (the sender
+                                // waits for the writer before announcing).
+                                if rpolicy.lock().note_producer_done(p).is_complete() {
                                     break;
                                 }
                             }
                             Err(Error::Timeout(_)) => {
+                                let (seen, expected) = rpolicy.lock().on_timeout();
                                 tm.lock().errors.push(RuntimeError::EosTimeout {
                                     rank,
-                                    eos_seen: eos.len(),
-                                    eos_expected: producers,
+                                    eos_seen: seen,
+                                    eos_expected: expected,
                                 });
                                 break;
                             }

@@ -32,10 +32,10 @@ pub mod transport_tcp;
 
 pub use assemble::{Slab, StepAssembler};
 pub use buffer::BlockQueue;
-pub use consumer::{Consumer, ZipperReader};
+pub use consumer::{Consumer, SharedConsumerPolicy, ZipperReader};
 pub use fault::{FailingTransport, FaultKind, FaultPlan};
 pub use metrics::{ConsumerMetrics, ProducerMetrics};
-pub use producer::{Producer, ZipperWriter};
+pub use producer::{Producer, SharedProducerPolicy, ZipperWriter};
 pub use transport::{
     ChannelMesh, MeshReceiver, MeshSender, RetryingSender, TracedSender, Wire, WireItem, WireSender,
 };

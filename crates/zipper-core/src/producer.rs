@@ -15,16 +15,23 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use zipper_policy::{ProducerPolicy, RetireReason};
 use zipper_trace::{GaugeId, HistogramId, LaneRecorder, MetricShard, SpanKind, TraceSink};
 use zipper_types::{
-    panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RoutingPolicy,
-    RuntimeError, SimTime, StepId, ZipperTuning,
+    panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RuntimeError, SimTime,
+    StepId, ZipperTuning,
 };
 
 /// Pending on-disk block IDs, bucketed by destination consumer. The writer
 /// thread fills these; the sender thread piggybacks them onto its next
 /// message to that consumer (the paper's "mixed messages").
 type PendingIds = Arc<Mutex<Vec<Vec<BlockId>>>>;
+
+/// One producer rank's decision kernel, shared by its sender and writer
+/// threads. Both consult it through the buffer's atomic take-and-route
+/// path ([`BlockQueue::pop_then`] / [`BlockQueue::steal_then`]), so
+/// routing order equals take order. Lock order is queue → policy.
+pub type SharedProducerPolicy = Arc<Mutex<ProducerPolicy>>;
 
 /// Lane label of producer `rank`'s application (compute) lane.
 pub fn app_lane(rank: Rank) -> String {
@@ -217,8 +224,34 @@ impl Producer {
         storage: Arc<dyn zipper_pfs::Storage>,
         sink: TraceSink,
     ) -> Producer {
+        let policy = Arc::new(Mutex::new(ProducerPolicy::from_tuning(
+            rank,
+            mesh.consumers(),
+            &tuning,
+        )));
+        Self::spawn_with_policy(rank, tuning, mesh, storage, sink, policy)
+    }
+
+    /// Like [`Producer::spawn_traced`], but driving a caller-supplied
+    /// policy kernel — the hook the conformance harness uses to record a
+    /// [`zipper_policy::DecisionTrace`] of every choice this rank makes
+    /// (pass a [`ProducerPolicy::recorded`] policy and keep a clone of the
+    /// `Arc`).
+    pub fn spawn_with_policy(
+        rank: Rank,
+        tuning: ZipperTuning,
+        mesh: impl WireSender + 'static,
+        storage: Arc<dyn zipper_pfs::Storage>,
+        sink: TraceSink,
+        policy: SharedProducerPolicy,
+    ) -> Producer {
         tuning.validate().expect("invalid tuning");
         let consumers = mesh.consumers();
+        {
+            let p = policy.lock();
+            assert_eq!(p.consumers(), consumers, "policy/mesh consumer mismatch");
+            assert_eq!(p.rank(), rank, "policy built for a different rank");
+        }
         let queue = Arc::new(
             BlockQueue::new(tuning.producer_slots)
                 .with_telemetry(sink.telemetry().clone(), GaugeId::ProducerQueueDepth),
@@ -231,17 +264,14 @@ impl Producer {
             let wq = queue.clone();
             let wpending = pending.clone();
             let wmetrics = metrics.clone();
-            let hwm = tuning.high_water_mark;
-            let routing = tuning.routing;
+            let wpolicy = policy.clone();
             let done = writer_done.clone();
             let rec = sink.recorder(writer_lane(rank));
             let shard = sink.telemetry().shard();
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-writer-{rank}"))
                 .spawn(move || {
-                    writer_loop(
-                        rank, wq, storage, wpending, wmetrics, hwm, routing, consumers, rec, shard,
-                    );
+                    writer_loop(rank, wq, storage, wpending, wmetrics, wpolicy, rec, shard);
                     done.signal();
                 });
             match spawned {
@@ -250,6 +280,7 @@ impl Producer {
                     // Degrade to message-passing-only instead of aborting:
                     // the sender must not wait for a writer that never ran.
                     writer_done.signal();
+                    policy.lock().writer_retired(RetireReason::Fault);
                     metrics.lock().errors.push(RuntimeError::WriterRetired {
                         rank,
                         detail: format!("could not spawn writer thread: {e}"),
@@ -265,22 +296,12 @@ impl Producer {
         let sender_thread = {
             let sq = queue.clone();
             let smetrics = metrics.clone();
-            let routing = tuning.routing;
+            let spolicy = policy.clone();
             let rec = sink.recorder(sender_lane(rank));
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-sender-{rank}"))
                 .spawn(move || {
-                    sender_loop(
-                        rank,
-                        sq,
-                        mesh,
-                        pending,
-                        smetrics,
-                        routing,
-                        consumers,
-                        writer_done,
-                        rec,
-                    )
+                    sender_loop(rank, sq, mesh, pending, smetrics, spolicy, writer_done, rec)
                 });
             match spawned {
                 Ok(h) => Some(h),
@@ -366,18 +387,6 @@ impl Producer {
     }
 }
 
-/// Route a block to a consumer rank.
-fn route(routing: RoutingPolicy, block: BlockId, counter: &mut u64, consumers: usize) -> Rank {
-    match routing {
-        RoutingPolicy::SourceAffine => Rank((block.src.0 as usize % consumers) as u32),
-        RoutingPolicy::RoundRobin => {
-            let q = (*counter % consumers as u64) as u32;
-            *counter += 1;
-            Rank(q)
-        }
-    }
-}
-
 /// Map an operation-level send error to the runtime fault it represents.
 fn wire_fault(rank: Rank, e: Error) -> RuntimeError {
     match e {
@@ -392,7 +401,12 @@ fn wire_fault(rank: Rank, e: Error) -> RuntimeError {
 
 /// Sender thread (Fig. 8): drain the producer buffer over the message
 /// channel, piggybacking any on-disk block IDs destined for the same
-/// consumer; at end-of-stream flush leftover IDs and broadcast EOS.
+/// consumer; at end-of-stream flush leftover IDs and announce EOS to the
+/// targets the policy kernel names.
+///
+/// Every routing decision comes from the shared [`ProducerPolicy`],
+/// consulted atomically with the take ([`BlockQueue::pop_then`]) so the
+/// sender and writer see one rotation in take order.
 ///
 /// Fail-soft: a consumer whose channel fails is marked dead and recorded
 /// once; blocks routed to it are dropped while the rest of the mesh keeps
@@ -404,18 +418,15 @@ fn sender_loop(
     mesh: impl WireSender,
     pending: PendingIds,
     metrics: Arc<Mutex<ProducerMetrics>>,
-    routing: RoutingPolicy,
-    consumers: usize,
+    policy: SharedProducerPolicy,
     writer_done: Arc<WriterDone>,
     mut rec: LaneRecorder,
 ) {
-    let mut rr_counter = 0u64;
-    let mut dead = vec![false; consumers];
+    let mut dead = vec![false; policy.lock().consumers()];
     loop {
-        let (block, idle) = queue.pop();
+        let (taken, idle) = queue.pop_then(|b| policy.lock().route_net(b.id()));
         record_wait(&mut rec, SpanKind::Idle, idle);
-        let Some(block) = block else { break };
-        let dest = route(routing, block.id(), &mut rr_counter, consumers);
+        let Some((block, dest)) = taken else { break };
         if dead[dest.idx()] {
             continue; // destination already failed; drop, error recorded
         }
@@ -456,9 +467,12 @@ fn sender_loop(
             }
         }
     }
-    // Every consumer is attempted even when some already failed; the
-    // aggregated error is unpacked into individual reports.
-    if let Err(e) = mesh.broadcast_eos(rank) {
+    // The writer has retired by now, so one wire EOS per target covers
+    // both channels. The kernel decides who must hear it; every target is
+    // attempted even when some already failed, and the aggregated error is
+    // unpacked into individual reports.
+    let targets = policy.lock().announce_eos_all_channels();
+    if let Err(e) = mesh.send_eos(rank, &targets) {
         let mut m = metrics.lock();
         match e {
             Error::Aggregate(errs) => {
@@ -470,9 +484,12 @@ fn sender_loop(
     }
 }
 
-/// Writer thread (Fig. 8 + Algorithm 1): steal blocks once the buffer
-/// exceeds the high-water mark, store them on the PFS, and announce their
-/// IDs for the sender to piggyback.
+/// Writer thread (Fig. 8 + Algorithm 1): steal blocks once the policy
+/// kernel's high-water-mark condition fires, store them on the PFS, and
+/// announce their IDs for the sender to piggyback. The steal condition and
+/// the stolen block's destination both come from the shared
+/// [`ProducerPolicy`], consulted atomically with the take
+/// ([`BlockQueue::steal_then`]).
 #[allow(clippy::too_many_arguments)]
 fn writer_loop(
     rank: Rank,
@@ -480,29 +497,32 @@ fn writer_loop(
     storage: Arc<dyn zipper_pfs::Storage>,
     pending: PendingIds,
     metrics: Arc<Mutex<ProducerMetrics>>,
-    hwm: usize,
-    routing: RoutingPolicy,
-    consumers: usize,
+    policy: SharedProducerPolicy,
     mut rec: LaneRecorder,
     mut shard: MetricShard,
 ) {
-    // The writer's routing must agree with the sender's for SourceAffine;
-    // for RoundRobin stolen blocks get their own rotation (any consumer is
-    // equally valid under that policy).
-    let mut rr_counter = 0u64;
     loop {
-        let (block, idle) = queue.steal(hwm);
+        let (taken, idle) = queue.steal_then(
+            |occupancy| policy.lock().should_steal(occupancy),
+            |b| policy.lock().route_disk(b.id()),
+        );
         record_wait(&mut rec, SpanKind::Idle, idle);
-        let Some(block) = block else { break };
+        let Some((block, dest)) = taken else {
+            // Queue closed below threshold: the normal end of stream.
+            policy.lock().writer_retired(RetireReason::Drained);
+            break;
+        };
         shard.observe(HistogramId::PfsWriteBytes, block.header.len);
         let stored = rec.time(SpanKind::FsWrite, || storage.put(&block));
         if let Err(e) = stored {
             // PFS failure: the stolen block goes back to the producer
-            // buffer for the message path, and the writer thread retires,
-            // degrading the runtime to message-passing-only for the rest
-            // of the run. If the queue closed in the meantime (shutdown
-            // race) the block is dropped and that too is recorded.
+            // buffer for the message path (the sender will re-route it),
+            // and the writer thread retires, degrading the runtime to
+            // message-passing-only for the rest of the run. If the queue
+            // closed in the meantime (shutdown race) the block is dropped
+            // and that too is recorded.
             let fallback_failed = queue.push(block).is_err();
+            policy.lock().writer_retired(RetireReason::Fault);
             let mut m = metrics.lock();
             if fallback_failed {
                 m.errors.push(RuntimeError::QueueClosed {
@@ -516,7 +536,6 @@ fn writer_loop(
             });
             return;
         }
-        let dest = route(routing, block.id(), &mut rr_counter, consumers);
         pending.lock()[dest.idx()].push(block.id());
         let mut m = metrics.lock();
         m.blocks_stolen += 1;
@@ -531,7 +550,7 @@ mod tests {
     use zipper_pfs::{MemFs, Storage};
     use zipper_trace::TraceMode;
     use zipper_types::block::deterministic_payload;
-    use zipper_types::{ByteSize, PreserveMode};
+    use zipper_types::{ByteSize, PreserveMode, RoutingPolicy};
 
     fn tuning(concurrent: bool) -> ZipperTuning {
         ZipperTuning {
@@ -697,6 +716,65 @@ mod tests {
         prod.join();
         assert_eq!(c0.join().unwrap(), 5);
         assert_eq!(c1.join().unwrap(), 5);
+    }
+
+    /// Regression test for the duplicated round-robin state bug: the sender
+    /// and writer threads used to each own an `rr_counter`, so with stealing
+    /// active the two channels dealt to different consumers than a single
+    /// rotation would. With the shared kernel, routing order equals take
+    /// order equals production order (both takers pop the FIFO front), so
+    /// block `i` must land on consumer `i % Q` — no matter which channel
+    /// carried it.
+    #[test]
+    fn round_robin_channels_agree_on_destinations_under_stealing() {
+        let consumers = 2usize;
+        let blocks = 30u32;
+        // Tiny inbox + heavy throttle: the sender falls behind, occupancy
+        // crosses the high-water mark, and the writer steals a large share.
+        let mesh = ChannelMesh::new(consumers, 1).with_throttle(0.5e6, std::time::Duration::ZERO);
+        let storage = Arc::new(MemFs::new());
+        let mut t = tuning(true);
+        t.routing = RoutingPolicy::RoundRobin;
+        t.high_water_mark = 0; // steal from the first backlog block
+        let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage);
+        let writer = prod.writer(4096);
+        let collectors: Vec<_> = (0..consumers)
+            .map(|q| {
+                let rx = mesh.take_receiver(Rank(q as u32)).unwrap();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    // Drain until the single producer's EOS arrives.
+                    while let Wire::Msg(m) = rx.recv().unwrap() {
+                        got.extend(m.data.map(|b| b.id()));
+                        got.extend(m.on_disk);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..blocks {
+            let id = BlockId::new(Rank(0), StepId(0), i);
+            writer.write(Block::from_payload(
+                Rank(0),
+                StepId(0),
+                i,
+                blocks,
+                GlobalPos::default(),
+                deterministic_payload(id, 8192),
+            ));
+        }
+        writer.finish();
+        let metrics = prod.join();
+        assert!(metrics.errors.is_empty(), "{:?}", metrics.errors);
+        assert!(metrics.blocks_stolen > 0, "test needs the writer racing");
+        for (q, c) in collectors.into_iter().enumerate() {
+            let mut got: Vec<u32> = c.join().unwrap().iter().map(|id| id.idx).collect();
+            got.sort_unstable();
+            let want: Vec<u32> = (0..blocks)
+                .filter(|i| *i as usize % consumers == q)
+                .collect();
+            assert_eq!(got, want, "consumer {q} got a foreign deal");
+        }
     }
 
     #[test]

@@ -181,15 +181,18 @@ pub trait WireSender: Send {
     /// Number of consumer endpoints reachable.
     fn consumers(&self) -> usize;
 
-    /// Announce end-of-stream from producer `rank` to every consumer.
+    /// Announce end-of-stream from producer `rank` to the given consumers.
     ///
-    /// Every consumer is attempted even when an earlier one fails — a dead
-    /// consumer must not starve the remaining ones of the EOS they are
-    /// waiting on. Failures are aggregated into a single error.
-    fn broadcast_eos(&self, rank: Rank) -> Result<()> {
+    /// Pure mechanism: *which* consumers must hear the announcement is a
+    /// policy decision ([`zipper_policy::ProducerPolicy::announce_eos`]),
+    /// not the transport's. Every target is attempted even when an earlier
+    /// one fails — a dead consumer must not starve the remaining ones of
+    /// the EOS they are waiting on. Failures are aggregated into a single
+    /// error.
+    fn send_eos(&self, rank: Rank, targets: &[Rank]) -> Result<()> {
         let mut failures = Vec::new();
-        for q in 0..self.consumers() {
-            if let Err(e) = self.send(Rank(q as u32), Wire::Eos(rank)) {
+        for &q in targets {
+            if let Err(e) = self.send(q, Wire::Eos(rank)) {
                 failures.push(e);
             }
         }
@@ -281,10 +284,10 @@ impl MeshSender {
         Ok(())
     }
 
-    /// Announce end-of-stream from producer `rank` to every consumer,
-    /// attempting all of them (see [`WireSender::broadcast_eos`]).
-    pub fn broadcast_eos(&self, rank: Rank) -> Result<()> {
-        WireSender::broadcast_eos(self, rank)
+    /// Announce end-of-stream from producer `rank` to `targets`, attempting
+    /// all of them (see [`WireSender::send_eos`]).
+    pub fn send_eos(&self, rank: Rank, targets: &[Rank]) -> Result<()> {
+        WireSender::send_eos(self, rank, targets)
     }
 
     /// Number of consumer endpoints.
@@ -537,7 +540,7 @@ mod tests {
         let rs: Vec<_> = (0..3)
             .map(|q| mesh.take_receiver(Rank(q)).unwrap())
             .collect();
-        s.broadcast_eos(Rank(5)).unwrap();
+        s.send_eos(Rank(5), &[Rank(0), Rank(1), Rank(2)]).unwrap();
         for r in &rs {
             match r.recv().unwrap() {
                 Wire::Eos(p) => assert_eq!(p, Rank(5)),
@@ -605,14 +608,16 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_eos_reaches_live_consumers_past_dead_ones() {
+    fn send_eos_reaches_live_consumers_past_dead_ones() {
         let mesh = ChannelMesh::new(3, 4);
         let s = mesh.sender();
         drop(mesh.take_receiver(Rank(0)).unwrap()); // consumer 0 is dead
         let r1 = mesh.take_receiver(Rank(1)).unwrap();
         let r2 = mesh.take_receiver(Rank(2)).unwrap();
         drop(mesh); // release the mesh's own tx clones for rank 0
-        let err = s.broadcast_eos(Rank(7)).unwrap_err();
+        let err = s
+            .send_eos(Rank(7), &[Rank(0), Rank(1), Rank(2)])
+            .unwrap_err();
         assert!(matches!(err, Error::Disconnected(_)), "{err}");
         for r in [&r1, &r2] {
             match r.recv().unwrap() {
@@ -729,7 +734,7 @@ mod tests {
         let traced = TracedSender::new(mesh.sender(), &sink, "net/p0");
         clock.advance(zipper_types::SimTime::from_millis(1));
         traced.send(Rank(0), Wire::Msg(msg(0, 64))).unwrap();
-        traced.broadcast_eos(Rank(0)).unwrap();
+        traced.send_eos(Rank(0), &[Rank(0)]).unwrap();
         drop(traced); // flush the net lane
         assert!(matches!(rx.recv().unwrap(), Wire::Msg(_)));
         let log = sink.snapshot();

@@ -1,0 +1,57 @@
+//! Preserve-mode bookkeeping (§4.1): which blocks the consumer's output
+//! thread must persist.
+//!
+//! Under `Preserve`, every block must end up on the PFS. Blocks that
+//! traveled the file channel are *already there* — the producer's writer
+//! put them on the PFS as part of the steal — so only network-delivered
+//! blocks need a store by the output thread. Under `NoPreserve` nothing is
+//! stored and stolen blocks are garbage the reader simply consumes.
+
+use crate::eos::Channel;
+use zipper_types::PreserveMode;
+
+/// The output-thread storage plan for one consumer rank.
+#[derive(Clone, Copy, Debug)]
+pub struct PreservePlan {
+    preserve: bool,
+}
+
+impl PreservePlan {
+    pub fn new(mode: PreserveMode) -> Self {
+        PreservePlan {
+            preserve: mode.is_preserve(),
+        }
+    }
+
+    /// Whether this run preserves analyzed blocks at all.
+    pub fn is_preserve(&self) -> bool {
+        self.preserve
+    }
+
+    /// Must a block that arrived on `channel` be stored by the output
+    /// thread? True exactly for network-delivered blocks of a Preserve run;
+    /// file-channel blocks were stored by the producer's writer already.
+    #[inline]
+    pub fn must_store(&self, channel: Channel) -> bool {
+        self.preserve && channel == Channel::Net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserve_stores_net_blocks_only() {
+        let p = PreservePlan::new(PreserveMode::Preserve);
+        assert!(p.must_store(Channel::Net));
+        assert!(!p.must_store(Channel::Disk), "already on the PFS");
+    }
+
+    #[test]
+    fn no_preserve_stores_nothing() {
+        let p = PreservePlan::new(PreserveMode::NoPreserve);
+        assert!(!p.must_store(Channel::Net));
+        assert!(!p.must_store(Channel::Disk));
+    }
+}

@@ -1,0 +1,213 @@
+//! The producer-side façade: every decision made by one simulation rank's
+//! sender and writer threads (§4.2, Algorithm 1).
+//!
+//! One `ProducerPolicy` is shared by the rank's sender and writer — behind
+//! `Arc<Mutex<..>>` on the threaded substrate, `Rc<RefCell<..>>` in the
+//! DES — so both channels consult the *same* router rotation and the same
+//! steal threshold. Substrates must consult the policy while holding the
+//! producer-buffer lock (or, in the DES, atomically with the buffer take),
+//! so that decision order equals take order.
+
+use crate::eos::Channel;
+use crate::route::Router;
+use crate::steal::StealPolicy;
+use crate::trace::{DecisionTrace, PolicyEvent, RetireReason};
+use zipper_types::{BlockId, Rank, RoutingPolicy, ZipperTuning};
+
+/// Decision kernel for one producer rank.
+#[derive(Clone, Debug)]
+pub struct ProducerPolicy {
+    rank: Rank,
+    router: Router,
+    steal: StealPolicy,
+    trace: DecisionTrace,
+}
+
+impl ProducerPolicy {
+    /// A policy for producer `rank` feeding `consumers` analysis ranks.
+    pub fn new(
+        rank: Rank,
+        consumers: usize,
+        routing: RoutingPolicy,
+        high_water_mark: usize,
+        concurrent_transfer: bool,
+    ) -> Self {
+        ProducerPolicy {
+            rank,
+            router: Router::new(routing, consumers),
+            steal: StealPolicy::new(high_water_mark, concurrent_transfer),
+            trace: DecisionTrace::default(),
+        }
+    }
+
+    /// Build from the shared tuning knobs.
+    pub fn from_tuning(rank: Rank, consumers: usize, tuning: &ZipperTuning) -> Self {
+        Self::new(
+            rank,
+            consumers,
+            tuning.routing,
+            tuning.high_water_mark,
+            tuning.concurrent_transfer,
+        )
+    }
+
+    /// Enable decision recording (builder style).
+    pub fn recorded(mut self) -> Self {
+        self.trace.enable();
+        self
+    }
+
+    /// The producing rank this policy belongs to.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of consumer ranks blocks are dealt over.
+    pub fn consumers(&self) -> usize {
+        self.router.consumers()
+    }
+
+    /// Whether the dual-channel (writer thread) optimization is on.
+    pub fn concurrent_transfer(&self) -> bool {
+        self.steal.is_enabled()
+    }
+
+    /// Route a block the *sender* took from the buffer (message channel).
+    pub fn route_net(&mut self, block: BlockId) -> Rank {
+        let dest = self.router.route(block);
+        self.trace.record(PolicyEvent::Route {
+            block,
+            dest,
+            channel: Channel::Net,
+        });
+        dest
+    }
+
+    /// Route a block the *writer* stole from the buffer (file channel).
+    /// Records the steal itself and the routing verdict for the block's id,
+    /// which the sender will piggyback on a later message.
+    pub fn route_disk(&mut self, block: BlockId) -> Rank {
+        self.trace.record(PolicyEvent::Steal { block });
+        let dest = self.router.route(block);
+        self.trace.record(PolicyEvent::Route {
+            block,
+            dest,
+            channel: Channel::Disk,
+        });
+        dest
+    }
+
+    /// Algorithm 1's steal condition at the given buffer occupancy.
+    pub fn should_steal(&self, occupancy: usize) -> bool {
+        self.steal.should_steal(occupancy)
+    }
+
+    /// Minimum occupancy at which the writer should wake (see
+    /// [`StealPolicy::wake_occupancy`]).
+    pub fn steal_wake_occupancy(&self) -> usize {
+        self.steal.wake_occupancy()
+    }
+
+    /// Record that this rank's writer retired.
+    pub fn writer_retired(&mut self, reason: RetireReason) {
+        self.trace.record(PolicyEvent::WriterRetired { reason });
+    }
+
+    /// End-of-stream fan-out for one channel: the consumers this producer
+    /// must announce to. Every consumer could have received a block from
+    /// this rank (RoundRobin deals everywhere), so the fan-out is always
+    /// the full consumer set. Announcing on an inactive channel is a no-op
+    /// that returns no targets.
+    pub fn announce_eos(&mut self, channel: Channel) -> Vec<Rank> {
+        if !Channel::active(self.concurrent_transfer()).contains(&channel) {
+            return Vec::new();
+        }
+        let targets: Vec<Rank> = (0..self.consumers() as u32).map(Rank).collect();
+        for &target in &targets {
+            self.trace
+                .record(PolicyEvent::EosAnnounced { target, channel });
+        }
+        targets
+    }
+
+    /// End-of-stream fan-out covering *all* active channels at once, for
+    /// substrates that send a single combined mark per consumer (the
+    /// threaded sender waits for the writer to finish, then one wire EOS
+    /// covers both channels). Returns the target set once.
+    pub fn announce_eos_all_channels(&mut self) -> Vec<Rank> {
+        let mut targets = Vec::new();
+        for &c in Channel::active(self.concurrent_transfer()) {
+            let t = self.announce_eos(c);
+            if targets.is_empty() {
+                targets = t;
+            }
+        }
+        targets
+    }
+
+    /// The decisions made so far.
+    pub fn trace(&self) -> &DecisionTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipper_types::StepId;
+
+    fn id(idx: u32) -> BlockId {
+        BlockId::new(Rank(0), StepId(0), idx)
+    }
+
+    /// The historical two-counter bug: sender and writer interleaving must
+    /// advance ONE rotation, so consecutive takes land on consecutive
+    /// consumers no matter which channel takes them.
+    #[test]
+    fn net_and_disk_share_one_round_robin_rotation() {
+        let mut p = ProducerPolicy::new(Rank(0), 3, RoutingPolicy::RoundRobin, 0, true);
+        assert_eq!(p.route_net(id(0)), Rank(0));
+        assert_eq!(p.route_disk(id(1)), Rank(1));
+        assert_eq!(p.route_net(id(2)), Rank(2));
+        assert_eq!(p.route_disk(id(3)), Rank(0));
+    }
+
+    #[test]
+    fn eos_fans_out_to_every_consumer_on_active_channels() {
+        let mut p =
+            ProducerPolicy::new(Rank(1), 2, RoutingPolicy::SourceAffine, 4, true).recorded();
+        assert_eq!(p.announce_eos(Channel::Net), vec![Rank(0), Rank(1)]);
+        assert_eq!(p.announce_eos(Channel::Disk), vec![Rank(0), Rank(1)]);
+        assert_eq!(p.trace().events().len(), 4);
+    }
+
+    #[test]
+    fn disk_eos_is_inert_without_concurrent_transfer() {
+        let mut p =
+            ProducerPolicy::new(Rank(0), 4, RoutingPolicy::SourceAffine, 4, false).recorded();
+        assert!(p.announce_eos(Channel::Disk).is_empty());
+        assert!(p.trace().events().is_empty());
+        assert_eq!(p.announce_eos_all_channels().len(), 4);
+        assert_eq!(p.trace().events().len(), 4, "Net marks only");
+    }
+
+    #[test]
+    fn recorded_policy_traces_steals_and_routes() {
+        let mut p = ProducerPolicy::new(Rank(0), 2, RoutingPolicy::RoundRobin, 1, true).recorded();
+        p.route_net(id(0));
+        p.route_disk(id(1));
+        p.writer_retired(RetireReason::Drained);
+        let c = p.trace().canonical();
+        assert_eq!(c.routes.len(), 2);
+        assert_eq!(c.steals, vec![id(1)]);
+        assert_eq!(c.retires, vec![RetireReason::Drained]);
+    }
+
+    #[test]
+    fn from_tuning_mirrors_the_knobs() {
+        let t = ZipperTuning::default();
+        let p = ProducerPolicy::from_tuning(Rank(0), 2, &t);
+        assert_eq!(p.concurrent_transfer(), t.concurrent_transfer);
+        assert_eq!(p.steal_wake_occupancy(), t.high_water_mark + 1);
+    }
+}

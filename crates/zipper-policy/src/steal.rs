@@ -1,0 +1,81 @@
+//! Algorithm 1's work-stealing condition.
+//!
+//! The paper's writer thread drains the producer buffer to the PFS only
+//! while occupancy *strictly exceeds* the high-water mark (`Threshold` in
+//! Algorithm 1), so the message channel keeps priority and the file channel
+//! only absorbs overflow. With the concurrent-transfer optimization off
+//! there is no writer thread at all, so the condition is inert.
+
+/// The high-water-mark steal decision, shared by the threaded writer thread
+/// and the DES `WriterProc`.
+#[derive(Clone, Copy, Debug)]
+pub struct StealPolicy {
+    high_water_mark: usize,
+    enabled: bool,
+}
+
+impl StealPolicy {
+    /// A policy with the given threshold; `concurrent_transfer` gates the
+    /// whole mechanism.
+    pub fn new(high_water_mark: usize, concurrent_transfer: bool) -> Self {
+        StealPolicy {
+            high_water_mark,
+            enabled: concurrent_transfer,
+        }
+    }
+
+    /// The configured threshold (Algorithm 1's `Threshold`).
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water_mark
+    }
+
+    /// Whether the dual-channel optimization is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Algorithm 1, line 3: steal iff occupancy strictly exceeds the
+    /// high-water mark (and the writer exists at all).
+    #[inline]
+    pub fn should_steal(&self, occupancy: usize) -> bool {
+        self.enabled && occupancy > self.high_water_mark
+    }
+
+    /// The minimum occupancy at which the writer should wake: the smallest
+    /// value for which [`StealPolicy::should_steal`] holds. Blocking
+    /// substrates use this as the wait threshold (the threaded writer's
+    /// condvar predicate, the DES `BufferTake::min_occupancy`).
+    #[inline]
+    pub fn wake_occupancy(&self) -> usize {
+        self.high_water_mark + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_strict() {
+        let p = StealPolicy::new(4, true);
+        assert!(!p.should_steal(3));
+        assert!(!p.should_steal(4));
+        assert!(p.should_steal(5));
+        assert_eq!(p.wake_occupancy(), 5);
+    }
+
+    #[test]
+    fn zero_threshold_steals_from_the_first_block() {
+        let p = StealPolicy::new(0, true);
+        assert!(!p.should_steal(0));
+        assert!(p.should_steal(1));
+        assert_eq!(p.wake_occupancy(), 1);
+    }
+
+    #[test]
+    fn disabled_policy_never_fires() {
+        let p = StealPolicy::new(0, false);
+        assert!(!p.should_steal(usize::MAX));
+        assert!(!p.is_enabled());
+    }
+}

@@ -1,0 +1,220 @@
+//! Decision traces: an append-only record of every choice a policy makes,
+//! and a canonical, schedule-independent form of that record.
+//!
+//! The conformance harness runs the same [`WorkflowSpec`]-shaped workload on
+//! the threaded runtime and on the discrete-event simulator, collects each
+//! entity's [`DecisionTrace`], and compares the [`CanonicalTrace`]s. Raw
+//! event order can legitimately differ across substrates (OS threads race,
+//! virtual processes do not), so canonicalization keeps order only where the
+//! kernel itself guarantees it — routing and steal decisions are made under
+//! one lock in take order — and sorts the rest.
+//!
+//! [`WorkflowSpec`]: https://docs.rs/zipper-transports
+
+use crate::eos::Channel;
+use zipper_types::{BlockId, Rank};
+
+/// Why a producer's writer thread stopped stealing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RetireReason {
+    /// The producer buffer closed and drained: the normal end of stream.
+    Drained,
+    /// The writer hit a persistent PFS fault and degraded to message-only.
+    Fault,
+}
+
+/// One policy decision. Every variant corresponds to a branch point in
+/// Algorithm 1 or the EOS protocol (§4.2–4.3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyEvent {
+    /// A block was assigned to a consumer on a channel.
+    Route {
+        block: BlockId,
+        dest: Rank,
+        channel: Channel,
+    },
+    /// The writer thread took a block off the producer buffer (the
+    /// high-water-mark condition fired).
+    Steal { block: BlockId },
+    /// The writer thread retired.
+    WriterRetired { reason: RetireReason },
+    /// The producer announced end-of-stream to a consumer on a channel.
+    EosAnnounced { target: Rank, channel: Channel },
+    /// A consumer observed a producer's end-of-stream mark on a channel.
+    EosSeen { producer: Rank, channel: Channel },
+    /// A consumer saw the last outstanding end-of-stream mark.
+    StreamComplete,
+    /// Preserve-mode verdict for a network-delivered block: store on the
+    /// PFS (`true`) or discard after analysis (`false`).
+    StoreDecision { block: BlockId, store: bool },
+    /// The consumer's EOS watchdog fired with marks still outstanding.
+    /// Counts are in whole producers (a producer is *done* once it has
+    /// announced on every active channel).
+    EosTimeout { seen: usize, expected: usize },
+    /// The analysis application dropped its reader before end of stream.
+    ReaderAbandoned,
+}
+
+/// Append-only record of [`PolicyEvent`]s.
+///
+/// Recording is off by default so the hot paths of production runs pay
+/// nothing; [`DecisionTrace::enable`] (usually via
+/// [`ProducerPolicy::recorded`](crate::ProducerPolicy::recorded)) turns it
+/// on for conformance runs and diagnostics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DecisionTrace {
+    enabled: bool,
+    events: Vec<PolicyEvent>,
+}
+
+impl DecisionTrace {
+    /// Start recording events.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event (no-op unless enabled).
+    #[inline]
+    pub fn record(&mut self, event: PolicyEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The raw events, in the order the policy made them.
+    pub fn events(&self) -> &[PolicyEvent] {
+        &self.events
+    }
+
+    /// Collapse into the schedule-independent form used for cross-substrate
+    /// comparison.
+    pub fn canonical(&self) -> CanonicalTrace {
+        let mut c = CanonicalTrace::default();
+        for &ev in &self.events {
+            match ev {
+                PolicyEvent::Route {
+                    block,
+                    dest,
+                    channel,
+                } => c.routes.push((block, dest, channel)),
+                PolicyEvent::Steal { block } => c.steals.push(block),
+                PolicyEvent::WriterRetired { reason } => c.retires.push(reason),
+                PolicyEvent::EosAnnounced { target, channel } => {
+                    c.eos_announced.push((target, channel))
+                }
+                PolicyEvent::EosSeen { producer, channel } => c.eos_seen.push((producer, channel)),
+                PolicyEvent::StreamComplete => c.completions += 1,
+                PolicyEvent::StoreDecision { block, store } => c.stores.push((block, store)),
+                PolicyEvent::EosTimeout { .. } => c.timeouts += 1,
+                PolicyEvent::ReaderAbandoned => c.abandoned = true,
+            }
+        }
+        // Routes and steals keep decision order: the kernel makes them under
+        // the buffer lock, in take order, on both substrates. EOS marks and
+        // store verdicts arrive in wire order, which races — sort them.
+        c.eos_announced.sort_unstable();
+        c.eos_seen.sort_unstable();
+        c.stores.sort_unstable();
+        c
+    }
+}
+
+/// Schedule-independent summary of one entity's decisions.
+///
+/// Two substrates executing the same workload through the same kernel must
+/// produce equal canonical traces; any difference is a drift bug.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CanonicalTrace {
+    /// (block, destination, channel) in decision order.
+    pub routes: Vec<(BlockId, Rank, Channel)>,
+    /// Stolen blocks in steal order.
+    pub steals: Vec<BlockId>,
+    /// Writer retirements in order (normally exactly one).
+    pub retires: Vec<RetireReason>,
+    /// Producer-side EOS fan-out, sorted by (target, channel).
+    pub eos_announced: Vec<(Rank, Channel)>,
+    /// Consumer-side EOS marks, sorted by (producer, channel).
+    pub eos_seen: Vec<(Rank, Channel)>,
+    /// Preserve verdicts, sorted by block.
+    pub stores: Vec<(BlockId, bool)>,
+    /// Number of `StreamComplete` transitions (0 or 1 in a correct run).
+    pub completions: usize,
+    /// Number of watchdog timeouts.
+    pub timeouts: usize,
+    /// Whether the reader was abandoned before end of stream.
+    pub abandoned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zipper_types::StepId;
+
+    fn id(idx: u32) -> BlockId {
+        BlockId::new(Rank(0), StepId(0), idx)
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = DecisionTrace::default();
+        t.record(PolicyEvent::StreamComplete);
+        assert!(t.events().is_empty());
+        assert_eq!(t.canonical(), CanonicalTrace::default());
+    }
+
+    #[test]
+    fn canonical_keeps_route_order_but_sorts_eos() {
+        let mut t = DecisionTrace::default();
+        t.enable();
+        t.record(PolicyEvent::Route {
+            block: id(1),
+            dest: Rank(1),
+            channel: Channel::Net,
+        });
+        t.record(PolicyEvent::Route {
+            block: id(0),
+            dest: Rank(0),
+            channel: Channel::Disk,
+        });
+        t.record(PolicyEvent::EosSeen {
+            producer: Rank(2),
+            channel: Channel::Net,
+        });
+        t.record(PolicyEvent::EosSeen {
+            producer: Rank(0),
+            channel: Channel::Disk,
+        });
+        let c = t.canonical();
+        assert_eq!(c.routes[0].0, id(1), "decision order preserved");
+        assert_eq!(
+            c.eos_seen,
+            vec![(Rank(0), Channel::Disk), (Rank(2), Channel::Net)],
+            "wire order discarded"
+        );
+    }
+
+    #[test]
+    fn counters_and_flags_accumulate() {
+        let mut t = DecisionTrace::default();
+        t.enable();
+        t.record(PolicyEvent::StreamComplete);
+        t.record(PolicyEvent::EosTimeout {
+            seen: 1,
+            expected: 4,
+        });
+        t.record(PolicyEvent::ReaderAbandoned);
+        t.record(PolicyEvent::WriterRetired {
+            reason: RetireReason::Fault,
+        });
+        let c = t.canonical();
+        assert_eq!(c.completions, 1);
+        assert_eq!(c.timeouts, 1);
+        assert!(c.abandoned);
+        assert_eq!(c.retires, vec![RetireReason::Fault]);
+    }
+}

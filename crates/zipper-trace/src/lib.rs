@@ -32,6 +32,7 @@
 pub mod clock;
 pub mod export;
 pub mod log;
+pub mod policy;
 pub mod recorder;
 pub mod render;
 pub mod span;

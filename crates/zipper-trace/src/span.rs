@@ -61,6 +61,10 @@ pub enum SpanKind {
     /// Backoff sleep before re-attempting a failed send/connect/PFS write
     /// (the fail-soft layer's bounded retry).
     Retry,
+    /// A policy-kernel decision (route, steal, EOS, store) injected from a
+    /// recorded `zipper-policy` trace. Zero-duration markers in decision
+    /// order, not elapsed time.
+    Policy,
     /// Idle (nothing scheduled).
     Idle,
 }
@@ -87,6 +91,7 @@ impl SpanKind {
             SpanKind::Put => 'P',
             SpanKind::Get => 'G',
             SpanKind::Retry => 'R',
+            SpanKind::Policy => 'p',
             SpanKind::Idle => '.',
         }
     }
@@ -108,7 +113,7 @@ impl SpanKind {
     }
 
     /// All kinds, for iteration in breakdown tables.
-    pub const ALL: [SpanKind; 19] = [
+    pub const ALL: [SpanKind; 20] = [
         SpanKind::Compute,
         SpanKind::Collision,
         SpanKind::Streaming,
@@ -127,6 +132,7 @@ impl SpanKind {
         SpanKind::Put,
         SpanKind::Get,
         SpanKind::Retry,
+        SpanKind::Policy,
         SpanKind::Idle,
     ];
 
@@ -151,7 +157,8 @@ impl SpanKind {
             SpanKind::Put => 15,
             SpanKind::Get => 16,
             SpanKind::Retry => 17,
-            SpanKind::Idle => 18,
+            SpanKind::Policy => 18,
+            SpanKind::Idle => 19,
         }
     }
 }
@@ -177,6 +184,7 @@ impl fmt::Display for SpanKind {
             SpanKind::Put => "put",
             SpanKind::Get => "get",
             SpanKind::Retry => "retry",
+            SpanKind::Policy => "policy",
             SpanKind::Idle => "idle",
         };
         f.write_str(name)

@@ -38,7 +38,7 @@ pub enum CounterId {
     NetMessages,
     /// Nanoseconds senders spent blocked on a full consumer inbox.
     NetBackpressureNs,
-    /// Nanoseconds senders spent inside the bandwidth [`Throttle`]
+    /// Nanoseconds senders spent inside the bandwidth `Throttle`
     /// (`zipper-core`) waiting for modelled link capacity.
     ThrottleStallNs,
     /// Nanoseconds spent blocked writing a frame into a TCP socket.

@@ -123,7 +123,7 @@ pub struct TransportResult {
     /// on totals-mode runs).
     pub metrics: MetricsSnapshot,
     /// Congestion time-series sampled on the virtual clock every
-    /// [`SAMPLE_PERIOD`] (empty on totals-mode runs).
+    /// `SAMPLE_PERIOD` (empty on totals-mode runs).
     pub samples: SampleSeries,
 }
 

@@ -5,7 +5,7 @@ use hpcsim::{NetworkConfig, SimConfig};
 use zipper_apps::{AppCostModel, Complexity};
 use zipper_model::ModelInput;
 use zipper_pfs::OstModelConfig;
-use zipper_types::{ByteSize, NodeId, SimTime};
+use zipper_types::{ByteSize, NodeId, RoutingPolicy, SimTime};
 
 /// Everything that defines one simulated workflow run.
 #[derive(Clone, Debug)]
@@ -36,6 +36,9 @@ pub struct WorkflowSpec {
     pub concurrent_transfer: bool,
     /// Preserve mode: every block must end on the PFS.
     pub preserve: bool,
+    /// Zipper's producer→consumer routing policy (the baseline transports
+    /// are inherently source-affine and ignore this).
+    pub routing: RoutingPolicy,
     /// DataSpaces/DIMES staging-server process count.
     pub staging_servers: usize,
     /// Staging queue depth in steps (DIMES circular lock slots, Flexpath
@@ -80,6 +83,7 @@ impl WorkflowSpec {
             consumer_slots: 256,
             concurrent_transfer: true,
             preserve: false,
+            routing: RoutingPolicy::SourceAffine,
             staging_servers: 32,
             staging_slots: 2,
             decaf_links: 64,
@@ -147,7 +151,26 @@ impl WorkflowSpec {
         }
     }
 
-    /// Consumer rank that analyses producer `p`'s data (source-affine).
+    /// Total fine-grain blocks produced over the whole run.
+    pub fn total_blocks(&self) -> u64 {
+        self.sim_ranks as u64 * self.steps * self.blocks_per_rank_step()
+    }
+
+    /// Capacity for a consumer-side disk-id queue. Disk-id notifications
+    /// are 16 bytes and must never back-pressure the receiver (the real
+    /// runtime uses an unbounded channel), so the capacity is sized from
+    /// the spec at the worst case — every block of the run stolen to the
+    /// PFS and routed to one consumer — plus one slot of slack. That makes
+    /// it effectively unbounded without hard-coding an arbitrary huge
+    /// constant.
+    pub fn ids_queue_capacity(&self) -> usize {
+        self.total_blocks() as usize + 1
+    }
+
+    /// Consumer rank that analyses producer `p`'s data under the
+    /// source-affine baseline mapping. The baseline transports hard-wire
+    /// this; Zipper's DES consults the `zipper-policy` kernel instead,
+    /// which reproduces this mapping for [`RoutingPolicy::SourceAffine`].
     pub fn consumer_of(&self, p: usize) -> usize {
         p % self.ana_ranks
     }
@@ -218,6 +241,21 @@ impl WorkflowSpec {
         }
         if self.staging_servers == 0 || self.decaf_links == 0 || self.staging_slots == 0 {
             return Err("staging parameters must be positive".into());
+        }
+        // The message-tag scheme carries the step in a 32-bit field and
+        // the block index in a 24-bit field; reject specs that overflow
+        // either before they can corrupt tags mid-run.
+        if self.steps > tag::STEP_MASK {
+            return Err(format!(
+                "steps ({}) exceed the tag scheme's 32-bit step field",
+                self.steps
+            ));
+        }
+        if self.blocks_per_rank_step() > tag::INFO_MASK {
+            return Err(format!(
+                "blocks per rank-step ({}) exceed the tag scheme's 24-bit info field",
+                self.blocks_per_rank_step()
+            ));
         }
         Ok(())
     }
@@ -436,6 +474,25 @@ mod tests {
         assert!(t >= lo && t <= hi);
         let other = tag::make(tag::HALO, 12345, 999);
         assert!(other < lo || other > hi);
+    }
+
+    #[test]
+    fn tag_field_overflow_is_rejected() {
+        let mut s = WorkflowSpec::cfd(4, 2, 1);
+        s.steps = tag::STEP_MASK + 1;
+        assert!(s.validate().is_err(), "steps beyond the 32-bit tag field");
+
+        let mut s = WorkflowSpec::cfd(4, 2, 1);
+        s.block_size = 1;
+        s.bytes_per_rank_step = tag::INFO_MASK + 1;
+        assert!(s.validate().is_err(), "block idx beyond the 24-bit field");
+    }
+
+    #[test]
+    fn ids_queue_capacity_covers_every_block_of_the_run() {
+        let s = WorkflowSpec::cfd(4, 2, 3);
+        assert_eq!(s.total_blocks(), 4 * 3 * 16);
+        assert_eq!(s.ids_queue_capacity(), s.total_blocks() as usize + 1);
     }
 
     #[test]

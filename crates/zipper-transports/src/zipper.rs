@@ -6,17 +6,48 @@
 //! (`spec.block_size`), transfers are fully asynchronous, and the only
 //! inter-application coupling is data availability — no barriers, no
 //! locks, no servers (§4's design points 1–4).
+//!
+//! Every *decision* — which consumer a block goes to, when the writer may
+//! steal, who gets an end-of-stream marker, whether an arriving block must
+//! be preserved — is delegated to the same `zipper-policy` kernel the
+//! threaded runtime uses. The DES processes here are pure substrate: they
+//! move simulated bytes and time, the kernel decides. Sender and writer of
+//! one rank share a single [`ProducerPolicy`] (via `Rc<RefCell<..>>`, the
+//! single-threaded analogue of the threaded runtime's `Arc<Mutex<..>>`),
+//! so round-robin routing rotates one counter across both channels.
 
 use crate::spec::{tag, ClusterLayout, WorkflowSpec};
 use hpcsim::{BufferTaken, Op, ProcCtx, Program, Simulator, Step};
+use std::cell::RefCell;
+use std::rc::Rc;
 use zipper_apps::AppCostModel;
+use zipper_policy::{Channel, ConsumerPolicy, ProducerPolicy, RetireReason};
 use zipper_trace::SpanKind;
-use zipper_types::{ProcId, SimTime};
+use zipper_types::{BlockId, PreserveMode, ProcId, Rank, SimTime, StepId};
 
-/// Capacity used for the consumer-side id queue (effectively unbounded:
-/// disk-id notifications are 16 bytes and never back-pressure the
-/// receiver, mirroring the real runtime's unbounded id channel).
-const IDS_CAPACITY: usize = 1 << 30;
+/// One simulation rank's policy kernel, shared by its sender and writer
+/// processes. `Rc<RefCell<..>>` because DES processes run on one OS
+/// thread; the threaded runtime wraps the same type in `Arc<Mutex<..>>`.
+pub type SharedProducerPolicy = Rc<RefCell<ProducerPolicy>>;
+
+/// One analysis rank's policy kernel, owned by its receiver process (the
+/// handle is shared with the harness for trace extraction).
+pub type SharedConsumerPolicy = Rc<RefCell<ConsumerPolicy>>;
+
+/// The policy-kernel handles of a recorded build, for decision-trace
+/// extraction after the run (see `tests/policy_conformance.rs`).
+pub struct ZipperPolicies {
+    /// Producer kernels, indexed by simulation rank.
+    pub producers: Vec<SharedProducerPolicy>,
+    /// Consumer kernels, indexed by analysis rank.
+    pub consumers: Vec<SharedConsumerPolicy>,
+}
+
+/// Reconstruct the [`BlockId`] a producer buffer token encodes
+/// (`token = step << 32 | idx`, stamped by [`ComputeProc`]).
+fn token_block(rank: usize, token: u64) -> BlockId {
+    BlockId::new(Rank(rank as u32), StepId(token >> 32), token as u32)
+}
 
 /// The compute thread of one simulation rank: per step, run the
 /// application phases (+ halo), then emit the step's output as fine-grain
@@ -128,20 +159,31 @@ impl Program for ComputeProc {
     }
 }
 
-/// The sender thread: drain the producer buffer over the message channel
-/// to this rank's consumer; send a stream-EOS when the buffer closes.
+/// The sender thread: drain the producer buffer over the message channel,
+/// asking the shared policy kernel which consumer each block goes to; when
+/// the buffer closes, announce stream-EOS to every consumer the kernel
+/// names (the net channel's half of the EOS protocol).
 pub struct SenderProc {
     buf: usize,
-    dest: ProcId,
+    rank: usize,
+    receivers: Rc<Vec<ProcId>>,
+    policy: SharedProducerPolicy,
     started: bool,
     eos_sent: bool,
 }
 
 impl SenderProc {
-    pub fn new(buf: usize, dest: ProcId) -> Self {
+    pub fn new(
+        buf: usize,
+        rank: usize,
+        receivers: Rc<Vec<ProcId>>,
+        policy: SharedProducerPolicy,
+    ) -> Self {
         SenderProc {
             buf,
-            dest,
+            rank,
+            receivers,
+            policy,
             started: false,
             eos_sent: false,
         }
@@ -163,26 +205,36 @@ impl Program for SenderProc {
             return Step::Ops(vec![self.take()]);
         }
         match ctx.last_take.expect("sender resumed without take result") {
-            BufferTaken::Item { bytes, token } => Step::Ops(vec![
-                Op::Send {
-                    to: self.dest,
-                    bytes,
-                    tag: tag::make(tag::DATA, token >> 32, bytes.min(tag::INFO_MASK)),
-                    kind: SpanKind::Send,
-                },
-                self.take(),
-            ]),
+            BufferTaken::Item { bytes, token } => {
+                let id = token_block(self.rank, token);
+                let dest = self.policy.borrow_mut().route_net(id);
+                Step::Ops(vec![
+                    Op::Send {
+                        to: self.receivers[dest.idx()],
+                        bytes,
+                        tag: tag::make(tag::DATA, id.step.0, id.idx as u64),
+                        kind: SpanKind::Send,
+                    },
+                    self.take(),
+                ])
+            }
             BufferTaken::Closed => {
                 if self.eos_sent {
                     return Step::Done;
                 }
                 self.eos_sent = true;
-                Step::Ops(vec![Op::Send {
-                    to: self.dest,
-                    bytes: 16,
-                    tag: tag::make(tag::SEOS, 0, 0),
-                    kind: SpanKind::Send,
-                }])
+                let targets = self.policy.borrow_mut().announce_eos(Channel::Net);
+                Step::Ops(
+                    targets
+                        .into_iter()
+                        .map(|q| Op::Send {
+                            to: self.receivers[q.idx()],
+                            bytes: 16,
+                            tag: tag::make(tag::SEOS, 0, 0),
+                            kind: SpanKind::Send,
+                        })
+                        .collect(),
+                )
             }
         }
     }
@@ -190,11 +242,16 @@ impl Program for SenderProc {
 
 /// The work-stealing writer thread (Algorithm 1): take a block only when
 /// buffer occupancy strictly exceeds the high-water mark, park it on the
-/// PFS, and notify the consumer's reader with a tiny disk-id message.
+/// PFS, and notify the stolen block's consumer's reader with a tiny
+/// disk-id message. Both the wake threshold and the destination come from
+/// the shared policy kernel; when the buffer drains, the writer retires
+/// and announces the disk channel's EOS to every consumer the kernel
+/// names.
 pub struct WriterProc {
     buf: usize,
-    dest: ProcId,
-    hwm: usize,
+    rank: usize,
+    receivers: Rc<Vec<ProcId>>,
+    policy: SharedProducerPolicy,
     key_base: u64,
     counter: u64,
     started: bool,
@@ -202,11 +259,17 @@ pub struct WriterProc {
 }
 
 impl WriterProc {
-    pub fn new(buf: usize, dest: ProcId, hwm: usize, rank: usize) -> Self {
+    pub fn new(
+        buf: usize,
+        rank: usize,
+        receivers: Rc<Vec<ProcId>>,
+        policy: SharedProducerPolicy,
+    ) -> Self {
         WriterProc {
             buf,
-            dest,
-            hwm,
+            rank,
+            receivers,
+            policy,
             key_base: (rank as u64) << 32,
             counter: 0,
             started: false,
@@ -217,9 +280,10 @@ impl WriterProc {
     fn take(&self) -> Op {
         Op::BufferTake {
             buf: self.buf,
-            // Engine semantics: wake at occupancy ≥ min; Algorithm 1
-            // steals when occupancy > threshold, i.e. ≥ threshold + 1.
-            min_occupancy: self.hwm + 1,
+            // Engine semantics: wake at occupancy ≥ min. The kernel's wake
+            // occupancy is hwm + 1, i.e. Algorithm 1's strict
+            // occupancy > threshold steal condition.
+            min_occupancy: self.policy.borrow().steal_wake_occupancy(),
             kind: SpanKind::Idle,
         }
     }
@@ -233,14 +297,16 @@ impl Program for WriterProc {
         }
         match ctx.last_take.expect("writer resumed without take result") {
             BufferTaken::Item { bytes, token } => {
+                let id = token_block(self.rank, token);
+                let dest = self.policy.borrow_mut().route_disk(id);
                 let key = self.key_base + self.counter;
                 self.counter += 1;
                 Step::Ops(vec![
                     Op::FsWrite { bytes, key },
                     Op::Send {
-                        to: self.dest,
+                        to: self.receivers[dest.idx()],
                         bytes: 16,
-                        tag: tag::make(tag::DISKID, token >> 32, bytes.min(tag::INFO_MASK)),
+                        tag: tag::make(tag::DISKID, id.step.0, bytes.min(tag::INFO_MASK)),
                         kind: SpanKind::Send,
                     },
                     self.take(),
@@ -251,43 +317,75 @@ impl Program for WriterProc {
                     return Step::Done;
                 }
                 self.eos_sent = true;
-                Step::Ops(vec![Op::Send {
-                    to: self.dest,
-                    bytes: 16,
-                    tag: tag::make(tag::WEOS, 0, 0),
-                    kind: SpanKind::Send,
-                }])
+                let mut p = self.policy.borrow_mut();
+                p.writer_retired(RetireReason::Drained);
+                let targets = p.announce_eos(Channel::Disk);
+                drop(p);
+                Step::Ops(
+                    targets
+                        .into_iter()
+                        .map(|q| Op::Send {
+                            to: self.receivers[q.idx()],
+                            bytes: 16,
+                            tag: tag::make(tag::WEOS, 0, 0),
+                            kind: SpanKind::Send,
+                        })
+                        .collect(),
+                )
             }
         }
     }
 }
 
 /// The receiver thread: split incoming traffic into the consumer buffer
-/// (data blocks), the id queue (disk notifications), and — in Preserve
-/// mode — the output queue; close the id queue once every producer stream
-/// ended.
+/// (data blocks), the id queue (disk notifications), and — when the policy
+/// kernel says an arriving block must be preserved — the output queue.
+/// End-of-stream accounting lives in the kernel's [`ConsumerPolicy`]: the
+/// receiver reports each SEOS/WEOS mark (recovering the producer rank from
+/// the sending process id) and closes its queues when the kernel declares
+/// the stream complete.
 pub struct ReceiverProc {
     bufc: usize,
     ids_buf: usize,
     out_buf: Option<usize>,
-    expected_eos: usize,
-    seen_eos: usize,
+    policy: SharedConsumerPolicy,
+    /// ProcId of simulation rank 0's compute process; senders/writers
+    /// follow at fixed offsets, letting `producer_rank` invert a pid.
+    compute_base: usize,
+    /// Processes per simulation rank (2, or 3 with concurrent transfer).
+    per_s: usize,
     started: bool,
     closing: bool,
 }
 
 impl ReceiverProc {
-    pub fn new(bufc: usize, ids_buf: usize, out_buf: Option<usize>, expected_eos: usize) -> Self {
-        assert!(expected_eos > 0, "receiver needs at least one source");
+    pub fn new(
+        bufc: usize,
+        ids_buf: usize,
+        out_buf: Option<usize>,
+        policy: SharedConsumerPolicy,
+        compute_base: usize,
+        per_s: usize,
+    ) -> Self {
         ReceiverProc {
             bufc,
             ids_buf,
             out_buf,
-            expected_eos,
-            seen_eos: 0,
+            policy,
+            compute_base,
+            per_s,
             started: false,
             closing: false,
         }
+    }
+
+    /// Simulation rank owning the process that sent a message.
+    fn producer_rank(&self, from: ProcId) -> Rank {
+        let off = from
+            .idx()
+            .checked_sub(self.compute_base)
+            .expect("message from a non-simulation process");
+        Rank((off / self.per_s) as u32)
     }
 
     fn recv(&self) -> Op {
@@ -312,18 +410,25 @@ impl Program for ReceiverProc {
         let msg = ctx.last_msg.expect("receiver resumed without message");
         match tag::kind(msg.tag) {
             tag::DATA => {
-                let step = tag::step(msg.tag);
+                let id = BlockId::new(
+                    self.producer_rank(msg.from),
+                    StepId(tag::step(msg.tag)),
+                    tag::info(msg.tag) as u32,
+                );
+                let store = self.policy.borrow_mut().store_on_arrival(id);
                 let mut ops = vec![Op::BufferPut {
                     buf: self.bufc,
                     bytes: msg.bytes,
-                    token: step,
+                    token: id.step.0,
                 }];
-                if let Some(out) = self.out_buf {
-                    ops.push(Op::BufferPut {
-                        buf: out,
-                        bytes: msg.bytes,
-                        token: step,
-                    });
+                if store {
+                    if let Some(out) = self.out_buf {
+                        ops.push(Op::BufferPut {
+                            buf: out,
+                            bytes: msg.bytes,
+                            token: id.step.0,
+                        });
+                    }
                 }
                 ops.push(self.recv());
                 Step::Ops(ops)
@@ -337,8 +442,18 @@ impl Program for ReceiverProc {
                 self.recv(),
             ]),
             tag::SEOS | tag::WEOS => {
-                self.seen_eos += 1;
-                if self.seen_eos == self.expected_eos {
+                let channel = if tag::kind(msg.tag) == tag::SEOS {
+                    Channel::Net
+                } else {
+                    Channel::Disk
+                };
+                let producer = self.producer_rank(msg.from);
+                let done = self
+                    .policy
+                    .borrow_mut()
+                    .note_eos(producer, channel)
+                    .is_complete();
+                if done {
                     self.closing = true;
                     let mut ops = vec![Op::BufferClose { buf: self.ids_buf }];
                     if let Some(out) = self.out_buf {
@@ -519,24 +634,65 @@ impl Program for OutputProc {
 /// assigned sequentially by the engine, so peer ids are computed from this
 /// fixed order and asserted.
 pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
+    let _ = build_zipper(sim, spec, layout, false);
+}
+
+/// Like [`build`], but every policy kernel records its decision trace;
+/// the returned handles let a harness extract and compare the canonical
+/// traces after the run (the DES half of the conformance tests).
+pub fn build_recorded(
+    sim: &mut Simulator,
+    spec: &WorkflowSpec,
+    layout: &ClusterLayout,
+) -> ZipperPolicies {
+    build_zipper(sim, spec, layout, true)
+}
+
+fn build_zipper(
+    sim: &mut Simulator,
+    spec: &WorkflowSpec,
+    layout: &ClusterLayout,
+    recorded: bool,
+) -> ZipperPolicies {
     spec.validate().expect("invalid spec");
     let per_c = 3 + usize::from(spec.preserve);
     let per_s = 2 + usize::from(spec.concurrent_transfer);
     let receiver_pid = |q: usize| ProcId((q * per_c) as u32);
-    let compute_pid = |r: usize| ProcId((spec.ana_ranks * per_c + r * per_s) as u32);
+    let compute_base = spec.ana_ranks * per_c;
+    let compute_pid = |r: usize| ProcId((compute_base + r * per_s) as u32);
+    let receivers: Rc<Vec<ProcId>> = Rc::new((0..spec.ana_ranks).map(receiver_pid).collect());
+    let preserve = if spec.preserve {
+        PreserveMode::Preserve
+    } else {
+        PreserveMode::NoPreserve
+    };
+    let mut policies = ZipperPolicies {
+        producers: Vec::with_capacity(spec.sim_ranks),
+        consumers: Vec::with_capacity(spec.ana_ranks),
+    };
 
     for q in 0..spec.ana_ranks {
         let node = layout.ana_node(q);
         let bufc = sim.add_buffer(spec.consumer_slots);
-        let ids = sim.add_buffer(IDS_CAPACITY);
+        let ids = sim.add_buffer(spec.ids_queue_capacity());
         let out = spec.preserve.then(|| sim.add_buffer(spec.consumer_slots));
-        let n_sources = spec.sources_of(q).len();
-        assert!(n_sources > 0, "consumer {q} has no sources");
-        let expected_eos = n_sources * (1 + usize::from(spec.concurrent_transfer));
+        // EOS is broadcast: every producer announces to every consumer,
+        // so even a consumer no block routes to terminates cleanly.
+        let mut cp = ConsumerPolicy::new(
+            Rank(q as u32),
+            spec.sim_ranks,
+            spec.concurrent_transfer,
+            preserve,
+        );
+        if recorded {
+            cp = cp.recorded();
+        }
+        let policy = Rc::new(RefCell::new(cp));
+        policies.consumers.push(policy.clone());
         let pid = sim.spawn(
             node,
             format!("ana/q{q}/recv"),
-            ReceiverProc::new(bufc, ids, out, expected_eos),
+            ReceiverProc::new(bufc, ids, out, policy, compute_base, per_s),
         );
         assert_eq!(pid, receiver_pid(q), "spawn order drifted");
         sim.spawn(
@@ -565,16 +721,32 @@ pub fn build(sim: &mut Simulator, spec: &WorkflowSpec, layout: &ClusterLayout) {
             ComputeProc::new(r, spec, left, right, Some(buf)),
         );
         assert_eq!(pid, compute_pid(r), "spawn order drifted");
-        let dest = receiver_pid(spec.consumer_of(r));
-        sim.spawn(node, format!("sim/r{r}/send"), SenderProc::new(buf, dest));
+        let mut pp = ProducerPolicy::new(
+            Rank(r as u32),
+            spec.ana_ranks,
+            spec.routing,
+            spec.high_water_mark,
+            spec.concurrent_transfer,
+        );
+        if recorded {
+            pp = pp.recorded();
+        }
+        let policy = Rc::new(RefCell::new(pp));
+        policies.producers.push(policy.clone());
+        sim.spawn(
+            node,
+            format!("sim/r{r}/send"),
+            SenderProc::new(buf, r, receivers.clone(), policy.clone()),
+        );
         if spec.concurrent_transfer {
             sim.spawn(
                 node,
                 format!("sim/r{r}/writer"),
-                WriterProc::new(buf, dest, spec.high_water_mark, r),
+                WriterProc::new(buf, r, receivers.clone(), policy),
             );
         }
     }
+    policies
 }
 
 /// Spawn only the simulation ranks with their compute phases and halo
@@ -693,6 +865,45 @@ mod tests {
 
         let (full, _) = run_spec(&spec);
         assert!(full.end >= sim_only.end, "workflow can't beat sim-only");
+    }
+
+    #[test]
+    fn round_robin_preserve_runs_on_the_des() {
+        // RoundRobin + concurrent transfer + Preserve was inexpressible
+        // before the policy-kernel refactor: the DES hard-wired
+        // source-affine destinations into each proc.
+        let mut spec = tiny_synthetic(true);
+        spec.routing = zipper_types::RoutingPolicy::RoundRobin;
+        spec.preserve = true;
+        let layout = ClusterLayout::new(&spec, 0);
+        let mut sim = Simulator::new(sim_config(&spec, &layout));
+        let policies = build_recorded(&mut sim, &spec, &layout);
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+
+        for (rank, p) in policies.producers.iter().enumerate() {
+            let t = p.borrow().trace().canonical();
+            // 8 blocks per producer, dealt 0,1,0,1,… over the 2 consumers
+            // regardless of which channel carried each block.
+            assert_eq!(t.routes.len(), 8, "producer {rank} routed all blocks");
+            for (k, (_, dest, _)) in t.routes.iter().enumerate() {
+                assert_eq!(dest.idx(), k % 2, "producer {rank} deal order");
+            }
+            // EOS broadcast: both channels × both consumers.
+            assert_eq!(t.eos_announced.len(), 4);
+            assert_eq!(t.retires, vec![zipper_policy::RetireReason::Drained]);
+        }
+        for (rank, c) in policies.consumers.iter().enumerate() {
+            let t = c.borrow().trace().canonical();
+            assert_eq!(
+                t.eos_seen.len(),
+                8,
+                "consumer {rank}: 4 producers × 2 channels"
+            );
+            assert_eq!(t.completions, 1, "consumer {rank} completed once");
+            // Preserve: every net-delivered block was ordered stored.
+            assert!(t.stores.iter().all(|&(_, store)| store));
+        }
     }
 
     #[test]

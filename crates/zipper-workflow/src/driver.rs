@@ -1,15 +1,18 @@
 //! The rank-spawning driver.
 
 use crate::report::WorkflowReport;
+use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zipper_core::{
-    ChannelMesh, Consumer, FailingTransport, FaultPlan, Producer, RetryingSender, TracedSender,
-    WireSender, ZipperReader, ZipperWriter,
+    ChannelMesh, Consumer, FailingTransport, FaultPlan, Producer, RetryingSender,
+    SharedConsumerPolicy, SharedProducerPolicy, TracedSender, WireSender, ZipperReader,
+    ZipperWriter,
 };
 use zipper_pfs::{MemFs, RetryingFs, Storage, ThrottledFs};
+use zipper_policy::{ConsumerPolicy, ProducerPolicy};
 use zipper_trace::{SampleSeries, Sampler, Telemetry, TraceMode, TraceSink};
 use zipper_types::{panic_detail, Rank, RetryPolicy, RuntimeError, WorkflowConfig};
 
@@ -131,6 +134,12 @@ pub struct TraceOptions {
     pub telemetry: bool,
     /// Period of the background sampler thread when `telemetry` is on.
     pub sample_period: Duration,
+    /// Record every rank's policy-kernel decisions and inject them as
+    /// `policy/p{rank}` / `policy/q{rank}` lanes of zero-duration
+    /// [`zipper_trace::SpanKind::Policy`] markers into
+    /// [`WorkflowReport::trace`]. Independent of `mode`. The recorded
+    /// kernels themselves are returned by [`run_workflow_recorded`].
+    pub policy: bool,
 }
 
 impl Default for TraceOptions {
@@ -140,6 +149,7 @@ impl Default for TraceOptions {
             wire_lanes: false,
             telemetry: false,
             sample_period: Duration::from_millis(10),
+            policy: false,
         }
     }
 }
@@ -170,6 +180,21 @@ impl TraceOptions {
         self.sample_period = period;
         self
     }
+
+    /// Turn on policy-kernel decision recording (see
+    /// [`TraceOptions::policy`]).
+    pub fn with_policy(mut self) -> Self {
+        self.policy = true;
+        self
+    }
+}
+
+/// The recorded policy kernels of a run, indexed by rank — the threaded
+/// counterpart of the DES's recorded build. Empty unless
+/// [`TraceOptions::policy`] was set.
+pub struct WorkflowPolicies {
+    pub producers: Vec<SharedProducerPolicy>,
+    pub consumers: Vec<SharedConsumerPolicy>,
 }
 
 /// Run a coupled workflow: `cfg.producers` simulation ranks each driving
@@ -228,6 +253,29 @@ where
     P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
     C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
 {
+    let (report, results, _policies) =
+        run_workflow_recorded(cfg, net, storage_opts, trace, produce, consume);
+    (report, results)
+}
+
+/// [`run_workflow_traced`] that also returns the policy kernels, so a
+/// harness can extract canonical decision traces after the run (the
+/// threaded half of the conformance tests). The kernels record decisions
+/// only when [`TraceOptions::policy`] is set; they are built and shared
+/// with every rank's runtime threads either way.
+pub fn run_workflow_recorded<R, P, C>(
+    cfg: &WorkflowConfig,
+    net: NetworkOptions,
+    storage_opts: StorageOptions,
+    trace: TraceOptions,
+    produce: P,
+    consume: C,
+) -> (WorkflowReport, Vec<R>, WorkflowPolicies)
+where
+    R: Send + 'static,
+    P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
+    C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
+{
     cfg.validate().expect("invalid workflow config");
     let telemetry = if trace.telemetry {
         Telemetry::on()
@@ -247,6 +295,10 @@ where
 
     let produce = Arc::new(produce);
     let consume = Arc::new(consume);
+    let mut policies = WorkflowPolicies {
+        producers: Vec::with_capacity(cfg.producers),
+        consumers: Vec::with_capacity(cfg.consumers),
+    };
     // Failures observed by the driver itself (an app thread panicking, a
     // thread that could not be spawned) — merged into the report alongside
     // the per-rank runtime errors.
@@ -272,13 +324,20 @@ where
                 continue;
             }
         };
-        let mut c = Consumer::spawn_traced(
+        let mut cp = ConsumerPolicy::from_tuning(rank, cfg.producers, &cfg.tuning);
+        if trace.policy {
+            cp = cp.recorded();
+        }
+        let policy = Arc::new(Mutex::new(cp));
+        policies.consumers.push(policy.clone());
+        let mut c = Consumer::spawn_with_policy(
             rank,
             cfg.tuning,
             cfg.producers,
             rx,
             storage.clone(),
             sink.clone(),
+            policy,
         );
         let reader = c.reader();
         consumer_runtimes.push(c);
@@ -336,8 +395,20 @@ where
             }
             None => traced,
         };
-        let mut prod =
-            Producer::spawn_traced(rank, cfg.tuning, sender, storage.clone(), sink.clone());
+        let mut pp = ProducerPolicy::from_tuning(rank, cfg.consumers, &cfg.tuning);
+        if trace.policy {
+            pp = pp.recorded();
+        }
+        let policy = Arc::new(Mutex::new(pp));
+        policies.producers.push(policy.clone());
+        let mut prod = Producer::spawn_with_policy(
+            rank,
+            cfg.tuning,
+            sender,
+            storage.clone(),
+            sink.clone(),
+            policy,
+        );
         let writer = prod.writer(cfg.tuning.block_size.as_u64() as usize);
         producer_runtimes.push(prod);
         let produce = produce.clone();
@@ -416,6 +487,18 @@ where
     let pfs_retries = storage.retries();
     drop(storage);
 
+    // Every runtime thread has joined, so the policy locks are free; lay
+    // each rank's decision sequence down as a policy lane of the report.
+    let mut trace_log = sink.snapshot();
+    if trace.policy {
+        for (p, policy) in policies.producers.iter().enumerate() {
+            zipper_trace::policy::inject(&mut trace_log, &format!("p{p}"), policy.lock().trace());
+        }
+        for (q, policy) in policies.consumers.iter().enumerate() {
+            zipper_trace::policy::inject(&mut trace_log, &format!("q{q}"), policy.lock().trace());
+        }
+    }
+
     let report = WorkflowReport {
         wall: t0.elapsed(),
         producers,
@@ -431,11 +514,11 @@ where
         pfs_blocks,
         pfs_bytes_written,
         pfs_retries,
-        trace: sink.snapshot(),
+        trace: trace_log,
         metrics: telemetry.snapshot(),
         samples,
     };
-    (report, results)
+    (report, results, policies)
 }
 
 #[cfg(test)]
@@ -532,6 +615,45 @@ mod tests {
             c.total_blocks(),
             "both channels together deliver everything"
         );
+    }
+
+    #[test]
+    fn recorded_run_returns_policies_and_injects_policy_lanes() {
+        use zipper_trace::SpanKind;
+        let c = cfg(2, 2, 3);
+        let (report, _, policies) = run_workflow_recorded(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default().with_policy(),
+            slab_producer(&c),
+            |_, reader| while reader.read().is_some() {},
+        );
+        report.assert_complete();
+        assert_eq!(policies.producers.len(), 2);
+        assert_eq!(policies.consumers.len(), 2);
+        // Every producer routed all of its blocks and announced EOS to
+        // both consumers on both channels.
+        for p in &policies.producers {
+            let t = p.lock().trace().canonical();
+            assert_eq!(t.routes.len() as u64, c.total_blocks() / 2);
+            assert_eq!(t.eos_announced.len(), 4);
+        }
+        for q in &policies.consumers {
+            assert_eq!(q.lock().trace().canonical().completions, 1);
+        }
+        // The decision sequences also landed as policy lanes.
+        for label in ["policy/p0", "policy/p1", "policy/q0", "policy/q1"] {
+            let lane = report
+                .trace
+                .lane_by_label(label)
+                .unwrap_or_else(|| panic!("missing lane {label}"));
+            assert!(report
+                .trace
+                .lane_spans(lane)
+                .iter()
+                .all(|s| s.kind == SpanKind::Policy));
+        }
     }
 
     #[test]

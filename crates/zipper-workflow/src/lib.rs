@@ -20,7 +20,10 @@ pub mod fit;
 pub mod mapreduce;
 pub mod report;
 
-pub use driver::{run_workflow, run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions};
+pub use driver::{
+    run_workflow, run_workflow_recorded, run_workflow_traced, NetworkOptions, StorageOptions,
+    TraceOptions, WorkflowPolicies,
+};
 pub use fit::{ModelFit, PhaseFit};
 pub use mapreduce::run_map_reduce;
 pub use report::WorkflowReport;

@@ -3,8 +3,8 @@
 //! Implements the subset this workspace's property tests use:
 //!
 //! * the `proptest! { #[test] fn name(x in strategy, ..) { .. } }` macro,
-//! * numeric `Range`/`RangeInclusive` strategies, tuple strategies, and
-//!   `proptest::collection::vec`,
+//! * numeric `Range`/`RangeInclusive` strategies, tuple strategies,
+//!   `proptest::bool::ANY`, and `proptest::collection::vec`,
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
 //! Each property runs a fixed number of deterministic cases (seeded from
@@ -149,6 +149,24 @@ pub mod collection {
     }
 }
 
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY` — a fair coin.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
 }
@@ -286,6 +304,13 @@ mod tests {
         fn eq_and_ne_macros(a in 0u64..100) {
             prop_assert_eq!(a, a);
             prop_assert_ne!(a, a + 1);
+        }
+
+        /// The coin lands on both sides over a modest sample.
+        #[test]
+        fn bool_any_hits_both_values(flips in crate::collection::vec(crate::bool::ANY, 64..65)) {
+            prop_assert!(flips.iter().any(|&b| b));
+            prop_assert!(flips.iter().any(|&b| !b));
         }
     }
 
