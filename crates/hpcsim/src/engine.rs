@@ -68,6 +68,10 @@ struct ProcSlot {
     last_take: Option<BufferTaken>,
     outstanding_sends: u32,
     waiting: Waiting,
+    /// Generation counter for timed receives: bumped whenever a parked
+    /// `Recv` completes, so a stale `RecvTimeout` event (raced by a
+    /// delivery) recognizes itself and fizzles.
+    recv_gen: u64,
 }
 
 #[derive(Debug)]
@@ -81,6 +85,12 @@ enum Event {
         sender: ProcId,
         to: ProcId,
         msg: MsgMeta,
+    },
+    /// A timed receive's watchdog: wakes `pid` with `last_msg == None`
+    /// if it is still parked on the same receive generation.
+    RecvTimeout {
+        pid: ProcId,
+        gen: u64,
     },
 }
 
@@ -282,6 +292,7 @@ impl Simulator {
             last_take: None,
             outstanding_sends: 0,
             waiting: Waiting::None,
+            recv_gen: 0,
         });
         self.push_event(self.now, Event::Resume(pid));
         pid
@@ -409,6 +420,7 @@ impl Simulator {
             match entry.event {
                 Event::Resume(pid) => self.run_proc(pid),
                 Event::Deliver { to, msg } => self.deliver(to, msg),
+                Event::RecvTimeout { pid, gen } => self.fire_recv_timeout(pid, gen),
                 Event::AsyncDelivered { sender, to, msg } => {
                     self.deliver(to, msg);
                     let s = &mut self.procs[sender.idx()];
@@ -469,10 +481,31 @@ impl Simulator {
                 slot.last_msg = Some(msg);
                 slot.waiting = Waiting::None;
                 slot.state = ProcState::Ready;
+                slot.recv_gen += 1; // any pending timeout is now stale
                 let lane = slot.lane;
                 self.record(lane, kind, since, self.now, Span::NO_STEP);
                 self.push_event(self.now, Event::Resume(pid));
             }
+        }
+    }
+
+    /// A timed receive's watchdog fired. If the process is still parked on
+    /// the same receive generation, wake it empty-handed
+    /// (`last_msg == None`); otherwise a delivery won the race and this
+    /// event is stale.
+    fn fire_recv_timeout(&mut self, pid: ProcId, gen: u64) {
+        let slot = &mut self.procs[pid.idx()];
+        if slot.recv_gen != gen {
+            return;
+        }
+        if let Waiting::Recv { kind, since, .. } = slot.waiting {
+            slot.last_msg = None;
+            slot.waiting = Waiting::None;
+            slot.state = ProcState::Ready;
+            slot.recv_gen += 1;
+            let lane = slot.lane;
+            self.record(lane, kind, since, self.now, Span::NO_STEP);
+            self.push_event(self.now, Event::Resume(pid));
         }
     }
 
@@ -692,6 +725,34 @@ impl Simulator {
                     false
                 }
             }
+            Op::RecvTimeout {
+                tag_min,
+                tag_max,
+                kind,
+                timeout,
+            } => {
+                let slot = &mut self.procs[pid.idx()];
+                if let Some(pos) = slot
+                    .mailbox
+                    .iter()
+                    .position(|m| m.tag >= tag_min && m.tag <= tag_max)
+                {
+                    let msg = slot.mailbox.remove(pos).expect("position valid");
+                    slot.last_msg = Some(msg);
+                    true
+                } else {
+                    slot.waiting = Waiting::Recv {
+                        tag_min,
+                        tag_max,
+                        kind,
+                        since: now,
+                    };
+                    slot.state = ProcState::Blocked;
+                    let gen = slot.recv_gen;
+                    self.push_event(now + timeout, Event::RecvTimeout { pid, gen });
+                    false
+                }
+            }
             Op::Barrier { id, kind } => match self.barriers[id].arrive(pid, now) {
                 Some(members) => {
                     for (proc, since) in members {
@@ -822,6 +883,11 @@ impl Simulator {
             },
             Op::BufferClose { buf } => {
                 let wakes = self.buffers[buf].close();
+                self.apply_buffer_wakes(wakes);
+                true
+            }
+            Op::BufferRequeue { buf, bytes, token } => {
+                let wakes = self.buffers[buf].requeue(BufItem { bytes, token });
                 self.apply_buffer_wakes(wakes);
                 true
             }
@@ -1421,6 +1487,141 @@ mod tests {
         // The registry totals match the fabric's own counters.
         let snap = sim.telemetry().snapshot();
         assert_eq!(snap.counter(CounterId::NetBytes), sim.network().bytes());
+    }
+
+    #[test]
+    fn recv_timeout_wakes_empty_handed() {
+        let mut sim = small_sim();
+        let mut phase = 0;
+        let receiver = move |ctx: &mut ProcCtx<'_>| {
+            phase += 1;
+            match phase {
+                1 => Step::Ops(vec![Op::RecvTimeout {
+                    tag_min: 0,
+                    tag_max: u64::MAX,
+                    kind: SpanKind::Recv,
+                    timeout: SimTime::from_millis(10),
+                }]),
+                _ => {
+                    assert!(ctx.last_msg.is_none(), "timeout leaves no message");
+                    assert_eq!(ctx.now, SimTime::from_millis(10));
+                    Step::Done
+                }
+            }
+        };
+        sim.spawn(NodeId(0), "recv", receiver);
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        assert_eq!(r.end, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn delivery_beats_recv_timeout_and_stale_timer_fizzles() {
+        let mut sim = small_sim();
+        let mut phase = 0;
+        let receiver = move |ctx: &mut ProcCtx<'_>| {
+            phase += 1;
+            match phase {
+                1 => Step::Ops(vec![Op::RecvTimeout {
+                    tag_min: 1,
+                    tag_max: 1,
+                    kind: SpanKind::Recv,
+                    timeout: SimTime::from_millis(50),
+                }]),
+                2 => {
+                    assert!(ctx.last_msg.is_some(), "message won the race");
+                    // Park again, plainly, well past the stale timer's
+                    // firing time: the gen check must keep it parked.
+                    Step::Ops(vec![Op::Recv {
+                        tag_min: 2,
+                        tag_max: 2,
+                        kind: SpanKind::Recv,
+                    }])
+                }
+                _ => {
+                    assert_eq!(ctx.last_msg.unwrap().tag, 2);
+                    Step::Done
+                }
+            }
+        };
+        sim.spawn(NodeId(0), "recv", receiver);
+        sim.spawn(
+            NodeId(1),
+            "send",
+            RunOnce::new(vec![
+                Op::Send {
+                    to: ProcId(0),
+                    bytes: 100,
+                    tag: 1,
+                    kind: SpanKind::Send,
+                },
+                Op::Compute {
+                    dur: SimTime::from_millis(200),
+                    kind: SpanKind::Compute,
+                    step: 0,
+                },
+                Op::Send {
+                    to: ProcId(0),
+                    bytes: 100,
+                    tag: 2,
+                    kind: SpanKind::Send,
+                },
+            ]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
+        assert!(r.end >= SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn buffer_requeue_op_lands_in_closed_buffer() {
+        let mut sim = small_sim();
+        let buf = sim.add_buffer(2);
+        let mut tokens = Vec::new();
+        let mut phase = 0;
+        let consumer = move |ctx: &mut ProcCtx<'_>| {
+            phase += 1;
+            if phase > 1 {
+                match ctx.last_take {
+                    Some(BufferTaken::Item { token, .. }) => tokens.push(token),
+                    Some(BufferTaken::Closed) => {
+                        assert_eq!(tokens, vec![7], "requeued item drained");
+                        return Step::Done;
+                    }
+                    None => unreachable!(),
+                }
+            }
+            let mut ops = Vec::new();
+            if phase == 1 {
+                // Start taking only after the replayer closed + requeued.
+                ops.push(Op::Compute {
+                    dur: SimTime::from_millis(1),
+                    kind: SpanKind::Compute,
+                    step: 0,
+                });
+            }
+            ops.push(Op::BufferTake {
+                buf,
+                min_occupancy: 1,
+                kind: SpanKind::Idle,
+            });
+            Step::Ops(ops)
+        };
+        sim.spawn(NodeId(0), "consumer", consumer);
+        sim.spawn(
+            NodeId(1),
+            "replayer",
+            RunOnce::new(vec![
+                Op::BufferClose { buf },
+                Op::BufferRequeue {
+                    buf,
+                    bytes: 100,
+                    token: 7,
+                },
+            ]),
+        );
+        let r = sim.run();
+        assert!(r.is_clean(), "{r:?}");
     }
 
     #[test]

@@ -148,6 +148,19 @@ impl SimBuffer {
         self.peak = self.peak.max(self.items.len());
     }
 
+    /// Put an item back at the *front* of the queue, bypassing capacity
+    /// and the closed flag. This is the recovery path: a writer whose PFS
+    /// put faulted returns the block so the next take re-takes it first,
+    /// and a restarted consumer's replayed blocks must land even though
+    /// the producers have already closed the buffer. Returns wakeups (a
+    /// parked taker may now be eligible).
+    pub fn requeue(&mut self, item: BufItem) -> Vec<BufferWake> {
+        self.items.push_front(item);
+        self.total_in += 1;
+        self.peak = self.peak.max(self.items.len());
+        self.drain_wakeups()
+    }
+
     /// Re-evaluate all wait queues after a state change. FIFO within each
     /// queue; takers are served before putters so space frees up first.
     fn drain_wakeups(&mut self) -> Vec<BufferWake> {
@@ -425,6 +438,36 @@ mod tests {
         // Now empty and closed: immediate Closed.
         let (item, _) = b.take(ProcId(1), 1, ms(2)).unwrap();
         assert!(item.is_none());
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_closed_state() {
+        let mut b = SimBuffer::new(1);
+        assert!(b.put(ProcId(0), it(1), ms(0)).is_some());
+        let _ = b.close();
+        // Full AND closed: requeue still lands, at the front.
+        let wakes = b.requeue(it(9));
+        assert!(wakes.is_empty());
+        assert_eq!(b.len(), 2);
+        let (item, _) = b.take(ProcId(1), 1, ms(1)).unwrap();
+        assert_eq!(item.unwrap().bytes, 9, "requeued item comes first");
+        let (item, _) = b.take(ProcId(1), 1, ms(1)).unwrap();
+        assert_eq!(item.unwrap().bytes, 1);
+    }
+
+    #[test]
+    fn requeue_wakes_parked_taker() {
+        let mut b = SimBuffer::new(4);
+        assert!(b.take(ProcId(1), 1, ms(0)).is_err()); // parked
+        let wakes = b.requeue(it(7));
+        assert!(matches!(
+            wakes[0],
+            BufferWake::Taker {
+                proc: ProcId(1),
+                item: BufItem { bytes: 7, .. },
+                ..
+            }
+        ));
     }
 
     #[test]

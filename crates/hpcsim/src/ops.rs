@@ -70,6 +70,16 @@ pub enum Op {
         tag_max: u64,
         kind: SpanKind,
     },
+    /// Like `Recv`, but gives up after `timeout` of virtual time with no
+    /// matching message: the process resumes with
+    /// [`ProcCtx::last_msg`] `== None`. This is the DES mirror of the
+    /// threaded receiver's EOS watchdog (`recv_timeout`).
+    RecvTimeout {
+        tag_min: u64,
+        tag_max: u64,
+        kind: SpanKind,
+        timeout: SimTime,
+    },
     /// Enter a reusable barrier; resumes when all members arrived.
     Barrier { id: BarrierId, kind: SpanKind },
     /// Write `bytes` to the PFS: data crosses the fabric to a storage node
@@ -106,6 +116,11 @@ pub enum Op {
     /// Close a buffer: takers waiting below their minimum occupancy
     /// receive [`BufferTaken::Closed`].
     BufferClose { buf: BufId },
+    /// Put an item back at the *front* of a buffer, bypassing capacity
+    /// and the closed flag; never blocks. The recovery path: a faulted
+    /// writer returns its block for the next take, a restarted consumer
+    /// replays already-delivered blocks into a closed buffer.
+    BufferRequeue { buf: BufId, bytes: u64, token: u64 },
     /// Terminate the whole simulated application with a fault (used to
     /// model Decaf's integer overflow and Flexpath's segfault, §6.3).
     Halt { error: String },

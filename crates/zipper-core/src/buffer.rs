@@ -240,6 +240,25 @@ impl BlockQueue {
         }
     }
 
+    /// Put a block back at the *front* of the queue — the recovery path's
+    /// re-insertion: a writer thread returning a block whose PFS store
+    /// faulted, or a restart supervisor replaying a crashed consumer's
+    /// backlog. Bypasses both the capacity bound and the closed flag: the
+    /// block was already admitted once (capacity accounting stays honest)
+    /// and recovery must be able to repopulate a queue that closed around
+    /// the failure — poppers drain a closed queue before seeing `None`.
+    pub fn requeue(&self, block: Block) {
+        let mut g = self.inner.lock();
+        g.items.push_front(block);
+        g.total_in += 1;
+        let len = g.items.len();
+        g.peak = g.peak.max(len);
+        drop(g);
+        self.not_empty.notify_all();
+        self.telemetry.gauge_add(self.depth_gauge, 1);
+        self.telemetry.add(CounterId::BlocksEnqueued, 1);
+    }
+
     /// Close the queue: poppers drain the remainder then get `None`;
     /// stealers below threshold get `None` immediately.
     pub fn close(&self) {
@@ -368,6 +387,29 @@ mod tests {
         assert_eq!(s.unwrap().0.id().idx, 1);
         assert_eq!(c.unwrap().0.id().idx, 2);
         assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_closed_state() {
+        let q = BlockQueue::new(1);
+        q.push(block(1)).unwrap(); // full
+        q.close();
+        q.requeue(block(0)); // lands at the front despite full + closed
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().0.unwrap().id().idx, 0, "requeued block is next");
+        assert_eq!(q.pop().0.unwrap().id().idx, 1);
+        assert!(q.pop().0.is_none());
+        assert_eq!(q.stats(), (2, 2));
+    }
+
+    #[test]
+    fn requeue_wakes_parked_popper() {
+        let q = Arc::new(BlockQueue::new(4));
+        let q2 = q.clone();
+        let popper = std::thread::spawn(move || q2.pop().0.map(|b| b.id().idx));
+        std::thread::sleep(Duration::from_millis(30));
+        q.requeue(block(9));
+        assert_eq!(popper.join().unwrap(), Some(9));
     }
 
     #[test]

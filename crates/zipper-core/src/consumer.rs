@@ -20,7 +20,9 @@ use std::thread::JoinHandle;
 use zipper_pfs::Storage;
 use zipper_policy::ConsumerPolicy;
 use zipper_trace::{GaugeId, LaneRecorder, SpanKind, TraceSink};
-use zipper_types::{panic_detail, Block, BlockId, Error, Rank, RuntimeError, ZipperTuning};
+use zipper_types::{
+    panic_detail, Block, BlockId, ChaosFault, ChaosScope, Error, Rank, RuntimeError, ZipperTuning,
+};
 
 /// One consumer rank's decision kernel, shared by its receiver thread (EOS
 /// completion, Preserve verdicts) and exposed to the conformance harness.
@@ -64,6 +66,17 @@ pub struct ZipperReader {
     queue: Arc<BlockQueue>,
     metrics: Arc<Mutex<ConsumerMetrics>>,
     lane: Mutex<AppLane>,
+    /// Log of every delivered block ID, shared with a
+    /// [`ConsumerRecovery`] handle — the replay backlog after a crash.
+    delivered: Option<Arc<Mutex<Vec<BlockId>>>>,
+    /// This consumer's `Analysis` chaos scope: scripted read ordinals
+    /// panic ([`ChaosFault::CrashApp`]) before any block is taken.
+    chaos: Option<Arc<ChaosScope>>,
+    /// A recovery-managed reader: its `Drop` leaves the queue open and the
+    /// abandonment unaccounted, because the restart supervisor owns both
+    /// (it replays the backlog and hands out a fresh reader instead of
+    /// tearing the module down).
+    recoverable: bool,
 }
 
 impl ZipperReader {
@@ -75,6 +88,14 @@ impl ZipperReader {
     /// span — from the trace's point of view, whatever the application did
     /// between reads was analyzing the previously delivered block.
     pub fn read(&self) -> Option<Block> {
+        if let Some(scope) = &self.chaos {
+            // The scope counts read *calls*; a scripted CrashApp fires
+            // before the pop, so the current block stays in the queue and
+            // the delivered log holds exactly the pre-crash backlog.
+            if scope.next() == Some(ChaosFault::CrashApp) {
+                panic!("chaos: injected application crash on read #{}", scope.ops());
+            }
+        }
         let mut g = self.lane.lock();
         let prev_step = g.step;
         g.rec.close_gap(SpanKind::Analysis, prev_step);
@@ -84,6 +105,9 @@ impl ZipperReader {
             Some(b) => {
                 g.step = b.id().step.0;
                 g.rec.mark();
+                if let Some(log) = &self.delivered {
+                    log.lock().push(b.id());
+                }
                 self.metrics.lock().blocks_delivered += 1;
             }
             None => {
@@ -102,6 +126,9 @@ impl ZipperReader {
 
 impl Drop for ZipperReader {
     fn drop(&mut self) {
+        if self.recoverable {
+            return;
+        }
         let done = self.lane.lock().done;
         if !done {
             // The application abandoned the stream (panicked or returned
@@ -118,6 +145,107 @@ impl Drop for ZipperReader {
                     dropped_blocks: dropped,
                 });
         }
+    }
+}
+
+/// Recovery handle for one consumer rank, taken instead of the plain
+/// reader ([`Consumer::recovery`]). It hands out *recoverable* readers and
+/// owns the delivered-block log a restart supervisor replays from the
+/// Preserve store after a [`ChaosFault::CrashApp`] (or any application
+/// panic): the crashed closure's partial progress is discarded, the
+/// already-delivered backlog is re-fetched from storage and requeued at
+/// the front of the consumer buffer in original delivery order, and a
+/// fresh reader rejoins the still-flowing live traffic — no block is lost
+/// or duplicated in the final (successful) pass.
+///
+/// Replay requires Preserve mode: only there is every delivered block
+/// durable on the PFS.
+pub struct ConsumerRecovery {
+    rank: Rank,
+    queue: Arc<BlockQueue>,
+    metrics: Arc<Mutex<ConsumerMetrics>>,
+    sink: TraceSink,
+    delivered: Arc<Mutex<Vec<BlockId>>>,
+    chaos: Option<Arc<ChaosScope>>,
+}
+
+impl ConsumerRecovery {
+    /// A fresh recoverable reader on this rank's analysis lane. Call once
+    /// per (re)start; readers crash-closed by a panic are simply dropped.
+    pub fn fresh_reader(&self) -> ZipperReader {
+        let mut rec = self.sink.recorder(analysis_lane(self.rank));
+        rec.mark();
+        ZipperReader {
+            rank: self.rank,
+            queue: self.queue.clone(),
+            metrics: self.metrics.clone(),
+            lane: Mutex::new(AppLane {
+                rec,
+                step: 0,
+                done: false,
+            }),
+            delivered: Some(self.delivered.clone()),
+            chaos: self.chaos.clone(),
+            recoverable: true,
+        }
+    }
+
+    /// Replay the crashed reader's backlog: take (and clear) the delivered
+    /// log, fetch each block from `storage`, and requeue it at the front
+    /// of the consumer buffer in original delivery order. Returns the
+    /// number of blocks replayed.
+    ///
+    /// Network-delivered blocks are persisted by the asynchronous output
+    /// thread, so a block the application already saw may not be durable
+    /// yet at crash time — each fetch is retried until `fetch_timeout`
+    /// elapses before the replay gives up.
+    pub fn replay_from(
+        &self,
+        storage: &dyn Storage,
+        fetch_timeout: std::time::Duration,
+    ) -> zipper_types::Result<usize> {
+        let ids = std::mem::take(&mut *self.delivered.lock());
+        // Requeue in reverse: the last push_front ends up first, so the
+        // fresh reader re-reads the backlog in the original order.
+        for id in ids.iter().rev() {
+            let t0 = std::time::Instant::now();
+            let block = loop {
+                match storage.get(*id) {
+                    Ok(b) => break b,
+                    Err(e) => {
+                        if t0.elapsed() >= fetch_timeout {
+                            return Err(e);
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            };
+            self.queue.requeue(block);
+        }
+        Ok(ids.len())
+    }
+
+    /// Blocks delivered (and not yet replayed) so far — the would-be
+    /// replay backlog.
+    pub fn delivered(&self) -> usize {
+        self.delivered.lock().len()
+    }
+
+    /// Give up on this rank for good: close the consumer buffer so the
+    /// runtime threads fail soft instead of blocking on a reader that
+    /// will never return. A restart supervisor calls this when the
+    /// restart budget is exhausted — it is the recoverable counterpart of
+    /// a plain reader's abandoning `Drop`.
+    pub fn abandon(&self) {
+        self.queue.close();
+        let dropped = self.queue.len() as u64;
+        self.metrics
+            .lock()
+            .errors
+            .push(RuntimeError::ReaderAbandoned {
+                rank: self.rank,
+                dropped_blocks: dropped,
+            });
     }
 }
 
@@ -472,6 +600,27 @@ impl Consumer {
                 step: 0,
                 done: false,
             }),
+            delivered: None,
+            chaos: None,
+            recoverable: false,
+        }
+    }
+
+    /// The recovery handle (take *instead of* [`Consumer::reader`]): hands
+    /// out recoverable readers whose crashes a restart supervisor can heal
+    /// by Preserve-store replay. `chaos` optionally attaches this rank's
+    /// `Analysis` chaos scope, whose scripted ordinals panic inside
+    /// [`ZipperReader::read`].
+    pub fn recovery(&mut self, chaos: Option<Arc<ChaosScope>>) -> ConsumerRecovery {
+        assert!(!self.reader_taken, "reader handle already taken");
+        self.reader_taken = true;
+        ConsumerRecovery {
+            rank: self.rank,
+            queue: self.queue.clone(),
+            metrics: self.metrics.clone(),
+            sink: self.sink.clone(),
+            delivered: Arc::new(Mutex::new(Vec::new())),
+            chaos,
         }
     }
 
@@ -529,6 +678,7 @@ mod tests {
             preserve,
             routing: RoutingPolicy::SourceAffine,
             eos_timeout: Some(std::time::Duration::from_secs(30)),
+            recovery: Default::default(),
         }
     }
 
@@ -779,6 +929,81 @@ mod tests {
             assert!(srcs.iter().all(|s| s.idx() % 2 == q));
             c.join();
         }
+    }
+
+    #[test]
+    fn crashed_reader_replays_from_preserve_and_loses_nothing() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use zipper_types::{ChaosEntity, ChaosFault, ChaosPlan};
+
+        // Preserve mode: every block becomes durable, so a crashed
+        // consumer can replay its delivered backlog from the PFS.
+        let n_blocks = 12u32;
+        let crash_at = 5; // read call #5 panics: 4 blocks delivered before
+        let mesh = ChannelMesh::new(1, 64);
+        let storage = Arc::new(MemFs::new());
+        // Message-only: arrival order equals production order, so the
+        // recovered stream can be asserted block-for-block.
+        let t = tuning(PreserveMode::Preserve, false);
+        let plan = ChaosPlan::new().with(
+            ChaosEntity::Analysis(Rank(0)),
+            crash_at,
+            ChaosFault::CrashApp,
+        );
+        let scope = Arc::new(plan.scope(ChaosEntity::Analysis(Rank(0))));
+        let mut cons = Consumer::spawn(
+            Rank(0),
+            t,
+            1,
+            mesh.take_receiver(Rank(0)).unwrap(),
+            storage.clone(),
+        );
+        let recovery = cons.recovery(Some(scope));
+
+        let mut prod = Producer::spawn(Rank(0), t, mesh.sender(), storage.clone());
+        let writer = prod.writer(4096);
+        let feeder = std::thread::spawn(move || {
+            for i in 0..n_blocks {
+                let id = BlockId::new(Rank(0), StepId(0), i);
+                writer.write(Block::from_payload(
+                    Rank(0),
+                    StepId(0),
+                    i,
+                    n_blocks,
+                    GlobalPos::default(),
+                    deterministic_payload(id, 512),
+                ));
+            }
+            writer.finish();
+        });
+
+        // Restart supervisor: run the consume closure, and on a panic
+        // replay the backlog and try again with a fresh reader.
+        let mut restarts = 0;
+        let got = loop {
+            let reader = recovery.fresh_reader();
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                reader.iter().map(|b| b.id()).collect::<Vec<_>>()
+            }));
+            drop(reader);
+            match run {
+                Ok(ids) => break ids,
+                Err(_) => {
+                    restarts += 1;
+                    let replayed = recovery
+                        .replay_from(storage.as_ref(), std::time::Duration::from_secs(5))
+                        .expect("replay backlog");
+                    assert_eq!(replayed, (crash_at - 1) as usize);
+                }
+            }
+        };
+        feeder.join().unwrap();
+        prod.join();
+        cons.join();
+        assert_eq!(restarts, 1);
+        // The successful pass saw every block exactly once, in order.
+        let idxs: Vec<u32> = got.iter().map(|id| id.idx).collect();
+        assert_eq!(idxs, (0..n_blocks).collect::<Vec<_>>());
     }
 
     #[test]

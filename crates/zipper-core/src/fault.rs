@@ -1,17 +1,23 @@
 //! Failure injection for the message channel — the network-side sibling of
-//! `zipper-pfs`'s `FailingFs`.
+//! `zipper-pfs`'s `FailingFs` and `ChaosFs`.
 //!
-//! [`FailingTransport`] wraps a [`MeshSender`] and misbehaves on a
-//! deterministic schedule (every N-th wire), which lets the
-//! failure-injection tests drive the fail-soft layer without any real
-//! network faults: transient send errors exercise the retry/backoff path,
-//! dropped or corrupted wires exercise the consumer's in-band fault
-//! handling, and swallowed EOS markers exercise the EOS watchdog.
+//! Two injectors live here:
+//!
+//! * [`FailingTransport`] wraps a [`MeshSender`] and misbehaves on a
+//!   periodic schedule (every N-th wire, counted by the shared
+//!   [`zipper_types::FaultSchedule`]), which lets the failure-injection
+//!   tests drive the fail-soft layer without any real network faults.
+//! * [`ChaosSender`] wraps a [`MeshSender`] and interprets one sender
+//!   entity's [`ChaosScope`] of a scripted `ChaosPlan`: exact wire
+//!   ordinals misbehave, and the same plan drives the DES sender procs in
+//!   virtual time, so transport chaos is conformance-testable across
+//!   substrates.
 
 use crate::transport::{MeshSender, Wire, WireSender};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
-use zipper_types::{Error, Rank, Result, RuntimeError};
+use zipper_types::{ChaosFault, ChaosScope, Error, Rank, Result, RuntimeError};
 
 /// What the transport does on a scheduled fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,20 +60,22 @@ impl FaultPlan {
     }
 }
 
-/// A [`WireSender`] that injects faults per a [`FaultPlan`].
+/// A [`WireSender`] that injects faults per a [`FaultPlan`]. The every-N-th
+/// counting lives in the shared [`zipper_types::FaultSchedule`] — the same
+/// type `zipper-pfs`'s `FailingFs` counts with.
 pub struct FailingTransport {
     inner: MeshSender,
     plan: FaultPlan,
-    sent: AtomicU64,
+    schedule: zipper_types::FaultSchedule,
     injected: AtomicU64,
 }
 
 impl FailingTransport {
     pub fn new(inner: MeshSender, plan: FaultPlan) -> Self {
         FailingTransport {
+            schedule: zipper_types::FaultSchedule::every(plan.every),
             inner,
             plan,
-            sent: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         }
     }
@@ -78,8 +86,7 @@ impl FailingTransport {
     }
 
     fn strikes(&self) -> bool {
-        let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
-        n.is_multiple_of(self.plan.every)
+        self.schedule.strike().is_some()
     }
 }
 
@@ -114,6 +121,108 @@ impl WireSender for FailingTransport {
                 self.inner.send(to, wire)
             }
             FaultKind::DropEos => unreachable!("handled above"),
+        }
+    }
+
+    fn consumers(&self) -> usize {
+        self.inner.consumers()
+    }
+}
+
+/// A [`WireSender`] interpreting one sender entity's [`ChaosScope`].
+///
+/// Ordinals follow the convention of `zipper_types::fault`: one 1-based
+/// stream over the wires this sender actually attempts — data-carrying
+/// `Msg` wires and `Eos` wires. Disk-only ID flushes are *not* counted
+/// (they do not exist on the DES side), and neither are sends the caller
+/// skipped for a dead destination (the skip happens before this wrapper is
+/// reached on both substrates).
+///
+/// Fault interpretation on a scripted ordinal:
+///
+/// * `FailSend` — return a transient [`RuntimeError::Transport`]; the
+///   wire is not delivered (an unretried caller marks the destination
+///   dead).
+/// * `DropWire` — report success without delivering (a lost frame).
+/// * `CorruptWire` — deliver an in-band [`RuntimeError::Transport`]
+///   instead of the wire.
+/// * `DelayWire(d)` — deliver after an extra delay of `d`.
+/// * `DropEos` — swallow the wire if it is an EOS marker (the lost-EOS
+///   scenario); a data wire at that ordinal passes untouched.
+///
+/// Faults addressed to other entity kinds (`PfsWriteFail`, `CrashApp`,
+/// `DetachSender`) pass the wire through untouched — they are interpreted
+/// by the storage wrapper, the reader, and the spawn path respectively.
+pub struct ChaosSender {
+    inner: MeshSender,
+    scope: Arc<ChaosScope>,
+    injected: AtomicU64,
+}
+
+impl ChaosSender {
+    /// Wrap `inner`, interpreting `scope`.
+    pub fn new(inner: MeshSender, scope: Arc<ChaosScope>) -> Self {
+        ChaosSender {
+            inner,
+            scope,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl WireSender for ChaosSender {
+    fn send(&self, to: Rank, wire: Wire) -> Result<()> {
+        let counted = match &wire {
+            Wire::Msg(m) => m.data.is_some(),
+            Wire::Eos(_) => true,
+        };
+        if !counted {
+            return self.inner.send(to, wire);
+        }
+        match self.scope.next() {
+            None => self.inner.send(to, wire),
+            Some(ChaosFault::FailSend) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(Error::Runtime(RuntimeError::Transport {
+                    rank: to,
+                    detail: format!("chaos: injected send failure on wire #{}", self.scope.ops()),
+                }))
+            }
+            Some(ChaosFault::DropWire) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Some(ChaosFault::CorruptWire) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.inner.send_fault(
+                    to,
+                    RuntimeError::Transport {
+                        rank: to,
+                        detail: format!("chaos: injected corrupt wire #{}", self.scope.ops()),
+                    },
+                )
+            }
+            Some(ChaosFault::DelayWire(d)) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.send(to, wire)
+            }
+            Some(ChaosFault::DropEos) => {
+                if matches!(wire, Wire::Eos(_)) {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                } else {
+                    self.inner.send(to, wire)
+                }
+            }
+            Some(ChaosFault::PfsWriteFail | ChaosFault::CrashApp | ChaosFault::DetachSender) => {
+                self.inner.send(to, wire)
+            }
         }
     }
 
@@ -181,6 +290,67 @@ mod tests {
         let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
         assert_eq!(got.len(), 1);
         assert!(matches!(got[0], Wire::Msg(_)));
+    }
+
+    #[test]
+    fn chaos_sender_strikes_exact_ordinals_and_skips_disk_only_flushes() {
+        use zipper_types::block::deterministic_payload;
+        use zipper_types::{
+            Block, BlockId, ChaosEntity, ChaosPlan, GlobalPos, MixedMessage, StepId,
+        };
+        let plan = ChaosPlan::new()
+            .with(ChaosEntity::Sender(Rank(0)), 2, ChaosFault::DropWire)
+            .with(ChaosEntity::Sender(Rank(0)), 4, ChaosFault::DropEos);
+        let (s, r) = mesh_pair();
+        let c = ChaosSender::new(s, Arc::new(plan.scope(ChaosEntity::Sender(Rank(0)))));
+        let data = |idx: u32| {
+            let id = BlockId::new(Rank(0), StepId(0), idx);
+            Wire::Msg(MixedMessage::data_only(Block::from_payload(
+                Rank(0),
+                StepId(0),
+                idx,
+                4,
+                GlobalPos::default(),
+                deterministic_payload(id, 32),
+            )))
+        };
+        c.send(Rank(0), data(0)).unwrap(); // wire 1: clean
+                                           // Disk-only ID flushes do not advance the ordinal stream.
+        let ids = vec![BlockId::new(Rank(0), StepId(0), 9)];
+        c.send(Rank(0), Wire::Msg(MixedMessage::disk_only(ids)))
+            .unwrap();
+        c.send(Rank(0), data(1)).unwrap(); // wire 2: dropped
+        c.send(Rank(0), data(2)).unwrap(); // wire 3: clean
+        c.send(Rank(0), Wire::Eos(Rank(0))).unwrap(); // wire 4: EOS swallowed
+        assert_eq!(c.injected(), 2);
+        drop(c);
+        let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
+        // Delivered: wire 1, the uncounted ID flush, wire 3. No EOS.
+        assert_eq!(got.len(), 3);
+        assert!(!got.iter().any(|w| matches!(w, Wire::Eos(_))));
+    }
+
+    #[test]
+    fn chaos_sender_fail_send_and_corrupt_wire_surface_faults() {
+        use zipper_types::{ChaosEntity, ChaosPlan};
+        let plan = ChaosPlan::new()
+            .with(ChaosEntity::Sender(Rank(1)), 1, ChaosFault::FailSend)
+            .with(ChaosEntity::Sender(Rank(1)), 2, ChaosFault::CorruptWire);
+        let (s, r) = mesh_pair();
+        let c = ChaosSender::new(s, Arc::new(plan.scope(ChaosEntity::Sender(Rank(1)))));
+        let err = c.send(Rank(0), Wire::Eos(Rank(1))).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Runtime(RuntimeError::Transport { .. })
+        ));
+        c.send(Rank(0), Wire::Eos(Rank(1))).unwrap(); // corrupt: in-band
+        c.send(Rank(0), Wire::Eos(Rank(1))).unwrap(); // wire 3: clean
+        drop(c);
+        assert!(matches!(
+            r.recv(),
+            Err(Error::Runtime(RuntimeError::Transport { .. }))
+        ));
+        assert!(matches!(r.recv(), Ok(Wire::Eos(_))));
     }
 
     #[test]

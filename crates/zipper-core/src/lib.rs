@@ -32,8 +32,8 @@ pub mod transport_tcp;
 
 pub use assemble::{Slab, StepAssembler};
 pub use buffer::BlockQueue;
-pub use consumer::{Consumer, SharedConsumerPolicy, ZipperReader};
-pub use fault::{FailingTransport, FaultKind, FaultPlan};
+pub use consumer::{Consumer, ConsumerRecovery, SharedConsumerPolicy, ZipperReader};
+pub use fault::{ChaosSender, FailingTransport, FaultKind, FaultPlan};
 pub use metrics::{ConsumerMetrics, ProducerMetrics};
 pub use producer::{Producer, SharedProducerPolicy, ZipperWriter};
 pub use transport::{

@@ -245,7 +245,33 @@ impl Producer {
         sink: TraceSink,
         policy: SharedProducerPolicy,
     ) -> Producer {
+        Self::spawn_with_policy_detached(rank, tuning, mesh, storage, sink, policy, false)
+    }
+
+    /// Like [`Producer::spawn_with_policy`], but optionally detaching the
+    /// sender thread from the data path — the chaos engine's
+    /// `ChaosFault::DetachSender`. A detached sender takes no blocks (with
+    /// the high-water mark at zero every block drains through the
+    /// work-stealing writer in production order, which makes the steal
+    /// schedule deterministic across substrates); it still waits for the
+    /// writer to retire, flushes the pending on-disk IDs, and announces
+    /// EOS. Requires `tuning.concurrent_transfer` — without a writer
+    /// thread a detached producer would ship nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_policy_detached(
+        rank: Rank,
+        tuning: ZipperTuning,
+        mesh: impl WireSender + 'static,
+        storage: Arc<dyn zipper_pfs::Storage>,
+        sink: TraceSink,
+        policy: SharedProducerPolicy,
+        detach_sender: bool,
+    ) -> Producer {
         tuning.validate().expect("invalid tuning");
+        assert!(
+            !detach_sender || tuning.concurrent_transfer,
+            "a detached sender needs the writer thread (concurrent_transfer)"
+        );
         let consumers = mesh.consumers();
         {
             let p = policy.lock();
@@ -301,7 +327,17 @@ impl Producer {
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-sender-{rank}"))
                 .spawn(move || {
-                    sender_loop(rank, sq, mesh, pending, smetrics, spolicy, writer_done, rec)
+                    sender_loop(
+                        rank,
+                        sq,
+                        mesh,
+                        pending,
+                        smetrics,
+                        spolicy,
+                        writer_done,
+                        rec,
+                        detach_sender,
+                    )
                 });
             match spawned {
                 Ok(h) => Some(h),
@@ -411,6 +447,9 @@ fn wire_fault(rank: Rank, e: Error) -> RuntimeError {
 /// Fail-soft: a consumer whose channel fails is marked dead and recorded
 /// once; blocks routed to it are dropped while the rest of the mesh keeps
 /// flowing, and the thread itself never panics or aborts the run.
+///
+/// A `detached` sender skips the drain loop entirely — the writer carries
+/// every block — but still performs the end-of-stream duties below it.
 #[allow(clippy::too_many_arguments)]
 fn sender_loop(
     rank: Rank,
@@ -421,33 +460,37 @@ fn sender_loop(
     policy: SharedProducerPolicy,
     writer_done: Arc<WriterDone>,
     mut rec: LaneRecorder,
+    detached: bool,
 ) {
     let mut dead = vec![false; policy.lock().consumers()];
-    loop {
-        let (taken, idle) = queue.pop_then(|b| policy.lock().route_net(b.id()));
-        record_wait(&mut rec, SpanKind::Idle, idle);
-        let Some((block, dest)) = taken else { break };
-        if dead[dest.idx()] {
-            continue; // destination already failed; drop, error recorded
-        }
-        let on_disk = std::mem::take(&mut pending.lock()[dest.idx()]);
-        let bytes = block.header.len;
-        let msg = MixedMessage {
-            data: Some(block),
-            on_disk,
-        };
-        match rec.time(SpanKind::Send, || mesh.send(dest, Wire::Msg(msg))) {
-            Ok(()) => {
-                let mut m = metrics.lock();
-                m.blocks_sent += 1;
-                m.bytes_sent += bytes;
+    if !detached {
+        loop {
+            let (taken, idle) = queue.pop_then(|b| policy.lock().route_net(b.id()));
+            record_wait(&mut rec, SpanKind::Idle, idle);
+            let Some((block, dest)) = taken else { break };
+            if dead[dest.idx()] {
+                continue; // destination already failed; drop, error recorded
             }
-            Err(e) => {
-                dead[dest.idx()] = true;
-                metrics.lock().errors.push(wire_fault(rank, e));
+            let on_disk = std::mem::take(&mut pending.lock()[dest.idx()]);
+            let bytes = block.header.len;
+            let msg = MixedMessage {
+                data: Some(block),
+                on_disk,
+            };
+            match rec.time(SpanKind::Send, || mesh.send(dest, Wire::Msg(msg))) {
+                Ok(()) => {
+                    let mut m = metrics.lock();
+                    m.blocks_sent += 1;
+                    m.bytes_sent += bytes;
+                }
+                Err(e) => {
+                    dead[dest.idx()] = true;
+                    metrics.lock().errors.push(wire_fault(rank, e));
+                }
             }
         }
     }
+
     // End of stream. The writer may still be storing its final stolen
     // block: wait for it to retire before flushing, so every on-disk ID is
     // announced before the EOS (a block whose ID never ships would be
@@ -515,25 +558,41 @@ fn writer_loop(
         shard.observe(HistogramId::PfsWriteBytes, block.header.len);
         let stored = rec.time(SpanKind::FsWrite, || storage.put(&block));
         if let Err(e) = stored {
-            // PFS failure: the stolen block goes back to the producer
-            // buffer for the message path (the sender will re-route it),
-            // and the writer thread retires, degrading the runtime to
-            // message-passing-only for the rest of the run. If the queue
-            // closed in the meantime (shutdown race) the block is dropped
-            // and that too is recorded.
-            let fallback_failed = queue.push(block).is_err();
-            policy.lock().writer_retired(RetireReason::Fault);
-            let mut m = metrics.lock();
-            if fallback_failed {
-                m.errors.push(RuntimeError::QueueClosed {
+            // PFS failure: the stolen block goes back to the *front* of
+            // the producer buffer (the next taker re-takes and re-routes
+            // it — the DES writer proc mirrors this requeue-retire-revive
+            // sequence exactly), and the writer retires. With a revival
+            // budget the kernel grants a comeback: the writer sleeps the
+            // configured cooldown and resumes stealing; otherwise the run
+            // degrades to message-passing-only. A queue already closed at
+            // requeue time is a shutdown race — the block may never ship,
+            // which is recorded.
+            let closed = queue.is_closed();
+            queue.requeue(block);
+            let (revive, cooldown) = {
+                let mut p = policy.lock();
+                p.writer_retired(RetireReason::Fault);
+                (p.try_revive_writer(), p.recovery().writer_cooldown)
+            };
+            {
+                let mut m = metrics.lock();
+                if closed {
+                    m.errors.push(RuntimeError::QueueClosed {
+                        rank,
+                        context: "writer fallback requeue",
+                    });
+                }
+                m.errors.push(RuntimeError::WriterRetired {
                     rank,
-                    context: "writer fallback push",
+                    detail: e.to_string(),
                 });
             }
-            m.errors.push(RuntimeError::WriterRetired {
-                rank,
-                detail: e.to_string(),
-            });
+            if revive {
+                if !cooldown.is_zero() {
+                    rec.time(SpanKind::Retry, || std::thread::sleep(cooldown));
+                }
+                continue;
+            }
             return;
         }
         pending.lock()[dest.idx()].push(block.id());
@@ -562,6 +621,7 @@ mod tests {
             preserve: PreserveMode::NoPreserve,
             routing: RoutingPolicy::SourceAffine,
             eos_timeout: Some(std::time::Duration::from_secs(30)),
+            recovery: Default::default(),
         }
     }
 
@@ -775,6 +835,67 @@ mod tests {
                 .collect();
             assert_eq!(got, want, "consumer {q} got a foreign deal");
         }
+    }
+
+    #[test]
+    fn detached_sender_writer_revival_delivers_every_block() {
+        use zipper_types::{ChaosEntity, ChaosFault, ChaosPlan, RecoveryPolicy};
+        let mesh = ChannelMesh::new(1, 64);
+        let plan = ChaosPlan::new().with(ChaosEntity::Writer(Rank(0)), 2, ChaosFault::PfsWriteFail);
+        let storage = Arc::new(zipper_pfs::ChaosFs::new(
+            MemFs::new(),
+            Arc::new(plan.scope(ChaosEntity::Writer(Rank(0)))),
+        ));
+        let mut t = tuning(true);
+        t.high_water_mark = 0; // steal from the first backlog block
+        t.recovery = RecoveryPolicy {
+            writer_cooldown: std::time::Duration::ZERO,
+            max_writer_revivals: 1,
+            max_consumer_restarts: 0,
+        };
+        let policy = Arc::new(Mutex::new(ProducerPolicy::from_tuning(Rank(0), 1, &t)));
+        let mut prod = Producer::spawn_with_policy_detached(
+            Rank(0),
+            t,
+            mesh.sender(),
+            storage.clone(),
+            TraceSink::default(),
+            policy.clone(),
+            true,
+        );
+        let writer = prod.writer(4096);
+        let collector = collect_rank0(&mesh, 1);
+        for i in 0..6u32 {
+            let id = BlockId::new(Rank(0), StepId(0), i);
+            writer.write(Block::from_payload(
+                Rank(0),
+                StepId(0),
+                i,
+                6,
+                GlobalPos::default(),
+                deterministic_payload(id, 256),
+            ));
+        }
+        writer.finish();
+        let metrics = prod.join();
+        let (net, disk) = collector.join().unwrap();
+        // Detached: no data wires — every block went through the writer,
+        // including the one whose put #2 faulted (requeued, re-stored
+        // after the revival).
+        assert!(net.is_empty(), "detached sender must not carry data");
+        assert_eq!(disk.len(), 6, "every block announced via the file path");
+        assert_eq!(metrics.blocks_sent, 0);
+        assert_eq!(metrics.blocks_stolen, 6);
+        assert_eq!(storage.inner().len(), 6);
+        assert_eq!(policy.lock().revivals_used(), 1);
+        assert!(
+            metrics
+                .errors
+                .iter()
+                .any(|e| matches!(e, RuntimeError::WriterRetired { .. })),
+            "the fault is still reported: {:?}",
+            metrics.errors
+        );
     }
 
     #[test]

@@ -423,12 +423,21 @@ impl<S: WireSender> RetryingSender<S> {
 impl<S: WireSender> WireSender for RetryingSender<S> {
     fn send(&self, to: Rank, wire: Wire) -> Result<()> {
         let mut attempt = 1u32;
+        let mut faults: Vec<Error> = Vec::new();
         loop {
             match self.inner.send(to, wire.clone()) {
                 Ok(()) => return Ok(()),
                 Err(e) => {
+                    faults.push(e);
                     if !self.policy.should_retry(attempt) {
-                        return Err(e);
+                        // Exhausted: surface the whole failure history, not
+                        // just the last straw. A single-attempt policy keeps
+                        // its one error plain.
+                        return Err(if faults.len() == 1 {
+                            faults.pop().expect("one fault")
+                        } else {
+                            Error::Aggregate(faults)
+                        });
                     }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     self.backoff(attempt, u64::from(to.0));
@@ -723,6 +732,39 @@ mod tests {
         );
         assert!(retrying.send(Rank(0), Wire::Eos(Rank(0))).is_err());
         assert_eq!(retrying.retries(), 2, "attempts - 1 backoffs");
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_every_attempts_fault() {
+        struct AlwaysDown;
+        impl WireSender for AlwaysDown {
+            fn send(&self, _to: Rank, _wire: Wire) -> Result<()> {
+                Err(Error::Disconnected("down"))
+            }
+            fn consumers(&self) -> usize {
+                1
+            }
+        }
+        let policy = |attempts| RetryPolicy {
+            max_attempts: attempts,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(400),
+            jitter: 0.0,
+        };
+        let retrying = RetryingSender::new(AlwaysDown, policy(3));
+        match retrying.send(Rank(0), Wire::Eos(Rank(0))).unwrap_err() {
+            Error::Aggregate(faults) => {
+                assert_eq!(faults.len(), 3, "one error per attempt");
+                assert!(faults.iter().all(|f| matches!(f, Error::Disconnected(_))));
+            }
+            other => panic!("expected Aggregate, got {other:?}"),
+        }
+        // A single-attempt policy keeps the lone error un-wrapped.
+        let one_shot = RetryingSender::new(AlwaysDown, policy(1));
+        assert!(matches!(
+            one_shot.send(Rank(0), Wire::Eos(Rank(0))).unwrap_err(),
+            Error::Disconnected(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Chaos-plan storage decorator.
+//!
+//! [`ChaosFs`] is the storage half of the deterministic chaos engine: it
+//! interprets one entity's [`ChaosScope`] — the writer thread's or the
+//! Preserve output path's view of a `ChaosPlan` — by counting `put`
+//! attempts and failing exactly the scripted ordinals. Unlike
+//! [`FailingFs`](crate::FailingFs), which faults periodically, `ChaosFs`
+//! is fully scripted, so the same plan produces the same faults on the
+//! threaded runtime and (via the DES procs' own scope interpretation) in
+//! virtual time.
+//!
+//! Only `put` is counted — the module docs of `zipper_types::fault`
+//! define Writer/Output ordinals as PFS put attempts. `get`, `contains`,
+//! and `delete` pass through untouched.
+
+use crate::storage::Storage;
+use std::sync::Arc;
+use zipper_types::{Block, BlockId, ChaosFault, ChaosScope, Error, Result};
+
+/// A [`Storage`] decorator failing the `put` ordinals a chaos scope
+/// scripts as [`ChaosFault::PfsWriteFail`].
+pub struct ChaosFs<S> {
+    inner: S,
+    scope: Arc<ChaosScope>,
+}
+
+impl<S: Storage> ChaosFs<S> {
+    /// Wrap `inner`, interpreting `scope` (faults other than
+    /// `PfsWriteFail` scheduled on the scope are ignored here).
+    pub fn new(inner: S, scope: Arc<ChaosScope>) -> Self {
+        ChaosFs { inner, scope }
+    }
+
+    /// Access the wrapped backend.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Storage> Storage for ChaosFs<S> {
+    fn put(&self, block: &Block) -> Result<()> {
+        if self.scope.next() == Some(ChaosFault::PfsWriteFail) {
+            return Err(Error::Storage(format!(
+                "chaos: injected PFS write fault on put #{}",
+                self.scope.ops()
+            )));
+        }
+        self.inner.put(block)
+    }
+
+    fn get(&self, id: BlockId) -> Result<Block> {
+        self.inner.get(id)
+    }
+
+    fn contains(&self, id: BlockId) -> bool {
+        self.inner.contains(id)
+    }
+
+    fn delete(&self, id: BlockId) -> Result<()> {
+        self.inner.delete(id)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn retries(&self) -> u64 {
+        self.inner.retries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFs;
+    use zipper_types::block::deterministic_payload;
+    use zipper_types::{ChaosEntity, ChaosPlan, GlobalPos, Rank, StepId};
+
+    fn block(idx: u32) -> Block {
+        let id = BlockId::new(Rank(0), StepId(0), idx);
+        Block::from_payload(
+            Rank(0),
+            StepId(0),
+            idx,
+            4,
+            GlobalPos::default(),
+            deterministic_payload(id, 64),
+        )
+    }
+
+    #[test]
+    fn scripted_put_ordinal_fails_and_counting_survives_reads() {
+        let plan = ChaosPlan::new().with(ChaosEntity::Writer(Rank(0)), 2, ChaosFault::PfsWriteFail);
+        let fs = ChaosFs::new(
+            MemFs::new(),
+            Arc::new(plan.scope(ChaosEntity::Writer(Rank(0)))),
+        );
+        assert!(fs.put(&block(0)).is_ok()); // put 1
+        assert!(fs.get(block(0).id()).is_ok()); // reads are not counted
+        assert!(!fs.contains(block(9).id()));
+        let err = fs.put(&block(1)).unwrap_err(); // put 2: scripted
+        assert!(matches!(err, Error::Storage(_)), "{err:?}");
+        assert!(fs.put(&block(2)).is_ok()); // put 3
+        assert_eq!(fs.len(), 2, "the faulted block never landed");
+    }
+
+    #[test]
+    fn empty_scope_is_transparent() {
+        let plan = ChaosPlan::new();
+        let fs = ChaosFs::new(
+            MemFs::new(),
+            Arc::new(plan.scope(ChaosEntity::Output(Rank(1)))),
+        );
+        for i in 0..4 {
+            fs.put(&block(i)).unwrap();
+        }
+        assert_eq!(fs.len(), 4);
+    }
+}

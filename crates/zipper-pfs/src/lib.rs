@@ -14,11 +14,13 @@
 //!    load, consumed by `hpcsim` to time simulated `FsWrite`/`FsRead`
 //!    operations (and to reproduce MPI-IO's high variance, §3).
 
+pub mod chaos;
 pub mod model;
 pub mod retry;
 pub mod storage;
 pub mod throttle;
 
+pub use chaos::ChaosFs;
 pub use model::{OstModel, OstModelConfig};
 pub use retry::RetryingFs;
 pub use storage::{DiskFs, MemFs, Storage};

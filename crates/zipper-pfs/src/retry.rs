@@ -78,14 +78,23 @@ impl<S: Storage> RetryingFs<S> {
 
     fn run<T>(&self, seed: u64, mut op: impl FnMut() -> Result<T>) -> Result<T> {
         let mut attempt = 1u32;
+        let mut faults: Vec<Error> = Vec::new();
         loop {
             match op() {
                 Ok(v) => return Ok(v),
                 // A missing block is a permanent condition.
                 Err(e @ Error::BlockNotFound(_)) => return Err(e),
                 Err(e) => {
+                    faults.push(e);
                     if !self.policy.should_retry(attempt) {
-                        return Err(e);
+                        // Exhausted: surface the whole failure history, not
+                        // just the last straw. A single-attempt policy keeps
+                        // its one error plain.
+                        return Err(if faults.len() == 1 {
+                            faults.pop().expect("one fault")
+                        } else {
+                            Error::Aggregate(faults)
+                        });
                     }
                     self.backoff(attempt, seed);
                     attempt += 1;
@@ -175,6 +184,22 @@ mod tests {
         let fs = RetryingFs::new(FailingFs::new(MemFs::new(), 1), fast_policy(3));
         assert!(fs.put(&block(0)).is_err());
         assert_eq!(fs.retries(), 2, "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn exhaustion_surfaces_every_attempts_fault() {
+        let fs = RetryingFs::new(FailingFs::new(MemFs::new(), 1), fast_policy(3));
+        let err = fs.put(&block(0)).unwrap_err();
+        match err {
+            Error::Aggregate(faults) => {
+                assert_eq!(faults.len(), 3, "one error per attempt");
+                assert!(faults.iter().all(|f| matches!(f, Error::Storage(_))));
+            }
+            other => panic!("expected Aggregate, got {other:?}"),
+        }
+        // A single-attempt policy keeps the lone error un-wrapped.
+        let fs = RetryingFs::new(FailingFs::new(MemFs::new(), 1), fast_policy(1));
+        assert!(matches!(fs.put(&block(1)).unwrap_err(), Error::Storage(_)));
     }
 
     #[test]

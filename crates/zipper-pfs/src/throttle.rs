@@ -119,32 +119,29 @@ impl<S: Storage> Storage for ThrottledFs<S> {
 /// Fault-injecting storage decorator: every `failure_period`-th operation
 /// (put or get) fails with a storage error. Used to test that the runtime
 /// degrades gracefully — surfacing errors in the consumer metrics instead
-/// of hanging or corrupting the stream.
+/// of hanging or corrupting the stream. The counting lives in the shared
+/// [`zipper_types::FaultSchedule`] (one implementation for transport and
+/// storage injection).
 pub struct FailingFs<S> {
     inner: S,
-    failure_period: u64,
-    ops: std::sync::atomic::AtomicU64,
+    schedule: zipper_types::FaultSchedule,
 }
 
 impl<S: Storage> FailingFs<S> {
     /// Fail every `failure_period`-th operation (1 = fail everything).
     pub fn new(inner: S, failure_period: u64) -> Self {
-        assert!(failure_period >= 1);
         FailingFs {
             inner,
-            failure_period,
-            ops: std::sync::atomic::AtomicU64::new(0),
+            schedule: zipper_types::FaultSchedule::every(failure_period),
         }
     }
 
     fn maybe_fail(&self, what: &str) -> zipper_types::Result<()> {
-        let n = self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-        if n.is_multiple_of(self.failure_period) {
-            Err(zipper_types::Error::Storage(format!(
+        match self.schedule.strike() {
+            Some(n) => Err(zipper_types::Error::Storage(format!(
                 "injected fault on {what} #{n}"
-            )))
-        } else {
-            Ok(())
+            ))),
+            None => Ok(()),
         }
     }
 }

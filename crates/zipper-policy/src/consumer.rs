@@ -9,7 +9,7 @@
 use crate::eos::{Channel, EosProgress, EosTracker};
 use crate::preserve::PreservePlan;
 use crate::trace::{DecisionTrace, PolicyEvent};
-use zipper_types::{BlockId, PreserveMode, Rank, ZipperTuning};
+use zipper_types::{BlockId, PreserveMode, Rank, RecoveryPolicy, ZipperTuning};
 
 /// Decision kernel for one consumer rank.
 #[derive(Clone, Debug)]
@@ -19,6 +19,8 @@ pub struct ConsumerPolicy {
     concurrent: bool,
     tracker: EosTracker,
     plan: PreservePlan,
+    recovery: RecoveryPolicy,
+    restarts_used: u32,
     trace: DecisionTrace,
     completed: bool,
 }
@@ -37,6 +39,8 @@ impl ConsumerPolicy {
             concurrent: concurrent_transfer,
             tracker: EosTracker::new(producers, concurrent_transfer),
             plan: PreservePlan::new(preserve),
+            recovery: RecoveryPolicy::default(),
+            restarts_used: 0,
             trace: DecisionTrace::default(),
             completed: false,
         }
@@ -45,6 +49,18 @@ impl ConsumerPolicy {
     /// Build from the shared tuning knobs.
     pub fn from_tuning(rank: Rank, producers: usize, tuning: &ZipperTuning) -> Self {
         Self::new(rank, producers, tuning.concurrent_transfer, tuning.preserve)
+            .with_recovery(tuning.recovery)
+    }
+
+    /// Set the self-healing budgets (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The configured self-healing budgets.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Enable decision recording (builder style).
@@ -134,6 +150,27 @@ impl ConsumerPolicy {
         self.trace.record(PolicyEvent::ReaderAbandoned);
     }
 
+    /// Whether a crashed consumer application may be restarted (the
+    /// restart budget is not yet exhausted).
+    pub fn may_restart(&self) -> bool {
+        self.restarts_used < self.recovery.max_consumer_restarts
+    }
+
+    /// A crashed consumer application was restarted after `replayed`
+    /// already-delivered blocks were replayed from the Preserve store.
+    /// Consumes one restart from the budget and records
+    /// [`PolicyEvent::ConsumerRestarted`].
+    pub fn consumer_restarted(&mut self, replayed: usize) {
+        self.restarts_used += 1;
+        self.trace
+            .record(PolicyEvent::ConsumerRestarted { replayed });
+    }
+
+    /// Restarts consumed so far.
+    pub fn restarts_used(&self) -> u32 {
+        self.restarts_used
+    }
+
     /// The decisions made so far.
     pub fn trace(&self) -> &DecisionTrace {
         &self.trace
@@ -199,5 +236,30 @@ mod tests {
         let mut c = ConsumerPolicy::new(Rank(0), 1, false, PreserveMode::NoPreserve).recorded();
         c.reader_abandoned();
         assert!(c.trace().canonical().abandoned);
+    }
+
+    #[test]
+    fn restart_budget_gates_recovery() {
+        let recovery = RecoveryPolicy {
+            max_consumer_restarts: 1,
+            ..Default::default()
+        };
+        let mut c = ConsumerPolicy::new(Rank(1), 2, true, PreserveMode::Preserve)
+            .with_recovery(recovery)
+            .recorded();
+        c.reader_abandoned();
+        assert!(c.may_restart());
+        c.consumer_restarted(5);
+        assert!(!c.may_restart(), "budget of one is exhausted");
+        assert_eq!(c.restarts_used(), 1);
+        let canon = c.trace().canonical();
+        assert!(canon.abandoned);
+        assert_eq!(canon.restarts, vec![5]);
+    }
+
+    #[test]
+    fn default_policy_never_restarts() {
+        let c = ConsumerPolicy::new(Rank(0), 1, true, PreserveMode::Preserve);
+        assert!(!c.may_restart());
     }
 }

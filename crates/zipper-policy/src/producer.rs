@@ -12,7 +12,7 @@ use crate::eos::Channel;
 use crate::route::Router;
 use crate::steal::StealPolicy;
 use crate::trace::{DecisionTrace, PolicyEvent, RetireReason};
-use zipper_types::{BlockId, Rank, RoutingPolicy, ZipperTuning};
+use zipper_types::{BlockId, Rank, RecoveryPolicy, RoutingPolicy, ZipperTuning};
 
 /// Decision kernel for one producer rank.
 #[derive(Clone, Debug)]
@@ -20,6 +20,8 @@ pub struct ProducerPolicy {
     rank: Rank,
     router: Router,
     steal: StealPolicy,
+    recovery: RecoveryPolicy,
+    revivals_used: u32,
     trace: DecisionTrace,
 }
 
@@ -36,6 +38,8 @@ impl ProducerPolicy {
             rank,
             router: Router::new(routing, consumers),
             steal: StealPolicy::new(high_water_mark, concurrent_transfer),
+            recovery: RecoveryPolicy::default(),
+            revivals_used: 0,
             trace: DecisionTrace::default(),
         }
     }
@@ -49,6 +53,18 @@ impl ProducerPolicy {
             tuning.high_water_mark,
             tuning.concurrent_transfer,
         )
+        .with_recovery(tuning.recovery)
+    }
+
+    /// Set the self-healing budgets (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The configured self-healing budgets.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// Enable decision recording (builder style).
@@ -111,6 +127,25 @@ impl ProducerPolicy {
     /// Record that this rank's writer retired.
     pub fn writer_retired(&mut self, reason: RetireReason) {
         self.trace.record(PolicyEvent::WriterRetired { reason });
+    }
+
+    /// Decide whether a fault-retired writer may be revived. Consumes one
+    /// revival from the budget and records [`PolicyEvent::WriterRevived`]
+    /// when granted; the caller is responsible for observing the cooldown
+    /// ([`RecoveryPolicy::writer_cooldown`]) in its own notion of time
+    /// before resuming steals.
+    pub fn try_revive_writer(&mut self) -> bool {
+        if self.revivals_used >= self.recovery.max_writer_revivals {
+            return false;
+        }
+        self.revivals_used += 1;
+        self.trace.record(PolicyEvent::WriterRevived);
+        true
+    }
+
+    /// Revivals granted so far.
+    pub fn revivals_used(&self) -> u32 {
+        self.revivals_used
     }
 
     /// End-of-stream fan-out for one channel: the consumers this producer
@@ -201,6 +236,31 @@ mod tests {
         assert_eq!(c.routes.len(), 2);
         assert_eq!(c.steals, vec![id(1)]);
         assert_eq!(c.retires, vec![RetireReason::Drained]);
+    }
+
+    #[test]
+    fn writer_revival_consumes_the_budget() {
+        let recovery = RecoveryPolicy {
+            max_writer_revivals: 1,
+            ..Default::default()
+        };
+        let mut p = ProducerPolicy::new(Rank(0), 2, RoutingPolicy::RoundRobin, 0, true)
+            .with_recovery(recovery)
+            .recorded();
+        p.writer_retired(RetireReason::Fault);
+        assert!(p.try_revive_writer(), "first revival within budget");
+        assert_eq!(p.revivals_used(), 1);
+        assert!(!p.try_revive_writer(), "budget of one is exhausted");
+        let c = p.trace().canonical();
+        assert_eq!(c.retires, vec![RetireReason::Fault]);
+        assert_eq!(c.revivals, 1, "denied revival leaves no trace");
+    }
+
+    #[test]
+    fn default_policy_never_revives() {
+        let mut p = ProducerPolicy::new(Rank(0), 2, RoutingPolicy::RoundRobin, 0, true).recorded();
+        assert!(!p.try_revive_writer());
+        assert_eq!(p.trace().canonical().revivals, 0);
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum PolicyEvent {
     Steal { block: BlockId },
     /// The writer thread retired.
     WriterRetired { reason: RetireReason },
+    /// A fault-retired writer was re-probed after its cooldown and
+    /// resumed stealing (consumed one revival from the recovery budget).
+    WriterRevived,
     /// The producer announced end-of-stream to a consumer on a channel.
     EosAnnounced { target: Rank, channel: Channel },
     /// A consumer observed a producer's end-of-stream mark on a channel.
@@ -53,6 +56,10 @@ pub enum PolicyEvent {
     EosTimeout { seen: usize, expected: usize },
     /// The analysis application dropped its reader before end of stream.
     ReaderAbandoned,
+    /// A crashed consumer application was restarted by the driver after
+    /// replaying `replayed` already-delivered blocks from the Preserve
+    /// store (consumed one restart from the recovery budget).
+    ConsumerRestarted { replayed: usize },
 }
 
 /// Append-only record of [`PolicyEvent`]s.
@@ -104,6 +111,7 @@ impl DecisionTrace {
                 } => c.routes.push((block, dest, channel)),
                 PolicyEvent::Steal { block } => c.steals.push(block),
                 PolicyEvent::WriterRetired { reason } => c.retires.push(reason),
+                PolicyEvent::WriterRevived => c.revivals += 1,
                 PolicyEvent::EosAnnounced { target, channel } => {
                     c.eos_announced.push((target, channel))
                 }
@@ -112,6 +120,7 @@ impl DecisionTrace {
                 PolicyEvent::StoreDecision { block, store } => c.stores.push((block, store)),
                 PolicyEvent::EosTimeout { .. } => c.timeouts += 1,
                 PolicyEvent::ReaderAbandoned => c.abandoned = true,
+                PolicyEvent::ConsumerRestarted { replayed } => c.restarts.push(replayed),
             }
         }
         // Routes and steals keep decision order: the kernel makes them under
@@ -136,6 +145,9 @@ pub struct CanonicalTrace {
     pub steals: Vec<BlockId>,
     /// Writer retirements in order (normally exactly one).
     pub retires: Vec<RetireReason>,
+    /// Number of writer revivals (fault-retired writers resuming after a
+    /// cooldown).
+    pub revivals: usize,
     /// Producer-side EOS fan-out, sorted by (target, channel).
     pub eos_announced: Vec<(Rank, Channel)>,
     /// Consumer-side EOS marks, sorted by (producer, channel).
@@ -148,6 +160,9 @@ pub struct CanonicalTrace {
     pub timeouts: usize,
     /// Whether the reader was abandoned before end of stream.
     pub abandoned: bool,
+    /// Consumer restarts in order, each recording the number of blocks
+    /// replayed from the Preserve store before rejoining live traffic.
+    pub restarts: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -216,5 +231,25 @@ mod tests {
         assert_eq!(c.timeouts, 1);
         assert!(c.abandoned);
         assert_eq!(c.retires, vec![RetireReason::Fault]);
+    }
+
+    #[test]
+    fn recovery_events_canonicalize_in_order() {
+        let mut t = DecisionTrace::default();
+        t.enable();
+        t.record(PolicyEvent::WriterRetired {
+            reason: RetireReason::Fault,
+        });
+        t.record(PolicyEvent::WriterRevived);
+        t.record(PolicyEvent::WriterRetired {
+            reason: RetireReason::Drained,
+        });
+        t.record(PolicyEvent::ReaderAbandoned);
+        t.record(PolicyEvent::ConsumerRestarted { replayed: 4 });
+        t.record(PolicyEvent::ConsumerRestarted { replayed: 7 });
+        let c = t.canonical();
+        assert_eq!(c.retires, vec![RetireReason::Fault, RetireReason::Drained]);
+        assert_eq!(c.revivals, 1);
+        assert_eq!(c.restarts, vec![4, 7], "restart order and counts kept");
     }
 }

@@ -72,10 +72,23 @@ pub fn render_timeline(log: &TraceLog, opts: &RenderOptions) -> String {
         SimTime::from_nanos(bucket_ns)
     ));
 
-    // Accumulate per-lane per-bucket per-kind overlap.
+    // Accumulate per-lane per-bucket per-kind overlap. Zero-duration
+    // policy decisions carry no overlap, so they get a marker overlay
+    // instead: the bucket containing the decision's ordinal position
+    // always shows the policy glyph, no matter what else fills it.
+    let mut any_marker = false;
     for &lane in &lanes {
         let mut buckets = vec![[0u64; SpanKind::ALL.len()]; opts.width];
+        let mut markers = vec![false; opts.width];
         for s in log.spans().iter().filter(|s| s.lane == lane) {
+            if s.kind == SpanKind::Policy && s.t0 == s.t1 {
+                if s.t0 >= opts.from && s.t0 < to {
+                    let b = ((s.t0.as_nanos() - opts.from.as_nanos()) / bucket_ns) as usize;
+                    markers[b.min(opts.width - 1)] = true;
+                    any_marker = true;
+                }
+                continue;
+            }
             if s.t1 <= opts.from || s.t0 >= to {
                 continue;
             }
@@ -94,7 +107,11 @@ pub fn render_timeline(log: &TraceLog, opts: &RenderOptions) -> String {
         }
         let row: String = buckets
             .iter()
-            .map(|b| {
+            .zip(&markers)
+            .map(|(b, &marked)| {
+                if marked {
+                    return SpanKind::Policy.glyph();
+                }
                 let (best, t) = b
                     .iter()
                     .enumerate()
@@ -118,6 +135,7 @@ pub fn render_timeline(log: &TraceLog, opts: &RenderOptions) -> String {
 
     // Legend for the kinds that actually appear in the window.
     let mut used = [false; SpanKind::ALL.len()];
+    used[SpanKind::Policy.index()] = any_marker;
     for s in log.spans() {
         if s.t1 > opts.from && s.t0 < to && lanes.contains(&s.lane) {
             used[s.kind.index()] = true;
@@ -211,6 +229,35 @@ mod tests {
         let s = render_timeline(&log, &opts);
         assert!(s.contains("ana/r0"));
         assert!(!s.contains("sim/r0"));
+    }
+
+    #[test]
+    fn policy_markers_overlay_dominant_spans() {
+        let mut log = TraceLog::new();
+        let l = log.lane("policy/p0");
+        // A long compute span would otherwise own every bucket.
+        log.record(Span::new(
+            l,
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+        ));
+        // Zero-duration decision markers: one at the window start (which
+        // the overlap path would drop entirely) and one mid-window.
+        log.record(Span::new(l, SpanKind::Policy, SimTime::ZERO, SimTime::ZERO));
+        log.record(Span::new(
+            l,
+            SpanKind::Policy,
+            SimTime::from_millis(55),
+            SimTime::from_millis(55),
+        ));
+        let opts = RenderOptions {
+            width: 10,
+            ..Default::default()
+        };
+        let s = render_timeline(&log, &opts);
+        assert!(s.contains("pCCCCpCCCC"), "got:\n{s}");
+        assert!(s.contains("p=policy"), "markers reach the legend:\n{s}");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use hpcsim::{NetworkConfig, SimConfig};
 use zipper_apps::{AppCostModel, Complexity};
 use zipper_model::ModelInput;
 use zipper_pfs::OstModelConfig;
-use zipper_types::{ByteSize, NodeId, RoutingPolicy, SimTime};
+use zipper_types::{ByteSize, ChaosPlan, NodeId, RecoveryPolicy, RoutingPolicy, SimTime};
 
 /// Everything that defines one simulated workflow run.
 #[derive(Clone, Debug)]
@@ -63,6 +63,17 @@ pub struct WorkflowSpec {
     pub cpu_slowdown: f64,
     /// RNG seed (PFS background-load jitter etc.).
     pub seed: u64,
+    /// Scripted fault schedule interpreted by the Zipper DES processes
+    /// (`None` = fault-free). Ordinals follow the conventions in
+    /// `zipper_types::fault` so the same plan drives the threaded runtime.
+    pub chaos: Option<ChaosPlan>,
+    /// Recovery budgets handed to every policy kernel (writer revival,
+    /// consumer restart). Default: recovery disabled.
+    pub recovery: RecoveryPolicy,
+    /// When set, consumer receivers arm an EOS watchdog: this much virtual
+    /// time with no traffic reconciles the `EosTracker` and shuts the rank
+    /// down — the DES mirror of the threaded receiver's `recv_timeout`.
+    pub virtual_eos_timeout: Option<SimTime>,
 }
 
 impl WorkflowSpec {
@@ -93,6 +104,9 @@ impl WorkflowSpec {
             leaf_uplinks: 8,
             cpu_slowdown: 1.0,
             seed: 42,
+            chaos: None,
+            recovery: RecoveryPolicy::default(),
+            virtual_eos_timeout: None,
         }
     }
 
@@ -257,6 +271,15 @@ impl WorkflowSpec {
                 self.blocks_per_rank_step()
             ));
         }
+        if let Some(plan) = &self.chaos {
+            let detaches = plan
+                .events
+                .iter()
+                .any(|ev| ev.fault == zipper_types::ChaosFault::DetachSender);
+            if detaches && !self.concurrent_transfer {
+                return Err("DetachSender requires concurrent_transfer".into());
+            }
+        }
         Ok(())
     }
 }
@@ -367,6 +390,9 @@ pub mod tag {
     pub const RESP: u64 = 7;
     pub const ACK: u64 = 8;
     pub const PUT: u64 = 9;
+    /// A chaos-corrupted wire: crosses the fabric (the bytes were sent)
+    /// but the receiver discards it on arrival.
+    pub const CORRUPT: u64 = 10;
 
     /// Compose a tag.
     pub fn make(kind: u64, step: u64, info: u64) -> u64 {

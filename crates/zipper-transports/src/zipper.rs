@@ -16,6 +16,28 @@
 //! single-threaded analogue of the threaded runtime's `Arc<Mutex<..>>`),
 //! so round-robin routing rotates one counter across both channels.
 
+//!
+//! ## Fault injection
+//!
+//! When [`WorkflowSpec::chaos`] carries a [`ChaosPlan`](zipper_types::ChaosPlan), each process
+//! interprets its entity's [`ChaosScope`] under the ordinal conventions of
+//! `zipper_types::fault`, mirroring the threaded runtime's injection
+//! wrappers: the sender counts data-carrying and EOS sends (skipping
+//! destinations an earlier `FailSend` killed, uncounted), the writer and
+//! output procs count PFS put attempts, the analysis proc counts read
+//! calls. Recovery is the same policy-kernel conversation as the threaded
+//! runtime: a faulted writer requeues its block, retires, and — within the
+//! [`RecoveryPolicy`](zipper_types::RecoveryPolicy) budget — revives after
+//! the cooldown; a crashed
+//! analysis rank records its abandonment and restart (the replay the
+//! threaded supervisor performs is a no-op here, because the DES never
+//! lost the blocks, but the scope advances over the replay's ordinals so
+//! later faults stay aligned). One caveat follows from the substrates'
+//! different EOS wiring: the threaded sender emits a *single* combined
+//! end-of-stream wire per consumer, so a `DropEos` there swallows both
+//! channels' marks, while here it swallows only the sender's SEOS —
+//! schedule `DropEos` conformance runs in message-only mode.
+
 use crate::spec::{tag, ClusterLayout, WorkflowSpec};
 use hpcsim::{BufferTaken, Op, ProcCtx, Program, Simulator, Step};
 use std::cell::RefCell;
@@ -23,7 +45,14 @@ use std::rc::Rc;
 use zipper_apps::AppCostModel;
 use zipper_policy::{Channel, ConsumerPolicy, ProducerPolicy, RetireReason};
 use zipper_trace::SpanKind;
-use zipper_types::{BlockId, PreserveMode, ProcId, Rank, SimTime, StepId};
+use zipper_types::{
+    BlockId, ChaosEntity, ChaosFault, ChaosScope, PreserveMode, ProcId, Rank, SimTime, StepId,
+};
+
+/// A wall-clock chaos duration as the same span of virtual time.
+fn sim_dur(d: std::time::Duration) -> SimTime {
+    SimTime::from_nanos(d.as_nanos() as u64)
+}
 
 /// One simulation rank's policy kernel, shared by its sender and writer
 /// processes. `Rc<RefCell<..>>` because DES processes run on one OS
@@ -168,6 +197,11 @@ pub struct SenderProc {
     rank: usize,
     receivers: Rc<Vec<ProcId>>,
     policy: SharedProducerPolicy,
+    chaos: Rc<ChaosScope>,
+    /// Destinations an injected `FailSend` killed: data sends to them are
+    /// skipped (uncounted), exactly like the threaded sender's fail-soft
+    /// bookkeeping. EOS marks are still attempted toward them.
+    dead: Vec<bool>,
     started: bool,
     eos_sent: bool,
 }
@@ -178,12 +212,16 @@ impl SenderProc {
         rank: usize,
         receivers: Rc<Vec<ProcId>>,
         policy: SharedProducerPolicy,
+        chaos: Rc<ChaosScope>,
     ) -> Self {
+        let dead = vec![false; receivers.len()];
         SenderProc {
             buf,
             rank,
             receivers,
             policy,
+            chaos,
+            dead,
             started: false,
             eos_sent: false,
         }
@@ -192,8 +230,47 @@ impl SenderProc {
     fn take(&self) -> Op {
         Op::BufferTake {
             buf: self.buf,
-            min_occupancy: 1,
+            // A detached sender takes nothing: an unsatisfiable occupancy
+            // parks it until the buffer closes (every block drains through
+            // the writer — the deterministic steal schedule).
+            min_occupancy: if self.chaos.detached() { usize::MAX } else { 1 },
             kind: SpanKind::Idle,
+        }
+    }
+
+    /// One chaos-counted wire send (data-carrying message or EOS mark):
+    /// tick this sender's scope and emit whatever the scheduled fault
+    /// implies — nothing for a drop, a corrupted frame the receiver will
+    /// discard, a virtual-time delay before the real send, or the send
+    /// itself.
+    fn wire_ops(&mut self, ops: &mut Vec<Op>, dest: usize, bytes: u64, tag: u64, step: u64) {
+        let to = self.receivers[dest];
+        let send = move |tag| Op::Send {
+            to,
+            bytes,
+            tag,
+            kind: SpanKind::Send,
+        };
+        match self.chaos.next() {
+            Some(ChaosFault::FailSend) => self.dead[dest] = true,
+            Some(ChaosFault::DropWire) => {}
+            Some(ChaosFault::DropEos) if tag::kind(tag) == tag::SEOS => {}
+            Some(ChaosFault::CorruptWire) => {
+                ops.push(send(tag::make(
+                    tag::CORRUPT,
+                    tag::step(tag),
+                    tag::info(tag),
+                )));
+            }
+            Some(ChaosFault::DelayWire(d)) => {
+                ops.push(Op::Compute {
+                    dur: sim_dur(d),
+                    kind: SpanKind::Retry,
+                    step,
+                });
+                ops.push(send(tag));
+            }
+            None | Some(_) => ops.push(send(tag)),
         }
     }
 }
@@ -208,15 +285,13 @@ impl Program for SenderProc {
             BufferTaken::Item { bytes, token } => {
                 let id = token_block(self.rank, token);
                 let dest = self.policy.borrow_mut().route_net(id);
-                Step::Ops(vec![
-                    Op::Send {
-                        to: self.receivers[dest.idx()],
-                        bytes,
-                        tag: tag::make(tag::DATA, id.step.0, id.idx as u64),
-                        kind: SpanKind::Send,
-                    },
-                    self.take(),
-                ])
+                let mut ops = Vec::with_capacity(3);
+                if !self.dead[dest.idx()] {
+                    let tag = tag::make(tag::DATA, id.step.0, id.idx as u64);
+                    self.wire_ops(&mut ops, dest.idx(), bytes, tag, id.step.0);
+                }
+                ops.push(self.take());
+                Step::Ops(ops)
             }
             BufferTaken::Closed => {
                 if self.eos_sent {
@@ -224,17 +299,11 @@ impl Program for SenderProc {
                 }
                 self.eos_sent = true;
                 let targets = self.policy.borrow_mut().announce_eos(Channel::Net);
-                Step::Ops(
-                    targets
-                        .into_iter()
-                        .map(|q| Op::Send {
-                            to: self.receivers[q.idx()],
-                            bytes: 16,
-                            tag: tag::make(tag::SEOS, 0, 0),
-                            kind: SpanKind::Send,
-                        })
-                        .collect(),
-                )
+                let mut ops = Vec::with_capacity(targets.len());
+                for q in targets {
+                    self.wire_ops(&mut ops, q.idx(), 16, tag::make(tag::SEOS, 0, 0), 0);
+                }
+                Step::Ops(ops)
             }
         }
     }
@@ -252,10 +321,14 @@ pub struct WriterProc {
     rank: usize,
     receivers: Rc<Vec<ProcId>>,
     policy: SharedProducerPolicy,
+    chaos: Rc<ChaosScope>,
     key_base: u64,
     counter: u64,
     started: bool,
     eos_sent: bool,
+    /// Set when a PFS fault retired the writer with no revival budget
+    /// left: the process finishes on its next resume.
+    dying: bool,
 }
 
 impl WriterProc {
@@ -264,16 +337,19 @@ impl WriterProc {
         rank: usize,
         receivers: Rc<Vec<ProcId>>,
         policy: SharedProducerPolicy,
+        chaos: Rc<ChaosScope>,
     ) -> Self {
         WriterProc {
             buf,
             rank,
             receivers,
             policy,
+            chaos,
             key_base: (rank as u64) << 32,
             counter: 0,
             started: false,
             eos_sent: false,
+            dying: false,
         }
     }
 
@@ -291,6 +367,9 @@ impl WriterProc {
 
 impl Program for WriterProc {
     fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
+        if self.dying {
+            return Step::Done;
+        }
         if !self.started {
             self.started = true;
             return Step::Ops(vec![self.take()]);
@@ -299,6 +378,41 @@ impl Program for WriterProc {
             BufferTaken::Item { bytes, token } => {
                 let id = token_block(self.rank, token);
                 let dest = self.policy.borrow_mut().route_disk(id);
+                if self.chaos.next() == Some(ChaosFault::PfsWriteFail) {
+                    // The threaded writer's fault path, move for move: the
+                    // stolen block returns to the *front* of the producer
+                    // buffer (the next take re-takes and re-routes it —
+                    // the double route is intentional on both substrates),
+                    // the kernel records the retirement, and a revival
+                    // budget buys a cooldown-delayed comeback.
+                    let (revive, cooldown) = {
+                        let mut p = self.policy.borrow_mut();
+                        p.writer_retired(RetireReason::Fault);
+                        (p.try_revive_writer(), p.recovery().writer_cooldown)
+                    };
+                    let mut ops = vec![Op::BufferRequeue {
+                        buf: self.buf,
+                        bytes,
+                        token,
+                    }];
+                    if revive {
+                        if !cooldown.is_zero() {
+                            ops.push(Op::Compute {
+                                dur: sim_dur(cooldown),
+                                kind: SpanKind::Retry,
+                                step: id.step.0,
+                            });
+                        }
+                        ops.push(self.take());
+                    } else {
+                        // Out of revivals: die without announcing the disk
+                        // channel's EOS, exactly like the threaded writer —
+                        // runs that exhaust the budget rely on the EOS
+                        // watchdog (`virtual_eos_timeout`) to terminate.
+                        self.dying = true;
+                    }
+                    return Step::Ops(ops);
+                }
                 let key = self.key_base + self.counter;
                 self.counter += 1;
                 Step::Ops(vec![
@@ -354,6 +468,10 @@ pub struct ReceiverProc {
     compute_base: usize,
     /// Processes per simulation rank (2, or 3 with concurrent transfer).
     per_s: usize,
+    /// EOS watchdog: with `Some(t)`, every receive arms a virtual-time
+    /// timer; `t` without traffic reconciles the EOS tracker and shuts
+    /// the rank down (the threaded receiver's `recv_timeout`).
+    timeout: Option<SimTime>,
     started: bool,
     closing: bool,
 }
@@ -366,6 +484,7 @@ impl ReceiverProc {
         policy: SharedConsumerPolicy,
         compute_base: usize,
         per_s: usize,
+        timeout: Option<SimTime>,
     ) -> Self {
         ReceiverProc {
             bufc,
@@ -374,6 +493,7 @@ impl ReceiverProc {
             policy,
             compute_base,
             per_s,
+            timeout,
             started: false,
             closing: false,
         }
@@ -390,11 +510,27 @@ impl ReceiverProc {
 
     fn recv(&self) -> Op {
         let (lo, hi) = tag::any();
-        Op::Recv {
-            tag_min: lo,
-            tag_max: hi,
-            kind: SpanKind::Idle,
+        match self.timeout {
+            Some(timeout) => Op::RecvTimeout {
+                tag_min: lo,
+                tag_max: hi,
+                kind: SpanKind::Idle,
+                timeout,
+            },
+            None => Op::Recv {
+                tag_min: lo,
+                tag_max: hi,
+                kind: SpanKind::Idle,
+            },
         }
+    }
+
+    fn close_queues(&self) -> Vec<Op> {
+        let mut ops = vec![Op::BufferClose { buf: self.ids_buf }];
+        if let Some(out) = self.out_buf {
+            ops.push(Op::BufferClose { buf: out });
+        }
+        ops
     }
 }
 
@@ -407,7 +543,15 @@ impl Program for ReceiverProc {
             self.started = true;
             return Step::Ops(vec![self.recv()]);
         }
-        let msg = ctx.last_msg.expect("receiver resumed without message");
+        let Some(msg) = ctx.last_msg else {
+            // The watchdog fired: no traffic for `virtual_eos_timeout`.
+            // The kernel reconciles the EOS tracker (recording the
+            // timeout decision) and the rank shuts down.
+            assert!(self.timeout.is_some(), "receiver resumed without message");
+            self.policy.borrow_mut().on_timeout();
+            self.closing = true;
+            return Step::Ops(self.close_queues());
+        };
         match tag::kind(msg.tag) {
             tag::DATA => {
                 let id = BlockId::new(
@@ -455,15 +599,15 @@ impl Program for ReceiverProc {
                     .is_complete();
                 if done {
                     self.closing = true;
-                    let mut ops = vec![Op::BufferClose { buf: self.ids_buf }];
-                    if let Some(out) = self.out_buf {
-                        ops.push(Op::BufferClose { buf: out });
-                    }
-                    Step::Ops(ops)
+                    Step::Ops(self.close_queues())
                 } else {
                     Step::Ops(vec![self.recv()])
                 }
             }
+            // A chaos-corrupted frame: the bytes crossed the fabric but
+            // the payload is garbage — discard it, as the threaded
+            // receiver discards a faulted wire item.
+            tag::CORRUPT => Step::Ops(vec![self.recv()]),
             other => unreachable!("receiver got unexpected tag kind {other}"),
         }
     }
@@ -542,14 +686,27 @@ impl Program for ReaderProc {
 pub struct AnalysisProc {
     bufc: usize,
     cost: AppCostModel,
+    chaos: Rc<ChaosScope>,
+    policy: SharedConsumerPolicy,
+    /// Blocks analysed so far — the size of the backlog a threaded
+    /// restart would replay from the Preserve store.
+    delivered: u64,
     started: bool,
 }
 
 impl AnalysisProc {
-    pub fn new(bufc: usize, cost: AppCostModel) -> Self {
+    pub fn new(
+        bufc: usize,
+        cost: AppCostModel,
+        chaos: Rc<ChaosScope>,
+        policy: SharedConsumerPolicy,
+    ) -> Self {
         AnalysisProc {
             bufc,
             cost,
+            chaos,
+            policy,
+            delivered: 0,
             started: false,
         }
     }
@@ -561,6 +718,32 @@ impl AnalysisProc {
             kind: SpanKind::Idle,
         }
     }
+
+    /// An injected [`ChaosFault::CrashApp`] struck this read call. Record
+    /// the same policy-kernel conversation the threaded restart supervisor
+    /// has — abandonment, then (budget permitting) a restart replaying the
+    /// pre-crash backlog — and return whether the run may continue. The
+    /// replay itself is a no-op here: the DES never lost the blocks.
+    fn crash(&mut self) -> bool {
+        let replayed = self.delivered as usize;
+        let mut p = self.policy.borrow_mut();
+        p.reader_abandoned();
+        if !p.may_restart() {
+            return false;
+        }
+        p.consumer_restarted(replayed);
+        drop(p);
+        // The threaded scope ticks once for the crashed call (which
+        // delivered nothing) and once per replayed re-read; this take
+        // delivered a block, so advance `replayed + 1` ticks to realign.
+        // Plans schedule at most one Analysis fault per rank — a second
+        // fault landing inside the replay window would strike mid-replay
+        // on the threaded substrate, which this skip cannot mirror.
+        for _ in 0..=replayed {
+            let _ = self.chaos.next();
+        }
+        true
+    }
 }
 
 impl Program for AnalysisProc {
@@ -570,15 +753,39 @@ impl Program for AnalysisProc {
             return Step::Ops(vec![self.take()]);
         }
         match ctx.last_take.expect("analysis resumed without take result") {
-            BufferTaken::Item { bytes, token } => Step::Ops(vec![
-                Op::Compute {
-                    dur: self.cost.analysis_block_time(bytes),
-                    kind: SpanKind::Analysis,
-                    step: token,
-                },
-                self.take(),
-            ]),
-            BufferTaken::Closed => Step::Done,
+            BufferTaken::Item { bytes, token } => {
+                if self.chaos.next() == Some(ChaosFault::CrashApp) && !self.crash() {
+                    return Step::Ops(vec![Op::Halt {
+                        error: format!(
+                            "analysis crashed on read #{} with no restart budget",
+                            self.chaos.ops()
+                        ),
+                    }]);
+                }
+                self.delivered += 1;
+                Step::Ops(vec![
+                    Op::Compute {
+                        dur: self.cost.analysis_block_time(bytes),
+                        kind: SpanKind::Analysis,
+                        step: token,
+                    },
+                    self.take(),
+                ])
+            }
+            BufferTaken::Closed => {
+                // The threaded reader's final read call (the one returning
+                // `None`) ticks the scope too; mirror it so a crash
+                // scheduled on that trailing ordinal behaves identically.
+                if self.chaos.next() == Some(ChaosFault::CrashApp) && !self.crash() {
+                    return Step::Ops(vec![Op::Halt {
+                        error: format!(
+                            "analysis crashed on read #{} with no restart budget",
+                            self.chaos.ops()
+                        ),
+                    }]);
+                }
+                Step::Done
+            }
         }
     }
 }
@@ -587,15 +794,17 @@ impl Program for AnalysisProc {
 /// every block ends on the PFS.
 pub struct OutputProc {
     out_buf: usize,
+    chaos: Rc<ChaosScope>,
     key_base: u64,
     counter: u64,
     started: bool,
 }
 
 impl OutputProc {
-    pub fn new(out_buf: usize, rank: usize) -> Self {
+    pub fn new(out_buf: usize, rank: usize, chaos: Rc<ChaosScope>) -> Self {
         OutputProc {
             out_buf,
+            chaos,
             key_base: 0xC000_0000_0000 | ((rank as u64) << 24),
             counter: 0,
             started: false,
@@ -619,6 +828,12 @@ impl Program for OutputProc {
         }
         match ctx.last_take.expect("output resumed without take result") {
             BufferTaken::Item { bytes, .. } => {
+                if self.chaos.next() == Some(ChaosFault::PfsWriteFail) {
+                    // This block's Preserve copy is lost; the threaded
+                    // output thread records the storage error and keeps
+                    // draining, and so does this proc.
+                    return Step::Ops(vec![self.take()]);
+                }
                 let key = self.key_base + self.counter;
                 self.counter += 1;
                 Step::Ops(vec![Op::FsWrite { bytes, key }, self.take()])
@@ -655,6 +870,7 @@ fn build_zipper(
     recorded: bool,
 ) -> ZipperPolicies {
     spec.validate().expect("invalid spec");
+    let plan = spec.chaos.clone().unwrap_or_default();
     let per_c = 3 + usize::from(spec.preserve);
     let per_s = 2 + usize::from(spec.concurrent_transfer);
     let receiver_pid = |q: usize| ProcId((q * per_c) as u32);
@@ -683,7 +899,8 @@ fn build_zipper(
             spec.sim_ranks,
             spec.concurrent_transfer,
             preserve,
-        );
+        )
+        .with_recovery(spec.recovery);
         if recorded {
             cp = cp.recorded();
         }
@@ -692,7 +909,15 @@ fn build_zipper(
         let pid = sim.spawn(
             node,
             format!("ana/q{q}/recv"),
-            ReceiverProc::new(bufc, ids, out, policy, compute_base, per_s),
+            ReceiverProc::new(
+                bufc,
+                ids,
+                out,
+                policy.clone(),
+                compute_base,
+                per_s,
+                spec.virtual_eos_timeout,
+            ),
         );
         assert_eq!(pid, receiver_pid(q), "spawn order drifted");
         sim.spawn(
@@ -703,10 +928,23 @@ fn build_zipper(
         sim.spawn(
             node,
             format!("ana/q{q}/ana"),
-            AnalysisProc::new(bufc, spec.cost),
+            AnalysisProc::new(
+                bufc,
+                spec.cost,
+                Rc::new(plan.scope(ChaosEntity::Analysis(Rank(q as u32)))),
+                policy,
+            ),
         );
         if let Some(out) = out {
-            sim.spawn(node, format!("ana/q{q}/out"), OutputProc::new(out, q));
+            sim.spawn(
+                node,
+                format!("ana/q{q}/out"),
+                OutputProc::new(
+                    out,
+                    q,
+                    Rc::new(plan.scope(ChaosEntity::Output(Rank(q as u32)))),
+                ),
+            );
         }
     }
 
@@ -727,7 +965,8 @@ fn build_zipper(
             spec.routing,
             spec.high_water_mark,
             spec.concurrent_transfer,
-        );
+        )
+        .with_recovery(spec.recovery);
         if recorded {
             pp = pp.recorded();
         }
@@ -736,13 +975,25 @@ fn build_zipper(
         sim.spawn(
             node,
             format!("sim/r{r}/send"),
-            SenderProc::new(buf, r, receivers.clone(), policy.clone()),
+            SenderProc::new(
+                buf,
+                r,
+                receivers.clone(),
+                policy.clone(),
+                Rc::new(plan.scope(ChaosEntity::Sender(Rank(r as u32)))),
+            ),
         );
         if spec.concurrent_transfer {
             sim.spawn(
                 node,
                 format!("sim/r{r}/writer"),
-                WriterProc::new(buf, r, receivers.clone(), policy),
+                WriterProc::new(
+                    buf,
+                    r,
+                    receivers.clone(),
+                    policy,
+                    Rc::new(plan.scope(ChaosEntity::Writer(Rank(r as u32)))),
+                ),
             );
         }
     }
@@ -904,6 +1155,134 @@ mod tests {
             // Preserve: every net-delivered block was ordered stored.
             assert!(t.stores.iter().all(|&(_, store)| store));
         }
+    }
+
+    fn recorded_run(spec: &WorkflowSpec) -> (hpcsim::RunReport, Simulator, ZipperPolicies) {
+        let layout = ClusterLayout::new(spec, 0);
+        let mut sim = Simulator::new(sim_config(spec, &layout));
+        let policies = build_recorded(&mut sim, spec, &layout);
+        let r = sim.run();
+        (r, sim, policies)
+    }
+
+    #[test]
+    fn chaos_writer_pfs_fault_retires_revives_and_loses_nothing() {
+        use zipper_types::{ChaosPlan, RecoveryPolicy};
+        // Deterministic steal schedule: senders detached, hwm = 0, so
+        // every block drains through the writers in production order.
+        let mut spec = tiny_synthetic(true);
+        spec.preserve = true;
+        spec.high_water_mark = 0;
+        spec.recovery = RecoveryPolicy {
+            writer_cooldown: std::time::Duration::from_millis(1),
+            max_writer_revivals: 1,
+            max_consumer_restarts: 0,
+        };
+        let mut plan =
+            ChaosPlan::new().with(ChaosEntity::Writer(Rank(0)), 2, ChaosFault::PfsWriteFail);
+        for r in 0..spec.sim_ranks {
+            plan = plan.with(
+                ChaosEntity::Sender(Rank(r as u32)),
+                0,
+                ChaosFault::DetachSender,
+            );
+        }
+        spec.chaos = Some(plan);
+        let (r, sim, policies) = recorded_run(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        // Writer 0's 2nd put faulted: the block went back to the front,
+        // was re-taken and re-routed (9 routes for 8 blocks), and the
+        // writer revived within its budget.
+        let t = policies.producers[0].borrow().trace().canonical();
+        assert_eq!(t.routes.len(), 9, "double-route of the requeued block");
+        assert_eq!(t.retires, vec![RetireReason::Fault, RetireReason::Drained]);
+        assert_eq!(t.revivals, 1);
+        // No other producer was disturbed...
+        for p in &policies.producers[1..] {
+            let t = p.borrow().trace().canonical();
+            assert_eq!(t.routes.len(), 8);
+            assert_eq!(t.retires, vec![RetireReason::Drained]);
+            assert_eq!(t.revivals, 0);
+        }
+        // ...and every one of the 32 blocks was analysed.
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 32);
+    }
+
+    #[test]
+    fn chaos_crash_app_records_restart_with_replayed_backlog() {
+        use zipper_types::{ChaosPlan, RecoveryPolicy};
+        let mut spec = tiny_synthetic(false);
+        spec.preserve = true; // parity with the threaded replay's requirement
+        spec.recovery = RecoveryPolicy {
+            writer_cooldown: std::time::Duration::ZERO,
+            max_writer_revivals: 0,
+            max_consumer_restarts: 1,
+        };
+        spec.chaos =
+            Some(ChaosPlan::new().with(ChaosEntity::Analysis(Rank(0)), 3, ChaosFault::CrashApp));
+        let (r, _, policies) = recorded_run(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        let t = policies.consumers[0].borrow().trace().canonical();
+        assert!(t.abandoned, "crash recorded");
+        assert_eq!(t.restarts, vec![2], "read #3 crashed with 2 delivered");
+        assert_eq!(t.completions, 1, "rank rejoined and completed");
+        let t1 = policies.consumers[1].borrow().trace().canonical();
+        assert!(!t1.abandoned);
+        assert!(t1.restarts.is_empty());
+    }
+
+    #[test]
+    fn chaos_dropped_eos_trips_the_virtual_watchdog() {
+        use zipper_types::ChaosPlan;
+        // Message-only: the combined-EOS caveat (see module docs) makes
+        // DropEos substrate-equivalent only without the disk channel.
+        let mut spec = tiny_synthetic(false);
+        spec.virtual_eos_timeout = Some(SimTime::from_secs_f64(1.0));
+        // Sender 0: 8 data sends (ordinals 1-8), then EOS to consumer 0
+        // (ordinal 9, swallowed) and consumer 1 (ordinal 10).
+        spec.chaos =
+            Some(ChaosPlan::new().with(ChaosEntity::Sender(Rank(0)), 9, ChaosFault::DropEos));
+        let (r, _, policies) = recorded_run(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        let t0 = policies.consumers[0].borrow().trace().canonical();
+        assert_eq!(t0.eos_seen.len(), 3, "producer 0's mark was swallowed");
+        assert_eq!(t0.timeouts, 1, "watchdog reconciled the tracker");
+        assert_eq!(t0.completions, 0);
+        let t1 = policies.consumers[1].borrow().trace().canonical();
+        assert_eq!(t1.eos_seen.len(), 4);
+        assert_eq!(t1.completions, 1);
+        assert_eq!(t1.timeouts, 0);
+    }
+
+    #[test]
+    fn chaos_fail_send_kills_destination_but_eos_still_flows() {
+        use zipper_types::ChaosPlan;
+        let mut spec = tiny_synthetic(false);
+        // Sender 0's very first send fails: consumer 0 is dead to it from
+        // then on (7 further blocks dropped, uncounted), but the EOS
+        // fan-out still reaches every target, so no watchdog is needed.
+        spec.chaos =
+            Some(ChaosPlan::new().with(ChaosEntity::Sender(Rank(0)), 1, ChaosFault::FailSend));
+        let (r, sim, policies) = recorded_run(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        for c in &policies.consumers {
+            let t = c.borrow().trace().canonical();
+            assert_eq!(t.completions, 1);
+            assert_eq!(t.eos_seen.len(), 4);
+        }
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 24, "producer 0's 8 blocks never arrived");
     }
 
     #[test]

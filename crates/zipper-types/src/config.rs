@@ -37,6 +37,43 @@ pub enum RoutingPolicy {
     RoundRobin,
 }
 
+/// How much self-healing the runtime attempts after a fault. The default
+/// is none — every budget zero — which preserves the fail-soft behavior
+/// of degrading permanently (a retired writer stays retired, a crashed
+/// consumer stays down). Recovery decisions consume these budgets and are
+/// recorded in the policy-kernel decision trace (`WriterRevived`,
+/// `ConsumerRestarted`), so both substrates heal through the same
+/// decision sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// How long a retired writer waits before it is re-probed and
+    /// revived (wall time on the threaded runtime, the same span of
+    /// virtual time on the DES).
+    pub writer_cooldown: Duration,
+    /// How many times a retired writer may be revived.
+    pub max_writer_revivals: u32,
+    /// How many times a crashed consumer application may be restarted
+    /// (with Preserve-store replay of the blocks it already consumed).
+    pub max_consumer_restarts: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            writer_cooldown: Duration::ZERO,
+            max_writer_revivals: 0,
+            max_consumer_restarts: 0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// True when any recovery budget is non-zero.
+    pub fn is_enabled(&self) -> bool {
+        self.max_writer_revivals > 0 || self.max_consumer_restarts > 0
+    }
+}
+
 /// Tuning knobs of the Zipper runtime (producer/consumer modules, §4.2–4.3).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ZipperTuning {
@@ -65,6 +102,9 @@ pub struct ZipperTuning {
     /// records a [`crate::RuntimeError::EosTimeout`] and shuts the rank
     /// down instead of hanging forever. `None` disables the watchdog.
     pub eos_timeout: Option<Duration>,
+    /// Self-healing budgets (writer revival, consumer restart). The
+    /// default disables recovery entirely.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ZipperTuning {
@@ -78,6 +118,7 @@ impl Default for ZipperTuning {
             preserve: PreserveMode::NoPreserve,
             routing: RoutingPolicy::SourceAffine,
             eos_timeout: Some(Duration::from_secs(30)),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }

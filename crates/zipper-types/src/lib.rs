@@ -16,14 +16,16 @@
 pub mod block;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod retry;
 pub mod size;
 pub mod time;
 
 pub use block::{Block, BlockHeader, GlobalPos, MixedMessage};
-pub use config::{PreserveMode, RoutingPolicy, WorkflowConfig, ZipperTuning};
+pub use config::{PreserveMode, RecoveryPolicy, RoutingPolicy, WorkflowConfig, ZipperTuning};
 pub use error::{panic_detail, Error, Result, RuntimeError};
+pub use fault::{ChaosEntity, ChaosEvent, ChaosFault, ChaosPlan, ChaosScope, FaultSchedule};
 pub use ids::{BlockId, NodeId, ProcId, Rank, StepId};
 pub use retry::RetryPolicy;
 pub use size::ByteSize;

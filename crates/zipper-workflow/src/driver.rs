@@ -7,14 +7,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zipper_core::{
-    ChannelMesh, Consumer, FailingTransport, FaultPlan, Producer, RetryingSender,
+    ChannelMesh, ChaosSender, Consumer, FailingTransport, FaultPlan, Producer, RetryingSender,
     SharedConsumerPolicy, SharedProducerPolicy, TracedSender, WireSender, ZipperReader,
     ZipperWriter,
 };
-use zipper_pfs::{MemFs, RetryingFs, Storage, ThrottledFs};
+use zipper_pfs::{ChaosFs, MemFs, RetryingFs, Storage, ThrottledFs};
 use zipper_policy::{ConsumerPolicy, ProducerPolicy};
 use zipper_trace::{SampleSeries, Sampler, Telemetry, TraceMode, TraceSink};
-use zipper_types::{panic_detail, Rank, RetryPolicy, RuntimeError, WorkflowConfig};
+use zipper_types::{
+    panic_detail, ChaosEntity, ChaosPlan, Rank, RetryPolicy, RuntimeError, WorkflowConfig,
+};
 
 /// Message-channel options for a run.
 #[derive(Clone, Copy, Debug)]
@@ -276,6 +278,73 @@ where
     P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
     C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
 {
+    run_workflow_inner(cfg, net, storage_opts, trace, None, produce, consume)
+}
+
+/// [`run_workflow_recorded`] under a scripted [`ChaosPlan`] — the threaded
+/// half of the cross-substrate fault-conformance harness (the DES half
+/// interprets the identical plan in virtual time).
+///
+/// Per entity of the plan, the driver arranges:
+///
+/// * `Sender(r)` — producer `r`'s mesh endpoint is wrapped innermost in a
+///   [`ChaosSender`] striking the scripted wire ordinals; a
+///   `DetachSender` event spawns that producer with its sender detached
+///   from the data path (every block drains through the work-stealing
+///   writer).
+/// * `Writer(r)` — producer `r`'s storage handle is wrapped in a
+///   [`ChaosFs`] failing the scripted `put` ordinals; the writer thread
+///   retires on the fault and the policy kernel may revive it per
+///   `cfg.tuning.recovery`.
+/// * `Output(q)` — consumer `q`'s storage handle is wrapped likewise, so
+///   scripted Preserve-store puts are lost.
+/// * `Analysis(q)` — consumer `q`'s reader runs under a restart
+///   supervisor: scripted read ordinals panic inside `read`, the panic is
+///   caught, and (budget permitting, `cfg.tuning.recovery`) the delivered
+///   backlog is replayed from the Preserve store before a fresh reader
+///   re-runs the `consume` closure. With the budget exhausted the rank is
+///   abandoned fail-soft and reported in [`WorkflowReport::failures`].
+///
+/// Restart replay requires Preserve mode to have made the backlog
+/// durable. Transport faults must be scripted through the plan —
+/// combining it with [`NetworkOptions::fault`] is rejected (the periodic
+/// schedule would shift every scripted ordinal).
+pub fn run_workflow_chaos<R, P, C>(
+    cfg: &WorkflowConfig,
+    net: NetworkOptions,
+    storage_opts: StorageOptions,
+    trace: TraceOptions,
+    plan: &ChaosPlan,
+    produce: P,
+    consume: C,
+) -> (WorkflowReport, Vec<R>, WorkflowPolicies)
+where
+    R: Send + 'static,
+    P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
+    C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
+{
+    assert!(
+        net.fault.is_none(),
+        "ChaosPlan and NetworkOptions::fault cannot be combined — script \
+         transport faults as ChaosPlan events instead"
+    );
+    run_workflow_inner(cfg, net, storage_opts, trace, Some(plan), produce, consume)
+}
+
+fn run_workflow_inner<R, P, C>(
+    cfg: &WorkflowConfig,
+    net: NetworkOptions,
+    storage_opts: StorageOptions,
+    trace: TraceOptions,
+    chaos: Option<&ChaosPlan>,
+    produce: P,
+    consume: C,
+) -> (WorkflowReport, Vec<R>, WorkflowPolicies)
+where
+    R: Send + 'static,
+    P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
+    C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
+{
     cfg.validate().expect("invalid workflow config");
     let telemetry = if trace.telemetry {
         Telemetry::on()
@@ -330,35 +399,94 @@ where
         }
         let policy = Arc::new(Mutex::new(cp));
         policies.consumers.push(policy.clone());
+        // Chaos: scripted Preserve-store faults hit this rank's output
+        // thread through a ChaosFs wrap of the shared store.
+        let consumer_storage: Arc<dyn Storage> = match chaos {
+            Some(plan) => Arc::new(ChaosFs::new(
+                storage.clone(),
+                Arc::new(plan.scope(ChaosEntity::Output(rank))),
+            )),
+            None => storage.clone(),
+        };
+        let app_policy = policy.clone();
         let mut c = Consumer::spawn_with_policy(
             rank,
             cfg.tuning,
             cfg.producers,
             rx,
-            storage.clone(),
+            consumer_storage,
             sink.clone(),
             policy,
         );
-        let reader = c.reader();
-        consumer_runtimes.push(c);
         let consume = consume.clone();
-        let spawned = std::thread::Builder::new()
-            .name(format!("ana-rank-{q}"))
-            .spawn(
-                move || match catch_unwind(AssertUnwindSafe(|| consume(rank, &reader))) {
-                    Ok(r) => Ok(r),
-                    Err(payload) => {
-                        // Explicit for the reader: the drop guard closes the
-                        // queue and records the abandoned stream.
-                        drop(reader);
-                        Err(RuntimeError::AppPanicked {
+        let app: Box<dyn FnOnce() -> Result<R, RuntimeError> + Send> = match chaos {
+            None => {
+                let reader = c.reader();
+                Box::new(
+                    move || match catch_unwind(AssertUnwindSafe(|| consume(rank, &reader))) {
+                        Ok(r) => Ok(r),
+                        Err(payload) => {
+                            // Explicit for the reader: the drop guard closes the
+                            // queue and records the abandoned stream.
+                            drop(reader);
+                            Err(RuntimeError::AppPanicked {
+                                rank,
+                                role: "consumer app",
+                                detail: panic_detail(payload.as_ref()),
+                            })
+                        }
+                    },
+                )
+            }
+            Some(plan) => {
+                // Restart supervisor: scripted CrashApp ordinals (and any
+                // organic panic) are caught, the policy kernel arbitrates
+                // the restart budget, and the delivered backlog is
+                // replayed from the Preserve store before a fresh reader
+                // re-runs the closure — the decision sequence
+                // (reader_abandoned / consumer_restarted) mirrors the DES
+                // analysis proc exactly.
+                let recovery = c.recovery(Some(Arc::new(plan.scope(ChaosEntity::Analysis(rank)))));
+                let replay_storage = storage.clone();
+                Box::new(move || loop {
+                    let reader = recovery.fresh_reader();
+                    let run = catch_unwind(AssertUnwindSafe(|| consume(rank, &reader)));
+                    drop(reader);
+                    let payload = match run {
+                        Ok(r) => break Ok(r),
+                        Err(payload) => payload,
+                    };
+                    let may_restart = {
+                        let mut p = app_policy.lock();
+                        p.reader_abandoned();
+                        p.may_restart()
+                    };
+                    if !may_restart {
+                        recovery.abandon();
+                        break Err(RuntimeError::AppPanicked {
                             rank,
                             role: "consumer app",
                             detail: panic_detail(payload.as_ref()),
-                        })
+                        });
                     }
-                },
-            );
+                    match recovery.replay_from(&replay_storage, Duration::from_secs(5)) {
+                        Ok(replayed) => app_policy.lock().consumer_restarted(replayed),
+                        Err(e) => {
+                            recovery.abandon();
+                            break Err(RuntimeError::AppPanicked {
+                                rank,
+                                role: "consumer app",
+                                detail: format!("backlog replay after a crash failed: {e}"),
+                            });
+                        }
+                    }
+                })
+            }
+        };
+        consumer_runtimes.push(c);
+        let spawned = std::thread::Builder::new()
+            .name(format!("ana-rank-{q}"))
+            .spawn(app);
         match spawned {
             Ok(h) => consumer_apps.push((rank, h)),
             Err(e) => failures.push(RuntimeError::AppPanicked {
@@ -377,9 +505,14 @@ where
         let rank = Rank(p as u32);
         // Compose innermost-out: fault injection sits at the wire (as a
         // lossy network would), tracing observes it, retry rides over it.
-        let base: Box<dyn WireSender> = match net.fault {
-            Some(plan) => Box::new(FailingTransport::new(mesh.sender(), plan)),
-            None => Box::new(mesh.sender()),
+        // Scripted chaos and the periodic FailingTransport are mutually
+        // exclusive (enforced by `run_workflow_chaos`).
+        let sender_scope = chaos.map(|plan| Arc::new(plan.scope(ChaosEntity::Sender(rank))));
+        let detach_sender = sender_scope.as_ref().is_some_and(|s| s.detached());
+        let base: Box<dyn WireSender> = match (&sender_scope, net.fault) {
+            (Some(scope), _) => Box::new(ChaosSender::new(mesh.sender(), scope.clone())),
+            (None, Some(plan)) => Box::new(FailingTransport::new(mesh.sender(), plan)),
+            (None, None) => Box::new(mesh.sender()),
         };
         let traced: Box<dyn WireSender> = if trace.wire_lanes && trace.mode.enabled() {
             Box::new(TracedSender::new(base, &sink, format!("net/p{p}")))
@@ -401,13 +534,23 @@ where
         }
         let policy = Arc::new(Mutex::new(pp));
         policies.producers.push(policy.clone());
-        let mut prod = Producer::spawn_with_policy(
+        // Chaos: scripted PFS faults hit this rank's writer thread through
+        // a ChaosFs wrap of the shared store.
+        let producer_storage: Arc<dyn Storage> = match chaos {
+            Some(plan) => Arc::new(ChaosFs::new(
+                storage.clone(),
+                Arc::new(plan.scope(ChaosEntity::Writer(rank))),
+            )),
+            None => storage.clone(),
+        };
+        let mut prod = Producer::spawn_with_policy_detached(
             rank,
             cfg.tuning,
             sender,
-            storage.clone(),
+            producer_storage,
             sink.clone(),
             policy,
+            detach_sender,
         );
         let writer = prod.writer(cfg.tuning.block_size.as_u64() as usize);
         producer_runtimes.push(prod);
@@ -768,6 +911,150 @@ mod tests {
         report.assert_complete();
         assert!(!report.metrics.is_enabled());
         assert!(report.samples.is_empty());
+    }
+
+    #[test]
+    fn chaos_consumer_crash_recovers_via_preserve_replay() {
+        use zipper_types::{ChaosFault, RecoveryPolicy};
+        // Acceptance scenario: a consumer killed mid-stream recovers by
+        // Preserve-store replay, and the final analysis output equals the
+        // fault-free run's.
+        let mut c = cfg(2, 2, 4);
+        c.tuning.preserve = PreserveMode::Preserve;
+        c.tuning.recovery = RecoveryPolicy {
+            max_consumer_restarts: 1,
+            ..Default::default()
+        };
+        let digest = |_rank: Rank, reader: &ZipperReader| {
+            let mut ids: Vec<u64> = reader.iter().map(|b| b.id().as_u64()).collect();
+            ids.sort_unstable();
+            ids
+        };
+        let (clean_report, clean, _) = run_workflow_recorded(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default(),
+            slab_producer(&c),
+            digest,
+        );
+        clean_report.assert_complete();
+
+        let plan = ChaosPlan::new().with(ChaosEntity::Analysis(Rank(1)), 3, ChaosFault::CrashApp);
+        let (report, got, policies) = run_workflow_chaos(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default().with_policy(),
+            &plan,
+            slab_producer(&c),
+            digest,
+        );
+        // The injected crash is reported (ReaderAbandoned on the replayed
+        // rank) but recovered: no app-level failure, full output.
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert_eq!(got, clean, "recovered output must equal the fault-free run");
+        let t1 = policies.consumers[1].lock().trace().canonical();
+        assert!(t1.abandoned, "the crash was accounted");
+        assert_eq!(t1.restarts, vec![2], "read #3 crashed with 2 delivered");
+        assert_eq!(t1.completions, 1, "the restarted pass drained to EOS");
+        let t0 = policies.consumers[0].lock().trace().canonical();
+        assert!(!t0.abandoned);
+        assert_eq!(t0.restarts, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chaos_crash_without_budget_fails_soft() {
+        use zipper_types::ChaosFault;
+        let mut c = cfg(1, 2, 3);
+        c.tuning.preserve = PreserveMode::Preserve;
+        // Default recovery: zero restart budget.
+        let plan = ChaosPlan::new().with(ChaosEntity::Analysis(Rank(0)), 2, ChaosFault::CrashApp);
+        let (report, counts, _) = run_workflow_chaos(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default(),
+            &plan,
+            slab_producer(&c),
+            |_, reader| {
+                let mut n = 0u64;
+                while reader.read().is_some() {
+                    n += 1;
+                }
+                n
+            },
+        );
+        // The run terminates (no deadlock), the dead rank is reported, and
+        // the surviving rank still drains its share.
+        assert_eq!(counts.len(), 1);
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|e| matches!(e, RuntimeError::AppPanicked { rank, .. } if *rank == Rank(0))),
+            "unrecovered crash lands in failures: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn chaos_writer_fault_revives_and_detached_sender_drains_by_disk() {
+        use zipper_types::{ChaosFault, RecoveryPolicy, RoutingPolicy};
+        let mut c = cfg(2, 1, 4);
+        c.tuning.preserve = PreserveMode::Preserve;
+        c.tuning.high_water_mark = 0;
+        c.tuning.routing = RoutingPolicy::RoundRobin;
+        c.tuning.recovery = RecoveryPolicy {
+            writer_cooldown: Duration::ZERO,
+            max_writer_revivals: 1,
+            max_consumer_restarts: 0,
+        };
+        let mut plan =
+            ChaosPlan::new().with(ChaosEntity::Writer(Rank(0)), 2, ChaosFault::PfsWriteFail);
+        for p in 0..2 {
+            plan = plan.with(ChaosEntity::Sender(Rank(p)), 1, ChaosFault::DetachSender);
+        }
+        let expected = c.total_blocks();
+        let (report, counts, policies) = run_workflow_chaos(
+            &c,
+            NetworkOptions::default(),
+            StorageOptions::Memory,
+            TraceOptions::default().with_policy(),
+            &plan,
+            slab_producer(&c),
+            |_, reader| {
+                let mut n = 0u64;
+                while reader.read().is_some() {
+                    n += 1;
+                }
+                n
+            },
+        );
+        // The injected PFS fault is reported (WriterRetired) but healed by
+        // the revival: nothing app-level failed and nothing was lost.
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(
+            report
+                .errors()
+                .iter()
+                .any(|e| matches!(e, RuntimeError::WriterRetired { .. })),
+            "the fault is still visible in the report: {:?}",
+            report.errors()
+        );
+        assert_eq!(counts.iter().sum::<u64>(), expected, "no block lost");
+        let t0 = policies.producers[0].lock().trace().canonical();
+        assert_eq!(t0.revivals, 1, "the faulted writer was revived");
+        assert!(
+            t0.retires.len() >= 2,
+            "fault retire then drained retire: {:?}",
+            t0.retires
+        );
+        assert_eq!(
+            report.consumer_total().blocks_net,
+            0,
+            "detached senders carry no data"
+        );
     }
 
     #[test]

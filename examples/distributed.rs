@@ -36,6 +36,7 @@ fn tuning() -> ZipperTuning {
         preserve: PreserveMode::NoPreserve,
         routing: RoutingPolicy::SourceAffine,
         eos_timeout: Some(std::time::Duration::from_secs(30)),
+        recovery: Default::default(),
     }
 }
 

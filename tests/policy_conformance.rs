@@ -12,6 +12,15 @@
 //! Config C: forced stealing on the threaded substrate (a gated sender
 //!           starves the net channel), checked against a pure-kernel
 //!           replay of the observed take order.
+//! Config D: degradation under a scripted `ChaosPlan` — transport faults
+//!           (fail/drop/corrupt/delay), a Preserve-store write fault, and
+//!           a swallowed EOS tripping the watchdog on both substrates.
+//! Config E: recovery under a scripted `ChaosPlan` — a PFS write fault
+//!           retiring and reviving the writer, and an application crash
+//!           healed by a policy-arbitrated restart with Preserve replay.
+//! Plus: a seeded chaos config (ordinals derived from
+//!           `ZIPPER_CHAOS_SEED`, the CI seed matrix) and a framed-TCP
+//!           run checked against the in-process mesh.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,14 +30,16 @@ use zipper_trace::{TraceMode, TraceSink};
 use zipper_transports::spec::{sim_config, ClusterLayout, WorkflowSpec};
 use zipper_transports::zipper::build_recorded;
 use zipper_types::{
-    ByteSize, GlobalPos, PreserveMode, Rank, RoutingPolicy, StepId, WorkflowConfig,
+    ByteSize, ChaosEntity, ChaosFault, ChaosPlan, GlobalPos, PreserveMode, Rank, RecoveryPolicy,
+    RoutingPolicy, SimTime, StepId, WorkflowConfig,
 };
 use zipper_workflow::{
-    run_workflow_recorded, NetworkOptions, StorageOptions, TraceOptions, WorkflowPolicies,
+    run_workflow_chaos, run_workflow_recorded, NetworkOptions, StorageOptions, TraceOptions,
+    WorkflowPolicies,
 };
 
 /// One conformance scenario, expressed substrate-independently.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct Scenario {
     producers: usize,
     consumers: usize,
@@ -39,6 +50,34 @@ struct Scenario {
     concurrent_transfer: bool,
     preserve: bool,
     routing: RoutingPolicy,
+    /// Scripted faults, interpreted identically by both substrates.
+    chaos: ChaosPlan,
+    /// Self-healing budgets (writer revival, consumer restarts).
+    recovery: RecoveryPolicy,
+    /// EOS watchdog. The wall-clock value drives the threaded receiver;
+    /// the DES uses a fixed 1 s *virtual* deadline — the clocks are not
+    /// comparable across substrates, only the timeout *decision* is, and
+    /// that is what the canonical traces compare.
+    eos_timeout: Option<Duration>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            producers: 2,
+            consumers: 2,
+            steps: 2,
+            blocks_per_step: 4,
+            producer_slots: 16,
+            high_water_mark: 8,
+            concurrent_transfer: false,
+            preserve: false,
+            routing: RoutingPolicy::SourceAffine,
+            chaos: ChaosPlan::new(),
+            recovery: RecoveryPolicy::default(),
+            eos_timeout: None,
+        }
+    }
 }
 
 const BLOCK: u64 = 16 << 10;
@@ -62,6 +101,8 @@ impl Scenario {
             PreserveMode::NoPreserve
         };
         c.tuning.routing = self.routing;
+        c.tuning.recovery = self.recovery;
+        c.tuning.eos_timeout = self.eos_timeout;
         c
     }
 
@@ -80,6 +121,11 @@ impl Scenario {
         s.concurrent_transfer = self.concurrent_transfer;
         s.preserve = self.preserve;
         s.routing = self.routing;
+        s.chaos = (!self.chaos.is_empty()).then(|| self.chaos.clone());
+        s.recovery = self.recovery;
+        // See `Scenario::eos_timeout`: a fixed virtual deadline stands in
+        // for the wall-clock one.
+        s.virtual_eos_timeout = self.eos_timeout.map(|_| SimTime::from_nanos(1_000_000_000));
         s
     }
 
@@ -88,21 +134,41 @@ impl Scenario {
         let cfg = self.threaded_config();
         let steps = cfg.steps;
         let slab = cfg.bytes_per_rank_step.as_u64() as usize;
-        let (report, _, policies): (_, Vec<()>, WorkflowPolicies) = run_workflow_recorded(
-            &cfg,
-            NetworkOptions::default(),
-            StorageOptions::Memory,
-            TraceOptions::default().with_policy(),
-            move |rank, writer| {
-                for s in 0..steps {
-                    let payload = vec![rank.0 as u8; slab];
-                    writer.write_slab(StepId(s), GlobalPos::default(), payload.into());
-                }
-            },
-            |_, reader| while reader.read().is_some() {},
-        );
-        report.assert_complete();
-        canonize(&policies)
+        let produce = move |rank: Rank, writer: &zipper_core::ZipperWriter| {
+            for s in 0..steps {
+                let payload = vec![rank.0 as u8; slab];
+                writer.write_slab(StepId(s), GlobalPos::default(), payload.into());
+            }
+        };
+        let consume = |_: Rank, reader: &zipper_core::ZipperReader| {
+            while reader.read().is_some() {}
+        };
+        if self.chaos.is_empty() {
+            let (report, _, policies): (_, Vec<()>, WorkflowPolicies) = run_workflow_recorded(
+                &cfg,
+                NetworkOptions::default(),
+                StorageOptions::Memory,
+                TraceOptions::default().with_policy(),
+                produce,
+                consume,
+            );
+            report.assert_complete();
+            canonize(&policies)
+        } else {
+            let (report, _, policies): (_, Vec<()>, WorkflowPolicies) = run_workflow_chaos(
+                &cfg,
+                NetworkOptions::default(),
+                StorageOptions::Memory,
+                TraceOptions::default().with_policy(),
+                &self.chaos,
+                produce,
+                consume,
+            );
+            // Injected faults surface as per-rank runtime errors by
+            // design; the run itself must not lose an app rank.
+            assert!(report.failures.is_empty(), "{:?}", report.failures);
+            canonize(&policies)
+        }
     }
 
     /// Run on the DES; return canonical traces by rank.
@@ -171,6 +237,7 @@ fn source_affine_message_only_traces_match() {
         concurrent_transfer: false,
         preserve: false,
         routing: RoutingPolicy::SourceAffine,
+        ..Scenario::default()
     };
     let threaded = sc.run_threaded();
     let des = sc.run_des();
@@ -199,6 +266,7 @@ fn round_robin_concurrent_preserve_traces_match() {
         concurrent_transfer: true,
         preserve: true,
         routing: RoutingPolicy::RoundRobin,
+        ..Scenario::default()
     };
     let threaded = sc.run_threaded();
     let des = sc.run_des();
@@ -378,4 +446,290 @@ fn forced_steal_trace_replays_exactly() {
         assert_eq!(dest.idx(), k % 2, "shared round-robin rotation");
     }
     assert_eq!(replay(&live), canon, "kernel replay reproduces the trace");
+}
+
+/// Config D: degradation. One `ChaosPlan` mixing transport faults
+/// (fail/drop/corrupt/delay), a Preserve-store write fault, and a
+/// swallowed EOS runs on both substrates; the pipelines degrade through
+/// the same decision sequence — identical routes, identical surviving
+/// store set, and the same consumer tripping its watchdog.
+///
+/// Message-only mode: production order equals wire order, so sender
+/// ordinals are deterministic, and a threaded producer's single combined
+/// EOS wire covers exactly one channel (the DropEos substrate convention
+/// documented in `zipper_transports::zipper`).
+#[test]
+fn chaos_degradation_traces_match() {
+    let sc = Scenario {
+        preserve: true,
+        routing: RoutingPolicy::RoundRobin,
+        eos_timeout: Some(Duration::from_millis(300)),
+        // Each producer sends 8 data wires (ordinals 1..=8) then EOS to
+        // consumer 0 (#9) and consumer 1 (#10) — except sender 1, whose
+        // wire #1 FailSend kills destination 0: its later data wires to
+        // consumer 0 are skipped uncounted, compacting its ordinals.
+        chaos: ChaosPlan::new()
+            .with(ChaosEntity::Sender(Rank(0)), 2, ChaosFault::DropWire)
+            .with(ChaosEntity::Sender(Rank(0)), 4, ChaosFault::CorruptWire)
+            .with(ChaosEntity::Sender(Rank(0)), 9, ChaosFault::DropEos)
+            .with(ChaosEntity::Sender(Rank(1)), 1, ChaosFault::FailSend)
+            .with(
+                ChaosEntity::Sender(Rank(1)),
+                3,
+                ChaosFault::DelayWire(Duration::from_millis(2)),
+            )
+            .with(ChaosEntity::Output(Rank(0)), 2, ChaosFault::PfsWriteFail),
+        ..Scenario::default()
+    };
+    let threaded = sc.run_threaded();
+    let des = sc.run_des();
+    for t in &threaded.0 {
+        assert_eq!(t.routes.len(), 8, "routing is decided before the wire");
+    }
+    let c0 = &threaded.1[0];
+    assert_eq!(c0.eos_seen.len(), 1, "producer 0's EOS was swallowed");
+    assert_eq!(c0.timeouts, 1, "the watchdog fired");
+    assert_eq!(c0.completions, 0);
+    // Consumer 0 keeps producer 0's surviving even-ordinal blocks (wires
+    // 1,3,5,7) and nothing from the dead-destination producer 1.
+    assert_eq!(c0.stores.len(), 4, "{:?}", c0.stores);
+    let c1 = &threaded.1[1];
+    assert_eq!(c1.eos_seen.len(), 2);
+    assert_eq!(c1.completions, 1, "consumer 1 still completes");
+    assert_eq!(c1.timeouts, 0);
+    // Producer 0's wires 2 (dropped) and 4 (corrupt) never arrive;
+    // producer 1's four surviving wires all land here.
+    assert_eq!(c1.stores.len(), 6, "{:?}", c1.stores);
+    assert_same("config D", &threaded, &des);
+}
+
+/// Config E: recovery. A PFS write fault retires producer 0's writer,
+/// which the policy kernel revives after a cooldown
+/// (`WriterRetired(Fault)` → `WriterRevived` → `WriterRetired(Drained)`);
+/// a scripted crash kills consumer 1 on read #3 and the restart
+/// supervisor replays its 2-block backlog from the Preserve store. Both
+/// substrates must degrade *and heal* through identical decision traces.
+///
+/// Senders are detached (blocks drain through the work-stealing writer
+/// in production order), which makes writer put-ordinals deterministic
+/// on the threaded substrate.
+#[test]
+fn chaos_recovery_traces_match() {
+    let sc = Scenario {
+        high_water_mark: 0,
+        concurrent_transfer: true,
+        preserve: true,
+        routing: RoutingPolicy::RoundRobin,
+        recovery: RecoveryPolicy {
+            writer_cooldown: Duration::from_millis(1),
+            max_writer_revivals: 1,
+            max_consumer_restarts: 1,
+        },
+        chaos: ChaosPlan::new()
+            .with(ChaosEntity::Sender(Rank(0)), 1, ChaosFault::DetachSender)
+            .with(ChaosEntity::Sender(Rank(1)), 1, ChaosFault::DetachSender)
+            // Benign: the EOS wire to consumer 1 arrives late. It must
+            // not shift any decision.
+            .with(
+                ChaosEntity::Sender(Rank(1)),
+                2,
+                ChaosFault::DelayWire(Duration::from_millis(1)),
+            )
+            .with(ChaosEntity::Writer(Rank(0)), 2, ChaosFault::PfsWriteFail)
+            .with(ChaosEntity::Analysis(Rank(1)), 3, ChaosFault::CrashApp),
+        ..Scenario::default()
+    };
+    let threaded = sc.run_threaded();
+    let des = sc.run_des();
+    let p0 = &threaded.0[0];
+    assert_eq!(
+        p0.retires,
+        vec![RetireReason::Fault, RetireReason::Drained],
+        "fault retire, then the revived writer drains to the end"
+    );
+    assert_eq!(p0.revivals, 1);
+    assert_eq!(
+        p0.routes.len(),
+        9,
+        "the faulted block is requeued and routed again"
+    );
+    let p1 = &threaded.0[1];
+    assert_eq!(p1.retires, vec![RetireReason::Drained]);
+    assert_eq!(p1.revivals, 0);
+    assert_eq!(p1.routes.len(), 8);
+    let c1 = &threaded.1[1];
+    assert!(c1.abandoned, "the crash was accounted");
+    assert_eq!(c1.restarts, vec![2], "read #3 crashed with 2 delivered");
+    assert_eq!(c1.completions, 1, "EOS reconciles across the restart");
+    let c0 = &threaded.1[0];
+    assert!(!c0.abandoned);
+    assert_eq!(c0.restarts, Vec::<usize>::new());
+    assert_eq!(c0.completions, 1);
+    assert_same("config E", &threaded, &des);
+}
+
+/// Seed for the seeded chaos config — the CI chaos job sweeps this over
+/// a small matrix (`ZIPPER_CHAOS_SEED=1..3`).
+fn chaos_seed() -> u64 {
+    std::env::var("ZIPPER_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// splitmix64: tiny, deterministic, and good enough to decorrelate the
+/// per-producer ordinals derived from one seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e9b5);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded chaos: fault ordinals and kinds are derived from
+/// `ZIPPER_CHAOS_SEED` (mixed into the safe data-wire range 1..=8), so
+/// the CI seed matrix explores different scripted schedules while every
+/// individual run stays fully deterministic — any seed must conform.
+#[test]
+fn seeded_transport_chaos_traces_match() {
+    let mut state = chaos_seed();
+    let kinds = [
+        ChaosFault::DropWire,
+        ChaosFault::CorruptWire,
+        ChaosFault::DelayWire(Duration::from_micros(200)),
+        ChaosFault::FailSend,
+    ];
+    let producers = 4usize;
+    let mut plan = ChaosPlan::new();
+    for p in 0..producers {
+        let ordinal = 1 + splitmix(&mut state) % 8; // data wires only
+        let kind = kinds[(splitmix(&mut state) % kinds.len() as u64) as usize];
+        plan = plan.with(ChaosEntity::Sender(Rank(p as u32)), ordinal, kind);
+    }
+    let sc = Scenario {
+        producers,
+        preserve: true,
+        routing: RoutingPolicy::RoundRobin,
+        chaos: plan,
+        ..Scenario::default()
+    };
+    let threaded = sc.run_threaded();
+    let des = sc.run_des();
+    for (p, t) in threaded.0.iter().enumerate() {
+        assert_eq!(t.routes.len(), 8, "producer {p} routes all its blocks");
+    }
+    assert_same(&format!("seeded (seed {})", chaos_seed()), &threaded, &des);
+}
+
+/// The framed-TCP transport must be decision-invisible: the same
+/// workload over real loopback sockets yields the same canonical traces
+/// as the in-process mesh (Config B's scenario). Closes the ROADMAP item
+/// on extending conformance to the TCP path.
+#[test]
+fn tcp_transport_matches_mesh_canonical_traces() {
+    use parking_lot::Mutex;
+    use zipper_core::{listen_consumers, TcpSender};
+    use zipper_policy::ConsumerPolicy;
+
+    let sc = Scenario {
+        producers: 2,
+        consumers: 2,
+        steps: 2,
+        blocks_per_step: 4,
+        producer_slots: 16,
+        high_water_mark: 8, // == run size: the writer never wakes
+        concurrent_transfer: true,
+        preserve: true,
+        routing: RoutingPolicy::RoundRobin,
+        ..Scenario::default()
+    };
+    let mesh_traces = sc.run_threaded();
+
+    let cfg = sc.threaded_config();
+    let tuning = cfg.tuning;
+    let sink = TraceSink::wall(TraceMode::Off);
+    let storage: Arc<dyn zipper_pfs::Storage> = Arc::new(zipper_pfs::MemFs::new());
+    let (addrs, receivers) = listen_consumers(sc.consumers, sc.producers).unwrap();
+
+    let mut consumer_policies = Vec::new();
+    let mut consumers = Vec::new();
+    let mut drains = Vec::new();
+    for (q, rx) in receivers.into_iter().enumerate() {
+        let rank = Rank(q as u32);
+        let policy = Arc::new(Mutex::new(
+            ConsumerPolicy::from_tuning(rank, sc.producers, &tuning).recorded(),
+        ));
+        consumer_policies.push(policy.clone());
+        let mut c = Consumer::spawn_with_policy(
+            rank,
+            tuning,
+            sc.producers,
+            rx,
+            storage.clone(),
+            sink.clone(),
+            policy,
+        );
+        let reader = c.reader();
+        consumers.push(c);
+        drains.push(std::thread::spawn(move || while reader.read().is_some() {}));
+    }
+
+    let slab = cfg.bytes_per_rank_step.as_u64() as usize;
+    let mut producer_policies = Vec::new();
+    let mut producer_apps = Vec::new();
+    let mut producer_runtimes = Vec::new();
+    for p in 0..sc.producers {
+        let rank = Rank(p as u32);
+        let policy = Arc::new(Mutex::new(
+            ProducerPolicy::from_tuning(rank, sc.consumers, &tuning).recorded(),
+        ));
+        producer_policies.push(policy.clone());
+        let sender = TcpSender::connect(&addrs).unwrap();
+        let mut prod = Producer::spawn_with_policy(
+            rank,
+            tuning,
+            sender,
+            storage.clone(),
+            sink.clone(),
+            policy,
+        );
+        let writer = prod.writer(BLOCK as usize);
+        producer_runtimes.push(prod);
+        let steps = sc.steps;
+        producer_apps.push(std::thread::spawn(move || {
+            for s in 0..steps {
+                let payload = vec![rank.0 as u8; slab];
+                writer.write_slab(StepId(s), GlobalPos::default(), payload.into());
+            }
+            writer.finish();
+        }));
+    }
+
+    for h in producer_apps {
+        h.join().unwrap();
+    }
+    for prod in producer_runtimes {
+        let pm = prod.join();
+        assert!(pm.errors.is_empty(), "{:?}", pm.errors);
+    }
+    for d in drains {
+        d.join().unwrap();
+    }
+    for c in consumers {
+        let cm = c.join();
+        assert!(cm.errors.is_empty(), "{:?}", cm.errors);
+    }
+
+    let tcp_traces: (Vec<CanonicalTrace>, Vec<CanonicalTrace>) = (
+        producer_policies
+            .iter()
+            .map(|p| p.lock().trace().canonical())
+            .collect(),
+        consumer_policies
+            .iter()
+            .map(|c| c.lock().trace().canonical())
+            .collect(),
+    );
+    assert_same("tcp vs mesh", &tcp_traces, &mesh_traces);
 }
