@@ -80,7 +80,7 @@ fn dual_channel_ablation(c: &mut Criterion) {
             cfg.tuning.concurrent_transfer = concurrent;
             // 40 MB/s channel: producer-bound, so stealing matters.
             let net = NetworkOptions::throttled(2, 40e6, Duration::ZERO);
-            b.iter(|| run_once(&cfg, net));
+            b.iter(|| run_once(&cfg, net.clone()));
         });
     }
     g.finish();
@@ -169,7 +169,7 @@ fn buffer_depth(c: &mut Criterion) {
             cfg.tuning.high_water_mark = slots.saturating_sub(1).max(1).min(slots - 1).max(1);
             cfg.tuning.high_water_mark = (slots * 3 / 4).max(1).min(slots - 1);
             let net = NetworkOptions::throttled(2, 80e6, Duration::ZERO);
-            b.iter(|| run_once(&cfg, net));
+            b.iter(|| run_once(&cfg, net.clone()));
         });
     }
     g.finish();

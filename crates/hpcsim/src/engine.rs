@@ -2,7 +2,7 @@
 //! network, PFS, and coordination objects, recording a span trace.
 
 use crate::network::{Network, NetworkConfig};
-use crate::objects::{BufItem, BufferWake, SimBarrier, SimBuffer, SimLock, SimSignal};
+use crate::objects::{BufItem, BufferWake, SimBarrier, SimBuffer, SimGate, SimLock, SimSignal};
 use crate::ops::{BufId, BufferTaken, MsgMeta, Op, ProcCtx, Program, Step};
 use std::collections::{BinaryHeap, VecDeque};
 use zipper_pfs::{OstModel, OstModelConfig};
@@ -42,6 +42,9 @@ enum Waiting {
         kind: SpanKind,
     },
     Signal {
+        kind: SpanKind,
+    },
+    Gate {
         kind: SpanKind,
     },
     WaitAll {
@@ -154,6 +157,7 @@ pub struct Simulator {
     locks: Vec<SimLock>,
     barriers: Vec<SimBarrier>,
     signals: Vec<SimSignal>,
+    gates: Vec<SimGate>,
     network: Network,
     pfs: OstModel,
     trace: TraceLog,
@@ -185,6 +189,7 @@ impl Simulator {
             locks: Vec::new(),
             barriers: Vec::new(),
             signals: Vec::new(),
+            gates: Vec::new(),
             network: Network::new(cfg.network.clone()),
             pfs: OstModel::new(cfg.pfs.clone(), cfg.seed ^ 0xF00D),
             trace: TraceLog::new(),
@@ -320,6 +325,12 @@ impl Simulator {
     pub fn add_signal(&mut self) -> usize {
         self.signals.push(SimSignal::new());
         self.signals.len() - 1
+    }
+
+    /// Create a monotone counting gate (scripted-backpressure windows).
+    pub fn add_gate(&mut self) -> usize {
+        self.gates.push(SimGate::new());
+        self.gates.len() - 1
     }
 
     /// Pre-charge a signal with `n` tokens before the run starts — used to
@@ -843,6 +854,52 @@ impl Simulator {
                     self.push_event(now, Event::Resume(proc));
                 }
                 true
+            }
+            Op::GateWait { gate, need, kind } => {
+                if self.gates[gate].wait(pid, need, now) {
+                    true
+                } else {
+                    self.procs[pid.idx()].waiting = Waiting::Gate { kind };
+                    self.procs[pid.idx()].state = ProcState::Blocked;
+                    false
+                }
+            }
+            Op::GateSignal { gate, n } => {
+                let wakes = self.gates[gate].signal(n);
+                for (proc, since) in wakes {
+                    let slot = &mut self.procs[proc.idx()];
+                    let kind = match slot.waiting {
+                        Waiting::Gate { kind } => kind,
+                        ref other => unreachable!("gate waiter {other:?}"),
+                    };
+                    slot.waiting = Waiting::None;
+                    slot.state = ProcState::Ready;
+                    let wlane = slot.lane;
+                    let wnode = slot.node;
+                    self.record(wlane, kind, since, now, Span::NO_STEP);
+                    if kind == SpanKind::Stall {
+                        // A Stall-kind gate wait is scripted NIC flow
+                        // control: the held span is backpressure, visible
+                        // through the same counters real congestion feeds.
+                        let ns = now.saturating_sub(since).as_nanos();
+                        self.telemetry.add(CounterId::NetBackpressureNs, ns);
+                        self.network.charge_xmit_wait(wnode, ns);
+                    }
+                    self.push_event(now, Event::Resume(proc));
+                }
+                true
+            }
+            Op::Backpressure { dur } => {
+                if dur == SimTime::ZERO {
+                    return true;
+                }
+                self.record(lane, SpanKind::Stall, now, now + dur, Span::NO_STEP);
+                self.telemetry
+                    .add(CounterId::NetBackpressureNs, dur.as_nanos());
+                self.network.charge_xmit_wait(node, dur.as_nanos());
+                self.push_event(now + dur, Event::Resume(pid));
+                self.procs[pid.idx()].state = ProcState::Ready;
+                false
             }
             Op::BufferPut { buf, bytes, token } => {
                 match self.buffers[buf].put(pid, BufItem { bytes, token }, now) {

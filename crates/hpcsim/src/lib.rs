@@ -37,4 +37,4 @@ pub mod ops;
 
 pub use engine::{RunReport, SimConfig, Simulator};
 pub use network::{Network, NetworkConfig};
-pub use ops::{BufferTaken, MsgMeta, Op, ProcCtx, Program, Step};
+pub use ops::{BufferTaken, GateId, MsgMeta, Op, ProcCtx, Program, Step};

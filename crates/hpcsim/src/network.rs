@@ -269,6 +269,14 @@ impl Network {
         }
     }
 
+    /// Charge externally-modeled flow-control stall (a scripted
+    /// backpressure gate holding a wire in xmit-wait) to a node's
+    /// XmitWait counter, so scripted congestion is visible through the
+    /// same counter real congestion feeds.
+    pub fn charge_xmit_wait(&mut self, node: NodeId, ns: u64) {
+        self.xmit_wait[node.idx()] += ns;
+    }
+
     /// Accumulated XmitWait (ns the NIC had data but could not transmit)
     /// for one node.
     pub fn xmit_wait(&self, node: NodeId) -> u64 {

@@ -9,6 +9,7 @@ pub type BufId = usize;
 pub type LockId = usize;
 pub type BarrierId = usize;
 pub type SignalId = usize;
+pub type GateId = usize;
 
 /// Metadata of a received message, surfaced through
 /// [`ProcCtx::last_msg`] after a `Recv` completes.
@@ -101,6 +102,22 @@ pub enum Op {
     SignalWait { sig: SignalId, kind: SpanKind },
     /// Post a counting signal `n` times (V).
     SignalPost { sig: SignalId, n: u32 },
+    /// Wait on a monotone gate until its cumulative count reaches `need`
+    /// (non-consuming; see `objects::SimGate`). Wait recorded as `kind`;
+    /// a `Stall`-kind gate wait models NIC flow control — the engine
+    /// charges the held span to `net.backpressure_ns` and the node's
+    /// XmitWait counter, exactly like the threaded `SenderGate`.
+    GateWait {
+        gate: GateId,
+        need: u64,
+        kind: SpanKind,
+    },
+    /// Raise a monotone gate's count by `n`, waking satisfied waiters.
+    GateSignal { gate: GateId, n: u64 },
+    /// Hold this process for `dur` of scripted flow-control stall: a
+    /// virtual-time `GateRule::Hold` window. Recorded as `Stall` and
+    /// charged to `net.backpressure_ns` plus the node's XmitWait.
+    Backpressure { dur: SimTime },
     /// Put an item into a bounded buffer; blocks while full (recorded as
     /// `Stall` — this is the producer stall of Figs. 4/6/14).
     BufferPut { buf: BufId, bytes: u64, token: u64 },

@@ -261,6 +261,16 @@ impl BlockQueue {
 
     /// Close the queue: poppers drain the remainder then get `None`;
     /// stealers below threshold get `None` immediately.
+    /// Wake every thread parked in [`BlockQueue::steal_then`] /
+    /// [`BlockQueue::pop_then`] without changing the queue state, so they
+    /// re-evaluate their take conditions. Used by the backpressure gate:
+    /// arming a steal window changes the writer's `ready` predicate, and
+    /// the writer may already be asleep on `not_empty`.
+    pub fn nudge(&self) {
+        let _g = self.inner.lock();
+        self.not_empty.notify_all();
+    }
+
     pub fn close(&self) {
         let mut g = self.inner.lock();
         g.closed = true;

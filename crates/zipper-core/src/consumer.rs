@@ -401,11 +401,13 @@ impl Consumer {
                                     }
                                 }
                             }
-                            Ok(Wire::Eos(p)) => {
-                                // One wire EOS from a threaded producer
-                                // covers every channel it used (the sender
-                                // waits for the writer before announcing).
-                                if rpolicy.lock().note_producer_done(p).is_complete() {
+                            Ok(Wire::Eos(p, ch)) => {
+                                // Per-channel end-of-stream marks, exactly
+                                // as the DES receiver counts them: the
+                                // message channel closes as soon as the
+                                // sender drains, the file channel only
+                                // after the last stolen ID shipped.
+                                if rpolicy.lock().note_eos(p, ch).is_complete() {
                                     break;
                                 }
                             }

@@ -17,6 +17,7 @@ use crate::transport::{MeshSender, Wire, WireSender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use zipper_policy::Channel;
 use zipper_types::{ChaosFault, ChaosScope, Error, Rank, Result, RuntimeError};
 
 /// What the transport does on a scheduled fault.
@@ -93,7 +94,7 @@ impl FailingTransport {
 impl WireSender for FailingTransport {
     fn send(&self, to: Rank, wire: Wire) -> Result<()> {
         if self.plan.kind == FaultKind::DropEos {
-            if matches!(wire, Wire::Eos(_)) {
+            if matches!(wire, Wire::Eos(_, Channel::Net)) {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
@@ -124,6 +125,10 @@ impl WireSender for FailingTransport {
         }
     }
 
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        self.inner.send_fault(to, fault)
+    }
+
     fn consumers(&self) -> usize {
         self.inner.consumers()
     }
@@ -133,10 +138,13 @@ impl WireSender for FailingTransport {
 ///
 /// Ordinals follow the convention of `zipper_types::fault`: one 1-based
 /// stream over the wires this sender actually attempts — data-carrying
-/// `Msg` wires and `Eos` wires. Disk-only ID flushes are *not* counted
-/// (they do not exist on the DES side), and neither are sends the caller
-/// skipped for a dead destination (the skip happens before this wrapper is
-/// reached on both substrates).
+/// `Msg` wires and message-channel `Eos` wires. Disk-only ID flushes and
+/// the file channel's `Eos` markers are *not* counted (the DES sender
+/// proc counts neither: disk IDs and the file EOS flow from its writer
+/// proc), and neither are sends the caller skipped for a dead destination
+/// (the skip happens before this wrapper is reached on both substrates).
+/// The wrapper is transport-generic: the same scripted ordinals drive the
+/// in-process mesh and the framed-TCP sender.
 ///
 /// Fault interpretation on a scripted ordinal:
 ///
@@ -153,15 +161,15 @@ impl WireSender for FailingTransport {
 /// Faults addressed to other entity kinds (`PfsWriteFail`, `CrashApp`,
 /// `DetachSender`) pass the wire through untouched — they are interpreted
 /// by the storage wrapper, the reader, and the spawn path respectively.
-pub struct ChaosSender {
-    inner: MeshSender,
+pub struct ChaosSender<S = MeshSender> {
+    inner: S,
     scope: Arc<ChaosScope>,
     injected: AtomicU64,
 }
 
-impl ChaosSender {
+impl<S: WireSender> ChaosSender<S> {
     /// Wrap `inner`, interpreting `scope`.
-    pub fn new(inner: MeshSender, scope: Arc<ChaosScope>) -> Self {
+    pub fn new(inner: S, scope: Arc<ChaosScope>) -> Self {
         ChaosSender {
             inner,
             scope,
@@ -175,11 +183,11 @@ impl ChaosSender {
     }
 }
 
-impl WireSender for ChaosSender {
+impl<S: WireSender> WireSender for ChaosSender<S> {
     fn send(&self, to: Rank, wire: Wire) -> Result<()> {
         let counted = match &wire {
             Wire::Msg(m) => m.data.is_some(),
-            Wire::Eos(_) => true,
+            Wire::Eos(_, ch) => *ch == Channel::Net,
         };
         if !counted {
             return self.inner.send(to, wire);
@@ -213,7 +221,7 @@ impl WireSender for ChaosSender {
                 self.inner.send(to, wire)
             }
             Some(ChaosFault::DropEos) => {
-                if matches!(wire, Wire::Eos(_)) {
+                if matches!(wire, Wire::Eos(..)) {
                     self.injected.fetch_add(1, Ordering::Relaxed);
                     Ok(())
                 } else {
@@ -224,6 +232,10 @@ impl WireSender for ChaosSender {
                 self.inner.send(to, wire)
             }
         }
+    }
+
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        self.inner.send_fault(to, fault)
     }
 
     fn consumers(&self) -> usize {
@@ -247,9 +259,9 @@ mod tests {
     fn fail_send_every_other_wire() {
         let (s, r) = mesh_pair();
         let f = FailingTransport::new(s, FaultPlan::every(FaultKind::FailSend, 2));
-        f.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
-        assert!(f.send(Rank(0), Wire::Eos(Rank(1))).is_err());
-        f.send(Rank(0), Wire::Eos(Rank(2))).unwrap();
+        f.send(Rank(0), Wire::Eos(Rank(0), Channel::Net)).unwrap();
+        assert!(f.send(Rank(0), Wire::Eos(Rank(1), Channel::Net)).is_err());
+        f.send(Rank(0), Wire::Eos(Rank(2), Channel::Net)).unwrap();
         assert_eq!(f.injected(), 1);
         drop(f);
         let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
@@ -260,7 +272,7 @@ mod tests {
     fn corrupt_wire_surfaces_in_band_fault() {
         let (s, r) = mesh_pair();
         let f = FailingTransport::new(s, FaultPlan::every(FaultKind::CorruptWire, 1));
-        f.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        f.send(Rank(0), Wire::Eos(Rank(0), Channel::Net)).unwrap();
         assert!(matches!(
             r.recv(),
             Err(Error::Runtime(RuntimeError::Transport { .. }))
@@ -284,7 +296,7 @@ mod tests {
         );
         f.send(Rank(0), Wire::Msg(MixedMessage::data_only(block)))
             .unwrap();
-        f.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        f.send(Rank(0), Wire::Eos(Rank(0), Channel::Net)).unwrap();
         assert_eq!(f.injected(), 1);
         drop(f);
         let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
@@ -321,13 +333,13 @@ mod tests {
             .unwrap();
         c.send(Rank(0), data(1)).unwrap(); // wire 2: dropped
         c.send(Rank(0), data(2)).unwrap(); // wire 3: clean
-        c.send(Rank(0), Wire::Eos(Rank(0))).unwrap(); // wire 4: EOS swallowed
+        c.send(Rank(0), Wire::Eos(Rank(0), Channel::Net)).unwrap(); // wire 4: EOS swallowed
         assert_eq!(c.injected(), 2);
         drop(c);
         let got: Vec<_> = std::iter::from_fn(|| r.recv().ok()).collect();
         // Delivered: wire 1, the uncounted ID flush, wire 3. No EOS.
         assert_eq!(got.len(), 3);
-        assert!(!got.iter().any(|w| matches!(w, Wire::Eos(_))));
+        assert!(!got.iter().any(|w| matches!(w, Wire::Eos(..))));
     }
 
     #[test]
@@ -338,19 +350,21 @@ mod tests {
             .with(ChaosEntity::Sender(Rank(1)), 2, ChaosFault::CorruptWire);
         let (s, r) = mesh_pair();
         let c = ChaosSender::new(s, Arc::new(plan.scope(ChaosEntity::Sender(Rank(1)))));
-        let err = c.send(Rank(0), Wire::Eos(Rank(1))).unwrap_err();
+        let err = c
+            .send(Rank(0), Wire::Eos(Rank(1), Channel::Net))
+            .unwrap_err();
         assert!(matches!(
             err,
             Error::Runtime(RuntimeError::Transport { .. })
         ));
-        c.send(Rank(0), Wire::Eos(Rank(1))).unwrap(); // corrupt: in-band
-        c.send(Rank(0), Wire::Eos(Rank(1))).unwrap(); // wire 3: clean
+        c.send(Rank(0), Wire::Eos(Rank(1), Channel::Net)).unwrap(); // corrupt: in-band
+        c.send(Rank(0), Wire::Eos(Rank(1), Channel::Net)).unwrap(); // wire 3: clean
         drop(c);
         assert!(matches!(
             r.recv(),
             Err(Error::Runtime(RuntimeError::Transport { .. }))
         ));
-        assert!(matches!(r.recv(), Ok(Wire::Eos(_))));
+        assert!(matches!(r.recv(), Ok(Wire::Eos(..))));
     }
 
     #[test]
@@ -367,7 +381,9 @@ mod tests {
             },
         );
         for i in 0..6 {
-            retrying.send(Rank(0), Wire::Eos(Rank(i))).unwrap();
+            retrying
+                .send(Rank(0), Wire::Eos(Rank(i), Channel::Net))
+                .unwrap();
         }
         assert!(retrying.retries() > 0);
         drop(retrying);

@@ -15,11 +15,11 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use zipper_policy::{ProducerPolicy, RetireReason};
+use zipper_policy::{Channel, ProducerPolicy, RetireReason};
 use zipper_trace::{GaugeId, HistogramId, LaneRecorder, MetricShard, SpanKind, TraceSink};
 use zipper_types::{
-    panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RuntimeError, SimTime,
-    StepId, ZipperTuning,
+    panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RuntimeError, SenderGate,
+    SimTime, StepId, ZipperTuning,
 };
 
 /// Pending on-disk block IDs, bucketed by destination consumer. The writer
@@ -267,6 +267,38 @@ impl Producer {
         policy: SharedProducerPolicy,
         detach_sender: bool,
     ) -> Producer {
+        Self::spawn_with_policy_gated(
+            rank,
+            tuning,
+            mesh,
+            storage,
+            sink,
+            policy,
+            detach_sender,
+            None,
+        )
+    }
+
+    /// Like [`Producer::spawn_with_policy_detached`], plus an optional
+    /// [`SenderGate`] — the producer-side half of a
+    /// [`zipper_types::BackpressureScript`]. The gate itself is driven by a
+    /// `GatedSender` transport wrapper *outside* this module (it counts the
+    /// rank's data wires and stalls at scripted ordinals); this spawn
+    /// variant wires up the writer side: while a steal-credit window is
+    /// armed the writer steals every buffered block (bypassing the
+    /// high-water mark), reports each steal to the gate, and fail-opens the
+    /// gate when it retires so an unmet window can never wedge the sender.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_policy_gated(
+        rank: Rank,
+        tuning: ZipperTuning,
+        mesh: impl WireSender + 'static,
+        storage: Arc<dyn zipper_pfs::Storage>,
+        sink: TraceSink,
+        policy: SharedProducerPolicy,
+        detach_sender: bool,
+        gate: Option<Arc<SenderGate>>,
+    ) -> Producer {
         tuning.validate().expect("invalid tuning");
         assert!(
             !detach_sender || tuning.concurrent_transfer,
@@ -286,18 +318,28 @@ impl Producer {
         let pending: PendingIds = Arc::new(Mutex::new(vec![Vec::new(); consumers]));
         let writer_done = Arc::new(WriterDone::default());
 
+        if let Some(g) = &gate {
+            // Arming a steal window must wake a writer already parked on an
+            // empty/below-threshold buffer so it re-reads `steal_phase`.
+            let wake_queue = queue.clone();
+            g.set_waker(move || wake_queue.nudge());
+        }
+
         let writer_thread = if tuning.concurrent_transfer {
             let wq = queue.clone();
             let wpending = pending.clone();
             let wmetrics = metrics.clone();
             let wpolicy = policy.clone();
+            let wgate = gate.clone();
             let done = writer_done.clone();
             let rec = sink.recorder(writer_lane(rank));
             let shard = sink.telemetry().shard();
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-writer-{rank}"))
                 .spawn(move || {
-                    writer_loop(rank, wq, storage, wpending, wmetrics, wpolicy, rec, shard);
+                    writer_loop(
+                        rank, wq, storage, wpending, wmetrics, wpolicy, wgate, rec, shard,
+                    );
                     done.signal();
                 });
             match spawned {
@@ -306,6 +348,9 @@ impl Producer {
                     // Degrade to message-passing-only instead of aborting:
                     // the sender must not wait for a writer that never ran.
                     writer_done.signal();
+                    if let Some(g) = &gate {
+                        g.retire_writer();
+                    }
                     policy.lock().writer_retired(RetireReason::Fault);
                     metrics.lock().errors.push(RuntimeError::WriterRetired {
                         rank,
@@ -316,6 +361,11 @@ impl Producer {
             }
         } else {
             writer_done.signal();
+            // No writer exists to satisfy steal-credit windows: fail the
+            // gate open so scripted stalls degrade to no-ops.
+            if let Some(g) = &gate {
+                g.retire_writer();
+            }
             None
         };
 
@@ -323,6 +373,7 @@ impl Producer {
             let sq = queue.clone();
             let smetrics = metrics.clone();
             let spolicy = policy.clone();
+            let sgate = gate.clone();
             let rec = sink.recorder(sender_lane(rank));
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-sender-{rank}"))
@@ -335,6 +386,7 @@ impl Producer {
                         smetrics,
                         spolicy,
                         writer_done,
+                        sgate,
                         rec,
                         detach_sender,
                     )
@@ -345,8 +397,13 @@ impl Producer {
                     // Without a sender nothing can be shipped; close the
                     // queue so writes fail soft instead of filling forever,
                     // and record why. The consumers' EOS watchdog covers
-                    // the missing end-of-stream markers.
+                    // the missing end-of-stream markers. No wire will ever
+                    // pass, so scripted windows can never arm — cancel
+                    // them to release a writer parked between windows.
                     queue.close();
+                    if let Some(g) = &gate {
+                        g.close_windows();
+                    }
                     metrics
                         .lock()
                         .errors
@@ -459,6 +516,7 @@ fn sender_loop(
     metrics: Arc<Mutex<ProducerMetrics>>,
     policy: SharedProducerPolicy,
     writer_done: Arc<WriterDone>,
+    gate: Option<Arc<SenderGate>>,
     mut rec: LaneRecorder,
     detached: bool,
 ) {
@@ -491,9 +549,38 @@ fn sender_loop(
         }
     }
 
-    // End of stream. The writer may still be storing its final stolen
-    // block: wait for it to retire before flushing, so every on-disk ID is
-    // announced before the EOS (a block whose ID never ships would be
+    // The queue is drained (or this sender is detached and never passes
+    // wires): windows at higher ordinals can never arm, so cancel them to
+    // release a writer parked between windows.
+    if let Some(g) = &gate {
+        g.close_windows();
+    }
+
+    // End of the *message* channel: the buffer is drained, so no data wire
+    // can follow — the Net-channel EOS ships now, without waiting for the
+    // writer. Per-connection FIFO ordering keeps it behind every data
+    // message. (Previously one combined EOS covered both channels after
+    // the writer retired; splitting them lets a chaos plan drop one
+    // channel's mark without silencing the other — the DES already sends
+    // per-channel marks.)
+    let report_eos = |e: Error| {
+        let mut m = metrics.lock();
+        match e {
+            Error::Aggregate(errs) => {
+                m.errors
+                    .extend(errs.into_iter().map(|e| wire_fault(rank, e)));
+            }
+            e => m.errors.push(wire_fault(rank, e)),
+        }
+    };
+    let net_targets = policy.lock().announce_eos(Channel::Net);
+    if let Err(e) = mesh.send_eos(rank, Channel::Net, &net_targets) {
+        report_eos(e);
+    }
+
+    // The writer may still be storing its final stolen block: wait for it
+    // to retire before flushing, so every on-disk ID is announced before
+    // the file channel's EOS (a block whose ID never ships would be
     // lost — caught by the block-accounting tests/benches).
     writer_done.wait();
 
@@ -510,20 +597,14 @@ fn sender_loop(
             }
         }
     }
-    // The writer has retired by now, so one wire EOS per target covers
-    // both channels. The kernel decides who must hear it; every target is
+    // File-channel EOS after every ID has shipped (FIFO keeps the flushed
+    // IDs ahead of it). On a message-passing-only run the kernel reports
+    // the file channel inactive — no targets, no wire. Every target is
     // attempted even when some already failed, and the aggregated error is
     // unpacked into individual reports.
-    let targets = policy.lock().announce_eos_all_channels();
-    if let Err(e) = mesh.send_eos(rank, &targets) {
-        let mut m = metrics.lock();
-        match e {
-            Error::Aggregate(errs) => {
-                m.errors
-                    .extend(errs.into_iter().map(|e| wire_fault(rank, e)));
-            }
-            e => m.errors.push(wire_fault(rank, e)),
-        }
+    let disk_targets = policy.lock().announce_eos(Channel::Disk);
+    if let Err(e) = mesh.send_eos(rank, Channel::Disk, &disk_targets) {
+        report_eos(e);
     }
 }
 
@@ -541,18 +622,42 @@ fn writer_loop(
     pending: PendingIds,
     metrics: Arc<Mutex<ProducerMetrics>>,
     policy: SharedProducerPolicy,
+    gate: Option<Arc<SenderGate>>,
     mut rec: LaneRecorder,
     mut shard: MetricShard,
 ) {
     loop {
         let (taken, idle) = queue.steal_then(
-            |occupancy| policy.lock().should_steal(occupancy),
+            // An armed steal-credit window overrides the high-water mark:
+            // the sender is parked at a scripted gate and every buffered
+            // block behind it is the writer's to steal. Outside a window
+            // the kernel's Algorithm-1 condition decides alone.
+            |occupancy| {
+                (occupancy > 0 && gate.as_ref().is_some_and(|g| g.steal_phase()))
+                    || policy.lock().should_steal(occupancy)
+            },
             |b| policy.lock().route_disk(b.id()),
         );
         record_wait(&mut rec, SpanKind::Idle, idle);
         let Some((block, dest)) = taken else {
-            // Queue closed below threshold: the normal end of stream.
+            // Queue closed below threshold. The queue closes as soon as
+            // the app finishes, which can be long before the sender has
+            // drained it — if the script still holds unmet steal-credit
+            // windows, blocks parked behind a future gate are this
+            // writer's to steal, so wait for the window to arm instead of
+            // retiring (which would fail the rest of the script open and
+            // desynchronize the scripted schedule). The sender cancels
+            // the remaining windows once it drains, releasing this wait.
+            if let Some(g) = &gate {
+                if g.await_steal_window() {
+                    continue;
+                }
+            }
+            // The normal end of stream.
             policy.lock().writer_retired(RetireReason::Drained);
+            if let Some(g) = &gate {
+                g.retire_writer();
+            }
             break;
         };
         shard.observe(HistogramId::PfsWriteBytes, block.header.len);
@@ -593,9 +698,18 @@ fn writer_loop(
                 }
                 continue;
             }
+            // Dying without a comeback: unmet steal-credit windows can
+            // never be satisfied — fail the gate open so the sender is
+            // released instead of wedged.
+            if let Some(g) = &gate {
+                g.retire_writer();
+            }
             return;
         }
         pending.lock()[dest.idx()].push(block.id());
+        if let Some(g) = &gate {
+            g.note_steal();
+        }
         let mut m = metrics.lock();
         m.blocks_stolen += 1;
         m.bytes_stolen += block.header.len;
@@ -625,16 +739,21 @@ mod tests {
         }
     }
 
+    /// Drain consumer rank 0's wire channel until `expected_eos`
+    /// end-of-stream marks arrived: one Net-channel mark per producer,
+    /// plus one Disk-channel mark per producer when concurrent transfer is
+    /// on (a disk-only ID flush can arrive between the two marks, so the
+    /// collector must not stop at the first).
     fn collect_rank0(
         mesh: &ChannelMesh,
-        producers: usize,
+        expected_eos: usize,
     ) -> std::thread::JoinHandle<(Vec<BlockId>, Vec<BlockId>)> {
         let rx = mesh.take_receiver(Rank(0)).unwrap();
         std::thread::spawn(move || {
             let mut net = Vec::new();
             let mut disk = Vec::new();
             let mut eos = 0;
-            loop {
+            while eos < expected_eos {
                 match rx.recv().unwrap() {
                     Wire::Msg(m) => {
                         if let Some(b) = m.data {
@@ -642,12 +761,7 @@ mod tests {
                         }
                         disk.extend(m.on_disk);
                     }
-                    Wire::Eos(_) => {
-                        eos += 1;
-                        if eos == producers {
-                            break;
-                        }
-                    }
+                    Wire::Eos(..) => eos += 1,
                 }
             }
             (net, disk)
@@ -691,7 +805,7 @@ mod tests {
         let storage = Arc::new(MemFs::new());
         let mut prod = Producer::spawn(Rank(0), tuning(true), mesh.sender(), storage.clone());
         let writer = prod.writer(4096);
-        let collector = collect_rank0(&mesh, 1);
+        let collector = collect_rank0(&mesh, 2); // Net + Disk channel marks
         for i in 0..30u32 {
             let id = BlockId::new(Rank(0), StepId(0), i);
             writer.write(Block::from_payload(
@@ -803,10 +917,17 @@ mod tests {
                 let rx = mesh.take_receiver(Rank(q as u32)).unwrap();
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
-                    // Drain until the single producer's EOS arrives.
-                    while let Wire::Msg(m) = rx.recv().unwrap() {
-                        got.extend(m.data.map(|b| b.id()));
-                        got.extend(m.on_disk);
+                    // Drain until both channel marks arrive: the post-EOS
+                    // disk-ID flush rides between the Net and Disk marks.
+                    let mut eos = 0;
+                    while eos < 2 {
+                        match rx.recv().unwrap() {
+                            Wire::Msg(m) => {
+                                got.extend(m.data.map(|b| b.id()));
+                                got.extend(m.on_disk);
+                            }
+                            Wire::Eos(..) => eos += 1,
+                        }
                     }
                     got
                 })
@@ -864,7 +985,7 @@ mod tests {
             true,
         );
         let writer = prod.writer(4096);
-        let collector = collect_rank0(&mesh, 1);
+        let collector = collect_rank0(&mesh, 2); // Net + Disk channel marks
         for i in 0..6u32 {
             let id = BlockId::new(Rank(0), StepId(0), i);
             writer.write(Block::from_payload(

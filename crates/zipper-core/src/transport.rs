@@ -7,15 +7,21 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use zipper_policy::Channel;
 use zipper_trace::{CounterId, GaugeId, HistogramId, LaneRecorder, SpanKind, Telemetry, TraceSink};
 use zipper_types::{Error, MixedMessage, Rank, Result, RetryPolicy, RuntimeError};
 
-/// What travels on the wire: mixed messages, or an end-of-stream marker
-/// from one producer rank.
+/// What travels on the wire: mixed messages, or a per-channel
+/// end-of-stream marker from one producer rank. In `concurrent_transfer`
+/// mode a producer announces its message channel (sender drained) and
+/// its file channel (writer retired, trailing disk IDs flushed)
+/// *separately* — a consumer completes a producer only once every active
+/// channel's marker arrived, which keeps a swallowed marker on either
+/// channel distinguishable (the `DropEos` chaos scenarios).
 #[derive(Clone, Debug)]
 pub enum Wire {
     Msg(MixedMessage),
-    Eos(Rank),
+    Eos(Rank, Channel),
 }
 
 /// One slot in a consumer's inbox: a decoded wire, or a typed transport
@@ -28,7 +34,7 @@ impl Wire {
     pub(crate) fn wire_bytes(&self) -> u64 {
         match self {
             Wire::Msg(m) => m.wire_bytes(),
-            Wire::Eos(_) => 16,
+            Wire::Eos(..) => 16,
         }
     }
 }
@@ -181,7 +187,15 @@ pub trait WireSender: Send {
     /// Number of consumer endpoints reachable.
     fn consumers(&self) -> usize;
 
-    /// Announce end-of-stream from producer `rank` to the given consumers.
+    /// Forward a typed runtime fault in-band to consumer `to`, ordered
+    /// with the data stream — what a chaos script's `CorruptWire` turns
+    /// into. The in-process mesh ships the typed fault itself; a framed
+    /// transport realizes it at the wire level (a corrupt frame body the
+    /// reader reports in-band). Adapters forward to their inner sender.
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()>;
+
+    /// Announce `channel`'s end-of-stream from producer `rank` to the
+    /// given consumers.
     ///
     /// Pure mechanism: *which* consumers must hear the announcement is a
     /// policy decision ([`zipper_policy::ProducerPolicy::announce_eos`]),
@@ -189,10 +203,10 @@ pub trait WireSender: Send {
     /// one fails — a dead consumer must not starve the remaining ones of
     /// the EOS they are waiting on. Failures are aggregated into a single
     /// error.
-    fn send_eos(&self, rank: Rank, targets: &[Rank]) -> Result<()> {
+    fn send_eos(&self, rank: Rank, channel: Channel, targets: &[Rank]) -> Result<()> {
         let mut failures = Vec::new();
         for &q in targets {
-            if let Err(e) = self.send(q, Wire::Eos(rank)) {
+            if let Err(e) = self.send(q, Wire::Eos(rank, channel)) {
                 failures.push(e);
             }
         }
@@ -217,6 +231,10 @@ pub struct MeshSender {
 impl WireSender for MeshSender {
     fn send(&self, to: Rank, wire: Wire) -> Result<()> {
         MeshSender::send(self, to, wire)
+    }
+
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        MeshSender::send_fault(self, to, fault)
     }
 
     fn consumers(&self) -> usize {
@@ -284,10 +302,10 @@ impl MeshSender {
         Ok(())
     }
 
-    /// Announce end-of-stream from producer `rank` to `targets`, attempting
-    /// all of them (see [`WireSender::send_eos`]).
-    pub fn send_eos(&self, rank: Rank, targets: &[Rank]) -> Result<()> {
-        WireSender::send_eos(self, rank, targets)
+    /// Announce `channel`'s end-of-stream from producer `rank` to
+    /// `targets`, attempting all of them (see [`WireSender::send_eos`]).
+    pub fn send_eos(&self, rank: Rank, channel: Channel, targets: &[Rank]) -> Result<()> {
+        WireSender::send_eos(self, rank, channel, targets)
     }
 
     /// Number of consumer endpoints.
@@ -318,6 +336,10 @@ impl Clone for MeshSender {
 impl WireSender for Box<dyn WireSender> {
     fn send(&self, to: Rank, wire: Wire) -> Result<()> {
         (**self).send(to, wire)
+    }
+
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        (**self).send_fault(to, fault)
     }
 
     fn consumers(&self) -> usize {
@@ -351,6 +373,10 @@ impl<S: WireSender> WireSender for TracedSender<S> {
         self.rec
             .lock()
             .time(SpanKind::Send, || self.inner.send(to, wire))
+    }
+
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        self.inner.send_fault(to, fault)
     }
 
     fn consumers(&self) -> usize {
@@ -445,6 +471,12 @@ impl<S: WireSender> WireSender for RetryingSender<S> {
                 }
             }
         }
+    }
+
+    fn send_fault(&self, to: Rank, fault: RuntimeError) -> Result<()> {
+        // Best-effort like the fault itself: no retry loop around an
+        // intentionally-delivered failure.
+        self.inner.send_fault(to, fault)
     }
 
     fn consumers(&self) -> usize {
@@ -549,10 +581,14 @@ mod tests {
         let rs: Vec<_> = (0..3)
             .map(|q| mesh.take_receiver(Rank(q)).unwrap())
             .collect();
-        s.send_eos(Rank(5), &[Rank(0), Rank(1), Rank(2)]).unwrap();
+        s.send_eos(Rank(5), Channel::Net, &[Rank(0), Rank(1), Rank(2)])
+            .unwrap();
         for r in &rs {
             match r.recv().unwrap() {
-                Wire::Eos(p) => assert_eq!(p, Rank(5)),
+                Wire::Eos(p, ch) => {
+                    assert_eq!(p, Rank(5));
+                    assert_eq!(ch, Channel::Net);
+                }
                 w => panic!("unexpected {w:?}"),
             }
         }
@@ -625,12 +661,12 @@ mod tests {
         let r2 = mesh.take_receiver(Rank(2)).unwrap();
         drop(mesh); // release the mesh's own tx clones for rank 0
         let err = s
-            .send_eos(Rank(7), &[Rank(0), Rank(1), Rank(2)])
+            .send_eos(Rank(7), Channel::Net, &[Rank(0), Rank(1), Rank(2)])
             .unwrap_err();
         assert!(matches!(err, Error::Disconnected(_)), "{err}");
         for r in [&r1, &r2] {
             match r.recv().unwrap() {
-                Wire::Eos(p) => assert_eq!(p, Rank(7)),
+                Wire::Eos(p, _) => assert_eq!(p, Rank(7)),
                 w => panic!("unexpected {w:?}"),
             }
         }
@@ -653,10 +689,10 @@ mod tests {
             r.recv_timeout(Duration::from_millis(20)),
             Err(Error::Timeout(_))
         ));
-        tx.send(Ok(Wire::Eos(Rank(1)))).unwrap();
+        tx.send(Ok(Wire::Eos(Rank(1), Channel::Net))).unwrap();
         assert!(matches!(
             r.recv_timeout(Duration::from_millis(20)),
-            Ok(Wire::Eos(Rank(1)))
+            Ok(Wire::Eos(Rank(1), Channel::Net))
         ));
     }
 
@@ -679,6 +715,9 @@ mod tests {
                     Ok(())
                 }
             }
+            fn send_fault(&self, _to: Rank, _fault: RuntimeError) -> Result<()> {
+                Ok(())
+            }
             fn consumers(&self) -> usize {
                 1
             }
@@ -700,7 +739,9 @@ mod tests {
         )
         .traced(&sink, "net/retry");
         clock.advance(zipper_types::SimTime::from_millis(1));
-        retrying.send(Rank(0), Wire::Eos(Rank(0))).unwrap();
+        retrying
+            .send(Rank(0), Wire::Eos(Rank(0), Channel::Net))
+            .unwrap();
         assert_eq!(retrying.retries(), 2);
         drop(retrying);
         let log = sink.snapshot();
@@ -717,6 +758,9 @@ mod tests {
             fn send(&self, _to: Rank, _wire: Wire) -> Result<()> {
                 Err(Error::Disconnected("down"))
             }
+            fn send_fault(&self, _to: Rank, _fault: RuntimeError) -> Result<()> {
+                Ok(())
+            }
             fn consumers(&self) -> usize {
                 1
             }
@@ -730,7 +774,9 @@ mod tests {
                 jitter: 0.0,
             },
         );
-        assert!(retrying.send(Rank(0), Wire::Eos(Rank(0))).is_err());
+        assert!(retrying
+            .send(Rank(0), Wire::Eos(Rank(0), Channel::Net))
+            .is_err());
         assert_eq!(retrying.retries(), 2, "attempts - 1 backoffs");
     }
 
@@ -740,6 +786,9 @@ mod tests {
         impl WireSender for AlwaysDown {
             fn send(&self, _to: Rank, _wire: Wire) -> Result<()> {
                 Err(Error::Disconnected("down"))
+            }
+            fn send_fault(&self, _to: Rank, _fault: RuntimeError) -> Result<()> {
+                Ok(())
             }
             fn consumers(&self) -> usize {
                 1
@@ -752,7 +801,10 @@ mod tests {
             jitter: 0.0,
         };
         let retrying = RetryingSender::new(AlwaysDown, policy(3));
-        match retrying.send(Rank(0), Wire::Eos(Rank(0))).unwrap_err() {
+        match retrying
+            .send(Rank(0), Wire::Eos(Rank(0), Channel::Net))
+            .unwrap_err()
+        {
             Error::Aggregate(faults) => {
                 assert_eq!(faults.len(), 3, "one error per attempt");
                 assert!(faults.iter().all(|f| matches!(f, Error::Disconnected(_))));
@@ -762,7 +814,9 @@ mod tests {
         // A single-attempt policy keeps the lone error un-wrapped.
         let one_shot = RetryingSender::new(AlwaysDown, policy(1));
         assert!(matches!(
-            one_shot.send(Rank(0), Wire::Eos(Rank(0))).unwrap_err(),
+            one_shot
+                .send(Rank(0), Wire::Eos(Rank(0), Channel::Net))
+                .unwrap_err(),
             Error::Disconnected(_)
         ));
     }
@@ -776,7 +830,7 @@ mod tests {
         let traced = TracedSender::new(mesh.sender(), &sink, "net/p0");
         clock.advance(zipper_types::SimTime::from_millis(1));
         traced.send(Rank(0), Wire::Msg(msg(0, 64))).unwrap();
-        traced.send_eos(Rank(0), &[Rank(0)]).unwrap();
+        traced.send_eos(Rank(0), Channel::Net, &[Rank(0)]).unwrap();
         drop(traced); // flush the net lane
         assert!(matches!(rx.recv().unwrap(), Wire::Msg(_)));
         let log = sink.snapshot();
@@ -812,7 +866,7 @@ mod tests {
         drop(mesh.take_receiver(Rank(0)).unwrap());
         drop(mesh); // drop the mesh's own tx clones too
         assert!(matches!(
-            s.send(Rank(0), Wire::Eos(Rank(0))),
+            s.send(Rank(0), Wire::Eos(Rank(0), Channel::Net)),
             Err(Error::Disconnected(_))
         ));
     }

@@ -12,7 +12,7 @@
 //! ```text
 //! frame   := u64 body_len | body
 //! body    := 0u8 msg | 1u8 eos
-//! eos     := u32 producer_rank
+//! eos     := u32 producer_rank | u8 channel (0 = Net, 1 = Disk)
 //! msg     := u32 n_ids | n_ids × u64 block_id_key
 //!          | u8 has_data
 //!          | [ u64 id_key | u64 pos.{x,y,z} | u32 blocks_in_step
@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
+use zipper_policy::Channel;
 use zipper_trace::{CounterId, HistogramId, SpanKind, Telemetry, TraceSink};
 use zipper_types::{
     Block, BlockHeader, BlockId, Error, GlobalPos, MixedMessage, Rank, Result, RetryPolicy,
@@ -43,9 +44,13 @@ pub const MAX_FRAME: usize = 1 << 30;
 pub fn encode_wire(wire: &Wire) -> Vec<u8> {
     let mut out = Vec::new();
     match wire {
-        Wire::Eos(rank) => {
+        Wire::Eos(rank, channel) => {
             out.push(1u8);
             out.extend_from_slice(&rank.0.to_le_bytes());
+            out.push(match channel {
+                Channel::Net => 0u8,
+                Channel::Disk => 1u8,
+            });
         }
         Wire::Msg(m) => {
             out.push(0u8);
@@ -88,7 +93,19 @@ pub fn decode_wire(body: &[u8]) -> Result<Wire> {
     match kind {
         1 => {
             let rank = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap());
-            Ok(Wire::Eos(Rank(rank)))
+            // The channel byte is mandatory: a 5-byte eos body is the only
+            // valid shape. Bodies from the pre-channel format (4 bytes) are
+            // rejected, which surfaces as an in-band Transport fault rather
+            // than a silently mis-attributed EOS.
+            let channel = match *take(&mut at, 1)?.first().unwrap() {
+                0 => Channel::Net,
+                1 => Channel::Disk,
+                other => return Err(bad(&format!("eos channel byte {other}"))),
+            };
+            if at != body.len() {
+                return Err(bad("trailing bytes"));
+            }
+            Ok(Wire::Eos(Rank(rank), channel))
         }
         0 => {
             let n_ids = u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()) as usize;
@@ -350,6 +367,24 @@ impl WireSender for TcpSender {
     fn consumers(&self) -> usize {
         self.streams.len()
     }
+
+    /// Deliver a scripted corruption over the real socket: a garbage body
+    /// under a valid length prefix. The reader keeps the stream aligned
+    /// (the length prefix is intact), fails to decode the body, and
+    /// reports the loss in-band as a `Transport` fault — the same
+    /// consumer-visible outcome the in-process mesh produces, but
+    /// exercising the wire codec's corruption path for real.
+    fn send_fault(&self, to: Rank, _fault: RuntimeError) -> Result<()> {
+        let mut stream = self
+            .streams
+            .get(to.idx())
+            .ok_or(Error::Disconnected("unknown consumer rank"))?
+            .lock();
+        let garbage: [u8; 4] = [0xDE, 0xAD, 0xBE, 0xEF];
+        stream.write_all(&(garbage.len() as u64).to_le_bytes())?;
+        stream.write_all(&garbage)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -369,7 +404,8 @@ mod tests {
     #[test]
     fn wire_codec_round_trips_every_variant() {
         let wires = [
-            Wire::Eos(Rank(42)),
+            Wire::Eos(Rank(42), Channel::Net),
+            Wire::Eos(Rank(42), Channel::Disk),
             Wire::Msg(MixedMessage::data_only(sample_block(257))),
             Wire::Msg(MixedMessage::disk_only(vec![
                 BlockId::new(Rank(1), StepId(2), 3),
@@ -384,7 +420,10 @@ mod tests {
             let body = encode_wire(&w);
             let back = decode_wire(&body).unwrap();
             match (&w, &back) {
-                (Wire::Eos(a), Wire::Eos(b)) => assert_eq!(a, b),
+                (Wire::Eos(a, ca), Wire::Eos(b, cb)) => {
+                    assert_eq!(a, b);
+                    assert_eq!(ca, cb);
+                }
                 (Wire::Msg(a), Wire::Msg(b)) => assert_eq!(a, b),
                 _ => panic!("variant changed in transit"),
             }
@@ -396,8 +435,17 @@ mod tests {
         assert!(decode_wire(&[]).is_err());
         assert!(decode_wire(&[9]).is_err()); // unknown kind
         assert!(decode_wire(&[1, 0]).is_err()); // truncated eos
-                                                // Valid message with trailing garbage.
-        let mut body = encode_wire(&Wire::Eos(Rank(1)));
+                                                // Pre-channel eos body (rank only, no channel byte) is rejected.
+        let mut legacy = vec![1u8];
+        legacy.extend_from_slice(&3u32.to_le_bytes());
+        assert!(decode_wire(&legacy).is_err());
+        // Unknown channel byte.
+        let mut bad_ch = vec![1u8];
+        bad_ch.extend_from_slice(&3u32.to_le_bytes());
+        bad_ch.push(7);
+        assert!(decode_wire(&bad_ch).is_err());
+        // Valid message with trailing garbage.
+        let mut body = encode_wire(&Wire::Eos(Rank(1), Channel::Net));
         body[0] = 0; // claim it's a Msg -> structure no longer matches
         assert!(decode_wire(&body).is_err());
     }
@@ -434,7 +482,9 @@ mod tests {
                 Wire::Msg(MixedMessage::data_only(sample_block(1000))),
             )
             .unwrap();
-        sender.send(Rank(1), Wire::Eos(Rank(7))).unwrap();
+        sender
+            .send(Rank(1), Wire::Eos(Rank(7), Channel::Disk))
+            .unwrap();
         match receivers[0].recv().unwrap() {
             Wire::Msg(m) => {
                 let b = m.data.unwrap();
@@ -444,7 +494,10 @@ mod tests {
             w => panic!("unexpected {w:?}"),
         }
         match receivers[1].recv().unwrap() {
-            Wire::Eos(r) => assert_eq!(r, Rank(7)),
+            Wire::Eos(r, ch) => {
+                assert_eq!(r, Rank(7));
+                assert_eq!(ch, Channel::Disk);
+            }
             w => panic!("unexpected {w:?}"),
         }
     }
@@ -459,7 +512,7 @@ mod tests {
             .unwrap();
         raw.write_all(&garbage).unwrap();
         // A valid frame right behind it must still get through.
-        let body = encode_wire(&Wire::Eos(Rank(5)));
+        let body = encode_wire(&Wire::Eos(Rank(5), Channel::Net));
         raw.write_all(&(body.len() as u64).to_le_bytes()).unwrap();
         raw.write_all(&body).unwrap();
         let err = receivers[0].recv().unwrap_err();
@@ -468,7 +521,37 @@ mod tests {
             "{err:?}"
         );
         match receivers[0].recv().unwrap() {
-            Wire::Eos(r) => assert_eq!(r, Rank(5)),
+            Wire::Eos(r, _) => assert_eq!(r, Rank(5)),
+            w => panic!("unexpected {w:?}"),
+        }
+    }
+
+    #[test]
+    fn send_fault_surfaces_in_band_and_stream_survives() {
+        let (addrs, receivers) = listen_consumers(1, 1).unwrap();
+        let sender = TcpSender::connect(&addrs).unwrap();
+        sender
+            .send_fault(
+                Rank(0),
+                RuntimeError::Transport {
+                    rank: Rank(0),
+                    detail: "scripted".into(),
+                },
+            )
+            .unwrap();
+        sender
+            .send(Rank(0), Wire::Eos(Rank(2), Channel::Net))
+            .unwrap();
+        let err = receivers[0].recv().unwrap_err();
+        assert!(
+            matches!(err, Error::Runtime(RuntimeError::Transport { .. })),
+            "{err:?}"
+        );
+        match receivers[0].recv().unwrap() {
+            Wire::Eos(r, ch) => {
+                assert_eq!(r, Rank(2));
+                assert_eq!(ch, Channel::Net);
+            }
             w => panic!("unexpected {w:?}"),
         }
     }

@@ -101,8 +101,11 @@ impl ConsumerPolicy {
         }
     }
 
-    /// Record an end-of-stream mark from `producer` on one channel (the
-    /// DES substrate: senders and writers announce independently).
+    /// Record an end-of-stream mark from `producer` on one channel. Both
+    /// substrates announce per channel: the DES sender and writer send
+    /// SEOS/WEOS independently, and the threaded sender ships the
+    /// message-channel EOS at drain time and the file-channel EOS after
+    /// the writer retires and the last disk IDs flush.
     pub fn note_eos(&mut self, producer: Rank, channel: Channel) -> EosProgress {
         if self.tracker.note(producer, channel) {
             self.trace
@@ -112,8 +115,10 @@ impl ConsumerPolicy {
     }
 
     /// Record that `producer` is entirely done — one mark on every active
-    /// channel (the threaded substrate: the sender waits for the writer,
-    /// then a single wire EOS covers both channels).
+    /// channel. A convenience for transports that deliver a single
+    /// combined end-of-stream; the runtime wires now announce per channel
+    /// (see [`ConsumerPolicy::note_eos`]), so a chaos plan can drop one
+    /// channel's mark without silencing the other.
     pub fn note_producer_done(&mut self, producer: Rank) -> EosProgress {
         for &channel in Channel::active(self.concurrent) {
             if self.tracker.note(producer, channel) {

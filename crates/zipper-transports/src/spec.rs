@@ -5,7 +5,9 @@ use hpcsim::{NetworkConfig, SimConfig};
 use zipper_apps::{AppCostModel, Complexity};
 use zipper_model::ModelInput;
 use zipper_pfs::OstModelConfig;
-use zipper_types::{ByteSize, ChaosPlan, NodeId, RecoveryPolicy, RoutingPolicy, SimTime};
+use zipper_types::{
+    BackpressureScript, ByteSize, ChaosPlan, NodeId, RecoveryPolicy, RoutingPolicy, SimTime,
+};
 
 /// Everything that defines one simulated workflow run.
 #[derive(Clone, Debug)]
@@ -67,6 +69,11 @@ pub struct WorkflowSpec {
     /// (`None` = fault-free). Ordinals follow the conventions in
     /// `zipper_types::fault` so the same plan drives the threaded runtime.
     pub chaos: Option<ChaosPlan>,
+    /// Scripted flow-control gates interpreted by the Zipper sender/writer
+    /// processes (`None` = ungated). Wire ordinals follow the same
+    /// data-wire counting as [`ChaosPlan`], so one script drives both the
+    /// threaded runtime's `GatedSender` and the DES NIC model.
+    pub backpressure: Option<BackpressureScript>,
     /// Recovery budgets handed to every policy kernel (writer revival,
     /// consumer restart). Default: recovery disabled.
     pub recovery: RecoveryPolicy,
@@ -105,6 +112,7 @@ impl WorkflowSpec {
             cpu_slowdown: 1.0,
             seed: 42,
             chaos: None,
+            backpressure: None,
             recovery: RecoveryPolicy::default(),
             virtual_eos_timeout: None,
         }
@@ -279,6 +287,12 @@ impl WorkflowSpec {
             if detaches && !self.concurrent_transfer {
                 return Err("DetachSender requires concurrent_transfer".into());
             }
+        }
+        if let Some(script) = &self.backpressure {
+            // Steal-credit satisfiability is checked against the per-rank
+            // block budget, so an unsatisfiable script is rejected here
+            // instead of (fail-open) degrading at run time.
+            script.validate(Some(self.steps * self.blocks_per_rank_step()))?;
         }
         Ok(())
     }

@@ -32,22 +32,45 @@
 //! analysis rank records its abandonment and restart (the replay the
 //! threaded supervisor performs is a no-op here, because the DES never
 //! lost the blocks, but the scope advances over the replay's ordinals so
-//! later faults stay aligned). One caveat follows from the substrates'
-//! different EOS wiring: the threaded sender emits a *single* combined
-//! end-of-stream wire per consumer, so a `DropEos` there swallows both
-//! channels' marks, while here it swallows only the sender's SEOS —
-//! schedule `DropEos` conformance runs in message-only mode.
+//! later faults stay aligned). Both substrates send *per-channel*
+//! end-of-stream wires (the sender's SEOS when the buffer drains, the
+//! writer's WEOS after the last stolen ID shipped), and both count only
+//! data wires and message-channel marks against chaos ordinals — so a
+//! `DropEos` plan conforms across substrates in either transfer mode.
+//!
+//! ## Scripted backpressure
+//!
+//! When [`WorkflowSpec::backpressure`] carries a
+//! [`BackpressureScript`](zipper_types::BackpressureScript), the sender
+//! process models a flow-controlled NIC: at each scripted data-wire
+//! ordinal the taken block is held in xmit-wait until the gate opens — a
+//! fixed virtual-time `Hold`, or an `OpenAfterSteals` credit window that
+//! opens once the rank's writer has stolen the scripted cumulative block
+//! count. The held span is recorded as `Stall` and charged to
+//! `net.backpressure_ns` plus the node's XmitWait counter, exactly like
+//! the threaded `GatedSender`. While a credit window is armed, the writer
+//! steals every buffered block regardless of the high-water mark (the
+//! threaded `SenderGate::steal_phase` override), so a script pins an
+//! exact partial steal schedule on both substrates. All gates fail open:
+//! a retiring writer floods the credit gate, a closing sender floods the
+//! window gate.
 
 use crate::spec::{tag, ClusterLayout, WorkflowSpec};
-use hpcsim::{BufferTaken, Op, ProcCtx, Program, Simulator, Step};
-use std::cell::RefCell;
+use hpcsim::{BufferTaken, GateId, Op, ProcCtx, Program, Simulator, Step};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use zipper_apps::AppCostModel;
 use zipper_policy::{Channel, ConsumerPolicy, ProducerPolicy, RetireReason};
 use zipper_trace::SpanKind;
 use zipper_types::{
-    BlockId, ChaosEntity, ChaosFault, ChaosScope, PreserveMode, ProcId, Rank, SimTime, StepId,
+    BlockId, ChaosEntity, ChaosFault, ChaosScope, GateRule, GateWindow, PreserveMode, ProcId, Rank,
+    SimTime, StepId,
 };
+
+/// Gate-flood quantum for fail-open paths: large enough that no realistic
+/// `need` threshold stays unmet, far from `u64::MAX` so repeated floods
+/// cannot saturate into ambiguity.
+const GATE_FLOOD: u64 = u64::MAX / 2;
 
 /// A wall-clock chaos duration as the same span of virtual time.
 fn sim_dur(d: std::time::Duration) -> SimTime {
@@ -188,16 +211,43 @@ impl Program for ComputeProc {
     }
 }
 
+/// Sender-side interpreter state of one rank's backpressure script: the
+/// DES analogue of the wire-counting half of the threaded
+/// [`zipper_types::SenderGate`].
+pub struct SenderGateScript {
+    /// This rank's scripted windows, in ordinal order.
+    windows: Vec<GateWindow>,
+    /// Index of the next window not yet reached.
+    next: usize,
+    /// Data wires attempted so far (the gate ordinal counter).
+    wires: u64,
+    /// Cumulative-steal credit gate, signalled by the writer per steal.
+    gate_s: GateId,
+    /// Window-arm gate, signalled here as each credit window is reached.
+    gate_w: GateId,
+    /// Fail-open flag shared with the writer: set when either side can no
+    /// longer participate (sender drained, writer dead).
+    cancelled: Rc<Cell<bool>>,
+}
+
 /// The sender thread: drain the producer buffer over the message channel,
 /// asking the shared policy kernel which consumer each block goes to; when
 /// the buffer closes, announce stream-EOS to every consumer the kernel
-/// names (the net channel's half of the EOS protocol).
+/// names (the net channel's half of the EOS protocol). With a backpressure
+/// script, the sender doubles as the flow-controlled NIC model: scripted
+/// data wires are held in xmit-wait until their gate opens.
 pub struct SenderProc {
     buf: usize,
     rank: usize,
     receivers: Rc<Vec<ProcId>>,
     policy: SharedProducerPolicy,
     chaos: Rc<ChaosScope>,
+    script: Option<SenderGateScript>,
+    /// Concurrent-transfer shutdown interlock: the threaded sender's
+    /// `writer_done.wait()`. The gate opens when the writer retires; the
+    /// flag says whether it died faulted, in which case this sender covers
+    /// the disk channel's EOS so consumers terminate without the watchdog.
+    writer_done: Option<(GateId, Rc<Cell<bool>>)>,
     /// Destinations an injected `FailSend` killed: data sends to them are
     /// skipped (uncounted), exactly like the threaded sender's fail-soft
     /// bookkeeping. EOS marks are still attempted toward them.
@@ -213,6 +263,8 @@ impl SenderProc {
         receivers: Rc<Vec<ProcId>>,
         policy: SharedProducerPolicy,
         chaos: Rc<ChaosScope>,
+        script: Option<SenderGateScript>,
+        writer_done: Option<(GateId, Rc<Cell<bool>>)>,
     ) -> Self {
         let dead = vec![false; receivers.len()];
         SenderProc {
@@ -221,9 +273,52 @@ impl SenderProc {
             receivers,
             policy,
             chaos,
+            script,
+            writer_done,
             dead,
             started: false,
             eos_sent: false,
+        }
+    }
+
+    /// Count one attempted data wire against the script and emit the gate
+    /// ops of a window landing on this ordinal. The caller appends the
+    /// wire's own ops *after* these, so the block is popped and routed
+    /// first, then held pre-transmit — the threaded `GatedSender` order.
+    fn gate_ops(&mut self, ops: &mut Vec<Op>) {
+        let Some(s) = &mut self.script else { return };
+        s.wires += 1;
+        let Some(w) = s.windows.get(s.next) else {
+            return;
+        };
+        if s.wires != w.wire {
+            return;
+        }
+        let rule = w.rule;
+        s.next += 1;
+        match rule {
+            GateRule::Hold(d) => {
+                let dur = sim_dur(d);
+                if dur > SimTime::ZERO {
+                    ops.push(Op::Backpressure { dur });
+                }
+            }
+            GateRule::OpenAfterSteals(target) => {
+                if s.cancelled.get() {
+                    return;
+                }
+                // Arm the window (waking the writer into its steal loop),
+                // then stall until the cumulative credit target is met.
+                ops.push(Op::GateSignal {
+                    gate: s.gate_w,
+                    n: 1,
+                });
+                ops.push(Op::GateWait {
+                    gate: s.gate_s,
+                    need: target,
+                    kind: SpanKind::Stall,
+                });
+            }
         }
     }
 
@@ -285,8 +380,12 @@ impl Program for SenderProc {
             BufferTaken::Item { bytes, token } => {
                 let id = token_block(self.rank, token);
                 let dest = self.policy.borrow_mut().route_net(id);
-                let mut ops = Vec::with_capacity(3);
+                let mut ops = Vec::with_capacity(5);
                 if !self.dead[dest.idx()] {
+                    // Gate ordinals tick before the chaos scope consults its
+                    // plan — parity with the threaded stack, where the
+                    // outermost `GatedSender` sees the wire first.
+                    self.gate_ops(&mut ops);
                     let tag = tag::make(tag::DATA, id.step.0, id.idx as u64);
                     self.wire_ops(&mut ops, dest.idx(), bytes, tag, id.step.0);
                 }
@@ -294,19 +393,96 @@ impl Program for SenderProc {
                 Step::Ops(ops)
             }
             BufferTaken::Closed => {
-                if self.eos_sent {
-                    return Step::Done;
+                if !self.eos_sent {
+                    self.eos_sent = true;
+                    let mut ops = Vec::new();
+                    if let Some(s) = &self.script {
+                        // Windows past the last data wire can never arm:
+                        // fail the writer's window wait open first.
+                        s.cancelled.set(true);
+                        ops.push(Op::GateSignal {
+                            gate: s.gate_w,
+                            n: GATE_FLOOD,
+                        });
+                    }
+                    let targets = self.policy.borrow_mut().announce_eos(Channel::Net);
+                    for q in targets {
+                        self.wire_ops(&mut ops, q.idx(), 16, tag::make(tag::SEOS, 0, 0), 0);
+                    }
+                    if let Some((gate, _)) = &self.writer_done {
+                        // Hold this rank's shutdown until the writer retired
+                        // (the threaded sender's `writer_done.wait()`), so a
+                        // dead writer's file channel can still be closed
+                        // below.
+                        ops.push(Op::GateWait {
+                            gate: *gate,
+                            need: 1,
+                            kind: SpanKind::Idle,
+                        });
+                    }
+                    return Step::Ops(ops);
                 }
-                self.eos_sent = true;
-                let targets = self.policy.borrow_mut().announce_eos(Channel::Net);
-                let mut ops = Vec::with_capacity(targets.len());
-                for q in targets {
-                    self.wire_ops(&mut ops, q.idx(), 16, tag::make(tag::SEOS, 0, 0), 0);
+                if let Some((_, died)) = self.writer_done.take() {
+                    if died.get() {
+                        // The writer died without announcing the file
+                        // channel's EOS; cover it here, as the threaded
+                        // sender does after `writer_done.wait()`, so
+                        // consumers terminate cleanly with no watchdog.
+                        // Plain sends: the threaded chaos wrapper does not
+                        // count disk-channel marks either.
+                        let targets = self.policy.borrow_mut().announce_eos(Channel::Disk);
+                        return Step::Ops(
+                            targets
+                                .into_iter()
+                                .map(|q| Op::Send {
+                                    to: self.receivers[q.idx()],
+                                    bytes: 16,
+                                    tag: tag::make(tag::WEOS, 0, 0),
+                                    kind: SpanKind::Send,
+                                })
+                                .collect(),
+                        );
+                    }
                 }
-                Step::Ops(ops)
+                Step::Done
             }
         }
     }
+}
+
+/// Writer-side interpreter state of one rank's backpressure script: the
+/// credit windows only (`Hold` windows never involve the writer).
+pub struct WriterGateScript {
+    /// Cumulative steal targets, one per `OpenAfterSteals` window, in
+    /// script order.
+    targets: Vec<u64>,
+    /// Index of the current (or next) credit window.
+    widx: usize,
+    /// Steals credited so far (mirrors the `gate_s` count).
+    steals: u64,
+    /// True once the sender armed window `widx`.
+    armed: bool,
+    gate_s: GateId,
+    gate_w: GateId,
+    cancelled: Rc<Cell<bool>>,
+}
+
+/// Control state of the writer process. `last_take` persists across
+/// resumes in the engine, so a writer interleaving gate waits with buffer
+/// takes must know *why* it was woken — an explicit mode, not the stale
+/// take result, drives each resume.
+enum WriterMode {
+    /// Not yet started.
+    Start,
+    /// Parked on `gate_w` until the sender arms the next credit window.
+    AwaitWindow,
+    /// Inside an armed window: steal every buffered block (occupancy ≥ 1)
+    /// until the cumulative target is met.
+    Stealing,
+    /// Algorithm 1: steal only above the high-water mark.
+    Normal,
+    /// Retired (drained or dead): finish on the next resume.
+    Retired,
 }
 
 /// The work-stealing writer thread (Algorithm 1): take a block only when
@@ -315,20 +491,23 @@ impl Program for SenderProc {
 /// disk-id message. Both the wake threshold and the destination come from
 /// the shared policy kernel; when the buffer drains, the writer retires
 /// and announces the disk channel's EOS to every consumer the kernel
-/// names.
+/// names. A backpressure script overlays scripted steal windows: while one
+/// is armed the writer drains the buffer regardless of the high-water
+/// mark, crediting each steal to the sender's gate.
 pub struct WriterProc {
     buf: usize,
     rank: usize,
     receivers: Rc<Vec<ProcId>>,
     policy: SharedProducerPolicy,
     chaos: Rc<ChaosScope>,
+    script: Option<WriterGateScript>,
+    /// Retirement interlock shared with this rank's sender: signal the
+    /// gate once on any exit; set the flag when dying faulted.
+    done_gate: GateId,
+    died: Rc<Cell<bool>>,
     key_base: u64,
     counter: u64,
-    started: bool,
-    eos_sent: bool,
-    /// Set when a PFS fault retired the writer with no revival budget
-    /// left: the process finishes on its next resume.
-    dying: bool,
+    mode: WriterMode,
 }
 
 impl WriterProc {
@@ -338,6 +517,8 @@ impl WriterProc {
         receivers: Rc<Vec<ProcId>>,
         policy: SharedProducerPolicy,
         chaos: Rc<ChaosScope>,
+        script: Option<WriterGateScript>,
+        (done_gate, died): (GateId, Rc<Cell<bool>>),
     ) -> Self {
         WriterProc {
             buf,
@@ -345,11 +526,12 @@ impl WriterProc {
             receivers,
             policy,
             chaos,
+            script,
+            done_gate,
+            died,
             key_base: (rank as u64) << 32,
             counter: 0,
-            started: false,
-            eos_sent: false,
-            dying: false,
+            mode: WriterMode::Start,
         }
     }
 
@@ -363,16 +545,77 @@ impl WriterProc {
             kind: SpanKind::Idle,
         }
     }
+
+    /// Pick the next phase and return the op that enters it: wait for the
+    /// next credit window to arm, take inside the armed window, or the
+    /// normal high-water-mark take. Windows whose cumulative target is
+    /// already met pass through without steals.
+    fn schedule(&mut self) -> Op {
+        if let Some(s) = &mut self.script {
+            if s.cancelled.get() {
+                s.widx = s.targets.len();
+            }
+            while s.widx < s.targets.len() && s.steals >= s.targets[s.widx] {
+                s.widx += 1;
+                s.armed = false;
+            }
+            if s.widx < s.targets.len() {
+                if s.armed {
+                    self.mode = WriterMode::Stealing;
+                    return Op::BufferTake {
+                        buf: self.buf,
+                        min_occupancy: 1,
+                        kind: SpanKind::Idle,
+                    };
+                }
+                self.mode = WriterMode::AwaitWindow;
+                return Op::GateWait {
+                    gate: s.gate_w,
+                    need: (s.widx + 1) as u64,
+                    kind: SpanKind::Idle,
+                };
+            }
+        }
+        self.mode = WriterMode::Normal;
+        self.take()
+    }
+
+    /// Terminal bookkeeping shared by every exit path: open the sender's
+    /// shutdown interlock, and fail the credit gate open so a stalled
+    /// sender wire is released.
+    fn retire_ops(&mut self, ops: &mut Vec<Op>, fatal: bool) {
+        if fatal {
+            self.died.set(true);
+        }
+        if let Some(s) = &self.script {
+            s.cancelled.set(true);
+            ops.push(Op::GateSignal {
+                gate: s.gate_s,
+                n: GATE_FLOOD,
+            });
+        }
+        ops.push(Op::GateSignal {
+            gate: self.done_gate,
+            n: 1,
+        });
+        self.mode = WriterMode::Retired;
+    }
 }
 
 impl Program for WriterProc {
     fn resume(&mut self, ctx: &mut ProcCtx<'_>) -> Step {
-        if self.dying {
-            return Step::Done;
-        }
-        if !self.started {
-            self.started = true;
-            return Step::Ops(vec![self.take()]);
+        match self.mode {
+            WriterMode::Retired => return Step::Done,
+            WriterMode::Start => return Step::Ops(vec![self.schedule()]),
+            WriterMode::AwaitWindow => {
+                // Woken by the sender arming window `widx` (or flooding the
+                // gate on close); `schedule` tells the cases apart.
+                if let Some(s) = &mut self.script {
+                    s.armed = true;
+                }
+                return Step::Ops(vec![self.schedule()]);
+            }
+            WriterMode::Stealing | WriterMode::Normal => {}
         }
         match ctx.last_take.expect("writer resumed without take result") {
             BufferTaken::Item { bytes, token } => {
@@ -403,19 +646,22 @@ impl Program for WriterProc {
                                 step: id.step.0,
                             });
                         }
-                        ops.push(self.take());
+                        // A revived writer resumes whatever phase it was
+                        // in — mid-window it keeps stealing.
+                        ops.push(self.schedule());
                     } else {
                         // Out of revivals: die without announcing the disk
-                        // channel's EOS, exactly like the threaded writer —
-                        // runs that exhaust the budget rely on the EOS
-                        // watchdog (`virtual_eos_timeout`) to terminate.
-                        self.dying = true;
+                        // channel's EOS, exactly like the threaded writer.
+                        // The retirement interlock tells this rank's sender
+                        // to cover the disk channel (fail-soft shutdown,
+                        // no EOS watchdog needed).
+                        self.retire_ops(&mut ops, true);
                     }
                     return Step::Ops(ops);
                 }
                 let key = self.key_base + self.counter;
                 self.counter += 1;
-                Step::Ops(vec![
+                let mut ops = vec![
                     Op::FsWrite { bytes, key },
                     Op::Send {
                         to: self.receivers[dest.idx()],
@@ -423,29 +669,36 @@ impl Program for WriterProc {
                         tag: tag::make(tag::DISKID, id.step.0, bytes.min(tag::INFO_MASK)),
                         kind: SpanKind::Send,
                     },
-                    self.take(),
-                ])
+                ];
+                if let Some(s) = &mut self.script {
+                    // Credit the steal whichever phase earned it — normal
+                    // steals count toward the cumulative target too, same
+                    // as the threaded `SenderGate::note_steal` placement.
+                    s.steals += 1;
+                    ops.push(Op::GateSignal {
+                        gate: s.gate_s,
+                        n: 1,
+                    });
+                }
+                ops.push(self.schedule());
+                Step::Ops(ops)
             }
             BufferTaken::Closed => {
-                if self.eos_sent {
-                    return Step::Done;
-                }
-                self.eos_sent = true;
                 let mut p = self.policy.borrow_mut();
                 p.writer_retired(RetireReason::Drained);
                 let targets = p.announce_eos(Channel::Disk);
                 drop(p);
-                Step::Ops(
-                    targets
-                        .into_iter()
-                        .map(|q| Op::Send {
-                            to: self.receivers[q.idx()],
-                            bytes: 16,
-                            tag: tag::make(tag::WEOS, 0, 0),
-                            kind: SpanKind::Send,
-                        })
-                        .collect(),
-                )
+                let mut ops: Vec<Op> = targets
+                    .into_iter()
+                    .map(|q| Op::Send {
+                        to: self.receivers[q.idx()],
+                        bytes: 16,
+                        tag: tag::make(tag::WEOS, 0, 0),
+                        kind: SpanKind::Send,
+                    })
+                    .collect();
+                self.retire_ops(&mut ops, false);
+                Step::Ops(ops)
             }
         }
     }
@@ -972,6 +1225,60 @@ fn build_zipper(
         }
         let policy = Rc::new(RefCell::new(pp));
         policies.producers.push(policy.clone());
+
+        // Backpressure-script gates for this rank. Without a writer there
+        // is no one to earn steal credits, so in message-only mode credit
+        // windows are failed open at build time (the threaded gate does
+        // the same through `retire_writer` at spawn); `Hold` windows still
+        // apply.
+        let mut windows = spec
+            .backpressure
+            .as_ref()
+            .map(|s| s.windows_for(Rank(r as u32)))
+            .unwrap_or_default();
+        if !spec.concurrent_transfer {
+            windows.retain(|w| matches!(w.rule, GateRule::Hold(_)));
+        }
+        let (sender_script, writer_script) = if windows.is_empty() {
+            (None, None)
+        } else {
+            let gate_s = sim.add_gate();
+            let gate_w = sim.add_gate();
+            let cancelled = Rc::new(Cell::new(false));
+            let targets: Vec<u64> = windows
+                .iter()
+                .filter_map(|w| match w.rule {
+                    GateRule::OpenAfterSteals(t) => Some(t),
+                    GateRule::Hold(_) => None,
+                })
+                .collect();
+            (
+                Some(SenderGateScript {
+                    windows,
+                    next: 0,
+                    wires: 0,
+                    gate_s,
+                    gate_w,
+                    cancelled: cancelled.clone(),
+                }),
+                Some(WriterGateScript {
+                    targets,
+                    widx: 0,
+                    steals: 0,
+                    armed: false,
+                    gate_s,
+                    gate_w,
+                    cancelled,
+                }),
+            )
+        };
+        // The writer-retirement interlock exists for every concurrent
+        // rank, scripted or not: it is how writer death propagates to the
+        // consumers (the sender covers the disk channel's EOS).
+        let writer_done = spec
+            .concurrent_transfer
+            .then(|| (sim.add_gate(), Rc::new(Cell::new(false))));
+
         sim.spawn(
             node,
             format!("sim/r{r}/send"),
@@ -981,9 +1288,11 @@ fn build_zipper(
                 receivers.clone(),
                 policy.clone(),
                 Rc::new(plan.scope(ChaosEntity::Sender(Rank(r as u32)))),
+                sender_script,
+                writer_done.clone(),
             ),
         );
-        if spec.concurrent_transfer {
+        if let Some((done_gate, died)) = writer_done {
             sim.spawn(
                 node,
                 format!("sim/r{r}/writer"),
@@ -993,6 +1302,8 @@ fn build_zipper(
                     receivers.clone(),
                     policy,
                     Rc::new(plan.scope(ChaosEntity::Writer(Rank(r as u32)))),
+                    writer_script,
+                    (done_gate, died),
                 ),
             );
         }
@@ -1215,6 +1526,111 @@ mod tests {
     }
 
     #[test]
+    fn scripted_backpressure_pins_a_partial_steal_schedule() {
+        use zipper_types::BackpressureScript;
+        // Config C's scripted schedule, on the DES alone: the high-water
+        // mark is set to the full block count so Algorithm 1 never steals
+        // on its own, and the script forces exactly four steals per rank —
+        // wire 2 holds until 3 blocks are stolen, wire 4 until a 4th.
+        let mut spec = tiny_synthetic(true);
+        spec.producer_slots = 16;
+        spec.high_water_mark = 8;
+        spec.routing = zipper_types::RoutingPolicy::RoundRobin;
+        let mut script = BackpressureScript::new();
+        for r in 0..spec.sim_ranks {
+            script = script
+                .with(Rank(r as u32), 2, GateRule::OpenAfterSteals(3))
+                .with(Rank(r as u32), 4, GateRule::OpenAfterSteals(4));
+        }
+        spec.backpressure = Some(script);
+        let (r, sim, policies) = recorded_run(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        for (rank, p) in policies.producers.iter().enumerate() {
+            let t = p.borrow().trace().canonical();
+            // Take order b0 b1 | b2 b3 b4 stolen | b5 b6 | b7 stolen.
+            let stolen: Vec<u32> = t.steals.iter().map(|b| b.idx).collect();
+            assert_eq!(stolen, vec![2, 3, 4, 7], "rank {rank} steal schedule");
+            assert_eq!(t.routes.len(), 8, "rank {rank} routed every block");
+            for (id, _, ch) in &t.routes {
+                let want = if matches!(id.idx, 2 | 3 | 4 | 7) {
+                    Channel::Disk
+                } else {
+                    Channel::Net
+                };
+                assert_eq!(*ch, want, "rank {rank} block {} channel", id.idx);
+            }
+            assert_eq!(t.retires, vec![RetireReason::Drained]);
+            assert_eq!(t.revivals, 0);
+        }
+        for c in &policies.consumers {
+            let t = c.borrow().trace().canonical();
+            assert_eq!(t.completions, 1);
+            assert_eq!(t.eos_seen.len(), 8);
+        }
+        // Both credit windows of every rank genuinely stalled the sender,
+        // and the held time was charged as xmit-wait backpressure.
+        let stalls = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Stall)
+            .count();
+        assert_eq!(stalls, 2 * spec.sim_ranks, "one stall span per window");
+    }
+
+    #[test]
+    fn writer_death_propagates_to_consumers_without_watchdog() {
+        use zipper_types::{ChaosPlan, RecoveryPolicy};
+        // Writer 0 dies on its second steal with no revival budget and the
+        // EOS watchdog disabled. The retirement interlock lets rank 0's
+        // sender cover the disk channel's EOS, so every consumer still
+        // terminates cleanly — the threaded runtime's fail-soft path.
+        let mut spec = tiny_synthetic(true);
+        spec.producer_slots = 16; // dead writer leaves blocks unclaimed
+        spec.high_water_mark = 0;
+        spec.virtual_eos_timeout = None;
+        spec.recovery = RecoveryPolicy {
+            writer_cooldown: std::time::Duration::ZERO,
+            max_writer_revivals: 0,
+            max_consumer_restarts: 0,
+        };
+        let mut plan =
+            ChaosPlan::new().with(ChaosEntity::Writer(Rank(0)), 2, ChaosFault::PfsWriteFail);
+        for r in 0..spec.sim_ranks {
+            plan = plan.with(
+                ChaosEntity::Sender(Rank(r as u32)),
+                0,
+                ChaosFault::DetachSender,
+            );
+        }
+        spec.chaos = Some(plan);
+        let (r, sim, policies) = recorded_run(&spec);
+        assert!(r.is_clean(), "{r:?}");
+        let t = policies.producers[0].borrow().trace().canonical();
+        assert_eq!(t.retires, vec![RetireReason::Fault], "died unrevived");
+        assert_eq!(t.revivals, 0);
+        // b0 stolen, b1 routed (the steal decision is recorded before the
+        // PFS put faults) then requeued; with the sender detached and the
+        // writer dead, b1..b7 stay in the buffer (fail-soft loss).
+        assert_eq!(t.routes.len(), 2);
+        assert_eq!(t.steals.len(), 2);
+        for c in &policies.consumers {
+            let t = c.borrow().trace().canonical();
+            assert_eq!(t.completions, 1, "terminated without the watchdog");
+            assert_eq!(t.timeouts, 0);
+            assert_eq!(t.eos_seen.len(), 8, "4 producers x 2 channels");
+        }
+        // Rank 0 delivered 1 block, the other three all 8.
+        let analyzed = sim
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Analysis)
+            .count();
+        assert_eq!(analyzed, 25);
+    }
+
+    #[test]
     fn chaos_crash_app_records_restart_with_replayed_backlog() {
         use zipper_types::{ChaosPlan, RecoveryPolicy};
         let mut spec = tiny_synthetic(false);
@@ -1240,8 +1656,6 @@ mod tests {
     #[test]
     fn chaos_dropped_eos_trips_the_virtual_watchdog() {
         use zipper_types::ChaosPlan;
-        // Message-only: the combined-EOS caveat (see module docs) makes
-        // DropEos substrate-equivalent only without the disk channel.
         let mut spec = tiny_synthetic(false);
         spec.virtual_eos_timeout = Some(SimTime::from_secs_f64(1.0));
         // Sender 0: 8 data sends (ordinals 1-8), then EOS to consumer 0

@@ -13,6 +13,7 @@
 //! additional coordination (§4.2). [`Block`] and [`BlockHeader`] encode that
 //! unit; everything else in the workspace moves these around.
 
+pub mod backpressure;
 pub mod block;
 pub mod config;
 pub mod error;
@@ -22,6 +23,7 @@ pub mod retry;
 pub mod size;
 pub mod time;
 
+pub use backpressure::{BackpressureScript, GateRule, GateWindow, SenderGate};
 pub use block::{Block, BlockHeader, GlobalPos, MixedMessage};
 pub use config::{PreserveMode, RecoveryPolicy, RoutingPolicy, WorkflowConfig, ZipperTuning};
 pub use error::{panic_detail, Error, Result, RuntimeError};

@@ -14,12 +14,14 @@ use zipper_core::{
 use zipper_pfs::{ChaosFs, MemFs, RetryingFs, Storage, ThrottledFs};
 use zipper_policy::{ConsumerPolicy, ProducerPolicy};
 use zipper_trace::{SampleSeries, Sampler, Telemetry, TraceMode, TraceSink};
+use zipper_transports::gate::GatedSender;
 use zipper_types::{
-    panic_detail, ChaosEntity, ChaosPlan, Rank, RetryPolicy, RuntimeError, WorkflowConfig,
+    panic_detail, BackpressureScript, ChaosEntity, ChaosPlan, Rank, RetryPolicy, RuntimeError,
+    SenderGate, WorkflowConfig,
 };
 
 /// Message-channel options for a run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetworkOptions {
     /// Per-consumer inbox capacity in messages (backpressure depth).
     pub inbox_capacity: usize,
@@ -35,6 +37,12 @@ pub struct NetworkOptions {
     /// under the retry layer, so `FailSend` faults are retried while
     /// `CorruptWire`/`DropEos` reach the consumer's fault handling.
     pub fault: Option<FaultPlan>,
+    /// Optional scripted backpressure: each producer whose rank the script
+    /// names gets its sender wrapped outermost in a [`GatedSender`]
+    /// holding the scripted data-wire ordinals until their gate opens
+    /// (a fixed hold, or a cumulative writer-steal credit target). Held
+    /// time is charged to `net.backpressure_ns`.
+    pub backpressure: Option<BackpressureScript>,
 }
 
 impl Default for NetworkOptions {
@@ -44,6 +52,7 @@ impl Default for NetworkOptions {
             throttle: None,
             retry: None,
             fault: None,
+            backpressure: None,
         }
     }
 }
@@ -76,6 +85,13 @@ impl NetworkOptions {
     /// [`NetworkOptions::fault`]).
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Hold scripted data wires under `script` (see
+    /// [`NetworkOptions::backpressure`]).
+    pub fn with_backpressure(mut self, script: BackpressureScript) -> Self {
+        self.backpressure = Some(script);
         self
     }
 }
@@ -519,7 +535,7 @@ where
         } else {
             base
         };
-        let sender: Box<dyn WireSender> = match net.retry {
+        let retried: Box<dyn WireSender> = match net.retry {
             Some(policy) => {
                 let r =
                     RetryingSender::new(traced, policy).traced(&sink, format!("net/p{p}/retry"));
@@ -527,6 +543,20 @@ where
                 Box::new(r)
             }
             None => traced,
+        };
+        // The backpressure gate wraps outermost: a retried send must not
+        // pass the gate twice, and held time is not the inner transport's.
+        let gate = net
+            .backpressure
+            .as_ref()
+            .map(|s| s.windows_for(rank))
+            .filter(|w| !w.is_empty())
+            .map(|w| Arc::new(SenderGate::new(w)));
+        let sender: Box<dyn WireSender> = match &gate {
+            Some(g) => Box::new(
+                GatedSender::new(retried, g.clone()).with_telemetry(sink.telemetry().clone()),
+            ),
+            None => retried,
         };
         let mut pp = ProducerPolicy::from_tuning(rank, cfg.consumers, &cfg.tuning);
         if trace.policy {
@@ -543,7 +573,7 @@ where
             )),
             None => storage.clone(),
         };
-        let mut prod = Producer::spawn_with_policy_detached(
+        let mut prod = Producer::spawn_with_policy_gated(
             rank,
             cfg.tuning,
             sender,
@@ -551,6 +581,7 @@ where
             sink.clone(),
             policy,
             detach_sender,
+            gate,
         );
         let writer = prod.writer(cfg.tuning.block_size.as_u64() as usize);
         producer_runtimes.push(prod);

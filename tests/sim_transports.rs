@@ -1,12 +1,14 @@
 //! Integration tests of the discrete-event stack: every transport model on
 //! every workload, plus the structural properties each one must exhibit.
 
+use std::time::Duration;
 use zipper_apps::Complexity;
 use zipper_trace::stats::kind_time_filtered;
 use zipper_trace::SpanKind;
 use zipper_transports::{
     run, run_analysis_only, run_sim_only, run_with_detail, TransportKind, WorkflowSpec,
 };
+use zipper_types::{BackpressureScript, GateRule, Rank, RoutingPolicy};
 
 fn tiny_cfd() -> WorkflowSpec {
     let mut s = WorkflowSpec::cfd(6, 3, 4);
@@ -192,6 +194,103 @@ fn analysis_only_scales_with_sources() {
     bigger.ana_ranks = 1; // all six producers on one consumer
     let heavy = run_analysis_only(&bigger);
     assert!(heavy > one);
+}
+
+/// One point of the Fig. 14 steal/transfer grid: the O(n) synthetic under
+/// the concurrent method, with the producer→consumer routing policy and an
+/// optional backpressure script as the grid axes. Returns the message/file
+/// split (fraction of blocks stolen to the file channel, in percent), the
+/// simulation-node XmitWait counter, and the simulation wall clock.
+fn fig14_point(
+    cores: usize,
+    routing: RoutingPolicy,
+    script: Option<BackpressureScript>,
+) -> (f64, u64, f64) {
+    let sim = cores * 2 / 3;
+    let ana = cores - sim;
+    let mut s = WorkflowSpec::synthetic(Complexity::Linear, sim, ana, 128 << 20, 1 << 20);
+    s.concurrent_transfer = true;
+    s.routing = routing;
+    s.seed = 11;
+    s.backpressure = script;
+    let r = run_with_detail(TransportKind::Zipper, &s, false);
+    assert!(r.is_clean(), "{:?} {:?}", r.fault, r.deadlocked);
+    let total = s.blocks_per_rank_step() * sim as u64 * s.steps;
+    // In No-Preserve mode each stolen block is exactly one PFS write plus
+    // one PFS read.
+    let stolen = r.pfs_requests / 2;
+    (
+        stolen as f64 / total as f64 * 100.0,
+        r.xmit_wait_sim,
+        r.sim_finish.as_secs_f64(),
+    )
+}
+
+/// Fig. 14 grid with the round-robin router (the table lives in
+/// EXPERIMENTS.md): below the leaf-switch boundary routing barely moves
+/// the message/file split, but at scale round-robin trades the
+/// source-affine router's locality for spread — every producer talks to
+/// every consumer, more traffic crosses the core uplinks, congestion and
+/// XmitWait rise, and Algorithm 1 steals a visibly larger share of the
+/// stream to the file channel.
+#[test]
+fn roundrobin_routing_shifts_the_fig14_split_at_scale() {
+    // 42 cores: both routers' destinations sit under the same part of the
+    // fabric — the split must not move materially.
+    let (sa, _, _) = fig14_point(42, RoutingPolicy::SourceAffine, None);
+    let (rr, _, _) = fig14_point(42, RoutingPolicy::RoundRobin, None);
+    assert!(
+        (sa - rr).abs() < 3.0,
+        "below the switch boundary routing must not move the split: {sa:.1}% vs {rr:.1}%"
+    );
+    // At scale the spread crosses core uplinks: round-robin must steal a
+    // materially larger share and congest the sim NICs harder.
+    for (cores, min_gap) in [(168, 3.0), (336, 8.0)] {
+        let (sa, sa_xmit, _) = fig14_point(cores, RoutingPolicy::SourceAffine, None);
+        let (rr, rr_xmit, _) = fig14_point(cores, RoutingPolicy::RoundRobin, None);
+        assert!(
+            rr > sa + min_gap,
+            "{cores} cores: round-robin must shift the split to the file \
+             channel: {sa:.1}% vs {rr:.1}%"
+        );
+        assert!(
+            rr_xmit > sa_xmit,
+            "{cores} cores: losing locality must raise XmitWait"
+        );
+    }
+}
+
+/// The scripted-backpressure half of the Fig. 14 sweep: at a scale where
+/// natural congestion is mild, `GateRule::Hold` windows emulating a
+/// congested NIC must reproduce the file split for *both* routers — the
+/// queue rises past the high-water mark during each hold, Algorithm 1
+/// steals the overflow, and the wall clock barely moves because the file
+/// channel absorbs the scripted stall (the paper's dual-channel claim).
+#[test]
+fn scripted_backpressure_induces_the_fig14_split_for_both_routers() {
+    let script = |sim_ranks: usize| {
+        let mut bp = BackpressureScript::new();
+        for r in 0..sim_ranks as u32 {
+            for wire in [8u64, 32, 56, 80] {
+                bp = bp.with(Rank(r), wire, GateRule::Hold(Duration::from_millis(25)));
+            }
+        }
+        bp
+    };
+    for routing in [RoutingPolicy::SourceAffine, RoutingPolicy::RoundRobin] {
+        let (natural, _, wall_n) = fig14_point(42, routing, None);
+        let (scripted, _, wall_s) = fig14_point(42, routing, Some(script(28)));
+        assert!(
+            scripted > natural + 4.0,
+            "{routing:?}: scripted holds must shift the split to the file \
+             channel: {natural:.1}% vs {scripted:.1}%"
+        );
+        assert!(
+            wall_s < wall_n * 1.15,
+            "{routing:?}: stealing must absorb the scripted stall \
+             ({wall_n:.2}s vs {wall_s:.2}s)"
+        );
+    }
 }
 
 #[test]

@@ -130,7 +130,7 @@ fn partial_writes_reassemble_into_whole_frames() {
         raw.flush().unwrap();
     }
     // A second frame split across the length-prefix boundary.
-    let body2 = encode_wire(&Wire::Eos(Rank(0)));
+    let body2 = encode_wire(&Wire::Eos(Rank(0), zipper_policy::Channel::Net));
     let mut frame2 = (body2.len() as u64).to_le_bytes().to_vec();
     frame2.extend_from_slice(&body2);
     let (head, tail) = frame2.split_at(3);
@@ -148,7 +148,7 @@ fn partial_writes_reassemble_into_whole_frames() {
         w => panic!("unexpected {w:?}"),
     }
     match receivers[0].recv().unwrap() {
-        Wire::Eos(r) => assert_eq!(r, Rank(0)),
+        Wire::Eos(r, _) => assert_eq!(r, Rank(0)),
         w => panic!("unexpected {w:?}"),
     }
     // Clean close after the last frame ends the stream without an error
