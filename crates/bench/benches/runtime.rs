@@ -134,6 +134,11 @@ fn instrumentation_overhead(c: &mut Criterion) {
         let cfg = workload();
         b.iter(|| run_once(&cfg, NetworkOptions::default()));
     });
+    // `off` holds the bar for the causal layer too: the edge-recording
+    // call sites (wire joins, queue push/pop, steal, gate, EOS) are
+    // compiled in unconditionally, so `off` ≈ `untraced` proves a
+    // disabled `CausalSink` costs a branch and nothing more.
+    // `full+causal` prices the enabled engine against plain `full`.
     for (name, trace) in [
         ("off", TraceOptions::off()),
         ("totals", TraceOptions::default()),
@@ -142,6 +147,7 @@ fn instrumentation_overhead(c: &mut Criterion) {
             "full+telemetry",
             TraceOptions::full().with_telemetry(Duration::from_millis(1)),
         ),
+        ("full+causal", TraceOptions::full().with_causal()),
     ] {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             let cfg = workload();

@@ -64,6 +64,9 @@ fn main() {
     if want("fig14") || want("fig15") {
         emit(figs::fig14_15::run_figs(scale));
     }
+    if want("fig14-routing") {
+        emit(figs::fig14_15::run_fig14_routing(scale));
+    }
     if want("fig16") {
         emit(figs::fig16_18::run_fig16(scale));
     }
@@ -86,8 +89,8 @@ fn main() {
     if ran == 0 {
         eprintln!(
             "unknown target(s) {targets:?}; known: setup fig2 fig3 fig4 fig5 fig6 fig11 \
-             fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 model-check ablations all \
-             (add --quick for laptop scale)"
+             fig12 fig13 fig14 fig14-routing fig15 fig16 fig17 fig18 fig19 model-check \
+             ablations all (add --quick for laptop scale)"
         );
         std::process::exit(2);
     }

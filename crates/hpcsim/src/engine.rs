@@ -7,8 +7,8 @@ use crate::ops::{BufId, BufferTaken, MsgMeta, Op, ProcCtx, Program, Step};
 use std::collections::{BinaryHeap, VecDeque};
 use zipper_pfs::{OstModel, OstModelConfig};
 use zipper_trace::{
-    CounterId, GaugeId, LaneId, Probe, SampleSeries, Span, SpanKind, Telemetry, TraceLog,
-    VirtualClock,
+    CausalLog, CounterId, EdgeKind, GaugeId, LaneId, Probe, SampleSeries, Span, SpanKind,
+    Telemetry, TraceLog, VirtualClock,
 };
 use zipper_types::{NodeId, ProcId, SimTime};
 
@@ -176,6 +176,17 @@ pub struct Simulator {
     /// Virtual-clock sampling probe, fired on period boundaries as events
     /// execute.
     probe: Option<Probe>,
+    /// Cross-entity causal edges; off unless [`Simulator::enable_causal`]
+    /// ran. Message consumptions become Wire edges (token = tag, for
+    /// model-level reclassification), labeled-buffer handoffs become Queue
+    /// edges, PFS reads become Pfs self-edges, and scripted flow-control
+    /// holds become Gate self-edges — the same taxonomy the threaded
+    /// runtime records, under the virtual clock.
+    causal: Option<CausalLog>,
+    /// Token source for self-edges that have no natural identity.
+    causal_seq: u64,
+    /// Queue labels by [`BufId`]; only labeled buffers record Queue edges.
+    queue_labels: Vec<Option<String>>,
 }
 
 impl Simulator {
@@ -201,6 +212,82 @@ impl Simulator {
             max_events: u64::MAX,
             telemetry: Telemetry::off(),
             probe: None,
+            causal: None,
+            causal_seq: 0,
+            queue_labels: Vec::new(),
+        }
+    }
+
+    /// Turn on causal edge recording (see [`zipper_trace::CausalLog`]).
+    /// Enable *before* the run; edges are recorded as events execute.
+    pub fn enable_causal(&mut self) {
+        self.causal = Some(CausalLog::new());
+    }
+
+    /// The causal edge log (None unless [`Simulator::enable_causal`] ran).
+    pub fn causal(&self) -> Option<&CausalLog> {
+        self.causal.as_ref()
+    }
+
+    /// Take the causal log out of the simulator for post-run analysis.
+    pub fn take_causal(&mut self) -> Option<CausalLog> {
+        self.causal.take()
+    }
+
+    /// Name a buffer as a causal queue: put/take handoffs through it are
+    /// recorded as Queue edges under `label`. Unlabeled buffers stay
+    /// silent (e.g. a Preserve-mode output queue the threaded runtime
+    /// does not instrument either).
+    pub fn label_queue(&mut self, buf: BufId, label: impl Into<String>) {
+        if self.queue_labels.len() <= buf {
+            self.queue_labels.resize_with(buf + 1, || None);
+        }
+        self.queue_labels[buf] = Some(label.into());
+    }
+
+    fn next_causal_token(&mut self) -> u64 {
+        self.causal_seq += 1;
+        self.causal_seq
+    }
+
+    /// A message was consumed by a receive: record the send→receive edge,
+    /// spanning sender injection to consumption. Token = tag, so a model
+    /// layer can reclassify by message kind afterwards.
+    fn causal_wire(&mut self, to: ProcId, msg: &MsgMeta) {
+        if let Some(c) = self.causal.as_mut() {
+            let src = self.trace.lane_label(self.procs[msg.from.idx()].lane);
+            let dst = self.trace.lane_label(self.procs[to.idx()].lane);
+            c.edge_at(EdgeKind::Wire, src, msg.sent_at, dst, self.now, msg.tag);
+        }
+    }
+
+    /// A labeled buffer moved an item: record the push or pop half of the
+    /// queue-handoff edge at the current virtual time.
+    fn causal_queue(&mut self, buf: BufId, pid: ProcId, push: bool) {
+        if let Some(c) = self.causal.as_mut() {
+            if let Some(Some(label)) = self.queue_labels.get(buf) {
+                let lane = self.trace.lane_label(self.procs[pid.idx()].lane);
+                if push {
+                    c.queue_push(label, lane, self.now);
+                } else {
+                    c.queue_pop(label, lane, self.now);
+                }
+            }
+        }
+    }
+
+    /// A complete self-edge on `pid`'s lane (gate holds, PFS fetches).
+    fn causal_self_edge(
+        &mut self,
+        kind: EdgeKind,
+        pid: ProcId,
+        t0: SimTime,
+        t1: SimTime,
+        token: u64,
+    ) {
+        if let Some(c) = self.causal.as_mut() {
+            let lane = self.trace.lane_label(self.procs[pid.idx()].lane);
+            c.edge_at(kind, lane, t0, lane, t1, token);
         }
     }
 
@@ -495,6 +582,7 @@ impl Simulator {
                 slot.recv_gen += 1; // any pending timeout is now stale
                 let lane = slot.lane;
                 self.record(lane, kind, since, self.now, Span::NO_STEP);
+                self.causal_wire(pid, &msg);
                 self.push_event(self.now, Event::Resume(pid));
             }
         }
@@ -520,8 +608,8 @@ impl Simulator {
         }
     }
 
-    /// Dispatch buffer wakeups produced by a state change.
-    fn apply_buffer_wakes(&mut self, wakes: Vec<BufferWake>) {
+    /// Dispatch buffer wakeups produced by a state change of buffer `buf`.
+    fn apply_buffer_wakes(&mut self, buf: BufId, wakes: Vec<BufferWake>) {
         for w in wakes {
             match w {
                 BufferWake::Taker { proc, item, since } => {
@@ -538,6 +626,7 @@ impl Simulator {
                     slot.state = ProcState::Ready;
                     let lane = slot.lane;
                     self.record(lane, kind, since, self.now, Span::NO_STEP);
+                    self.causal_queue(buf, proc, false);
                     self.push_event(self.now, Event::Resume(proc));
                 }
                 BufferWake::TakerClosed { proc, since } => {
@@ -558,8 +647,11 @@ impl Simulator {
                     slot.waiting = Waiting::None;
                     slot.state = ProcState::Ready;
                     let lane = slot.lane;
-                    // A blocked put is the paper's producer stall.
+                    // A blocked put is the paper's producer stall. The
+                    // parked item entered the buffer just now, so this is
+                    // also where its queue-push lands.
                     self.record(lane, SpanKind::Stall, since, self.now, Span::NO_STEP);
+                    self.causal_queue(buf, proc, true);
                     self.push_event(self.now, Event::Resume(proc));
                 }
             }
@@ -724,6 +816,7 @@ impl Simulator {
                 {
                     let msg = slot.mailbox.remove(pos).expect("position valid");
                     slot.last_msg = Some(msg);
+                    self.causal_wire(pid, &msg);
                     true
                 } else {
                     slot.waiting = Waiting::Recv {
@@ -750,6 +843,7 @@ impl Simulator {
                 {
                     let msg = slot.mailbox.remove(pos).expect("position valid");
                     slot.last_msg = Some(msg);
+                    self.causal_wire(pid, &msg);
                     true
                 } else {
                     slot.waiting = Waiting::Recv {
@@ -807,6 +901,8 @@ impl Simulator {
                 };
                 let t = self.network.transfer(ready, storage, node, bytes, key);
                 self.record(lane, SpanKind::FsRead, now, t.delivered, Span::NO_STEP);
+                // The PFS store→fetch hop of the dual-channel path.
+                self.causal_self_edge(EdgeKind::Pfs, pid, now, t.delivered, key);
                 self.push_event(t.delivered, Event::Resume(pid));
                 false
             }
@@ -884,6 +980,10 @@ impl Simulator {
                         let ns = now.saturating_sub(since).as_nanos();
                         self.telemetry.add(CounterId::NetBackpressureNs, ns);
                         self.network.charge_xmit_wait(wnode, ns);
+                        if now > since {
+                            let tok = self.next_causal_token();
+                            self.causal_self_edge(EdgeKind::Gate, proc, since, now, tok);
+                        }
                     }
                     self.push_event(now, Event::Resume(proc));
                 }
@@ -897,6 +997,8 @@ impl Simulator {
                 self.telemetry
                     .add(CounterId::NetBackpressureNs, dur.as_nanos());
                 self.network.charge_xmit_wait(node, dur.as_nanos());
+                let tok = self.next_causal_token();
+                self.causal_self_edge(EdgeKind::Gate, pid, now, now + dur, tok);
                 self.push_event(now + dur, Event::Resume(pid));
                 self.procs[pid.idx()].state = ProcState::Ready;
                 false
@@ -904,7 +1006,8 @@ impl Simulator {
             Op::BufferPut { buf, bytes, token } => {
                 match self.buffers[buf].put(pid, BufItem { bytes, token }, now) {
                     Some(wakes) => {
-                        self.apply_buffer_wakes(wakes);
+                        self.causal_queue(buf, pid, true);
+                        self.apply_buffer_wakes(buf, wakes);
                         true
                     }
                     None => {
@@ -922,6 +1025,9 @@ impl Simulator {
                 kind,
             } => match self.buffers[buf].take(pid, min_occupancy, now) {
                 Ok((item, wakes)) => {
+                    if item.is_some() {
+                        self.causal_queue(buf, pid, false);
+                    }
                     self.procs[pid.idx()].last_take = Some(match item {
                         Some(i) => BufferTaken::Item {
                             bytes: i.bytes,
@@ -929,7 +1035,7 @@ impl Simulator {
                         },
                         None => BufferTaken::Closed,
                     });
-                    self.apply_buffer_wakes(wakes);
+                    self.apply_buffer_wakes(buf, wakes);
                     true
                 }
                 Err(()) => {
@@ -940,12 +1046,13 @@ impl Simulator {
             },
             Op::BufferClose { buf } => {
                 let wakes = self.buffers[buf].close();
-                self.apply_buffer_wakes(wakes);
+                self.apply_buffer_wakes(buf, wakes);
                 true
             }
             Op::BufferRequeue { buf, bytes, token } => {
                 let wakes = self.buffers[buf].requeue(BufItem { bytes, token });
-                self.apply_buffer_wakes(wakes);
+                self.causal_queue(buf, pid, true);
+                self.apply_buffer_wakes(buf, wakes);
                 true
             }
             Op::Halt { error } => {

@@ -11,7 +11,7 @@
 
 use crate::buffer::BlockQueue;
 use crate::metrics::ConsumerMetrics;
-use crate::producer::record_wait;
+use crate::producer::{causal_token, chan_code, record_wait};
 use crate::transport::{MeshReceiver, Wire};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_pfs::Storage;
 use zipper_policy::ConsumerPolicy;
-use zipper_trace::{GaugeId, LaneRecorder, SpanKind, TraceSink};
+use zipper_trace::{eos_token, CausalSink, EdgeKind, GaugeId, LaneRecorder, SpanKind, TraceSink};
 use zipper_types::{
     panic_detail, Block, BlockId, ChaosFault, ChaosScope, Error, Rank, RuntimeError, ZipperTuning,
 };
@@ -41,6 +41,17 @@ pub fn reader_lane(rank: Rank) -> String {
 /// Lane label of consumer `rank`'s application (analysis) lane.
 pub fn analysis_lane(rank: Rank) -> String {
     format!("ana/q{}/app", rank.0)
+}
+
+/// Causal-queue label of consumer `rank`'s delivery buffer (join key
+/// only — never part of a path signature).
+fn consumer_queue(rank: Rank) -> String {
+    format!("q/ana/c{}", rank.0)
+}
+
+/// Causal-queue label of the receiver→reader on-disk ID handoff.
+fn ids_queue(rank: Rank) -> String {
+    format!("ids/ana/c{}", rank.0)
 }
 
 /// The application lane plus the step of the last delivered block, so the
@@ -77,6 +88,10 @@ pub struct ZipperReader {
     /// (it replays the backlog and hands out a fresh reader instead of
     /// tearing the module down).
     recoverable: bool,
+    /// Edge recording for queue handoffs (pop side of the FIFO join).
+    causal: CausalSink,
+    queue_label: String,
+    app_label: String,
 }
 
 impl ZipperReader {
@@ -105,6 +120,7 @@ impl ZipperReader {
             Some(b) => {
                 g.step = b.id().step.0;
                 g.rec.mark();
+                self.causal.queue_pop(&self.queue_label, &self.app_label);
                 if let Some(log) = &self.delivered {
                     log.lock().push(b.id());
                 }
@@ -187,6 +203,9 @@ impl ConsumerRecovery {
             delivered: Some(self.delivered.clone()),
             chaos: self.chaos.clone(),
             recoverable: true,
+            causal: self.sink.causal().clone(),
+            queue_label: consumer_queue(self.rank),
+            app_label: analysis_lane(self.rank),
         }
     }
 
@@ -221,6 +240,11 @@ impl ConsumerRecovery {
                 }
             };
             self.queue.requeue(block);
+            // Replayed blocks re-enter the FIFO join, attributed to the
+            // analysis lane (the restart supervisor acts for the app).
+            self.sink
+                .causal()
+                .queue_push(&consumer_queue(self.rank), &analysis_lane(self.rank));
         }
         Ok(ids.len())
     }
@@ -351,7 +375,11 @@ impl Consumer {
             let tm = metrics.clone();
             let out_tx = out_tx.clone();
             let rpolicy = policy.clone();
-            let mut rec = sink.recorder(recv_lane(rank));
+            let rlane = recv_lane(rank);
+            let mut rec = sink.recorder(rlane.clone());
+            let causal = sink.causal().clone();
+            let cq_label = consumer_queue(rank);
+            let ids_label = ids_queue(rank);
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-receiver-{rank}"))
                 .spawn(move || {
@@ -364,10 +392,15 @@ impl Consumer {
                         match wire {
                             Ok(Wire::Msg(m)) => {
                                 for id in m.on_disk {
-                                    // Reader thread fetches these from the PFS.
+                                    // Completes the writer's steal announce,
+                                    // then hands the ID to the reader thread
+                                    // which fetches it from the PFS.
+                                    causal.end(EdgeKind::Steal, causal_token(id), &rlane);
+                                    causal.queue_push(&ids_label, &rlane);
                                     let _ = ids_tx.send(id);
                                 }
                                 if let Some(b) = m.data {
+                                    causal.end(EdgeKind::Wire, causal_token(b.id()), &rlane);
                                     tm.lock().blocks_net += 1;
                                     if rpolicy.lock().store_on_arrival(b.id()) {
                                         // Network blocks are not yet on the
@@ -383,6 +416,7 @@ impl Consumer {
                                     match queue.push(b) {
                                         Ok(stalled) => {
                                             record_wait(&mut rec, SpanKind::Stall, stalled);
+                                            causal.queue_push(&cq_label, &rlane);
                                         }
                                         Err(_) => {
                                             // The application abandoned its
@@ -407,6 +441,11 @@ impl Consumer {
                                 // message channel closes as soon as the
                                 // sender drains, the file channel only
                                 // after the last stolen ID shipped.
+                                causal.end(
+                                    EdgeKind::Eos,
+                                    eos_token(p.0, chan_code(ch), rank.0),
+                                    &rlane,
+                                );
                                 if rpolicy.lock().note_eos(p, ch).is_complete() {
                                     break;
                                 }
@@ -453,17 +492,34 @@ impl Consumer {
             let queue = queue.clone();
             let tm = metrics.clone();
             let storage = storage.clone();
-            let mut rec = sink.recorder(reader_lane(rank));
+            let flane = reader_lane(rank);
+            let mut rec = sink.recorder(flane.clone());
+            let causal = sink.causal().clone();
+            let cq_label = consumer_queue(rank);
+            let ids_label = ids_queue(rank);
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-reader-{rank}"))
                 .spawn(move || {
                     for id in ids_rx {
+                        causal.queue_pop(&ids_label, &flane);
+                        let t0 = causal.now();
                         match rec.time(SpanKind::FsRead, || storage.get(id)) {
                             Ok(b) => {
+                                // The fetch itself is a Pfs self-edge: the
+                                // stolen block's detour back from the PFS.
+                                causal.edge_at(
+                                    EdgeKind::Pfs,
+                                    &flane,
+                                    t0,
+                                    &flane,
+                                    causal.now(),
+                                    causal_token(id),
+                                );
                                 tm.lock().blocks_disk += 1;
                                 match queue.push(b) {
                                     Ok(stalled) => {
                                         record_wait(&mut rec, SpanKind::Stall, stalled);
+                                        causal.queue_push(&cq_label, &flane);
                                     }
                                     Err(_) => {
                                         // Reader abandoned; remaining IDs
@@ -605,6 +661,9 @@ impl Consumer {
             delivered: None,
             chaos: None,
             recoverable: false,
+            causal: self.sink.causal().clone(),
+            queue_label: consumer_queue(self.rank),
+            app_label: analysis_lane(self.rank),
         }
     }
 

@@ -16,7 +16,10 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use zipper_policy::{Channel, ProducerPolicy, RetireReason};
-use zipper_trace::{GaugeId, HistogramId, LaneRecorder, MetricShard, SpanKind, TraceSink};
+use zipper_trace::{
+    block_token, eos_token, CausalSink, EdgeKind, GaugeId, HistogramId, LaneRecorder, MetricShard,
+    SpanKind, TraceSink,
+};
 use zipper_types::{
     panic_detail, Block, BlockId, Error, GlobalPos, MixedMessage, Rank, RuntimeError, SenderGate,
     SimTime, StepId, ZipperTuning,
@@ -46,6 +49,26 @@ pub fn sender_lane(rank: Rank) -> String {
 /// Lane label of producer `rank`'s work-stealing writer thread.
 pub fn writer_lane(rank: Rank) -> String {
     format!("sim/p{}/fs", rank.0)
+}
+
+/// Causal-queue label of producer `rank`'s buffer (join key only — never
+/// part of a path signature, so it need not match the DES's name for the
+/// same buffer).
+fn producer_queue(rank: Rank) -> String {
+    format!("q/sim/p{}", rank.0)
+}
+
+/// Channel code for EOS join tokens (shared with the consumer side).
+pub(crate) fn chan_code(ch: Channel) -> u8 {
+    match ch {
+        Channel::Net => 0,
+        Channel::Disk => 1,
+    }
+}
+
+/// Causal token of one block's cross-entity edges.
+pub(crate) fn causal_token(id: BlockId) -> u64 {
+    block_token(id.src.0, id.step.0, id.idx)
 }
 
 /// Shutdown handshake between the writer and sender threads: at
@@ -93,6 +116,10 @@ pub struct ZipperWriter {
     /// The application lane. Guarded by a (uncontended) mutex only so the
     /// handle stays usable behind `&self`, matching the paper's API shape.
     recorder: Mutex<LaneRecorder>,
+    /// Edge recording for queue handoffs (push side of the FIFO join).
+    causal: CausalSink,
+    queue_label: String,
+    app_label: String,
     /// Set by `finish`; when a writer is dropped without finishing (the
     /// application panicked or bailed early), the `Drop` guard still closes
     /// the queue so the sender drains, announces EOS, and the consumers can
@@ -122,6 +149,7 @@ impl ZipperWriter {
                 record_wait(&mut rec, SpanKind::Stall, stall);
                 rec.mark();
                 drop(rec);
+                self.causal.queue_push(&self.queue_label, &self.app_label);
                 self.metrics.lock().blocks_written += 1;
             }
             Err(_) => {
@@ -334,11 +362,12 @@ impl Producer {
             let done = writer_done.clone();
             let rec = sink.recorder(writer_lane(rank));
             let shard = sink.telemetry().shard();
+            let wcausal = sink.causal().clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-writer-{rank}"))
                 .spawn(move || {
                     writer_loop(
-                        rank, wq, storage, wpending, wmetrics, wpolicy, wgate, rec, shard,
+                        rank, wq, storage, wpending, wmetrics, wpolicy, wgate, rec, shard, wcausal,
                     );
                     done.signal();
                 });
@@ -375,6 +404,7 @@ impl Producer {
             let spolicy = policy.clone();
             let sgate = gate.clone();
             let rec = sink.recorder(sender_lane(rank));
+            let scausal = sink.causal().clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("zipper-sender-{rank}"))
                 .spawn(move || {
@@ -388,6 +418,7 @@ impl Producer {
                         writer_done,
                         sgate,
                         rec,
+                        scausal,
                         detach_sender,
                     )
                 });
@@ -445,6 +476,9 @@ impl Producer {
             block_size,
             metrics: self.metrics.clone(),
             recorder: Mutex::new(recorder),
+            causal: self.sink.causal().clone(),
+            queue_label: producer_queue(self.rank),
+            app_label: app_lane(self.rank),
             finished: false,
         }
     }
@@ -518,25 +552,34 @@ fn sender_loop(
     writer_done: Arc<WriterDone>,
     gate: Option<Arc<SenderGate>>,
     mut rec: LaneRecorder,
+    causal: CausalSink,
     detached: bool,
 ) {
+    let slane = sender_lane(rank);
+    let qlabel = producer_queue(rank);
     let mut dead = vec![false; policy.lock().consumers()];
     if !detached {
         loop {
             let (taken, idle) = queue.pop_then(|b| policy.lock().route_net(b.id()));
             record_wait(&mut rec, SpanKind::Idle, idle);
             let Some((block, dest)) = taken else { break };
+            causal.queue_pop(&qlabel, &slane);
             if dead[dest.idx()] {
                 continue; // destination already failed; drop, error recorded
             }
             let on_disk = std::mem::take(&mut pending.lock()[dest.idx()]);
             let bytes = block.header.len;
+            let token = causal_token(block.id());
             let msg = MixedMessage {
                 data: Some(block),
                 on_disk,
             };
             match rec.time(SpanKind::Send, || mesh.send(dest, Wire::Msg(msg))) {
                 Ok(()) => {
+                    // The edge's source is the moment the wire cleared this
+                    // sender (post gate hold / throttle); the receiver's
+                    // `end` half completes it.
+                    causal.begin(EdgeKind::Wire, token, &slane);
                     let mut m = metrics.lock();
                     m.blocks_sent += 1;
                     m.bytes_sent += bytes;
@@ -577,6 +620,13 @@ fn sender_loop(
     if let Err(e) = mesh.send_eos(rank, Channel::Net, &net_targets) {
         report_eos(e);
     }
+    for &q in &net_targets {
+        causal.begin(
+            EdgeKind::Eos,
+            eos_token(rank.0, chan_code(Channel::Net), q.0),
+            &slane,
+        );
+    }
 
     // The writer may still be storing its final stolen block: wait for it
     // to retire before flushing, so every on-disk ID is announced before
@@ -606,6 +656,13 @@ fn sender_loop(
     if let Err(e) = mesh.send_eos(rank, Channel::Disk, &disk_targets) {
         report_eos(e);
     }
+    for &q in &disk_targets {
+        causal.begin(
+            EdgeKind::Eos,
+            eos_token(rank.0, chan_code(Channel::Disk), q.0),
+            &slane,
+        );
+    }
 }
 
 /// Writer thread (Fig. 8 + Algorithm 1): steal blocks once the policy
@@ -625,7 +682,10 @@ fn writer_loop(
     gate: Option<Arc<SenderGate>>,
     mut rec: LaneRecorder,
     mut shard: MetricShard,
+    causal: CausalSink,
 ) {
+    let wlane = writer_lane(rank);
+    let qlabel = producer_queue(rank);
     loop {
         let (taken, idle) = queue.steal_then(
             // An armed steal-credit window overrides the high-water mark:
@@ -660,6 +720,7 @@ fn writer_loop(
             }
             break;
         };
+        causal.queue_pop(&qlabel, &wlane);
         shard.observe(HistogramId::PfsWriteBytes, block.header.len);
         let stored = rec.time(SpanKind::FsWrite, || storage.put(&block));
         if let Err(e) = stored {
@@ -674,6 +735,9 @@ fn writer_loop(
             // which is recorded.
             let closed = queue.is_closed();
             queue.requeue(block);
+            // The requeued block re-enters the FIFO join: the next taker's
+            // pop pairs with this push, carrying writer→taker causality.
+            causal.queue_push(&qlabel, &wlane);
             let (revive, cooldown) = {
                 let mut p = policy.lock();
                 p.writer_retired(RetireReason::Fault);
@@ -706,6 +770,9 @@ fn writer_loop(
             }
             return;
         }
+        // Steal announce: the block became fetchable the moment the put
+        // completed; the consumer's `end` half (on-disk ID arrival) joins.
+        causal.begin(EdgeKind::Steal, causal_token(block.id()), &wlane);
         pending.lock()[dest.idx()].push(block.id());
         if let Some(g) = &gate {
             g.note_steal();

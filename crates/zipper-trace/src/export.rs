@@ -13,6 +13,7 @@
 //! for the golden-file test and the `telemetry_check` CI binary; it
 //! validates structure (not schema) without needing a JSON dependency.
 
+use crate::causal::CausalLog;
 use crate::log::TraceLog;
 use crate::span::Span;
 use crate::telemetry::{CounterId, GaugeId, SampleSeries};
@@ -61,6 +62,20 @@ fn span_event_into(out: &mut String, s: &Span) {
 /// series is supplied — one `C` (counter) event per gauge/counter per
 /// sample, viewable as counter tracks alongside the lanes.
 pub fn chrome_trace(log: &TraceLog, series: Option<&SampleSeries>) -> String {
+    chrome_trace_with_flows(log, series, None)
+}
+
+/// [`chrome_trace`] extended with causal flow events: each recorded edge
+/// becomes an `s` (flow start) at its source event and a binding `f`
+/// (flow finish) at its destination, so Perfetto draws the cross-entity
+/// arrows — wire ships, queue unblocks, steal announces, gate opens —
+/// right on top of the span lanes. Edges whose endpoint lanes never
+/// recorded a span are skipped (a flow needs a track to land on).
+pub fn chrome_trace_with_flows(
+    log: &TraceLog,
+    series: Option<&SampleSeries>,
+    causal: Option<&CausalLog>,
+) -> String {
     let mut out = String::with_capacity(4096 + log.spans().len() * 96);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -82,6 +97,33 @@ pub fn chrome_trace(log: &TraceLog, series: Option<&SampleSeries>) -> String {
     for s in log.sorted_spans() {
         sep(&mut out);
         span_event_into(&mut out, &s);
+    }
+    if let Some(causal) = causal {
+        for (id, e) in causal.edges().enumerate() {
+            let (Some(src), Some(dst)) =
+                (log.lane_by_label(e.src_lane), log.lane_by_label(e.dst_lane))
+            else {
+                continue;
+            };
+            sep(&mut out);
+            out.push_str("{\"name\":\"");
+            out.push_str(e.kind.name());
+            let _ = write!(
+                out,
+                "\",\"cat\":\"causal\",\"ph\":\"s\",\"id\":{id},\"ts\":"
+            );
+            micros_into(&mut out, e.src_t.as_nanos());
+            let _ = write!(out, ",\"pid\":0,\"tid\":{}}}", src.0);
+            sep(&mut out);
+            out.push_str("{\"name\":\"");
+            out.push_str(e.kind.name());
+            let _ = write!(
+                out,
+                "\",\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":"
+            );
+            micros_into(&mut out, e.dst_t.as_nanos());
+            let _ = write!(out, ",\"pid\":0,\"tid\":{}}}", dst.0);
+        }
     }
     if let Some(series) = series {
         for p in &series.points {
@@ -111,6 +153,17 @@ pub fn chrome_trace(log: &TraceLog, series: Option<&SampleSeries>) -> String {
 /// per span (time order) and one `sample` record per series point, each
 /// a self-contained JSON object — greppable and streamable.
 pub fn jsonl(log: &TraceLog, series: Option<&SampleSeries>) -> String {
+    jsonl_with_flows(log, series, None)
+}
+
+/// [`jsonl`] extended with causal flow records: one
+/// `{"type":"flow",...}` line per recorded edge (kind, both endpoints,
+/// join token), in recording order.
+pub fn jsonl_with_flows(
+    log: &TraceLog,
+    series: Option<&SampleSeries>,
+    causal: Option<&CausalLog>,
+) -> String {
     let mut out = String::with_capacity(4096 + log.spans().len() * 112);
     out.push_str("{\"type\":\"meta\",\"lanes\":[");
     for (i, lane) in log.lanes().enumerate() {
@@ -141,6 +194,26 @@ pub fn jsonl(log: &TraceLog, series: Option<&SampleSeries>) -> String {
             let _ = write!(out, ",\"step\":{}", s.step);
         }
         out.push_str("}\n");
+    }
+    if let Some(causal) = causal {
+        for e in causal.edges() {
+            out.push_str("{\"type\":\"flow\",\"kind\":\"");
+            out.push_str(e.kind.name());
+            out.push_str("\",\"src_lane\":\"");
+            escape_into(&mut out, e.src_lane);
+            let _ = write!(
+                out,
+                "\",\"src_t_ns\":{},\"dst_lane\":\"",
+                e.src_t.as_nanos()
+            );
+            escape_into(&mut out, e.dst_lane);
+            let _ = writeln!(
+                out,
+                "\",\"dst_t_ns\":{},\"token\":{}}}",
+                e.dst_t.as_nanos(),
+                e.token
+            );
+        }
     }
     if let Some(series) = series {
         for p in &series.points {
@@ -434,6 +507,47 @@ mod tests {
         log.record_interval(l, SpanKind::Idle, SimTime::ZERO, SimTime::from_nanos(1));
         validate_json(&chrome_trace(&log, None)).unwrap();
         validate_jsonl(&jsonl(&log, None)).unwrap();
+    }
+
+    #[test]
+    fn flow_events_ride_on_span_lanes() {
+        use crate::causal::{CausalLog, EdgeKind};
+        let log = tiny_log();
+        let mut causal = CausalLog::new();
+        causal.edge_at(
+            EdgeKind::Wire,
+            "sim/r0/comp",
+            SimTime::from_micros(1500),
+            "ana/q0/ana",
+            SimTime::from_micros(1500),
+            7,
+        );
+        // An edge on a lane the span log never saw is skipped, not broken.
+        causal.edge_at(
+            EdgeKind::Pfs,
+            "ghost",
+            SimTime::ZERO,
+            "ghost",
+            SimTime::from_micros(1),
+            8,
+        );
+        let json = chrome_trace_with_flows(&log, None, Some(&causal));
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""), "{json}");
+        assert_eq!(json.matches("\"cat\":\"causal\"").count(), 2, "{json}");
+        let lines = jsonl_with_flows(&log, None, Some(&causal));
+        validate_jsonl(&lines).unwrap();
+        // JSONL keeps every edge (it names lanes inline).
+        assert_eq!(lines.matches("\"type\":\"flow\"").count(), 2, "{lines}");
+        assert!(lines.contains("\"kind\":\"wire\""), "{lines}");
+        assert!(lines.contains("\"token\":7"), "{lines}");
+        // The plain exporters are unchanged by the extension.
+        assert_eq!(
+            chrome_trace(&log, None),
+            chrome_trace_with_flows(&log, None, None)
+        );
+        assert_eq!(jsonl(&log, None), jsonl_with_flows(&log, None, None));
     }
 
     #[test]

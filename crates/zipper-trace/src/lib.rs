@@ -28,7 +28,14 @@
 //! `XmitWait` fabric counters) with wall-clock and virtual-clock samplers,
 //! and [`export`] renders the merged span log plus the sampled metric
 //! series as Chrome-trace JSON or JSONL.
+//!
+//! The [`causal`] layer turns the merged log plus runtime-recorded
+//! cross-entity edges into a happens-before graph, extracts the critical
+//! path, attributes its time to comp/transfer/backpressure/steal/analysis
+//! buckets, and answers what-if re-weighing questions — the machinery
+//! behind the paper's `T_t2s = max(T_comp, T_transfer, T_analysis)` claim.
 
+pub mod causal;
 pub mod clock;
 pub mod export;
 pub mod log;
@@ -39,6 +46,10 @@ pub mod span;
 pub mod stats;
 pub mod telemetry;
 
+pub use causal::{
+    block_token, eos_token, Attribution, Bucket, CausalEdge, CausalGraph, CausalLog, CausalSink,
+    CriticalPath, EdgeKind, Verdict, WhatIfOutcome,
+};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use log::{SharedTraceLog, TraceLog};
 pub use recorder::{LaneRecorder, TraceMode, TraceSink};

@@ -19,6 +19,7 @@
 //! * [`TraceMode::Full`] — raw spans too, enabling timeline rendering and
 //!   windowed step statistics (the paper's Figs. 17/19 views).
 
+use crate::causal::CausalSink;
 use crate::clock::{Clock, VirtualClock, WallClock};
 use crate::log::{SharedTraceLog, TraceLog};
 use crate::span::{LaneId, Span, SpanKind};
@@ -63,6 +64,7 @@ pub struct TraceSink {
     clock: Arc<dyn Clock>,
     log: SharedTraceLog,
     telemetry: Telemetry,
+    causal: CausalSink,
 }
 
 impl TraceSink {
@@ -76,6 +78,7 @@ impl TraceSink {
             clock,
             log,
             telemetry: Telemetry::off(),
+            causal: CausalSink::off(),
         }
     }
 
@@ -90,6 +93,25 @@ impl TraceSink {
     /// The run's telemetry handle (a disabled one unless attached).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Enable causal-edge recording: components built from this sink
+    /// record cross-entity edges (wire, queue, steal, gate, PFS, EOS) on
+    /// the same clock as their spans. No-op when tracing is off — causal
+    /// edges without spans cannot form a graph.
+    pub fn with_causal(mut self) -> Self {
+        if self.mode.enabled() {
+            self.causal = CausalSink::new(Arc::clone(&self.clock));
+        }
+        self
+    }
+
+    /// The run's causal-edge handle (inert unless [`with_causal`] was
+    /// called). Cloning is cheap; all clones feed one edge log.
+    ///
+    /// [`with_causal`]: TraceSink::with_causal
+    pub fn causal(&self) -> &CausalSink {
+        &self.causal
     }
 
     /// The clock spans are stamped with — share it with the metric

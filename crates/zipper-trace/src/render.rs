@@ -4,6 +4,7 @@
 //! Each lane becomes one text row of fixed width; each column is a time
 //! bucket colored (by glyph) with the span kind that dominates the bucket.
 
+use crate::causal::{CausalGraph, CriticalPath};
 use crate::log::TraceLog;
 use crate::span::{LaneId, SpanKind};
 use zipper_types::SimTime;
@@ -154,6 +155,93 @@ pub fn render_timeline(log: &TraceLog, opts: &RenderOptions) -> String {
     out
 }
 
+/// [`render_timeline`] with the critical path highlighted: beneath every
+/// lane row the path traverses, a marker row carets (`^`) the columns the
+/// path occupies on that lane, and the footer prints the path's verdict,
+/// bucket attribution, and structural signature — the Fig. 17 view with
+/// "what actually gated completion" drawn on it.
+pub fn render_timeline_critical(
+    log: &TraceLog,
+    graph: &CausalGraph,
+    path: &CriticalPath,
+    opts: &RenderOptions,
+) -> String {
+    let base = render_timeline(log, opts);
+    let to = opts.to.unwrap_or_else(|| log.horizon());
+    if to <= opts.from {
+        return base;
+    }
+    let bucket_ns = ((to - opts.from).as_nanos() / opts.width as u64).max(1);
+
+    // The same lane selection render_timeline made, in the same order.
+    let lanes: Vec<LaneId> = log
+        .lanes()
+        .filter(|&l| match &opts.lane_prefix {
+            Some(p) => log.lane_label(l).starts_with(p.as_str()),
+            None => true,
+        })
+        .take(opts.max_lanes)
+        .collect();
+    let label_w = lanes
+        .iter()
+        .map(|&l| log.lane_label(l).len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    let marker_row = |lane: LaneId| -> Option<String> {
+        let g = graph.lane_by_label(log.lane_label(lane))?;
+        let intervals = path.intervals_on(graph, g);
+        if intervals.is_empty() {
+            return None;
+        }
+        let mut cols = vec![' '; opts.width];
+        let mut any = false;
+        for (t0, t1) in intervals {
+            if t1 <= opts.from || t0 >= to {
+                continue;
+            }
+            let rel0 = t0.max(opts.from).as_nanos() - opts.from.as_nanos();
+            let rel1 = (t1.min(to).as_nanos() - opts.from.as_nanos()).max(rel0);
+            let b0 = (rel0 / bucket_ns) as usize;
+            let b1 = ((rel1 / bucket_ns) as usize).min(opts.width - 1);
+            for c in cols.iter_mut().take(b1 + 1).skip(b0) {
+                *c = '^';
+            }
+            any = true;
+        }
+        any.then(|| {
+            format!(
+                "{:>width$} |{}|\n",
+                "",
+                cols.into_iter().collect::<String>(),
+                width = label_w
+            )
+        })
+    };
+
+    // Splice marker rows under their lane rows: the base output is one
+    // header line, then exactly one row per selected lane, then a legend.
+    let mut out = String::with_capacity(base.len() * 2);
+    for (i, line) in base.split_inclusive('\n').enumerate() {
+        out.push_str(line);
+        if i >= 1 && i <= lanes.len() {
+            if let Some(row) = marker_row(lanes[i - 1]) {
+                out.push_str(&row);
+            }
+        }
+    }
+    out.push_str(&format!(
+        "critical path (verdict: {}):\n",
+        path.attribution.verdict()
+    ));
+    out.push_str(&path.attribution.table());
+    out.push_str("  ");
+    out.push_str(&path.signature(graph).join(" -> "));
+    out.push('\n');
+    out
+}
+
 /// Export raw spans as CSV (`lane,label,kind,start_ns,end_ns,step`) for
 /// offline analysis in external tooling — the stand-in for TAU's trace
 /// files. Requires raw-span storage (the default).
@@ -258,6 +346,52 @@ mod tests {
         let s = render_timeline(&log, &opts);
         assert!(s.contains("pCCCCpCCCC"), "got:\n{s}");
         assert!(s.contains("p=policy"), "markers reach the legend:\n{s}");
+    }
+
+    #[test]
+    fn critical_overlay_marks_path_lanes_and_prints_verdict() {
+        use crate::causal::{CausalLog, CriticalPath, EdgeKind};
+        let mut log = TraceLog::new();
+        let p = log.lane("sim/p0/app");
+        let s = log.lane("sim/p0/send");
+        let c = log.lane("ana/q0/app");
+        log.record_interval(
+            p,
+            SpanKind::Compute,
+            SimTime::ZERO,
+            SimTime::from_millis(10),
+        );
+        log.record_interval(
+            s,
+            SpanKind::Send,
+            SimTime::from_millis(10),
+            SimTime::from_millis(12),
+        );
+        log.record_interval(
+            c,
+            SpanKind::Analysis,
+            SimTime::from_millis(12),
+            SimTime::from_millis(20),
+        );
+        let mut causal = CausalLog::new();
+        causal.queue_push("q/sim/p0", "sim/p0/app", SimTime::from_millis(10));
+        causal.queue_pop("q/sim/p0", "sim/p0/send", SimTime::from_millis(10));
+        causal.begin(EdgeKind::Wire, 7, "sim/p0/send", SimTime::from_millis(12));
+        causal.end(EdgeKind::Wire, 7, "ana/q0/app", SimTime::from_millis(12));
+        let graph = CausalGraph::build(&log, &causal);
+        let path = CriticalPath::extract(&graph).unwrap();
+        let opts = RenderOptions {
+            width: 20,
+            ..Default::default()
+        };
+        let out = render_timeline_critical(&log, &graph, &path, &opts);
+        assert!(out.contains('^'), "path columns are caretted:\n{out}");
+        assert!(out.contains("critical path (verdict: compute)"), "{out}");
+        assert!(out.contains("wire:"), "signature in footer:\n{out}");
+        // The marker rows splice cleanly: every lane row still renders.
+        for lane in ["sim/p0/app", "sim/p0/send", "ana/q0/app"] {
+            assert!(out.contains(lane), "{out}");
+        }
     }
 
     #[test]

@@ -18,8 +18,8 @@
 
 use std::sync::Arc;
 use zipper_core::{Wire, WireSender};
-use zipper_trace::{CounterId, HistogramId, Telemetry};
-use zipper_types::{Rank, Result, RuntimeError, SenderGate};
+use zipper_trace::{CausalSink, CounterId, EdgeKind, HistogramId, Telemetry};
+use zipper_types::{Rank, Result, RuntimeError, SenderGate, SimTime};
 
 /// Transport wrapper interpreting the sender half of a backpressure
 /// script. Wrap it *outermost* (outside retry/trace wrappers): a retried
@@ -29,6 +29,9 @@ pub struct GatedSender<S> {
     inner: S,
     gate: Arc<SenderGate>,
     telemetry: Telemetry,
+    causal: CausalSink,
+    lane: String,
+    ordinal: std::sync::atomic::AtomicU64,
 }
 
 impl<S: WireSender> GatedSender<S> {
@@ -37,12 +40,23 @@ impl<S: WireSender> GatedSender<S> {
             inner,
             gate,
             telemetry: Telemetry::off(),
+            causal: CausalSink::off(),
+            lane: String::new(),
+            ordinal: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Charge gate-held time to `net.backpressure_ns` in `telemetry`.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Record held intervals as [`EdgeKind::Gate`] self-edges on `lane`
+    /// (the rank's sender lane): gate open → sender resume.
+    pub fn with_causal(mut self, causal: CausalSink, lane: impl Into<String>) -> Self {
+        self.causal = causal;
+        self.lane = lane.into();
         self
     }
 
@@ -55,11 +69,19 @@ impl<S: WireSender> GatedSender<S> {
 impl<S: WireSender> WireSender for GatedSender<S> {
     fn send(&self, to: Rank, wire: Wire) -> Result<()> {
         if matches!(&wire, Wire::Msg(m) if m.data.is_some()) {
+            let ordinal = self
+                .ordinal
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                + 1;
             let held = self.gate.pass_data_wire();
             if !held.is_zero() {
                 self.telemetry.add_time(CounterId::NetBackpressureNs, held);
                 self.telemetry
                     .observe(HistogramId::StallNs, held.as_nanos() as u64);
+                let t1 = self.causal.now();
+                let t0 = t1.saturating_sub(SimTime::from_nanos(held.as_nanos() as u64));
+                self.causal
+                    .edge_at(EdgeKind::Gate, &self.lane, t0, &self.lane, t1, ordinal);
             }
         }
         self.inner.send(to, wire)

@@ -6,7 +6,7 @@ use crate::spec::{sim_config, ClusterLayout, WorkflowSpec};
 use crate::{dataspaces, decaf, dimes, flexpath, mpiio, zipper};
 use hpcsim::{RunReport, Simulator};
 use zipper_trace::stats::kind_time_filtered;
-use zipper_trace::{MetricsSnapshot, SampleSeries, SpanKind, TraceLog};
+use zipper_trace::{CausalLog, MetricsSnapshot, SampleSeries, SpanKind, TraceLog};
 use zipper_types::SimTime;
 
 /// Virtual-clock sampling period of the DES telemetry probe (detailed
@@ -119,6 +119,11 @@ pub struct TransportResult {
     pub pfs_drain: SimTime,
     /// The full span trace, for figure-specific analysis.
     pub trace: TraceLog,
+    /// Cross-entity causal edges on the virtual clock, reclassified to
+    /// the Zipper edge taxonomy (wire/EOS/steal/queue/PFS). Recorded on
+    /// detailed Zipper runs only; empty otherwise. Feed to
+    /// `CausalGraph::build` with `trace` for critical-path extraction.
+    pub causal: CausalLog,
     /// Final telemetry counter/gauge/histogram totals (disabled snapshot
     /// on totals-mode runs).
     pub metrics: MetricsSnapshot,
@@ -140,6 +145,13 @@ fn finish(
     mut sim: Simulator,
     layout: &ClusterLayout,
 ) -> TransportResult {
+    let causal = sim
+        .take_causal()
+        .map(|mut c| {
+            zipper::reclassify_causal(&mut c);
+            c
+        })
+        .unwrap_or_default();
     let samples = sim.finish_telemetry();
     let metrics = sim.telemetry().snapshot();
     let xmit_wait_sim = sim.network().xmit_wait_sum(layout.sim_node_range());
@@ -180,6 +192,7 @@ fn finish(
         pfs_bytes,
         pfs_drain,
         trace,
+        causal,
         metrics,
         samples,
     }
@@ -199,6 +212,12 @@ pub fn run_with_detail(kind: TransportKind, spec: &WorkflowSpec, detail: bool) -
     sim.set_trace_detail(detail);
     if detail {
         sim.enable_telemetry(SAMPLE_PERIOD);
+        // Causal edges use the Zipper tag vocabulary (DATA/SEOS/WEOS/
+        // DISKID), which `finish` reclassifies; other transports would
+        // need their own mapping before enabling this.
+        if kind == TransportKind::Zipper {
+            sim.enable_causal();
+        }
     }
     kind.build(&mut sim, spec, &layout);
     let report = sim.run();

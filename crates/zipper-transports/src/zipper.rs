@@ -941,9 +941,10 @@ pub struct AnalysisProc {
     cost: AppCostModel,
     chaos: Rc<ChaosScope>,
     policy: SharedConsumerPolicy,
-    /// Blocks analysed so far — the size of the backlog a threaded
-    /// restart would replay from the Preserve store.
-    delivered: u64,
+    /// `(bytes, token)` of every block analysed so far — the backlog a
+    /// restart replays, exactly as the threaded supervisor replays the
+    /// delivered log from the Preserve store.
+    backlog: Vec<(u64, u64)>,
     started: bool,
 }
 
@@ -959,7 +960,7 @@ impl AnalysisProc {
             cost,
             chaos,
             policy,
-            delivered: 0,
+            backlog: Vec::new(),
             started: false,
         }
     }
@@ -972,30 +973,47 @@ impl AnalysisProc {
         }
     }
 
-    /// An injected [`ChaosFault::CrashApp`] struck this read call. Record
-    /// the same policy-kernel conversation the threaded restart supervisor
-    /// has — abandonment, then (budget permitting) a restart replaying the
-    /// pre-crash backlog — and return whether the run may continue. The
-    /// replay itself is a no-op here: the DES never lost the blocks.
-    fn crash(&mut self) -> bool {
-        let replayed = self.delivered as usize;
+    /// An injected [`ChaosFault::CrashApp`] struck this read call. Have
+    /// the same policy-kernel conversation the threaded restart
+    /// supervisor has — abandonment, then (budget permitting) a restart —
+    /// and perform the replay for real: requeue the pre-crash backlog at
+    /// the front of the consumer buffer (earliest first, the threaded
+    /// supervisor's order) so the fresh read loop re-takes and
+    /// re-analyses it, ticking the chaos scope once per re-read exactly
+    /// as the threaded reader's calls do. Returns the requeue ops, or
+    /// `None` when the restart budget is spent.
+    fn crash(&mut self) -> Option<Vec<Op>> {
+        let backlog = std::mem::take(&mut self.backlog);
         let mut p = self.policy.borrow_mut();
         p.reader_abandoned();
         if !p.may_restart() {
-            return false;
+            return None;
         }
-        p.consumer_restarted(replayed);
+        p.consumer_restarted(backlog.len());
         drop(p);
-        // The threaded scope ticks once for the crashed call (which
-        // delivered nothing) and once per replayed re-read; this take
-        // delivered a block, so advance `replayed + 1` ticks to realign.
-        // Plans schedule at most one Analysis fault per rank — a second
-        // fault landing inside the replay window would strike mid-replay
-        // on the threaded substrate, which this skip cannot mirror.
-        for _ in 0..=replayed {
-            let _ = self.chaos.next();
-        }
-        true
+        // Requeue in reverse: each op inserts at the front, so the
+        // earliest delivery ends up first and the replay re-reads the
+        // backlog in original order.
+        Some(
+            backlog
+                .iter()
+                .rev()
+                .map(|&(bytes, token)| Op::BufferRequeue {
+                    buf: self.bufc,
+                    bytes,
+                    token,
+                })
+                .collect(),
+        )
+    }
+
+    fn halt(&self) -> Step {
+        Step::Ops(vec![Op::Halt {
+            error: format!(
+                "analysis crashed on read #{} with no restart budget",
+                self.chaos.ops()
+            ),
+        }])
     }
 }
 
@@ -1007,35 +1025,40 @@ impl Program for AnalysisProc {
         }
         match ctx.last_take.expect("analysis resumed without take result") {
             BufferTaken::Item { bytes, token } => {
-                if self.chaos.next() == Some(ChaosFault::CrashApp) && !self.crash() {
-                    return Step::Ops(vec![Op::Halt {
-                        error: format!(
-                            "analysis crashed on read #{} with no restart budget",
-                            self.chaos.ops()
-                        ),
-                    }]);
+                let mut ops = Vec::new();
+                if self.chaos.next() == Some(ChaosFault::CrashApp) {
+                    // The threaded crash fires *before* the pop, so the
+                    // current block stays queued and is re-read after the
+                    // replay; this take already consumed it, so continue
+                    // with it after the requeued backlog.
+                    match self.crash() {
+                        Some(replay) => ops = replay,
+                        None => return self.halt(),
+                    }
                 }
-                self.delivered += 1;
-                Step::Ops(vec![
-                    Op::Compute {
-                        dur: self.cost.analysis_block_time(bytes),
-                        kind: SpanKind::Analysis,
-                        step: token,
-                    },
-                    self.take(),
-                ])
+                self.backlog.push((bytes, token));
+                ops.push(Op::Compute {
+                    dur: self.cost.analysis_block_time(bytes),
+                    kind: SpanKind::Analysis,
+                    step: token,
+                });
+                ops.push(self.take());
+                Step::Ops(ops)
             }
             BufferTaken::Closed => {
                 // The threaded reader's final read call (the one returning
                 // `None`) ticks the scope too; mirror it so a crash
                 // scheduled on that trailing ordinal behaves identically.
-                if self.chaos.next() == Some(ChaosFault::CrashApp) && !self.crash() {
-                    return Step::Ops(vec![Op::Halt {
-                        error: format!(
-                            "analysis crashed on read #{} with no restart budget",
-                            self.chaos.ops()
-                        ),
-                    }]);
+                if self.chaos.next() == Some(ChaosFault::CrashApp) {
+                    match self.crash() {
+                        Some(mut replay) => {
+                            // Re-read the replayed backlog, then observe
+                            // the close again.
+                            replay.push(self.take());
+                            return Step::Ops(replay);
+                        }
+                        None => return self.halt(),
+                    }
                 }
                 Step::Done
             }
@@ -1145,6 +1168,10 @@ fn build_zipper(
         let bufc = sim.add_buffer(spec.consumer_slots);
         let ids = sim.add_buffer(spec.ids_queue_capacity());
         let out = spec.preserve.then(|| sim.add_buffer(spec.consumer_slots));
+        // Causal queue labels mirror the threaded runtime's; the Preserve
+        // output queue stays unlabeled on both substrates.
+        sim.label_queue(bufc, format!("q/ana/c{q}"));
+        sim.label_queue(ids, format!("ids/ana/c{q}"));
         // EOS is broadcast: every producer announces to every consumer,
         // so even a consumer no block routes to terminates cleanly.
         let mut cp = ConsumerPolicy::new(
@@ -1204,6 +1231,7 @@ fn build_zipper(
     for r in 0..spec.sim_ranks {
         let node = layout.sim_node(r);
         let buf = sim.add_buffer(spec.producer_slots);
+        sim.label_queue(buf, format!("q/sim/p{r}"));
         let left = compute_pid((r + spec.sim_ranks - 1) % spec.sim_ranks);
         let right = compute_pid((r + 1) % spec.sim_ranks);
         let pid = sim.spawn(
@@ -1309,6 +1337,27 @@ fn build_zipper(
         }
     }
     policies
+}
+
+/// Map the engine's raw message-consumption edges onto the shared causal
+/// taxonomy by tag kind: data blocks stay [`EdgeKind::Wire`](zipper_trace::EdgeKind),
+/// per-channel end-of-stream marks become `Eos`, the writer's disk-id
+/// notifications become `Steal` (the decision→fetch hop of the dual
+/// channel), and everything else — halo traffic the threaded runtime has
+/// no wire for, chaos-corrupted frames the receiver discarded — is
+/// dropped. Call on [`Simulator::take_causal`]'s log after a run built by
+/// [`build`]/[`build_recorded`] with causal recording enabled.
+pub fn reclassify_causal(log: &mut zipper_trace::CausalLog) {
+    use zipper_trace::EdgeKind;
+    log.reclassify(|kind, token| match kind {
+        EdgeKind::Wire => match tag::kind(token) {
+            tag::DATA => Some(EdgeKind::Wire),
+            tag::SEOS | tag::WEOS => Some(EdgeKind::Eos),
+            tag::DISKID => Some(EdgeKind::Steal),
+            _ => None,
+        },
+        k => Some(k),
+    });
 }
 
 /// Spawn only the simulation ranks with their compute phases and halo

@@ -23,7 +23,7 @@
 use crate::report::WorkflowReport;
 use std::fmt;
 use zipper_model::{ModelInput, Prediction, Stage};
-use zipper_trace::{SpanKind, TraceLog};
+use zipper_trace::{SpanKind, TraceLog, Verdict};
 use zipper_types::SimTime;
 
 /// Span kinds that count as simulation compute on a lane (generic compute
@@ -139,6 +139,25 @@ impl ModelFit {
     /// (e.g. `0.25` for 25 %).
     pub fn within(&self, tol: f64) -> bool {
         self.max_error() <= tol
+    }
+
+    /// The model's bottleneck stage expressed as a critical-path
+    /// [`Verdict`], so the analytical `max(T_comp, T_transfer,
+    /// T_analysis)` argmax and the measured path attribution compare
+    /// directly.
+    pub fn verdict(&self) -> Verdict {
+        match self.bottleneck {
+            Stage::Simulation => Verdict::Compute,
+            Stage::Transfer => Verdict::Transfer,
+            Stage::Analysis => Verdict::Analysis,
+        }
+    }
+
+    /// True when the measured critical path and the analytical model name
+    /// the same bottleneck — the reconciliation the causal engine is
+    /// validated against.
+    pub fn agrees_with(&self, verdict: Verdict) -> bool {
+        self.verdict() == verdict
     }
 
     /// Render the fit as an aligned text table.

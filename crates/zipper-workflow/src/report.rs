@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 use zipper_core::{ConsumerMetrics, ProducerMetrics};
-use zipper_trace::render::{render_timeline, RenderOptions};
+use zipper_trace::render::{render_timeline, render_timeline_critical, RenderOptions};
 use zipper_trace::{
-    stats, KindBreakdown, MetricsSnapshot, SampleSeries, SpanKind, TraceLog, WindowStats,
+    stats, CausalGraph, CausalLog, CriticalPath, KindBreakdown, MetricsSnapshot, SampleSeries,
+    SpanKind, TraceLog, WindowStats,
 };
 use zipper_types::{RuntimeError, SimTime};
 
@@ -53,6 +54,9 @@ pub struct WorkflowReport {
     /// The merged span log of the run (lane totals always; raw spans when
     /// the run traced in full mode).
     pub trace: TraceLog,
+    /// Cross-entity causal edges recorded alongside the spans (empty
+    /// unless the run traced with [`crate::TraceOptions::causal`]).
+    pub causal: CausalLog,
     /// Final counter/gauge/histogram totals from the telemetry registry
     /// (disabled snapshot when the run had telemetry off).
     pub metrics: MetricsSnapshot,
@@ -174,6 +178,61 @@ impl WorkflowReport {
         render_timeline(&self.trace, &opts)
     }
 
+    /// The happens-before graph of the run: recorded causal edges merged
+    /// with the span log. Meaningful only when the run traced with
+    /// [`crate::TraceOptions::causal`] (and full span mode for faithful
+    /// bucket attribution).
+    pub fn causal_graph(&self) -> CausalGraph {
+        CausalGraph::build(&self.trace, &self.causal)
+    }
+
+    /// The run's critical path — the chain of events that actually gated
+    /// completion. `None` when nothing was traced.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        CriticalPath::extract(&self.causal_graph())
+    }
+
+    /// [`WorkflowReport::timeline`] with the critical path caretted onto
+    /// the lanes it traverses, plus the verdict/attribution footer. Falls
+    /// back to the plain timeline when no path can be extracted.
+    pub fn timeline_critical(&self, width: usize) -> String {
+        let opts = RenderOptions {
+            width,
+            max_lanes: 64,
+            ..Default::default()
+        };
+        let graph = self.causal_graph();
+        match CriticalPath::extract(&graph) {
+            Some(path) => render_timeline_critical(&self.trace, &graph, &path, &opts),
+            None => render_timeline(&self.trace, &opts),
+        }
+    }
+
+    /// Bottleneck verdict, critical-path attribution table, and the
+    /// standard what-if sensitivity sweep (NIC 2×, PFS 2×, analysis 2×,
+    /// compute 2×) as text.
+    pub fn causal_summary(&self) -> String {
+        let graph = self.causal_graph();
+        let Some(path) = CriticalPath::extract(&graph) else {
+            return String::from("causal: (no trace recorded)\n");
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "causal: verdict {} over {} edges ({} dropped, {} unjoined)",
+            path.attribution.verdict(),
+            self.causal.len(),
+            graph.dropped_edges,
+            self.causal.unjoined(),
+        );
+        out.push_str(&path.attribution.table());
+        out.push_str("what-if:\n");
+        for o in graph.what_if_sweep() {
+            let _ = writeln!(out, "  {o}");
+        }
+        out
+    }
+
     /// A human-readable multi-line summary: counters plus the dominant
     /// per-kind times of the simulation and analysis sides.
     pub fn summary(&self) -> String {
@@ -243,6 +302,9 @@ impl WorkflowReport {
                 );
             }
         }
+        if !self.causal.is_empty() {
+            out.push_str(&self.causal_summary());
+        }
         out
     }
 }
@@ -289,6 +351,7 @@ mod tests {
             pfs_bytes_written: 300,
             pfs_retries: 0,
             trace: TraceLog::new(),
+            causal: CausalLog::new(),
             metrics: MetricsSnapshot::default(),
             samples: SampleSeries::default(),
         }
@@ -401,6 +464,7 @@ mod tests {
             pfs_bytes_written: 0,
             pfs_retries: 0,
             trace: TraceLog::new(),
+            causal: CausalLog::new(),
             metrics: MetricsSnapshot::default(),
             samples: SampleSeries::default(),
         };

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use zipper_apps::analysis::VarianceAccumulator;
 use zipper_apps::synthetic::{decode_block, generate_block, Complexity};
 use zipper_model::ModelInput;
-use zipper_trace::export::{chrome_trace, jsonl};
+use zipper_trace::export::{chrome_trace_with_flows, jsonl_with_flows};
 use zipper_trace::GaugeId;
 use zipper_types::SimTime;
 use zipper_types::{ByteSize, GlobalPos, StepId, WorkflowConfig};
@@ -52,8 +52,12 @@ fn main() {
         // log, which the report renders below. `TraceOptions::default()`
         // keeps lane totals only; `off()` removes even that. The telemetry
         // flag additionally turns on the metric registry and a background
-        // sampler that snapshots queue depths and stall counters.
-        TraceOptions::full().with_telemetry(Duration::from_millis(2)),
+        // sampler that snapshots queue depths and stall counters; the
+        // causal flag records cross-entity happens-before edges for the
+        // critical-path engine below.
+        TraceOptions::full()
+            .with_causal()
+            .with_telemetry(Duration::from_millis(2)),
         move |rank, writer| {
             for step in 0..8u64 {
                 // "Simulate": generate this step's output slab.
@@ -162,20 +166,45 @@ fn main() {
         ta: per_block(slab_ana),
         transfer_lanes: cfg.producers as u64,
     };
+    let fit = report.model_fit(&input);
     println!(
         "--- model fit (back-of-envelope costs, {cores} core(s) for {} ranks) ---\n{}",
         cfg.producers + cfg.consumers,
-        report.model_fit(&input)
+        fit,
     );
 
-    // 7. Optional flight-recorder export: set ZIPPER_EXPORT_DIR to write
+    // 7. Causal critical path: the chain of events that actually gated
+    //    the finish line, its per-bucket attribution, and the what-if
+    //    sweep (what happens to the makespan if the NIC / PFS / analysis
+    //    were 2x faster). The verdict is cross-checked against the
+    //    analytical model's argmax: when the two name the same
+    //    bottleneck, the back-of-envelope and the measured path agree on
+    //    where optimization effort should go.
+    println!("--- critical path ---\n{}", report.causal_summary());
+    if let Some(path) = report.critical_path() {
+        let verdict = path.attribution.verdict();
+        println!(
+            "engine verdict {} vs model argmax {}: {}",
+            verdict,
+            fit.verdict(),
+            if fit.agrees_with(verdict) {
+                "agree"
+            } else {
+                "disagree (wall-clock probe costs are approximate)"
+            },
+        );
+    }
+
+    // 8. Optional flight-recorder export: set ZIPPER_EXPORT_DIR to write
     //    the span log + samples as a Chrome trace (open in
     //    chrome://tracing or Perfetto) and as JSONL (one event per line).
+    //    Causal edges ride along as flow events / edge records.
     if let Some(dir) = std::env::var_os("ZIPPER_EXPORT_DIR") {
         let dir = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&dir).expect("create export dir");
-        let chrome = chrome_trace(&report.trace, Some(&report.samples));
-        let lines = jsonl(&report.trace, Some(&report.samples));
+        let chrome =
+            chrome_trace_with_flows(&report.trace, Some(&report.samples), Some(&report.causal));
+        let lines = jsonl_with_flows(&report.trace, Some(&report.samples), Some(&report.causal));
         std::fs::write(dir.join("quickstart_trace.json"), chrome).expect("write chrome trace");
         std::fs::write(dir.join("quickstart_trace.jsonl"), lines).expect("write jsonl");
         println!("exported flight recording to {}", dir.display());

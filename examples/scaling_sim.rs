@@ -4,8 +4,11 @@
 //!
 //! Run with: `cargo run --release --example scaling_sim`
 
-use zipper_trace::export::{chrome_trace, jsonl};
+use zipper_model::Prediction;
+use zipper_trace::export::{chrome_trace_with_flows, jsonl_with_flows};
+use zipper_trace::{CausalGraph, CriticalPath};
 use zipper_transports::{run, run_sim_only, TransportKind, WorkflowSpec};
+use zipper_workflow::ModelFit;
 
 fn main() {
     println!("mini Fig. 16: CFD weak scaling on the cluster simulator\n");
@@ -33,15 +36,40 @@ fn main() {
             decaf.end_to_end.as_secs_f64() / zipper.end_to_end.as_secs_f64(),
         );
 
-        // Flight-recorder export of the smallest point's Zipper run (the
-        // virtual-clock spans + congestion samples), when requested:
-        // `ZIPPER_EXPORT_DIR=out cargo run --release --example scaling_sim`.
+        // Causal critical path of the smallest point's Zipper run: the
+        // bottleneck verdict from the measured no-slack chain, checked
+        // against the §4.4 model's argmax — on the deterministic virtual
+        // clock the two must agree.
         if cores == 48 {
+            let graph = CausalGraph::build(&zipper.trace, &zipper.causal);
+            let path = CriticalPath::extract(&graph).expect("critical path");
+            let verdict = path.attribution.verdict();
+            let prediction = Prediction::from_input(&spec.model_input());
+            let fit = ModelFit::from_trace(&zipper.trace, zipper.end_to_end, &prediction);
+            println!(
+                "        48-core critical path: verdict {verdict}, model argmax {}",
+                fit.verdict(),
+            );
+            assert!(
+                fit.agrees_with(verdict),
+                "measured path and analytical model disagree:\n{}\n{}",
+                path.attribution.table(),
+                fit.table(),
+            );
+
+            // Flight-recorder export (virtual-clock spans + congestion
+            // samples + causal flow events), when requested:
+            // `ZIPPER_EXPORT_DIR=out cargo run --release --example scaling_sim`.
             if let Some(dir) = std::env::var_os("ZIPPER_EXPORT_DIR") {
                 let dir = std::path::PathBuf::from(dir);
                 std::fs::create_dir_all(&dir).expect("create export dir");
-                let json = chrome_trace(&zipper.trace, Some(&zipper.samples));
-                let lines = jsonl(&zipper.trace, Some(&zipper.samples));
+                let json = chrome_trace_with_flows(
+                    &zipper.trace,
+                    Some(&zipper.samples),
+                    Some(&zipper.causal),
+                );
+                let lines =
+                    jsonl_with_flows(&zipper.trace, Some(&zipper.samples), Some(&zipper.causal));
                 std::fs::write(dir.join("scaling_48_trace.json"), json).expect("write trace");
                 std::fs::write(dir.join("scaling_48_trace.jsonl"), lines).expect("write jsonl");
                 println!("        exported 48-core Zipper trace to {}", dir.display());

@@ -681,6 +681,55 @@ fn seeded_backpressure_gate_traces_match() {
     );
 }
 
+/// Composition on a single wire: each producer's data wire #2 is both
+/// held by a backpressure gate window (until 3 cumulative steals) and
+/// scripted by a chaos ordinal (producer 0: dropped; producer 1:
+/// delayed). Both substrates order the mechanisms gate-before-chaos —
+/// the threaded `GatedSender` wraps outermost around the `ChaosSender`,
+/// and the DES ticks gate ordinals before the chaos scope consults its
+/// own — so the held wire still burns its fault ordinal on release and
+/// the fault lands on the same block everywhere: canonical decision
+/// traces must stay byte-identical.
+#[test]
+fn gate_and_chaos_compose_on_the_same_wire() {
+    let producers = 2usize;
+    let mut script = BackpressureScript::new();
+    for p in 0..producers {
+        script = script.with(Rank(p as u32), 2, GateRule::OpenAfterSteals(3));
+    }
+    let sc = Scenario {
+        producers,
+        consumers: 2,
+        steps: 2,
+        blocks_per_step: 4,
+        producer_slots: 16,
+        high_water_mark: 8, // no unscripted steals
+        concurrent_transfer: true,
+        preserve: true,
+        routing: RoutingPolicy::RoundRobin,
+        backpressure: Some(script),
+        chaos: ChaosPlan::new()
+            .with(ChaosEntity::Sender(Rank(0)), 2, ChaosFault::DropWire)
+            .with(
+                ChaosEntity::Sender(Rank(1)),
+                2,
+                ChaosFault::DelayWire(Duration::from_micros(200)),
+            ),
+        ..Scenario::default()
+    };
+    let threaded = sc.run_threaded();
+    let des = sc.run_des();
+    for (p, t) in threaded.0.iter().enumerate() {
+        assert_eq!(t.routes.len(), 8, "producer {p} routes all its blocks");
+        assert!(
+            t.steals.len() >= 3,
+            "producer {p}'s window armed and its credit target was met: {:?}",
+            t.steals
+        );
+    }
+    assert_same("gate+chaos same wire", &threaded, &des);
+}
+
 /// Run `sc` over real loopback sockets (framed TCP) and return canonical
 /// traces by rank. Sender-entity chaos is honoured by wrapping each
 /// producer's [`zipper_core::TcpSender`] in a [`zipper_core::ChaosSender`]

@@ -5,8 +5,9 @@ use std::sync::Arc;
 use zipper_model::{integrated_time, non_integrated_time};
 use zipper_pfs::{MemFs, OstModel, OstModelConfig, Storage};
 use zipper_trace::{
-    stats, CounterId, GaugeId, HistogramSnapshot, KindBreakdown, Probe, Sampler, Span, SpanKind,
-    Telemetry, TraceLog, TraceMode, TraceSink, VirtualClock, WallClock,
+    stats, Bucket, CausalGraph, CausalLog, CounterId, CriticalPath, EdgeKind, GaugeId,
+    HistogramSnapshot, KindBreakdown, Probe, Sampler, Span, SpanKind, Telemetry, TraceLog,
+    TraceMode, TraceSink, VirtualClock, WallClock,
 };
 use zipper_types::block::deterministic_payload;
 use zipper_types::{Block, BlockId, ByteSize, GlobalPos, Rank, SimTime, StepId};
@@ -286,6 +287,85 @@ proptest! {
             prop_assert_eq!(
                 first.breakdown.get(k) + second.breakdown.get(k),
                 whole.breakdown.get(k)
+            );
+        }
+    }
+
+    /// Critical-path invariants over arbitrary traces: whatever spans and
+    /// cross edges are thrown at it (including backwards timestamps, which
+    /// `join` clamps, and same-instant handoffs), the graph's node order
+    /// stays topological — every extracted hop moves strictly forward, so
+    /// the path is acyclic — the hops chain contiguously, time never
+    /// decreases along the path, the attribution total never exceeds the
+    /// makespan, and the ×1.0 what-if reproduces the measured makespan.
+    #[test]
+    fn critical_path_is_acyclic_and_bounded_by_makespan(
+        spans in proptest::collection::vec(
+            (0usize..4usize, 0u64..10_000_000u64, 1u64..2_000_000u64, 0usize..18usize), 1..30),
+        links in proptest::collection::vec(
+            (0usize..4usize, 0usize..4usize, 0u64..12_000_000u64, 0u64..12_000_000u64, 0usize..5usize), 0..12),
+        queues in proptest::collection::vec(
+            (0usize..3usize, 0usize..4usize, 0usize..4usize, 0u64..12_000_000u64, 0u64..12_000_000u64), 0..8),
+    ) {
+        const LANES: [&str; 4] = ["sim/p0/comp", "sim/p0/send", "ana/q0/recv", "ana/q0/app"];
+        const KINDS: [EdgeKind; 5] =
+            [EdgeKind::Wire, EdgeKind::Eos, EdgeKind::Steal, EdgeKind::Gate, EdgeKind::Pfs];
+        let mut log = TraceLog::new();
+        let ids: Vec<_> = LANES.iter().map(|&l| log.lane(l)).collect();
+        // A lane is one thread's timeline, so its spans never overlap
+        // (the graph builder weighs intra segments by span overlap under
+        // that invariant): lay each lane's spans out sequentially, the
+        // generated start acting as a gap from the previous span.
+        let mut cursor = [0u64; 4];
+        for (l, gap, dur, k) in &spans {
+            let kind = SpanKind::ALL[k % SpanKind::ALL.len()];
+            let a = cursor[*l] + gap % 1_000_000;
+            let b = a + dur;
+            cursor[*l] = b;
+            log.record(Span::new(
+                ids[*l],
+                kind,
+                SimTime::from_nanos(a),
+                SimTime::from_nanos(b),
+            ));
+        }
+        let mut causal = CausalLog::new();
+        for (i, (s, d, st, dt, k)) in links.iter().enumerate() {
+            let kind = KINDS[k % KINDS.len()];
+            causal.begin(kind, i as u64, LANES[*s], SimTime::from_nanos(*st));
+            causal.end(kind, i as u64, LANES[*d], SimTime::from_nanos(*dt));
+        }
+        for (q, pl, cl, pt, ct) in &queues {
+            let name = ["q/a", "q/b", "q/c"][*q];
+            causal.queue_push(name, LANES[*pl], SimTime::from_nanos(*pt));
+            causal.queue_pop(name, LANES[*cl], SimTime::from_nanos(*ct));
+        }
+
+        let graph = CausalGraph::build(&log, &causal);
+        if let Some(path) = CriticalPath::extract(&graph) {
+            prop_assert!(!path.hops.is_empty());
+            for pair in path.hops.windows(2) {
+                prop_assert_eq!(pair[0].dst, pair[1].src, "hops must chain contiguously");
+            }
+            for h in &path.hops {
+                prop_assert!(h.src < h.dst, "topological order ⇒ acyclic path");
+                prop_assert!(
+                    graph.node(h.src).t <= graph.node(h.dst).t,
+                    "time never decreases along the path"
+                );
+            }
+            prop_assert!(
+                path.attribution.total() <= graph.makespan(),
+                "path weight {} exceeds makespan {}",
+                path.attribution.total(),
+                graph.makespan()
+            );
+            let wf = graph.what_if(Bucket::Comp, 1.0);
+            let measured = graph.makespan().as_nanos() as f64;
+            prop_assert!(
+                (wf.predicted_ns - measured).abs() <= 1.0,
+                "×1.0 what-if must reproduce the makespan: {} vs {measured}",
+                wf.predicted_ns
             );
         }
     }
