@@ -110,6 +110,8 @@ fn bench_block_queue(c: &mut Criterion) {
             let q = std::sync::Arc::new(BlockQueue::new(64));
             let q2 = q.clone();
             let blk = block.clone();
+            // iter_custom requires hand-timing on the wall clock.
+            #[allow(clippy::disallowed_methods)]
             let start = std::time::Instant::now();
             let producer = std::thread::spawn(move || {
                 for _ in 0..iters {

@@ -13,6 +13,10 @@
 //! All three return the time they spent blocked so callers can account
 //! stalls without extra instrumentation.
 
+// Threaded substrate: blocking waits and stall-time spans ARE this module's
+// job — the DES twin models the same queue in virtual time. Decisions stay in
+// zipper-policy, which this lint keeps wall-clock-free.
+#![allow(clippy::disallowed_methods)]
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};

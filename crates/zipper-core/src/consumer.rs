@@ -9,6 +9,9 @@
 //! step-marked gaps between reads). [`ConsumerMetrics`] time fields are
 //! derived from these lanes at [`Consumer::join`].
 
+// Threaded substrate: read-wait and receive timing against the real clock is
+// this module's job — the DES twin replays the same policy in virtual time.
+#![allow(clippy::disallowed_methods)]
 use crate::buffer::BlockQueue;
 use crate::metrics::ConsumerMetrics;
 use crate::producer::{causal_token, chan_code, record_wait};

@@ -13,6 +13,9 @@
 //!   virtual time, so transport chaos is conformance-testable across
 //!   substrates.
 
+// Threaded substrate: fault injection paces real threads with the wall clock —
+// the DES twin injects the same ChaosPlan at virtual timestamps.
+#![allow(clippy::disallowed_methods)]
 use crate::transport::{MeshSender, Wire, WireSender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

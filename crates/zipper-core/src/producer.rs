@@ -8,6 +8,9 @@
 //! captures fs-write/idle. The per-rank [`ProducerMetrics`] time fields
 //! are views over these lanes, derived at [`Producer::join`].
 
+// Threaded substrate: producer compute/stall timing against the real clock is
+// this module's job — the DES twin replays the same policy in virtual time.
+#![allow(clippy::disallowed_methods)]
 use crate::buffer::BlockQueue;
 use crate::metrics::ProducerMetrics;
 use crate::transport::{Wire, WireSender};

@@ -2,6 +2,10 @@
 //! bounded channels, optionally throttled to a shared aggregate bandwidth
 //! so a laptop run exhibits the finite-network effects the paper measures.
 
+// Threaded substrate: real channel timeouts and bandwidth pacing are this
+// module's job — the DES twin models the mesh in virtual time. Decisions stay
+// in zipper-policy, which this lint keeps wall-clock-free.
+#![allow(clippy::disallowed_methods)]
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -19,6 +19,9 @@
 //!            | u64 payload_len | payload ]
 //! ```
 
+// Threaded substrate: real socket timeouts/backoff are this module's job —
+// the DES twin models the wire in virtual time.
+#![allow(clippy::disallowed_methods)]
 use crate::transport::{MeshReceiver, Wire, WireSender};
 use bytes::Bytes;
 use crossbeam::channel::unbounded;

@@ -11,6 +11,9 @@
 //! runtime treats a missing block as a protocol-level loss, not a fault
 //! that waiting will cure.
 
+// Threaded substrate: retry backoff sleeps real threads — the DES twin
+// schedules the same backoff as virtual-time events.
+#![allow(clippy::disallowed_methods)]
 use crate::storage::Storage;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};

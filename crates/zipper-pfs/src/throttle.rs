@@ -10,6 +10,9 @@
 //! the stall-relief behaviour of the dual-channel optimization observable
 //! in the real runtime.
 
+// Threaded substrate: the throttle sleeps real threads to reproduce PFS
+// queueing — the DES twin books the same reservations on the virtual clock.
+#![allow(clippy::disallowed_methods)]
 use crate::storage::Storage;
 use parking_lot::Mutex;
 use std::time::{Duration, Instant};

@@ -36,6 +36,7 @@
 
 pub mod consumer;
 pub mod eos;
+pub mod preflight;
 pub mod preserve;
 pub mod producer;
 pub mod route;
@@ -44,6 +45,9 @@ pub mod trace;
 
 pub use consumer::ConsumerPolicy;
 pub use eos::{Channel, EosProgress, EosTracker};
+pub use preflight::{
+    CausalSkeleton, Diagnostic, Preflight, PreflightInput, PreflightReport, Severity, ZvCode,
+};
 pub use preserve::PreservePlan;
 pub use producer::ProducerPolicy;
 pub use route::Router;

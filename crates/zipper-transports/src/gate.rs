@@ -16,6 +16,9 @@
 //! against "the k-th data block this rank ships" means the same wire on
 //! both substrates.
 
+// Threaded substrate: the gate holds real senders with timed waits — the DES
+// twin applies the same BackpressureScript in virtual time.
+#![allow(clippy::disallowed_methods)]
 use std::sync::Arc;
 use zipper_core::{Wire, WireSender};
 use zipper_trace::{CausalSink, CounterId, EdgeKind, HistogramId, Telemetry};

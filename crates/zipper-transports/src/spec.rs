@@ -261,6 +261,9 @@ impl WorkflowSpec {
         if self.high_water_mark >= self.producer_slots {
             return Err("high-water mark must be below producer_slots".into());
         }
+        if self.consumer_slots == 0 {
+            return Err("consumer_slots must be positive".into());
+        }
         if self.staging_servers == 0 || self.decaf_links == 0 || self.staging_slots == 0 {
             return Err("staging parameters must be positive".into());
         }
@@ -295,6 +298,35 @@ impl WorkflowSpec {
             script.validate(Some(self.steps * self.blocks_per_rank_step()))?;
         }
         Ok(())
+    }
+
+    /// The static preflight verifier's view of this spec — the DES-side
+    /// twin of `PreflightInput::from_config`, carrying the same plan the
+    /// virtual processes would interpret.
+    pub fn preflight_input(&self) -> zipper_policy::PreflightInput {
+        zipper_policy::PreflightInput {
+            producers: self.sim_ranks,
+            consumers: self.ana_ranks,
+            steps: self.steps,
+            blocks_per_rank_step: self.blocks_per_rank_step(),
+            producer_slots: self.producer_slots,
+            consumer_slots: self.consumer_slots,
+            high_water_mark: self.high_water_mark,
+            concurrent_transfer: self.concurrent_transfer,
+            preserve: self.preserve,
+            routing: self.routing,
+            recovery: self.recovery,
+            eos_watchdog: self.virtual_eos_timeout.is_some(),
+            chaos: self.chaos.clone(),
+            backpressure: self.backpressure.clone(),
+        }
+    }
+
+    /// Statically verify this spec's plan without running the simulator:
+    /// symbolic execution of the policy kernel over the abstract block
+    /// schedule (`zipper_policy::Preflight`).
+    pub fn preflight(&self) -> zipper_policy::PreflightReport {
+        zipper_policy::Preflight::check(&self.preflight_input())
     }
 }
 
@@ -542,5 +574,36 @@ mod tests {
         assert_eq!(s.block_size, 1_258_291);
         assert_eq!(s.bytes_per_rank_step, 20 << 20);
         assert!(s.decaf_crash_cores.is_none());
+    }
+
+    #[test]
+    fn zero_consumer_slots_is_rejected() {
+        let mut s = WorkflowSpec::cfd(4, 2, 1);
+        s.consumer_slots = 0;
+        assert!(s.validate().is_err());
+    }
+
+    /// The preflight verifier's tag-bound constants must track the wire
+    /// tag scheme: a drift here would let `Preflight::check` accept a
+    /// spec whose tags corrupt mid-run.
+    #[test]
+    fn preflight_tag_limits_match_the_tag_scheme() {
+        assert_eq!(zipper_policy::preflight::TAG_STEP_LIMIT, tag::STEP_MASK);
+        assert_eq!(zipper_policy::preflight::TAG_BLOCK_LIMIT, tag::INFO_MASK);
+    }
+
+    /// A clean spec passes preflight; the same overflow `validate`
+    /// rejects maps to the typed ZV003 diagnostic.
+    #[test]
+    fn spec_preflight_mirrors_validate() {
+        let s = WorkflowSpec::cfd(4, 2, 2);
+        let report = s.preflight();
+        assert!(!report.is_rejected(), "{}", report.render());
+
+        let mut s = WorkflowSpec::cfd(4, 2, 1);
+        s.steps = tag::STEP_MASK + 1;
+        let report = s.preflight();
+        assert!(report.is_rejected());
+        assert!(report.has(zipper_policy::ZvCode::TagStepOverflow));
     }
 }

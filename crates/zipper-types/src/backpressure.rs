@@ -222,6 +222,10 @@ impl SenderGate {
     /// Count one data wire; if it is gated, hold until the window opens.
     /// Returns the time spent held (zero for ungated wires), which the
     /// caller charges to `net.backpressure_ns`.
+    // Threaded-substrate interpreter: Hold sleeps the real sender and the
+    // armed-window wait is timed on the wall clock; the DES interprets the
+    // same script in virtual time (zipper-transports::gate).
+    #[allow(clippy::disallowed_methods)]
     pub fn pass_data_wire(&self) -> Duration {
         let mut g = self.state.lock().unwrap();
         g.wires += 1;
@@ -446,6 +450,8 @@ mod tests {
             rule: GateRule::Hold(Duration::from_millis(20)),
         }]);
         assert_eq!(gate.pass_data_wire(), Duration::ZERO);
+        // Timed test of the real hold: wall clock is the thing under test.
+        #[allow(clippy::disallowed_methods)]
         let t0 = Instant::now();
         let held = gate.pass_data_wire();
         assert_eq!(held, Duration::from_millis(20));

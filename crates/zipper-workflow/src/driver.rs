@@ -360,6 +360,62 @@ where
     run_workflow_inner(cfg, net, storage_opts, trace, Some(plan), produce, consume)
 }
 
+/// Statically verify the plan a threaded run would interpret — the
+/// workflow config, the scripted backpressure riding in `net`, and the
+/// optional chaos plan — without spawning a thread. The DES-side twin is
+/// `WorkflowSpec::preflight` in `zipper-transports`.
+pub fn preflight_workflow(
+    cfg: &WorkflowConfig,
+    net: &NetworkOptions,
+    chaos: Option<&ChaosPlan>,
+) -> zipper_policy::PreflightReport {
+    let mut input = zipper_policy::PreflightInput::from_config(cfg);
+    input.chaos = chaos.cloned();
+    input.backpressure = net.backpressure.clone();
+    zipper_policy::Preflight::check(&input)
+}
+
+/// [`run_workflow_chaos`] behind the opt-in static preflight gate: the
+/// plan is verified first ([`preflight_workflow`]) and a plan with any
+/// error-severity diagnostic — a provable deadlock, a dead chaos
+/// ordinal, an unhealable crash — is refused with the report instead of
+/// hanging the run. Warnings and lints do not block; they ride back in
+/// the report alongside the workflow results.
+#[allow(clippy::type_complexity)]
+pub fn run_workflow_checked<R, P, C>(
+    cfg: &WorkflowConfig,
+    net: NetworkOptions,
+    storage_opts: StorageOptions,
+    trace: TraceOptions,
+    plan: &ChaosPlan,
+    produce: P,
+    consume: C,
+) -> Result<
+    (
+        WorkflowReport,
+        Vec<R>,
+        WorkflowPolicies,
+        zipper_policy::PreflightReport,
+    ),
+    Box<zipper_policy::PreflightReport>,
+>
+where
+    R: Send + 'static,
+    P: Fn(Rank, &ZipperWriter) + Send + Sync + 'static,
+    C: Fn(Rank, &ZipperReader) -> R + Send + Sync + 'static,
+{
+    let preflight = preflight_workflow(cfg, &net, (!plan.is_empty()).then_some(plan));
+    if preflight.is_rejected() {
+        return Err(Box::new(preflight));
+    }
+    let (report, results, policies) = if plan.is_empty() {
+        run_workflow_recorded(cfg, net, storage_opts, trace, produce, consume)
+    } else {
+        run_workflow_chaos(cfg, net, storage_opts, trace, plan, produce, consume)
+    };
+    Ok((report, results, policies, preflight))
+}
+
 fn run_workflow_inner<R, P, C>(
     cfg: &WorkflowConfig,
     net: NetworkOptions,
@@ -404,6 +460,8 @@ where
     // thread that could not be spawned) — merged into the report alongside
     // the per-rank runtime errors.
     let mut failures: Vec<RuntimeError> = Vec::new();
+    // Wall-clock run timing for the report; the DES driver uses virtual time.
+    #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
 
     // Spawn consumer runtimes + application threads first so inboxes exist

@@ -21,8 +21,9 @@ pub mod mapreduce;
 pub mod report;
 
 pub use driver::{
-    run_workflow, run_workflow_chaos, run_workflow_recorded, run_workflow_traced, NetworkOptions,
-    StorageOptions, TraceOptions, WorkflowPolicies,
+    preflight_workflow, run_workflow, run_workflow_chaos, run_workflow_checked,
+    run_workflow_recorded, run_workflow_traced, NetworkOptions, StorageOptions, TraceOptions,
+    WorkflowPolicies,
 };
 pub use fit::{ModelFit, PhaseFit};
 pub use mapreduce::run_map_reduce;

@@ -140,10 +140,13 @@ fn main() {
         .bytes_per_rank_step
         .as_u64()
         .div_ceil(cfg.tuning.block_size.as_u64());
+    // Example calibrates real kernel cost on the host it runs on.
+    #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
     let probe = std::hint::black_box(generate_block(Complexity::Linear, slab, 42));
     let slab_gen = t0.elapsed();
     let decoded = decode_block(&probe);
+    #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
     let mut acc = VarianceAccumulator::new();
     acc.update(&decoded);

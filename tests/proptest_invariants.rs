@@ -458,6 +458,8 @@ proptest! {
         );
         for v in &adds {
             telemetry.add(CounterId::NetBytes, *v);
+            // Real-time pacing is the property under test (Sampler cadence).
+            #[allow(clippy::disallowed_methods)]
             std::thread::sleep(std::time::Duration::from_micros(100));
         }
         let series = sampler.stop();

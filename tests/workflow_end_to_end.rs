@@ -222,6 +222,8 @@ fn stall_time_is_reported_when_consumer_is_slow() {
         verifiable_producer(&cfg),
         |_r, reader| {
             while reader.read().is_some() {
+                // Deliberately slow consumer to exercise real backpressure.
+                #[allow(clippy::disallowed_methods)]
                 std::thread::sleep(Duration::from_millis(2));
             }
         },
